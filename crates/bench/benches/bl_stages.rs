@@ -1,0 +1,32 @@
+//! E2 — Beame–Luby on d-uniform hypergraphs (the Theorem 2 regime).
+//!
+//! Run with `cargo bench -p bench --bench bl_stages`.
+
+use bench::{rng_for, uniform_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_core::prelude::*;
+use std::time::Duration;
+
+fn bl_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_bl_stages");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for d in [2usize, 3, 4] {
+        for n in [256usize, 1024] {
+            let h = uniform_workload(n, d, 2);
+            let id = BenchmarkId::new(format!("d{d}"), n);
+            group.bench_with_input(id, &h, |b, h| {
+                b.iter(|| {
+                    let mut rng = rng_for((n * d) as u64);
+                    bl_mis(h, &mut rng, &BlConfig::default()).trace.n_stages()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bl_stages);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 — SBL wall-clock scaling on paper-regime hypergraphs.
+//!
+//! Run with `cargo bench -p bench --bench sbl_scaling`.
+
+use bench::{paper_workload, rng_for};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_core::prelude::*;
+use std::time::Duration;
+
+fn sbl_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_sbl_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [256usize, 1024, 4096] {
+        let h = paper_workload(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let mut rng = rng_for(n as u64);
+                sbl_mis(h, &mut rng).independent_set.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sbl_scaling);
+criterion_main!(benches);

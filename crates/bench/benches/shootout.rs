@@ -1,0 +1,45 @@
+//! E5 — SBL vs KUW vs greedy vs permutation on the same paper-regime
+//! instance.
+//!
+//! Run with `cargo bench -p bench --bench shootout`.
+
+use bench::{paper_workload, rng_for};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis_core::prelude::*;
+use std::time::Duration;
+
+fn shootout(c: &mut Criterion) {
+    let n = 2048usize;
+    let h = paper_workload(n, 5);
+    let mut group = c.benchmark_group("e5_shootout_n2048");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("sbl", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(1);
+            sbl_mis(&h, &mut rng).independent_set.len()
+        })
+    });
+    group.bench_function("kuw", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(2);
+            kuw_mis(&h, &mut rng).independent_set.len()
+        })
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_mis(&h, None).independent_set.len())
+    });
+    group.bench_function("permutation", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(3);
+            permutation_rounds_mis(&h, &mut rng).independent_set.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, shootout);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E9 — special hypergraph classes: 3-uniform (Beame–Luby's RNC case) and
+//! linear hypergraphs (Łuczak–Szymańska), comparing BL with the specialised
+//! linear algorithm.
+//!
+//! Run with `cargo bench -p bench --bench special_classes`.
+
+use bench::{linear_workload, rng_for, uniform_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis_core::prelude::*;
+use std::time::Duration;
+
+fn special_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_special_classes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let h3 = uniform_workload(1024, 3, 9);
+    group.bench_function("bl_3uniform_n1024", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(11);
+            bl_mis(&h3, &mut rng, &BlConfig::default()).independent_set.len()
+        })
+    });
+
+    let hl = linear_workload(1024, 9);
+    group.bench_function("linear_ls_n1024", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(12);
+            linear_mis(&hl, &mut rng).unwrap().independent_set.len()
+        })
+    });
+    group.bench_function("bl_on_linear_n1024", |b| {
+        b.iter(|| {
+            let mut rng = rng_for(13);
+            bl_mis(&hl, &mut rng, &BlConfig::default()).independent_set.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, special_classes);
+criterion_main!(benches);

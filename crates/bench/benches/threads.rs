@@ -1,0 +1,34 @@
+//! E8 — SBL wall-clock time under dedicated rayon pools of 1, 2 and 4
+//! threads.
+//!
+//! Run with `cargo bench -p bench --bench threads`.
+
+use bench::{paper_workload, rng_for};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis_core::prelude::*;
+use pram::pool::with_threads;
+use std::time::Duration;
+
+fn threads(c: &mut Criterion) {
+    let h = paper_workload(8192, 8);
+    let mut group = c.benchmark_group("e8_threads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for t in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let h = h.clone();
+                with_threads(t, move || {
+                    let mut rng = rng_for(0xE8);
+                    sbl_mis(&h, &mut rng).independent_set.len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, threads);
+criterion_main!(benches);

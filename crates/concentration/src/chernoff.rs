@@ -1,0 +1,120 @@
+//! The Chernoff bound used in the SBL analysis (Lemma 1 of the paper) and the
+//! derived failure-probability estimates for the three events A, B, C of
+//! Section 2.2.
+//!
+//! * **Event A** — some SBL round marks fewer than `p·n_i/2` vertices. Lemma 1
+//!   bounds each round by `e^{−p·n_i/8} ≤ e^{−1/(8p)}`, and over
+//!   `r = 2 log n / p` rounds the union bound gives `r · e^{−1/(8p)}`.
+//! * **Event B** — some sampled edge exceeds the dimension cap `d`. The paper
+//!   bounds it by `r · m · p^{d+1}`, and chooses `d` so this is at most `1/n`.
+//! * **Event C** — some BL invocation fails; bounded by `r · n^{−Θ(log n)}`.
+//!
+//! Experiments E3 and E4 compare these analytic estimates with empirical
+//! failure counts from instrumented SBL runs.
+
+/// Lower-tail Chernoff bound of Lemma 1:
+/// `Pr[ X_1 + … + X_n ≤ pn − a ] ≤ e^{−a²/(2pn)}`.
+pub fn chernoff_lower_tail(p: f64, n: f64, a: f64) -> f64 {
+    assert!(p >= 0.0 && p <= 1.0 && n >= 0.0 && a >= 0.0);
+    if p == 0.0 || n == 0.0 {
+        return if a > 0.0 { 0.0 } else { 1.0 };
+    }
+    (-a * a / (2.0 * p * n)).exp().min(1.0)
+}
+
+/// Probability that one SBL round marks fewer than `p·n_i/2` vertices
+/// (event A for a single round): `e^{−p·n_i/8}`.
+pub fn event_a_single_round(p: f64, n_i: f64) -> f64 {
+    chernoff_lower_tail(p, n_i, p * n_i / 2.0)
+}
+
+/// Union bound for event A over `rounds` rounds, each with at least
+/// `min_alive ≥ 1/p²` vertices: `rounds · e^{−1/(8p)}` (the paper's bound).
+pub fn event_a_total(p: f64, rounds: f64) -> f64 {
+    (rounds * (-1.0 / (8.0 * p)).exp()).min(1.0)
+}
+
+/// The paper's bound for event B: the probability that *some* edge of size
+/// `> d` is ever fully marked, over `rounds` rounds with `m` edges and
+/// per-vertex marking probability `p`: `rounds · m · p^{d+1}`.
+pub fn event_b_total(p: f64, m: f64, d: u32, rounds: f64) -> f64 {
+    (rounds * m * p.powi(d as i32 + 1)).min(1.0)
+}
+
+/// The dimension the paper derives so that event B has probability ≤ 1/n:
+/// `d = log(r·m·n)/log(1/p) − 1` (real-valued; the algorithm uses `⌈·⌉` or the
+/// closed form of `params::SblParams`).
+pub fn event_b_dimension(p: f64, m: f64, n: f64, rounds: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    (rounds * m * n).ln() / (1.0 / p).ln() - 1.0
+}
+
+/// The paper's round bound `r = 2 log n / p` (base-2 log, matching `params`).
+pub fn round_bound(n: f64, p: f64) -> f64 {
+    2.0 * n.log2() / p
+}
+
+/// Number of rounds needed for `(1 − p/2)^r ≤ 1/(p²·n)` — the geometric-decay
+/// form the round bound is derived from. Returns the smallest such `r`.
+pub fn rounds_until_tail(n: f64, p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    let target = 1.0 / (p * p * n);
+    (target.ln() / (1.0 - p / 2.0).ln()).ceil().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_basic_shape() {
+        // Larger deviation → smaller probability.
+        let p1 = chernoff_lower_tail(0.5, 1000.0, 10.0);
+        let p2 = chernoff_lower_tail(0.5, 1000.0, 100.0);
+        assert!(p2 < p1);
+        assert!(p1 <= 1.0 && p2 > 0.0);
+        // Zero deviation gives the trivial bound 1.
+        assert_eq!(chernoff_lower_tail(0.5, 100.0, 0.0), 1.0);
+        // Degenerate inputs.
+        assert_eq!(chernoff_lower_tail(0.0, 100.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn event_a_matches_formula() {
+        let p = 0.1;
+        let n_i = 1000.0;
+        let single = event_a_single_round(p, n_i);
+        assert!((single - (-p * n_i / 8.0).exp()).abs() < 1e-12);
+        // With n_i >= 1/p², the single-round bound is at most e^{-1/(8p)}.
+        let n_i = 1.0 / (p * p);
+        assert!(event_a_single_round(p, n_i) <= (-1.0 / (8.0 * p)).exp() + 1e-12);
+        // The union bound is r times that.
+        assert!(event_a_total(p, 10.0) <= 10.0 * (-1.0 / (8.0 * p)).exp());
+    }
+
+    #[test]
+    fn event_b_shrinks_with_dimension() {
+        let p = 0.05;
+        let b3 = event_b_total(p, 1000.0, 3, 50.0);
+        let b6 = event_b_total(p, 1000.0, 6, 50.0);
+        assert!(b6 < b3);
+        // The derived dimension indeed pushes the bound to ~1/n.
+        let n = 10_000.0;
+        let d = event_b_dimension(p, 1000.0, n, 50.0);
+        let b = event_b_total(p, 1000.0, d.ceil() as u32, 50.0);
+        assert!(b <= 1.0 / n * 1.5, "b = {b}");
+    }
+
+    #[test]
+    fn round_bounds_agree() {
+        let n = 10_000.0;
+        let p = 0.05;
+        // The closed form r = 2 log n / p dominates the exact geometric count.
+        assert!(round_bound(n, p) >= rounds_until_tail(n, p));
+        // Both grow as p shrinks (n large enough that the 1/p² threshold is
+        // far below n for both probabilities).
+        let n = 1e8;
+        assert!(round_bound(n, 0.01) > round_bound(n, 0.1));
+        assert!(rounds_until_tail(n, 0.01) > rounds_until_tail(n, 0.1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Kelsen's concentration bound (Theorem 3 of the paper / Theorem 1 in
+//! Kelsen's 1992 paper) and its Corollary 1 specialisation.
+//!
+//! The statement: for a weighted hypergraph `(H, w)` with `dim(H) = d > 0`,
+//! `n(H) = n ≥ 3`, any `0 < p ≤ 1` and `δ > 1`,
+//!
+//! ```text
+//! Pr[ S(H,w,p) > k(H) · D(H,w,p) ] < p(H)
+//! k(H) = ((log n + 2) · δ)^{2^d − 1}
+//! p(H) = (2^d · ⌈log n⌉ · m(H))^{d−1} · log n · (4e/δ)^{(δ−1)/4}
+//! ```
+//!
+//! With `δ = log² n` this yields Corollary 1: the threshold becomes
+//! `(log n)^{2^{d+1}} · D` and the failure probability `n^{-Θ(log n log log n)}`.
+//!
+//! The quantities involved overflow `f64` long before they become
+//! uninteresting (e.g. `(log n)^{2^{d+1}}` for `d = 6`), so every function here
+//! is computed **in log₂ space** and the linear-scale convenience wrappers
+//! saturate at `f64::INFINITY` when the true value does not fit.
+
+/// log₂ of the threshold factor `k(H) = ((log n + 2) · δ)^{2^d − 1}`.
+///
+/// `n ≥ 3`, `d ≥ 1`, `δ > 1` (asserted).
+pub fn kelsen_k_log2(n: usize, d: u32, delta: f64) -> f64 {
+    assert!(n >= 3, "Theorem 3 requires n >= 3");
+    assert!(d >= 1, "Theorem 3 requires d >= 1");
+    assert!(delta > 1.0, "Theorem 3 requires delta > 1");
+    let log_n = (n as f64).log2();
+    let base = (log_n + 2.0) * delta;
+    let exponent = 2f64.powi(d as i32) - 1.0;
+    exponent * base.log2()
+}
+
+/// The threshold factor `k(H)` on a linear scale (∞ if it overflows `f64`).
+pub fn kelsen_k(n: usize, d: u32, delta: f64) -> f64 {
+    2f64.powf(kelsen_k_log2(n, d, delta))
+}
+
+/// log₂ of the failure probability
+/// `p(H) = (2^d ⌈log n⌉ m)^{d−1} · log n · (4e/δ)^{(δ−1)/4}`.
+///
+/// Returns `f64::NEG_INFINITY` when the probability underflows (i.e. is far
+/// smaller than the smallest positive double) — which is the common case the
+/// theorem is designed for.
+pub fn kelsen_failure_log2(n: usize, d: u32, m: usize, delta: f64) -> f64 {
+    assert!(n >= 3 && d >= 1 && delta > 1.0);
+    let log_n = (n as f64).log2();
+    let ceil_log_n = log_n.ceil().max(1.0);
+    let poly = (d as f64) + ceil_log_n.log2() + (m.max(1) as f64).log2();
+    let first = (d as f64 - 1.0) * poly;
+    let second = log_n.log2();
+    let third = ((delta - 1.0) / 4.0) * (4.0 * std::f64::consts::E / delta).log2();
+    first + second + third
+}
+
+/// The failure probability on a linear scale (0 if it underflows).
+pub fn kelsen_failure(n: usize, d: u32, m: usize, delta: f64) -> f64 {
+    2f64.powf(kelsen_failure_log2(n, d, m, delta))
+}
+
+/// Corollary 1: with `δ = log² n` the threshold factor becomes
+/// `(log n)^{2^{d+1}}`. Returns its log₂.
+///
+/// (The paper states the cleaner exponent `2^{d+1}`; the exact Theorem-3
+/// factor with `δ = log²n` is `((log n + 2) log² n)^{2^d − 1}` whose log is
+/// within a constant factor — both are provided so the experiment can show
+/// they agree asymptotically.)
+pub fn corollary1_threshold_log2(n: usize, d: u32) -> f64 {
+    assert!(n >= 3 && d >= 1);
+    let log_n = (n as f64).log2();
+    2f64.powi(d as i32 + 1) * log_n.log2()
+}
+
+/// The exact Theorem-3 factor with `δ = log² n`, in log₂ space.
+pub fn corollary1_exact_factor_log2(n: usize, d: u32) -> f64 {
+    let log_n = (n as f64).log2();
+    kelsen_k_log2(n, d, (log_n * log_n).max(1.0 + f64::EPSILON))
+}
+
+/// Corollary 1 failure probability exponent: the probability is
+/// `n^{-Θ(log n · log log n)}`; this returns the (positive) exponent
+/// `log n · log log n` so callers can report `n^{-Θ(·)}` shapes.
+pub fn corollary1_failure_exponent(n: usize) -> f64 {
+    let log_n = (n as f64).log2().max(1.0);
+    log_n * log_n.log2().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_factor_matches_hand_computation() {
+        // n = 16, d = 2, δ = 2: k = ((4 + 2) * 2)^(2^2 - 1) = 12^3 = 1728.
+        let k = kelsen_k(16, 2, 2.0);
+        assert!((k - 1728.0).abs() < 1e-6);
+        assert!((kelsen_k_log2(16, 2, 2.0) - 1728f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_factor_grows_with_dimension() {
+        let k2 = kelsen_k_log2(1 << 20, 2, 4.0);
+        let k3 = kelsen_k_log2(1 << 20, 3, 4.0);
+        let k5 = kelsen_k_log2(1 << 20, 5, 4.0);
+        assert!(k3 > k2);
+        assert!(k5 > k3);
+    }
+
+    #[test]
+    fn failure_probability_shrinks_with_delta() {
+        // Larger δ → smaller failure probability (the (4e/δ)^((δ-1)/4) term).
+        let p_small = kelsen_failure_log2(1 << 16, 3, 1000, 16.0);
+        let p_large = kelsen_failure_log2(1 << 16, 3, 1000, 256.0);
+        assert!(p_large < p_small);
+    }
+
+    #[test]
+    fn corollary1_delta_log_squared_is_tiny_probability() {
+        let n = 1usize << 16;
+        let log_n = (n as f64).log2();
+        let delta = log_n * log_n;
+        let p_log2 = kelsen_failure_log2(n, 3, 10_000, delta);
+        // The probability should be at most n^{-c log n log log n}-ish, i.e. its
+        // log2 should be hugely negative.
+        assert!(p_log2 < -100.0, "p_log2 = {p_log2}");
+        assert!(kelsen_failure(n, 3, 10_000, delta) < 1e-30);
+    }
+
+    #[test]
+    fn corollary1_threshold_shape() {
+        // (log n)^{2^{d+1}}: for n = 2^16, d = 2 → 16^8 = 2^32.
+        let t = corollary1_threshold_log2(1 << 16, 2);
+        assert!((t - 32.0).abs() < 1e-9);
+        // The exact Theorem-3 factor with δ = log²n is within a constant
+        // multiple in the exponent.
+        let exact = corollary1_exact_factor_log2(1 << 16, 2);
+        assert!(exact > 0.0);
+        assert!(exact / t < 2.0 && t / exact < 2.0);
+    }
+
+    #[test]
+    fn failure_exponent_monotone() {
+        assert!(corollary1_failure_exponent(1 << 20) > corollary1_failure_exponent(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn rejects_tiny_n() {
+        let _ = kelsen_k_log2(2, 2, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta > 1")]
+    fn rejects_bad_delta() {
+        let _ = kelsen_k_log2(16, 2, 1.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Concentration inequalities and potential functions from the SBL paper's
+//! analysis (Sections 2.2, 3 and 4).
+//!
+//! The paper's contribution is as much the *analysis* as the algorithm: it
+//! shows that Kelsen's study of the Beame–Luby (BL) algorithm survives a
+//! super-constant dimension bound once the potential-function recurrence is
+//! repaired, and that modern polynomial concentration bounds (Kim–Vu,
+//! Schudy–Sviridenko) tighten the per-stage edge-migration estimate. This
+//! crate makes every quantity appearing in that analysis computable, so the
+//! experiments can confront bounds with instrumented algorithm runs:
+//!
+//! * [`weighted`] — the weighted edge-marking polynomial `S(H,w,p)`, its
+//!   partial-derivative expectations `P`/`D`, and the migration hypergraph
+//!   `(H', w')` used by Lemma 3/4.
+//! * [`kelsen`] — Theorem 3 (Kelsen's concentration bound): the threshold
+//!   factor `k(H)`, failure probability `p(H)`, and the Corollary-1
+//!   specialisation `δ = log² n`.
+//! * [`kimvu`] — the Section-4 improvement: Kim–Vu coefficients, thresholds,
+//!   and the improved migration bound `Σ (log n)^{2(k−j)} Δ_k` next to
+//!   Kelsen's `Σ (log n)^{2^{k−j}+1} Δ_k`.
+//! * [`potential`] — the `f`/`F` recurrences (Kelsen's original, the paper's
+//!   `d²` repair, and the Section-4.1 minimal form), the potentials `v_i`,
+//!   thresholds `T_j`, stage counts `q_j`, and the admissibility checks that
+//!   delimit Theorem 2.
+//! * [`chernoff`] — Lemma 1 and the event A/B/C failure estimates of the SBL
+//!   analysis.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chernoff;
+pub mod kelsen;
+pub mod kimvu;
+pub mod potential;
+pub mod weighted;
+
+pub use potential::{Potential, Recurrence};
+pub use weighted::{migration_polynomial, WeightedHypergraph};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::chernoff;
+    pub use crate::kelsen;
+    pub use crate::kimvu;
+    pub use crate::potential::{factorial, Potential, Recurrence};
+    pub use crate::weighted::{migration_polynomial, WeightedHypergraph};
+}

@@ -1,0 +1,429 @@
+//! The potential functions of Kelsen's analysis and the paper's Theorem-2
+//! modification.
+//!
+//! Kelsen tracks the progress of the BL algorithm through the values
+//!
+//! ```text
+//! v_d(H) = Δ_d(H),      v_i(H) = max{ Δ_i(H), (log n)^{f(i)} · v_{i+1}(H) }   (2 ≤ i < d)
+//! T_j    = v_2(H) / (log n)^{F(j−1)},        F(i) = Σ_{j=2}^{i} f(j),  F(1) = 0
+//! λ(n)   = 2 log log n / log n
+//! q_j    = 2^{d(d+1)} · (log log n) · (log n)^{F(j−1)(j−1)+2}
+//! ```
+//!
+//! and proves (Lemma 5) that `v_2` does not grow over polylogarithmically many
+//! stages and halves every `q_d` stages, giving the `O((log n)^{(d+4)!})`
+//! stage bound of Theorem 2.
+//!
+//! Kelsen's original recurrence is `f(2) = 7`, `f(i) = (i−1)·Σ_{j<i} f(j) + 7`;
+//! the paper shows this choice breaks down once `d` is super-constant (the
+//! `2^{d(d+1)}` factor can no longer be absorbed) and replaces the additive
+//! constant by `d²`:  `f(i) = (i−1)·Σ_{j<i} f(j) + d²`, equivalently
+//! `F(i) = i·F(i−1) + d²`. This module implements both recurrences, the
+//! per-(j,k) migration exponents, and the admissibility checks
+//! (`d(d+1) ≤ (log log n)(d²−8)` and Lemma 6), so the experiments can map out
+//! exactly where each analysis applies — which is the content of experiment
+//! E10 and of the paper's Section 4.1 discussion.
+//!
+//! All potentially astronomical quantities are available in log₂ space.
+
+/// Which additive constant the `f`/`F` recurrence uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recurrence {
+    /// Kelsen's original choice: `f(2) = 7`, additive constant 7.
+    KelsenOriginal,
+    /// The paper's Theorem-2 choice: additive constant `d²`.
+    PaperDSquared,
+    /// The Section-4.1 lower bound: the minimal `F` satisfying
+    /// `F(j) ≥ F(j−1)·j + 5` that any analysis of this shape must obey.
+    MinimalSection41,
+}
+
+/// The potential-function configuration for a hypergraph on `n` vertices with
+/// dimension bound `d`.
+#[derive(Debug, Clone, Copy)]
+pub struct Potential {
+    /// Number of vertices of the ambient hypergraph.
+    pub n: usize,
+    /// Dimension (bound) of the hypergraph the BL analysis runs on.
+    pub d: u32,
+    /// Which recurrence to use for `f`/`F`.
+    pub recurrence: Recurrence,
+}
+
+impl Potential {
+    /// Creates a configuration. Requires `n ≥ 3` and `d ≥ 2`.
+    pub fn new(n: usize, d: u32, recurrence: Recurrence) -> Self {
+        assert!(n >= 3, "need n >= 3");
+        assert!(d >= 2, "the potential functions are defined for d >= 2");
+        Potential { n, d, recurrence }
+    }
+
+    /// `log₂ n` of the configuration (base-2 throughout, see `params`).
+    pub fn log_n(&self) -> f64 {
+        (self.n as f64).log2()
+    }
+
+    /// `log log n`.
+    pub fn log_log_n(&self) -> f64 {
+        self.log_n().log2().max(f64::MIN_POSITIVE)
+    }
+
+    /// The additive constant of the recurrence (`7`, `d²` or `5`).
+    pub fn constant(&self) -> f64 {
+        match self.recurrence {
+            Recurrence::KelsenOriginal => 7.0,
+            Recurrence::PaperDSquared => (self.d as f64) * (self.d as f64),
+            Recurrence::MinimalSection41 => 5.0,
+        }
+    }
+
+    /// `f(i)`: `f(2) = c`, `f(i) = (i−1)·F(i−1) + c`.
+    ///
+    /// Grows factorially; returned as `f64` (may be `inf` for large `i`).
+    pub fn f(&self, i: u32) -> f64 {
+        assert!(i >= 2, "f is defined for i >= 2");
+        (i as f64 - 1.0) * self.big_f(i - 1) + self.constant()
+    }
+
+    /// `F(i) = Σ_{j=2}^{i} f(j)` with `F(1) = 0`; satisfies
+    /// `F(i) = i·F(i−1) + c`.
+    pub fn big_f(&self, i: u32) -> f64 {
+        if i <= 1 {
+            return 0.0;
+        }
+        let c = self.constant();
+        let mut acc = 0.0f64;
+        for t in 2..=i {
+            acc = (t as f64) * acc + c;
+        }
+        acc
+    }
+
+    /// `λ(n) = 2 log log n / log n` — the slack the induction tolerates.
+    pub fn lambda(&self) -> f64 {
+        2.0 * self.log_log_n() / self.log_n()
+    }
+
+    /// log₂ of `q_j = 2^{d(d+1)} · (log log n) · (log n)^{F(j−1)(j−1)+2}` —
+    /// the number of consecutive stages needed to knock a large `Δ_j` down.
+    pub fn q_log2(&self, j: u32) -> f64 {
+        let d = self.d as f64;
+        d * (d + 1.0)
+            + self.log_log_n().log2()
+            + (self.big_f(j - 1) * (j as f64 - 1.0) + 2.0) * self.log_n().log2()
+    }
+
+    /// The per-(j,k) migration exponent appearing in the key claim:
+    /// `2^{k−j+1} + F(j−1)·j − F(k−1) + 2` (equals
+    /// `2^{k−j+1} + 2 − c + F(j) − F(k−1)` by the recurrence).
+    pub fn migration_exponent(&self, j: u32, k: u32) -> f64 {
+        assert!(k > j && j >= 2);
+        2f64.powi((k - j + 1) as i32) + self.big_f(j - 1) * (j as f64) - self.big_f(k - 1) + 2.0
+    }
+
+    /// Lemma 6: for `k > j+1` the exponent is at most `6 − d²` — i.e. the
+    /// `k = j+1` term dominates the sum. Returns `true` when the inequality
+    /// holds for the given pair.
+    pub fn lemma6_holds(&self, j: u32, k: u32) -> bool {
+        if k <= j + 1 {
+            return true; // lemma only speaks about k > j+1
+        }
+        let d2 = (self.d as f64) * (self.d as f64);
+        self.migration_exponent(j, k) + d2 - self.constant() - self.big_f(j - 1) * (j as f64)
+            + self.big_f(j)
+            <= 6.0
+            || self.migration_exponent_normalized(j, k) <= 6.0 - d2
+    }
+
+    /// The normalized exponent of Lemma 6, `2^{k−j+1} + 2 − d² + F(j) − F(k−1)`
+    /// (meaningful for the paper's `d²` recurrence; computed with the
+    /// configured constant in general).
+    pub fn migration_exponent_normalized(&self, j: u32, k: u32) -> f64 {
+        assert!(k > j && j >= 2);
+        2f64.powi((k - j + 1) as i32) + 2.0 - self.constant() + self.big_f(j)
+            - self.big_f(k - 1)
+    }
+
+    /// The key claim of the Theorem-2 proof, for a fixed `j`:
+    ///
+    /// ```text
+    /// 2^{d(d+1)} · Σ_{k>j} (log n)^{exponent(j,k)}  ≤  2 / (log n + 2 log log n)
+    /// ```
+    ///
+    /// Returns `true` if it holds. Terms are evaluated in a saturating way:
+    /// exponents so negative that the term underflows count as 0, and any
+    /// overflow makes the claim fail.
+    pub fn migration_claim_holds(&self, j: u32) -> bool {
+        assert!(j >= 2);
+        if j >= self.d {
+            return true; // no k > j within the dimension, nothing to migrate
+        }
+        let log_n = self.log_n();
+        let d = self.d as f64;
+        let lhs_factor_log2 = d * (d + 1.0);
+        let mut sum = 0.0f64;
+        for k in (j + 1)..=self.d {
+            let expo = self.migration_exponent(j, k);
+            let term_log2 = expo * log_n.log2();
+            let total_log2 = lhs_factor_log2 + term_log2;
+            if total_log2 > 1023.0 {
+                return false; // overflow — claim certainly violated
+            }
+            sum += 2f64.powf(total_log2);
+        }
+        let rhs = 2.0 / (log_n + 2.0 * self.log_log_n());
+        sum <= rhs
+    }
+
+    /// `true` when the key claim holds for **every** `j` in `2..d` — i.e. the
+    /// whole Theorem-2 induction goes through for this `(n, d, recurrence)`.
+    pub fn analysis_admissible(&self) -> bool {
+        (2..self.d).all(|j| self.migration_claim_holds(j))
+    }
+
+    /// The closed-form sufficient condition the paper derives for its `d²`
+    /// recurrence: `d(d+1) ≤ (log log n)(d² − 8)`.
+    pub fn closed_form_inequality_holds(&self) -> bool {
+        let d = self.d as f64;
+        d * (d + 1.0) <= self.log_log_n() * (d * d - 8.0)
+    }
+
+    /// The Theorem-2 dimension bound `d ≤ log log n / (4 log log log n)` for
+    /// this `n` (base-2 logs). `None` when the iterated logs are undefined.
+    pub fn theorem2_dimension_bound(&self) -> Option<f64> {
+        let l2 = self.log_log_n();
+        let l3 = l2.log2();
+        if l3 <= 0.0 {
+            return None;
+        }
+        Some(l2 / (4.0 * l3))
+    }
+
+    /// log₂ of the Theorem-2 stage bound `(log n)^{(d+4)!}`.
+    pub fn stage_bound_log2(&self) -> f64 {
+        factorial(self.d + 4) * self.log_n().log2()
+    }
+
+    /// Verifies the inequality used at the end of the Theorem-2 proof:
+    /// `log n · q_d ≤ (log n)^{(d+4)!}`, i.e. the stage bound indeed dominates
+    /// the number of stages the potential argument needs.
+    pub fn stage_bound_dominates(&self) -> bool {
+        self.log_n().log2() + self.q_log2(self.d) <= self.stage_bound_log2()
+    }
+
+    /// Verifies `F(i) ≤ d² · (i+2)!` (the auxiliary induction the paper uses
+    /// to prove [`stage_bound_dominates`](Self::stage_bound_dominates)).
+    /// Only meaningful for the `d²` recurrence but checked literally for any.
+    pub fn f_bounded_by_factorial(&self, i: u32) -> bool {
+        let d2 = (self.d as f64) * (self.d as f64);
+        self.big_f(i) <= d2 * factorial(i + 2)
+    }
+
+    /// The potential values `v_i` in log₂ space, from the measured maximum
+    /// normalized degrees `deltas[i] = Δ_i(H)` (index by dimension `i`,
+    /// `2 ≤ i ≤ d`; other entries ignored). Entries with `Δ_i = 0` contribute
+    /// `-∞`. Returns a vector `v_log2` with the same indexing; `v_log2[2]` is
+    /// the universal threshold the analysis tracks.
+    pub fn v_log2(&self, deltas: &[f64]) -> Vec<f64> {
+        let d = self.d as usize;
+        let log_log = self.log_n().log2();
+        let mut v = vec![f64::NEG_INFINITY; d + 1];
+        let delta_log2 = |i: usize| -> f64 {
+            deltas
+                .get(i)
+                .copied()
+                .filter(|&x| x > 0.0)
+                .map(|x| x.log2())
+                .unwrap_or(f64::NEG_INFINITY)
+        };
+        if d >= 2 {
+            v[d] = delta_log2(d);
+            for i in (2..d).rev() {
+                let scaled = self.f(i as u32) * log_log + v[i + 1];
+                v[i] = delta_log2(i).max(scaled);
+            }
+        }
+        v
+    }
+
+    /// The threshold `T_j` in log₂ space, from `v_2` (log₂) :
+    /// `T_j = v_2 / (log n)^{F(j−1)}`.
+    pub fn threshold_log2(&self, v2_log2: f64, j: u32) -> f64 {
+        v2_log2 - self.big_f(j - 1) * self.log_n().log2()
+    }
+}
+
+/// `x!` as `f64` (exact up to 170!, `inf` beyond — fine for exponents).
+pub fn factorial(x: u32) -> f64 {
+    let mut acc = 1.0f64;
+    for t in 2..=x {
+        acc *= t as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pot(n: usize, d: u32, r: Recurrence) -> Potential {
+        Potential::new(n, d, r)
+    }
+
+    #[test]
+    fn kelsen_recurrence_values() {
+        let p = pot(1 << 16, 4, Recurrence::KelsenOriginal);
+        // F(1) = 0, F(2) = 7, F(3) = 3*7 + 7 = 28, F(4) = 4*28 + 7 = 119.
+        assert_eq!(p.big_f(1), 0.0);
+        assert_eq!(p.big_f(2), 7.0);
+        assert_eq!(p.big_f(3), 28.0);
+        assert_eq!(p.big_f(4), 119.0);
+        // f(2) = 7, f(3) = 2*F(2) + 7 = 21, f(4) = 3*F(3) + 7 = 91.
+        assert_eq!(p.f(2), 7.0);
+        assert_eq!(p.f(3), 21.0);
+        assert_eq!(p.f(4), 91.0);
+        // Consistency: F(i) = F(i-1) + f(i).
+        assert_eq!(p.big_f(4), p.big_f(3) + p.f(4));
+    }
+
+    #[test]
+    fn paper_recurrence_values() {
+        let p = pot(1 << 16, 3, Recurrence::PaperDSquared);
+        // c = 9: F(2) = 9, F(3) = 3*9 + 9 = 36.
+        assert_eq!(p.constant(), 9.0);
+        assert_eq!(p.big_f(2), 9.0);
+        assert_eq!(p.big_f(3), 36.0);
+        assert_eq!(p.f(3), 2.0 * 9.0 + 9.0);
+    }
+
+    #[test]
+    fn paper_fix_kills_the_k_equals_j_plus_1_degeneracy() {
+        // The paper's motivating computation: with Kelsen's F, the k = j+1
+        // exponent is −1 (independent of d), so the whole claim reduces to
+        // 2^{d(d+1)} ≤ log n/(log n + 2 log log n) < 1, which fails.
+        let n = 1usize << 20;
+        let kel = pot(n, 5, Recurrence::KelsenOriginal);
+        for j in 2..5u32 {
+            // exponent with original F: 2^{2} + F(j-1)j - F(j) + 2 = 6 - 7 = -1.
+            assert_eq!(kel.migration_exponent(j, j + 1), -1.0);
+        }
+        // With the d² recurrence the same exponent is 6 - d², strongly negative.
+        let pap = pot(n, 5, Recurrence::PaperDSquared);
+        for j in 2..5u32 {
+            assert_eq!(pap.migration_exponent(j, j + 1), 6.0 - 25.0);
+        }
+    }
+
+    #[test]
+    fn lemma6_monotone_terms() {
+        let p = pot(1 << 20, 6, Recurrence::PaperDSquared);
+        for j in 2..6u32 {
+            for k in (j + 2)..=6u32 {
+                assert!(
+                    p.migration_exponent_normalized(j, k) <= 6.0 - 36.0,
+                    "lemma 6 violated at j={j}, k={k}"
+                );
+                assert!(p.lemma6_holds(j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_and_full_claim_agree_qualitatively() {
+        // For moderate d and huge n, the paper's analysis is admissible; for d
+        // too large relative to n it is not.
+        let good = pot(1 << 30, 4, Recurrence::PaperDSquared);
+        assert!(good.closed_form_inequality_holds());
+        assert!(good.analysis_admissible());
+
+        // d = 3 makes d² − 8 = 1, so the closed form needs log log n ≥ 12,
+        // i.e. n ≥ 2^4096 — far beyond any practical n. The full claim fails
+        // too: the k = j+1 term is (log n)^{-3} which cannot absorb 2^{12}.
+        let bad = pot(1 << 30, 3, Recurrence::PaperDSquared);
+        assert!(!bad.closed_form_inequality_holds());
+        assert!(!bad.analysis_admissible());
+    }
+
+    #[test]
+    fn kelsen_original_fails_for_superconstant_d() {
+        // The whole point of the paper's Section 3.1: with the original
+        // recurrence the claim fails (for any n) once d is allowed to grow,
+        // because of the −1 exponent term.
+        let p = pot(1 << 26, 6, Recurrence::KelsenOriginal);
+        assert!(!p.analysis_admissible());
+        // While the paper's recurrence survives at the same (n, d) as long as
+        // the closed-form inequality holds.
+        let q = pot(1 << 26, 4, Recurrence::PaperDSquared);
+        assert_eq!(q.analysis_admissible(), q.closed_form_inequality_holds());
+    }
+
+    #[test]
+    fn q_and_stage_bounds() {
+        let p = pot(1 << 16, 3, Recurrence::PaperDSquared);
+        assert!(p.q_log2(2) > 0.0);
+        assert!(p.q_log2(3) >= p.q_log2(2));
+        assert!(p.stage_bound_log2() > 0.0);
+        assert!(p.stage_bound_dominates());
+        for i in 1..=3 {
+            assert!(p.f_bounded_by_factorial(i));
+        }
+    }
+
+    #[test]
+    fn lambda_shrinks_with_n() {
+        let a = pot(1 << 10, 3, Recurrence::PaperDSquared).lambda();
+        let b = pot(1 << 24, 3, Recurrence::PaperDSquared).lambda();
+        assert!(b < a);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn v_and_thresholds() {
+        let p = pot(1 << 16, 4, Recurrence::PaperDSquared);
+        // Δ_2 = 8, Δ_3 = 4, Δ_4 = 2 (indices by dimension).
+        let deltas = vec![0.0, 0.0, 8.0, 4.0, 2.0];
+        let v = p.v_log2(&deltas);
+        // v_4 = log2 2 = 1.
+        assert!((v[4] - 1.0).abs() < 1e-12);
+        // v_3 = max(log2 4, f(3)·log2(log n) + v_4) — the scaled term dominates.
+        assert!(v[3] >= p.f(3) * 4.0_f64.log2() + 1.0 - 1e-9);
+        // v_2 >= v_3 scaled again, and thresholds decrease with j.
+        assert!(v[2] >= v[3]);
+        let t2 = p.threshold_log2(v[2], 2);
+        let t3 = p.threshold_log2(v[2], 3);
+        assert!(t3 < t2);
+        assert_eq!(t2, v[2]); // F(1) = 0
+    }
+
+    #[test]
+    fn v_handles_zero_deltas() {
+        let p = pot(1 << 16, 3, Recurrence::PaperDSquared);
+        let v = p.v_log2(&[0.0; 4]);
+        assert!(v[2].is_infinite() && v[2] < 0.0);
+        assert!(v[3].is_infinite() && v[3] < 0.0);
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert_eq!(factorial(7), 5040.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn rejects_dimension_one() {
+        let _ = Potential::new(100, 1, Recurrence::PaperDSquared);
+    }
+
+    #[test]
+    fn section41_minimal_recurrence() {
+        // Section 4.1: any valid F must satisfy F(j) >= F(j-1)·j + 5; the
+        // MinimalSection41 recurrence realises it with equality.
+        let p = pot(1 << 20, 5, Recurrence::MinimalSection41);
+        for j in 2..=5u32 {
+            assert!(p.big_f(j) >= p.big_f(j - 1) * (j as f64) + 5.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Weighted hypergraph polynomials: `S(H, w, p)`, `P(H, w, p, x)` and
+//! `D(H, w, p)` from Kelsen's concentration bound (Theorem 3 of the paper).
+//!
+//! The random variable of interest is the polynomial
+//!
+//! ```text
+//! S(H, w, p) = Σ_{e ∈ E(H)} w(e) · C_e      where C_e = Π_{v ∈ e} C_v
+//! ```
+//!
+//! with the `C_v` i.i.d. Bernoulli(`p`) marking indicators. The quantity the
+//! bound is phrased against is not the plain expectation but the maximum
+//! expected *partial derivative*
+//!
+//! ```text
+//! P(H, w, p, x) = Σ_{e ⊇ x} w(e) · p^{|e| − |x|},     D(H, w, p) = max_x P(H, w, p, x)
+//! ```
+//!
+//! (the expected weighted number of edges around `x` that become fully marked
+//! given that `x` itself is fully marked). This module computes all three
+//! exactly, evaluates `S` against concrete markings (used by the migration
+//! experiment E6 to compare the bound with observed behaviour), and builds the
+//! specific weighted "migration" hypergraph `(H', w')` the paper constructs to
+//! bound how many edges of co-size `k` around a set `X` can collapse to
+//! co-size `j` in one stage.
+
+use std::collections::HashMap;
+
+use hypergraph::view::HypergraphView;
+use hypergraph::VertexId;
+
+/// A hypergraph with positive edge weights, as used by Kelsen's Theorem 3.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedHypergraph {
+    /// Number of vertices (`n(H)` in the theorem).
+    pub n: usize,
+    /// Edges as sorted vertex lists, paired with their weights.
+    pub edges: Vec<(Vec<VertexId>, f64)>,
+}
+
+impl WeightedHypergraph {
+    /// Creates an empty weighted hypergraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WeightedHypergraph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an edge with the given weight. The vertex list is sorted and
+    /// deduplicated; zero-weight or empty edges are ignored.
+    pub fn add_edge(&mut self, mut vertices: Vec<VertexId>, weight: f64) {
+        vertices.sort_unstable();
+        vertices.dedup();
+        if vertices.is_empty() || weight <= 0.0 {
+            return;
+        }
+        self.edges.push((vertices, weight));
+    }
+
+    /// Number of weighted edges `m(H)`.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Dimension: the maximum edge cardinality (0 when empty).
+    pub fn dimension(&self) -> usize {
+        self.edges.iter().map(|(e, _)| e.len()).max().unwrap_or(0)
+    }
+
+    /// Expectation of `S(H, w, p)`: `Σ_e w(e) p^{|e|}`.
+    pub fn expectation(&self, p: f64) -> f64 {
+        self.edges
+            .iter()
+            .map(|(e, w)| w * p.powi(e.len() as i32))
+            .sum()
+    }
+
+    /// The partial-derivative expectation `P(H, w, p, x)` for a sorted set `x`.
+    ///
+    /// Only edges containing `x` contribute; each contributes
+    /// `w(e) · p^{|e|−|x|}`.
+    pub fn partial_expectation(&self, p: f64, x: &[VertexId]) -> f64 {
+        self.edges
+            .iter()
+            .filter(|(e, _)| is_subset(x, e))
+            .map(|(e, w)| w * p.powi((e.len() - x.len()) as i32))
+            .sum()
+    }
+
+    /// `D(H, w, p) = max_{x ⊆ V} P(H, w, p, x)`.
+    ///
+    /// Only subsets of edges can achieve the maximum for non-empty `x` (other
+    /// sets have `P = 0`), and the empty set gives the plain expectation, so
+    /// the maximisation enumerates edge subsets — `O(m · 2^dim)`.
+    pub fn derivative_bound(&self, p: f64) -> f64 {
+        let mut best = self.expectation(p);
+        let mut seen: HashMap<Vec<VertexId>, ()> = HashMap::new();
+        for (e, _) in &self.edges {
+            let k = e.len();
+            assert!(
+                k <= 20,
+                "derivative_bound: edge of size {k} would make subset enumeration intractable"
+            );
+            let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+            for mask in 1..=full {
+                let x: Vec<VertexId> = e
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if seen.insert(x.clone(), ()).is_none() {
+                    let val = self.partial_expectation(p, &x);
+                    if val > best {
+                        best = val;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Evaluates the polynomial `S(H, w, ·)` against a concrete 0/1 marking:
+    /// the weighted number of edges whose vertices are all marked.
+    pub fn evaluate(&self, marked: &[bool]) -> f64 {
+        self.edges
+            .iter()
+            .filter(|(e, _)| e.iter().all(|&v| marked[v as usize]))
+            .map(|(_, w)| *w)
+            .sum()
+    }
+}
+
+fn is_subset(x: &[VertexId], e: &[VertexId]) -> bool {
+    // Both sorted; standard merge-style subset check.
+    let mut it = e.iter();
+    'outer: for &xv in x {
+        for &ev in it.by_ref() {
+            if ev == xv {
+                continue 'outer;
+            }
+            if ev > xv {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Builds the *migration* weighted hypergraph `(H', w')` of Section 3 (and
+/// Lemma 3/4 of Kelsen): given the current hypergraph `H`, a set `X` and
+/// co-sizes `j < k`, the edges of `H'` are all `(k−j)`-subsets `Y` of the
+/// `k`-co-size neighbourhoods of `X`, and `w'(Y) = |N_j(X ∪ Y, H)|` counts how
+/// many co-size-`j` edges around `X` would be created if `Y` were added to the
+/// independent set. The polynomial `S(H', w', p)` then upper-bounds the
+/// one-stage increase of `|N_j(X, H)|`.
+pub fn migration_polynomial<V: HypergraphView + ?Sized>(
+    view: &V,
+    x: &[VertexId],
+    j: usize,
+    k: usize,
+) -> WeightedHypergraph {
+    assert!(j >= 1 && k > j, "need 1 <= j < k");
+    let mut out = WeightedHypergraph::new(view.id_space());
+    // Collect N_k(X): the k-element co-sets of edges of size |X| + k containing X.
+    let mut co_sets: Vec<Vec<VertexId>> = Vec::new();
+    for e in view.edge_slices() {
+        if e.len() == x.len() + k && is_subset(x, e) {
+            let y: Vec<VertexId> = e.iter().copied().filter(|v| !x.contains(v)).collect();
+            co_sets.push(y);
+        }
+    }
+    // Edge set X_{j,k}: all (k-j)-subsets Y of elements of N_k(X,H).
+    // Weight w'(Y) = number of Z in N_k(X) with Y ⊆ Z — because each such Z
+    // would leave a co-size-j remainder around X ∪ Y if Y joined the IS.
+    let mut weights: HashMap<Vec<VertexId>, f64> = HashMap::new();
+    let take = k - j;
+    for z in &co_sets {
+        // Enumerate (k-j)-subsets of z.
+        let masks = subsets_of_size(z.len(), take);
+        for mask in masks {
+            let y: Vec<VertexId> = z
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            *weights.entry(y).or_insert(0.0) += 1.0;
+        }
+    }
+    for (y, w) in weights {
+        out.add_edge(y, w);
+    }
+    out
+}
+
+/// All bitmasks over `n` items with exactly `k` bits set (n ≤ 25 by assert).
+fn subsets_of_size(n: usize, k: usize) -> Vec<u32> {
+    assert!(n <= 25, "subset enumeration over {n} items is intractable");
+    if k > n {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << n) {
+        if mask.count_ones() as usize == k {
+            out.push(mask);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::builder::hypergraph_from_edges;
+
+    #[test]
+    fn expectation_and_partial() {
+        let mut wh = WeightedHypergraph::new(4);
+        wh.add_edge(vec![0, 1], 2.0);
+        wh.add_edge(vec![0, 1, 2], 1.0);
+        wh.add_edge(vec![2, 3], 4.0);
+        let p = 0.5;
+        // E[S] = 2*0.25 + 1*0.125 + 4*0.25 = 0.5 + 0.125 + 1.0
+        assert!((wh.expectation(p) - 1.625).abs() < 1e-12);
+        // P(x = {0,1}) = 2*p^0 + 1*p^1 = 2.5
+        assert!((wh.partial_expectation(p, &[0, 1]) - 2.5).abs() < 1e-12);
+        // P(x = {2}) = 1*p^2 + 4*p^1 = 0.25 + 2.0
+        assert!((wh.partial_expectation(p, &[2]) - 2.25).abs() < 1e-12);
+        // P of a set contained in no edge is 0.
+        assert_eq!(wh.partial_expectation(p, &[0, 3]), 0.0);
+        // D is the max over all subsets, here achieved by x = {2,3}: the full
+        // edge of weight 4 contributes 4·p⁰ = 4.
+        assert!((wh.partial_expectation(p, &[2, 3]) - 4.0).abs() < 1e-12);
+        assert!((wh.derivative_bound(p) - 4.0).abs() < 1e-12);
+        // D dominates the expectation, as the paper notes.
+        assert!(wh.derivative_bound(p) >= wh.expectation(p));
+    }
+
+    #[test]
+    fn evaluate_counts_fully_marked_edges() {
+        let mut wh = WeightedHypergraph::new(4);
+        wh.add_edge(vec![0, 1], 2.0);
+        wh.add_edge(vec![2, 3], 5.0);
+        let marked = vec![true, true, true, false];
+        assert_eq!(wh.evaluate(&marked), 2.0);
+        let all = vec![true; 4];
+        assert_eq!(wh.evaluate(&all), 7.0);
+        let none = vec![false; 4];
+        assert_eq!(wh.evaluate(&none), 0.0);
+    }
+
+    #[test]
+    fn degenerate_edges_ignored() {
+        let mut wh = WeightedHypergraph::new(3);
+        wh.add_edge(vec![], 1.0);
+        wh.add_edge(vec![1], 0.0);
+        wh.add_edge(vec![1], -2.0);
+        assert_eq!(wh.n_edges(), 0);
+        assert_eq!(wh.dimension(), 0);
+        assert_eq!(wh.expectation(0.3), 0.0);
+    }
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[0, 1]));
+        assert!(!is_subset(&[5], &[]));
+    }
+
+    #[test]
+    fn migration_polynomial_small_case() {
+        // H has edges {x, a, b} and {x, a, c} with X = {x=0}, so
+        // N_2(X) = { {a,b}, {a,c} } (k = 2). For j = 1, the migration edges are
+        // all 1-subsets of those co-sets: {a} (weight 2: both co-sets contain
+        // a), {b} (weight 1), {c} (weight 1).
+        let h = hypergraph_from_edges(4, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        let wh = migration_polynomial(&h, &[0], 1, 2);
+        assert_eq!(wh.n_edges(), 3);
+        let weight_of = |v: u32| {
+            wh.edges
+                .iter()
+                .find(|(e, _)| e == &vec![v])
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0)
+        };
+        assert_eq!(weight_of(1), 2.0);
+        assert_eq!(weight_of(2), 1.0);
+        assert_eq!(weight_of(3), 1.0);
+        // D(H',w',p) with p small: max partial derivative is at x={a}: 2.
+        assert!((wh.derivative_bound(0.01) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_polynomial_empty_when_no_k_edges() {
+        let h = hypergraph_from_edges(4, vec![vec![0, 1]]);
+        let wh = migration_polynomial(&h, &[0], 1, 2);
+        assert_eq!(wh.n_edges(), 0);
+    }
+
+    #[test]
+    fn subsets_of_size_enumeration() {
+        assert_eq!(subsets_of_size(4, 0), vec![0]);
+        assert_eq!(subsets_of_size(3, 3), vec![0b111]);
+        assert_eq!(subsets_of_size(4, 2).len(), 6);
+        assert!(subsets_of_size(3, 5).is_empty());
+    }
+}

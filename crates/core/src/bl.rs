@@ -1,0 +1,342 @@
+//! The Beame–Luby algorithm (Algorithm 2 of the paper, originally from
+//! "Parallel search for maximal independence given minimal dependence",
+//! SODA 1990), with the instrumentation the Theorem-2 experiments need.
+//!
+//! One *stage* of the algorithm:
+//!
+//! 1. compute `d = dim(H)` and `Δ(H)` and set the marking probability
+//!    `p = 1/(2^{d+1} Δ(H))`;
+//! 2. mark every vertex independently with probability `p`;
+//! 3. for every edge that is fully marked, unmark **all** of its vertices;
+//! 4. add the surviving marked vertices `I'` to the independent set, delete
+//!    them from the vertex set and from every edge;
+//! 5. cleanup: drop edges that now contain another edge (dominated), and drop
+//!    singleton edges together with their vertex (which can never join the
+//!    independent set).
+//!
+//! Stages repeat until no undecided vertex remains. Kelsen proved an
+//! `O((log n)^{(d+4)!})` stage bound for constant `d`; the paper's Theorem 2
+//! extends it to `d ≤ log log n / (4 log log log n)`. The instrumentation
+//! records per-stage degree profiles so experiments E6/E7 can confront the
+//! migration bounds and potential functions with observed behaviour.
+
+use hypergraph::degree::{beame_luby_probability, DegreeTable, MAX_ENUMERABLE_DIMENSION};
+use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use pram::cost::{Cost, CostTracker};
+use rand::Rng;
+
+use crate::greedy::greedy_on_active;
+use crate::trace::{BlStageStats, BlTrace};
+
+/// Tuning knobs for a Beame–Luby run.
+#[derive(Debug, Clone)]
+pub struct BlConfig {
+    /// Record `Δ_i(H)` for every dimension `i` at the start of every stage
+    /// (needed by the migration / potential experiments; costs one extra
+    /// degree-table scan per stage).
+    pub track_potentials: bool,
+    /// Hard cap on the number of stages; if reached, the remaining vertices
+    /// are finished off with a sequential greedy sweep so the result is still
+    /// a correct MIS. The cap exists purely as a safety net — the
+    /// probabilistic stage bounds make reaching it astronomically unlikely.
+    pub max_stages: usize,
+}
+
+impl Default for BlConfig {
+    fn default() -> Self {
+        BlConfig {
+            track_potentials: false,
+            max_stages: 100_000,
+        }
+    }
+}
+
+/// Result of a Beame–Luby run.
+#[derive(Debug, Clone)]
+pub struct BlOutcome {
+    /// The maximal independent set found (vertex ids of the input hypergraph).
+    pub independent_set: Vec<VertexId>,
+    /// Per-stage instrumentation.
+    pub trace: BlTrace,
+    /// Work–depth accounting.
+    pub cost: CostTracker,
+}
+
+/// Runs Beame–Luby on a full hypergraph.
+///
+/// # Panics
+/// Panics if the hypergraph dimension exceeds
+/// [`MAX_ENUMERABLE_DIMENSION`] — BL is only meant for small dimensions; use
+/// [`crate::sbl::sbl_mis`] for general hypergraphs.
+pub fn bl_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R, config: &BlConfig) -> BlOutcome {
+    let mut active = ActiveHypergraph::from_hypergraph(h);
+    let mut cost = CostTracker::new();
+    let (independent_set, trace) = bl_on_active(&mut active, rng, config, &mut cost);
+    BlOutcome {
+        independent_set,
+        trace,
+        cost,
+    }
+}
+
+/// Runs Beame–Luby on an [`ActiveHypergraph`] *in place*, consuming every
+/// alive vertex (each ends up either in the returned independent set or
+/// implicitly red). Returns the added vertices (sorted, global ids) and the
+/// stage trace; costs are recorded into `cost`.
+///
+/// This is the entry point SBL uses on its sampled sub-hypergraphs.
+pub fn bl_on_active<R: Rng + ?Sized>(
+    active: &mut ActiveHypergraph,
+    rng: &mut R,
+    config: &BlConfig,
+    cost: &mut CostTracker,
+) -> (Vec<VertexId>, BlTrace) {
+    let id_space = active.id_space();
+    let mut independent_set: Vec<VertexId> = Vec::new();
+    let mut trace = BlTrace::default();
+    let mut stage = 0usize;
+
+    while active.n_alive() > 0 {
+        if stage >= config.max_stages {
+            // Safety net: finish deterministically so callers always get an MIS.
+            let added = greedy_on_active(active, cost);
+            let mut flags = vec![false; id_space];
+            for &v in &added {
+                flags[v as usize] = true;
+            }
+            active.kill_vertices(added.iter().copied());
+            let emptied = active.shrink_edges_by(&flags);
+            debug_assert_eq!(emptied, 0, "greedy fallback produced a dependent set");
+            // Everything else is red: kill the rest too.
+            let rest = active.alive_vertices();
+            active.kill_vertices(rest);
+            independent_set.extend(added);
+            break;
+        }
+
+        let dim = active.dimension();
+        assert!(
+            dim <= MAX_ENUMERABLE_DIMENSION,
+            "Beame-Luby invoked on dimension {dim}; the degree machinery only \
+             supports dimension <= {MAX_ENUMERABLE_DIMENSION} (use SBL for general hypergraphs)"
+        );
+        let n_alive = active.n_alive();
+        let m = active.n_edges();
+
+        // Degree profile and marking probability.
+        let (delta, deltas_by_dimension) = if m == 0 {
+            (0.0, Vec::new())
+        } else {
+            let table = DegreeTable::build(active);
+            cost.record(Cost::parallel_step((m as u64) << dim.min(20)));
+            let deltas = if config.track_potentials {
+                (0..=dim).map(|i| table.delta_i(i)).collect()
+            } else {
+                Vec::new()
+            };
+            (table.delta(), deltas)
+        };
+        let p = beame_luby_probability(delta, dim);
+
+        // Step 1: independent marking.
+        let mut marked = vec![false; id_space];
+        let mut n_marked = 0usize;
+        for v in active.alive_vertices() {
+            if rng.gen_bool(p) {
+                marked[v as usize] = true;
+                n_marked += 1;
+            }
+        }
+        cost.record(Cost::parallel_step(n_alive as u64));
+
+        // Step 2: unmark every vertex of every fully marked edge.
+        let mut unmark = vec![false; id_space];
+        for e in active.edges() {
+            if e.iter().all(|&v| marked[v as usize]) {
+                for &v in e {
+                    unmark[v as usize] = true;
+                }
+            }
+        }
+        let total_edge_size: usize = active.edges().iter().map(|e| e.len()).sum();
+        cost.record(Cost::parallel_step(total_edge_size as u64));
+
+        let mut n_unmarked = 0usize;
+        let mut accepted_flags = vec![false; id_space];
+        let mut accepted: Vec<VertexId> = Vec::new();
+        for v in active.alive_vertices() {
+            if marked[v as usize] {
+                if unmark[v as usize] {
+                    n_unmarked += 1;
+                } else {
+                    accepted_flags[v as usize] = true;
+                    accepted.push(v);
+                }
+            }
+        }
+        cost.record(Cost::parallel_step(n_alive as u64));
+
+        // Step 3: commit I', trim edges, cleanup.
+        active.kill_vertices(accepted.iter().copied());
+        let emptied = active.shrink_edges_by(&accepted_flags);
+        debug_assert_eq!(
+            emptied, 0,
+            "a fully marked edge survived the unmarking step"
+        );
+        let dominated_removed = active.remove_dominated_edges();
+        let singletons = active.remove_singleton_edges();
+        cost.record(Cost::parallel_step(m as u64));
+        cost.bump_round();
+
+        independent_set.extend(accepted.iter().copied());
+
+        trace.stages.push(BlStageStats {
+            stage,
+            n_alive,
+            m,
+            dimension: dim,
+            delta,
+            p,
+            marked: n_marked,
+            unmarked: n_unmarked,
+            added: accepted.len(),
+            dominated_removed,
+            singletons_removed: singletons.len(),
+            deltas_by_dimension,
+        });
+        stage += 1;
+    }
+
+    independent_set.sort_unstable();
+    (independent_set, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_valid_mis;
+    use hypergraph::builder::hypergraph_from_edges;
+    use hypergraph::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bl_on_toy_produces_valid_mis() {
+        let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
+        let out = bl_mis(&h, &mut rng(1), &BlConfig::default());
+        assert!(is_valid_mis(&h, &out.independent_set), "{:?}", out.independent_set);
+        assert!(out.trace.n_stages() >= 1);
+        assert!(out.cost.rounds() >= 1);
+    }
+
+    #[test]
+    fn bl_on_edgeless_hypergraph_takes_everything() {
+        let h = hypergraph_from_edges::<Vec<u32>>(10, vec![]);
+        let out = bl_mis(&h, &mut rng(2), &BlConfig::default());
+        assert_eq!(out.independent_set, (0..10).collect::<Vec<u32>>());
+        // With no edges p = 1 and a single stage suffices.
+        assert_eq!(out.trace.n_stages(), 1);
+    }
+
+    #[test]
+    fn bl_handles_singleton_edges() {
+        let h = hypergraph_from_edges(4, vec![vec![2], vec![0, 1], vec![1, 3]]);
+        let out = bl_mis(&h, &mut rng(3), &BlConfig::default());
+        assert!(!out.independent_set.contains(&2));
+        assert!(is_valid_mis(&h, &out.independent_set));
+    }
+
+    #[test]
+    fn bl_valid_on_random_graphs_and_3_uniform() {
+        for seed in 0..5u64 {
+            let mut r = rng(100 + seed);
+            let g2 = generate::d_uniform(&mut r, 60, 120, 2);
+            let out = bl_mis(&g2, &mut r, &BlConfig::default());
+            assert!(is_valid_mis(&g2, &out.independent_set), "seed {seed} (d=2)");
+
+            let g3 = generate::d_uniform(&mut r, 60, 150, 3);
+            let out = bl_mis(&g3, &mut r, &BlConfig::default());
+            assert!(is_valid_mis(&g3, &out.independent_set), "seed {seed} (d=3)");
+        }
+    }
+
+    #[test]
+    fn bl_valid_on_mixed_dimension() {
+        let mut r = rng(42);
+        let h = generate::mixed_dimension(&mut r, 80, 150, &[2, 3, 4, 5]);
+        let out = bl_mis(&h, &mut r, &BlConfig::default());
+        assert!(is_valid_mis(&h, &out.independent_set));
+        // Stage count should be modest (polylog in practice).
+        assert!(out.trace.n_stages() < 200, "{} stages", out.trace.n_stages());
+    }
+
+    #[test]
+    fn bl_potential_tracking_records_profiles() {
+        let mut r = rng(7);
+        let h = generate::d_uniform(&mut r, 50, 120, 3);
+        let cfg = BlConfig {
+            track_potentials: true,
+            ..BlConfig::default()
+        };
+        let out = bl_mis(&h, &mut r, &cfg);
+        assert!(is_valid_mis(&h, &out.independent_set));
+        // Every stage that still had edges must have recorded a profile
+        // covering dimensions up to 3.
+        let with_edges = out.trace.stages.iter().filter(|s| s.m > 0);
+        for s in with_edges {
+            assert_eq!(s.deltas_by_dimension.len(), s.dimension + 1);
+            assert!(s.delta > 0.0);
+            assert!(s.p > 0.0 && s.p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn bl_max_stage_fallback_still_returns_valid_mis() {
+        let mut r = rng(11);
+        let h = generate::d_uniform(&mut r, 60, 100, 3);
+        let cfg = BlConfig {
+            track_potentials: false,
+            max_stages: 0, // force the greedy fallback immediately
+        };
+        let out = bl_mis(&h, &mut r, &cfg);
+        assert!(is_valid_mis(&h, &out.independent_set));
+        assert_eq!(out.trace.n_stages(), 0);
+    }
+
+    #[test]
+    fn bl_is_deterministic_for_a_fixed_seed() {
+        let h = generate::d_uniform(&mut rng(5), 40, 80, 3);
+        let a = bl_mis(&h, &mut rng(9), &BlConfig::default());
+        let b = bl_mis(&h, &mut rng(9), &BlConfig::default());
+        assert_eq!(a.independent_set, b.independent_set);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn bl_stage_count_grows_slowly_with_n() {
+        // Sanity check of the RNC claim's *shape*: the stage count must grow
+        // far slower than n (it is polylogarithmic in theory; the constants at
+        // these sizes are dominated by 1/p = 2^{d+1}Δ).
+        let mut counts = Vec::new();
+        for &n in &[64usize, 256, 1024] {
+            let mut r = rng(n as u64);
+            let h = generate::d_uniform(&mut r, n, 2 * n, 3);
+            let out = bl_mis(&h, &mut r, &BlConfig::default());
+            assert!(is_valid_mis(&h, &out.independent_set));
+            let stages = out.trace.n_stages();
+            assert!(stages < n, "n={n}: {stages} stages >= n");
+            counts.push(stages as f64);
+        }
+        // Growing n by 16x must grow the stage count by far less than 16x.
+        assert!(
+            counts[2] / counts[0] < 8.0,
+            "stage growth {} -> {} is not clearly sublinear",
+            counts[0],
+            counts[2]
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The red/blue coloring model used to reason about SBL's correctness
+//! (Section 2.1 of the paper).
+//!
+//! SBL colors vertices round by round: vertices that join the independent set
+//! are *blue*, vertices that are decided out are *red*, the rest are
+//! *undecided*. The correctness argument is entirely in terms of this
+//! coloring — "the set of blue vertices forms an MIS in the original
+//! hypergraph" — so the implementation carries it explicitly, and the
+//! verification helpers in [`crate::verify`] check exactly the two properties
+//! the paper proves: no edge ever becomes fully blue, and every red vertex has
+//! a witnessing edge that would become fully blue if it were flipped.
+
+use hypergraph::VertexId;
+
+/// The color of a vertex during (or after) an algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Color {
+    /// Not yet decided.
+    #[default]
+    Undecided,
+    /// In the independent set.
+    Blue,
+    /// Decided out of the independent set.
+    Red,
+}
+
+/// A coloring of the vertex id space `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<Color>,
+}
+
+impl Coloring {
+    /// All-undecided coloring over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Coloring {
+            colors: vec![Color::Undecided; n],
+        }
+    }
+
+    /// Number of vertices in the id space.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// `true` if the id space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color of vertex `v`.
+    pub fn get(&self, v: VertexId) -> Color {
+        self.colors[v as usize]
+    }
+
+    /// Colors `v` blue (joins the independent set).
+    ///
+    /// # Panics
+    /// Panics if `v` was already colored red (algorithms never flip colors).
+    pub fn set_blue(&mut self, v: VertexId) {
+        assert_ne!(
+            self.colors[v as usize],
+            Color::Red,
+            "vertex {v} was red and cannot become blue"
+        );
+        self.colors[v as usize] = Color::Blue;
+    }
+
+    /// Colors `v` red (decided out).
+    ///
+    /// # Panics
+    /// Panics if `v` was already colored blue.
+    pub fn set_red(&mut self, v: VertexId) {
+        assert_ne!(
+            self.colors[v as usize],
+            Color::Blue,
+            "vertex {v} was blue and cannot become red"
+        );
+        self.colors[v as usize] = Color::Red;
+    }
+
+    /// The blue vertices, in increasing order.
+    pub fn blues(&self) -> Vec<VertexId> {
+        self.collect(Color::Blue)
+    }
+
+    /// The red vertices, in increasing order.
+    pub fn reds(&self) -> Vec<VertexId> {
+        self.collect(Color::Red)
+    }
+
+    /// The undecided vertices, in increasing order.
+    pub fn undecided(&self) -> Vec<VertexId> {
+        self.collect(Color::Undecided)
+    }
+
+    /// Number of vertices with the given color.
+    pub fn count(&self, color: Color) -> usize {
+        self.colors.iter().filter(|&&c| c == color).count()
+    }
+
+    /// `true` once every vertex is decided.
+    pub fn is_complete(&self) -> bool {
+        !self.colors.contains(&Color::Undecided)
+    }
+
+    fn collect(&self, color: Color) -> Vec<VertexId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == color)
+            .map(|(i, _)| i as VertexId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coloring_lifecycle() {
+        let mut c = Coloring::new(5);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_complete());
+        assert_eq!(c.count(Color::Undecided), 5);
+        c.set_blue(0);
+        c.set_red(1);
+        c.set_blue(2);
+        assert_eq!(c.get(0), Color::Blue);
+        assert_eq!(c.get(1), Color::Red);
+        assert_eq!(c.blues(), vec![0, 2]);
+        assert_eq!(c.reds(), vec![1]);
+        assert_eq!(c.undecided(), vec![3, 4]);
+        c.set_red(3);
+        c.set_blue(4);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn recoloring_same_color_is_idempotent() {
+        let mut c = Coloring::new(2);
+        c.set_blue(0);
+        c.set_blue(0);
+        assert_eq!(c.count(Color::Blue), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot become red")]
+    fn blue_cannot_turn_red() {
+        let mut c = Coloring::new(2);
+        c.set_blue(1);
+        c.set_red(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot become blue")]
+    fn red_cannot_turn_blue() {
+        let mut c = Coloring::new(2);
+        c.set_red(0);
+        c.set_blue(0);
+    }
+
+    #[test]
+    fn empty_coloring() {
+        let c = Coloring::new(0);
+        assert!(c.is_empty());
+        assert!(c.is_complete());
+        assert!(c.blues().is_empty());
+    }
+}

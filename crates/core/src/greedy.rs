@@ -1,0 +1,164 @@
+//! Sequential greedy MIS — the "time linear in the number of vertices"
+//! baseline the paper mentions for finishing off small instances, and the
+//! ground-truth oracle for correctness tests.
+
+use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use pram::cost::{Cost, CostTracker};
+
+/// Result of a greedy run.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// The maximal independent set found.
+    pub independent_set: Vec<VertexId>,
+    /// Work–depth accounting (entirely sequential: work = depth).
+    pub cost: CostTracker,
+}
+
+/// Computes a maximal independent set by scanning vertices in the given order
+/// (increasing id order when `order` is `None`) and adding each vertex unless
+/// doing so would complete an edge.
+///
+/// The per-vertex test walks the edges incident to the candidate and checks
+/// whether all their other vertices are already in the set; total time is
+/// `O(n + Σ_e |e|·deg)` in the worst case but `O(n + Σ_e |e|)` amortised with
+/// the per-edge "missing vertices" counters used here.
+pub fn greedy_mis(h: &Hypergraph, order: Option<&[VertexId]>) -> GreedyOutcome {
+    let n = h.n_vertices();
+    let mut cost = CostTracker::new();
+    let mut in_set = vec![false; n];
+    // missing[e] = number of vertices of edge e not (yet) in the set.
+    let mut missing: Vec<u32> = (0..h.n_edges())
+        .map(|e| h.edge_len(e as u32) as u32)
+        .collect();
+    let default_order: Vec<VertexId>;
+    let order: &[VertexId] = match order {
+        Some(o) => o,
+        None => {
+            default_order = (0..n as u32).collect();
+            &default_order
+        }
+    };
+    let mut set = Vec::new();
+    for &v in order {
+        // v can join unless some incident edge has exactly one missing vertex
+        // (which must then be v itself, since v is not yet in the set).
+        let blocked = h
+            .incident_edges(v)
+            .iter()
+            .any(|&e| missing[e as usize] == 1);
+        cost.record(Cost::sequential(
+            1 + h.incident_edges(v).len() as u64,
+        ));
+        if !blocked && !in_set[v as usize] {
+            in_set[v as usize] = true;
+            set.push(v);
+            for &e in h.incident_edges(v) {
+                missing[e as usize] -= 1;
+            }
+        }
+    }
+    cost.bump_round();
+    set.sort_unstable();
+    GreedyOutcome {
+        independent_set: set,
+        cost,
+    }
+}
+
+/// Greedy MIS over the alive part of an [`ActiveHypergraph`], used by SBL's
+/// tail. Returns the vertices added (global ids).
+pub fn greedy_on_active(active: &ActiveHypergraph, cost: &mut CostTracker) -> Vec<VertexId> {
+    let alive = active.alive_vertices();
+    if alive.is_empty() {
+        return Vec::new();
+    }
+    let edges = active.edges();
+    // missing[e] counts how many more vertices of e would need to join.
+    let mut missing: Vec<u32> = edges.iter().map(|e| e.len() as u32).collect();
+    // incident lists over alive ids.
+    let mut incident: std::collections::HashMap<VertexId, Vec<u32>> = std::collections::HashMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        for &v in e {
+            incident.entry(v).or_default().push(i as u32);
+        }
+    }
+    let mut added = Vec::new();
+    for &v in &alive {
+        let inc = incident.get(&v).map(|x| x.as_slice()).unwrap_or(&[]);
+        let blocked = inc.iter().any(|&e| missing[e as usize] == 1);
+        cost.record(Cost::sequential(1 + inc.len() as u64));
+        if !blocked {
+            added.push(v);
+            for &e in inc {
+                missing[e as usize] -= 1;
+            }
+        }
+    }
+    cost.bump_round();
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_valid_mis;
+    use hypergraph::builder::hypergraph_from_edges;
+    use hypergraph::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn greedy_on_toy() {
+        let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
+        let out = greedy_mis(&h, None);
+        assert!(is_valid_mis(&h, &out.independent_set));
+        // Scanning 0,1,2,...: 0,1 join; 2 blocked ({0,1,2}); 3 joins; 4 joins;
+        // 5 blocked ({3,4,5}).
+        assert_eq!(out.independent_set, vec![0, 1, 3, 4]);
+        assert!(out.cost.cost().work > 0);
+    }
+
+    #[test]
+    fn greedy_respects_custom_order() {
+        let h = hypergraph_from_edges(3, vec![vec![0, 1]]);
+        let a = greedy_mis(&h, Some(&[0, 1, 2])).independent_set;
+        let b = greedy_mis(&h, Some(&[1, 0, 2])).independent_set;
+        assert_eq!(a, vec![0, 2]);
+        assert_eq!(b, vec![1, 2]);
+    }
+
+    #[test]
+    fn greedy_on_random_instances_is_always_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for (n, m, d) in [(30, 60, 3), (50, 100, 4), (80, 40, 2)] {
+            let h = generate::d_uniform(&mut rng, n, m, d);
+            let out = greedy_mis(&h, None);
+            assert!(is_valid_mis(&h, &out.independent_set));
+        }
+    }
+
+    #[test]
+    fn greedy_handles_singleton_edges() {
+        let h = hypergraph_from_edges(4, vec![vec![1], vec![1, 2], vec![0, 3]]);
+        let out = greedy_mis(&h, None);
+        assert!(!out.independent_set.contains(&1));
+        assert!(is_valid_mis(&h, &out.independent_set));
+    }
+
+    #[test]
+    fn greedy_on_active_matches_full_when_everything_alive() {
+        let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
+        let active = ActiveHypergraph::from_hypergraph(&h);
+        let mut cost = CostTracker::new();
+        let added = greedy_on_active(&active, &mut cost);
+        assert_eq!(added, greedy_mis(&h, None).independent_set);
+    }
+
+    #[test]
+    fn greedy_on_empty_active() {
+        let h = hypergraph_from_edges::<Vec<u32>>(0, vec![]);
+        let active = ActiveHypergraph::from_hypergraph(&h);
+        let mut cost = CostTracker::new();
+        assert!(greedy_on_active(&active, &mut cost).is_empty());
+    }
+}

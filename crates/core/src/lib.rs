@@ -1,0 +1,71 @@
+//! Parallel maximal-independent-set algorithms for hypergraphs.
+//!
+//! This crate implements the algorithms of *"On Computing Maximal Independent
+//! Sets of Hypergraphs in Parallel"* (Bercea, Goyal, Harris, Srinivasan —
+//! SPAA 2014) together with the baselines the paper compares against:
+//!
+//! | Module | Algorithm | Role in the paper |
+//! |---|---|---|
+//! | [`sbl`] | **SBL** (sampling Beame–Luby), Algorithm 1 | the paper's contribution (Theorem 1) |
+//! | [`bl`] | Beame–Luby, Algorithm 2 | the subroutine whose analysis Theorem 2 extends |
+//! | [`kuw`] | Karp–Upfal–Wigderson style parallel search | prior `O(√n)` state of the art / SBL tail option |
+//! | [`greedy`] | sequential greedy | the "linear time" finisher and ground-truth oracle |
+//! | [`permutation`] | permutation Beame–Luby | related-work algorithm conjectured to be RNC |
+//! | [`linear`] | Łuczak–Szymańska-style marking | the linear-hypergraph RNC case (experiment E9) |
+//!
+//! Supporting modules: [`coloring`] (the red/blue model of Section 2.1),
+//! [`verify`] (runtime MIS checking), [`trace`] (per-round/stage
+//! instrumentation consumed by the experiment harness).
+//!
+//! Every randomized entry point takes a caller-supplied [`rand::Rng`], so runs
+//! are reproducible with a seeded `rand_chacha::ChaCha8Rng`. Every algorithm
+//! returns a [`pram::CostTracker`] recording work, depth and rounds in the
+//! EREW-PRAM-style cost model the paper's theorems are phrased in.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hypergraph::generate;
+//! use mis_core::prelude::*;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! // A general hypergraph with edges of size up to 12.
+//! let h = generate::paper_regime(&mut rng, 500, 60, 12);
+//! let out = sbl_mis(&h, &mut rng);
+//! assert!(verify_mis(&h, &out.independent_set).is_ok());
+//! println!("MIS size {} in {} sampling rounds", out.independent_set.len(), out.trace.n_rounds());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bl;
+pub mod coloring;
+pub mod greedy;
+pub mod kuw;
+pub mod linear;
+pub mod permutation;
+pub mod sbl;
+pub mod trace;
+pub mod verify;
+
+pub use bl::{bl_mis, BlConfig, BlOutcome};
+pub use greedy::{greedy_mis, GreedyOutcome};
+pub use kuw::{kuw_mis, KuwOutcome};
+pub use sbl::{sbl_mis, sbl_mis_with, SblConfig, SblOutcome, TailChoice};
+pub use verify::{is_valid_mis, verify_mis, VerifyError};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::bl::{bl_mis, BlConfig, BlOutcome};
+    pub use crate::coloring::{Color, Coloring};
+    pub use crate::greedy::{greedy_mis, GreedyOutcome};
+    pub use crate::kuw::{kuw_mis, KuwOutcome};
+    pub use crate::linear::{check_linear, linear_mis, LinearOutcome};
+    pub use crate::permutation::{permutation_mis, permutation_rounds_mis, PermutationOutcome};
+    pub use crate::sbl::{sbl_mis, sbl_mis_with, SblConfig, SblOutcome, TailChoice};
+    pub use crate::trace::{BlTrace, KuwTrace, SblTrace, TailAlgorithm};
+    pub use crate::verify::{is_valid_mis, verify_mis, VerifyError};
+}

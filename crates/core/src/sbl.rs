@@ -1,0 +1,479 @@
+//! The SBL ("sampling Beame–Luby") algorithm — Algorithm 1 of the paper and
+//! its headline contribution (Theorem 1).
+//!
+//! The idea: a general hypergraph may have huge edges, which Beame–Luby cannot
+//! handle, but a random vertex sample of density `p = n^{-α}` contains a huge
+//! edge *entirely* only with tiny probability. SBL therefore repeats:
+//!
+//! 1. sample each undecided vertex independently with probability `p`;
+//! 2. let `H' = (V', E')` be the sampled vertices together with the edges that
+//!    are **fully** sampled; if some edge of `H'` exceeds the dimension cap
+//!    `d = log log n / (4 log log log n)` the round FAILs and is retried with
+//!    fresh randomness;
+//! 3. run BL on `H'`; its blue vertices join the global independent set and
+//!    the other sampled vertices become red — this is the *permanent* coloring
+//!    of `V'`;
+//! 4. every edge touching a red vertex can never become fully blue and is
+//!    dropped; the remaining edges lose their blue vertices;
+//! 5. once fewer than `1/p²` vertices remain, the residual instance is handed
+//!    to a linear-time sweep (or the KUW baseline).
+//!
+//! The blue set is a maximal independent set of the *original* hypergraph
+//! (Section 2.1 of the paper); [`crate::verify::verify_mis`] re-checks this at
+//! the end of every test.
+
+use hypergraph::degree::MAX_ENUMERABLE_DIMENSION;
+use hypergraph::params::SblParams;
+use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use pram::cost::{Cost, CostTracker};
+use rand::Rng;
+
+use crate::bl::{bl_on_active, BlConfig};
+use crate::coloring::Coloring;
+use crate::greedy::greedy_on_active;
+use crate::kuw::kuw_on_active;
+use crate::trace::{SblRoundStats, SblTrace, TailAlgorithm};
+
+/// Which algorithm SBL uses on the residual instance (fewer than `1/p²`
+/// vertices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailChoice {
+    /// The sequential greedy sweep ("time linear in the number of vertices").
+    Greedy,
+    /// The Karp–Upfal–Wigderson style parallel search.
+    Kuw,
+}
+
+/// Configuration of an SBL run.
+#[derive(Debug, Clone)]
+pub struct SblConfig {
+    /// Sampling probability override; defaults to the paper's
+    /// `p = n^{-α}` (practically clamped, see
+    /// [`SblParams::practical_default`]).
+    pub p: Option<f64>,
+    /// Dimension cap override; defaults to the paper's
+    /// `d = log log n / (4 log log log n)` (practically clamped).
+    pub dimension_cap: Option<usize>,
+    /// Residual-size threshold override; defaults to `1/p²`.
+    pub tail_threshold: Option<usize>,
+    /// How many times a round may be resampled after a dimension-check
+    /// failure before the cap is raised to the observed sample dimension
+    /// (so the algorithm always terminates; the paper simply "starts over").
+    pub max_round_retries: usize,
+    /// Which algorithm finishes the residual instance.
+    pub tail: TailChoice,
+    /// Configuration passed to every BL subroutine call.
+    pub bl: BlConfig,
+    /// Safety cap on the number of outer rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for SblConfig {
+    fn default() -> Self {
+        SblConfig {
+            p: None,
+            dimension_cap: None,
+            tail_threshold: None,
+            max_round_retries: 64,
+            tail: TailChoice::Greedy,
+            bl: BlConfig::default(),
+            max_rounds: 100_000,
+        }
+    }
+}
+
+/// Result of an SBL run.
+#[derive(Debug, Clone)]
+pub struct SblOutcome {
+    /// The maximal independent set (blue vertices), sorted.
+    pub independent_set: Vec<VertexId>,
+    /// The full red/blue coloring of the vertex set.
+    pub coloring: Coloring,
+    /// Per-round instrumentation.
+    pub trace: SblTrace,
+    /// Work–depth accounting across all rounds, BL subcalls and the tail.
+    pub cost: CostTracker,
+    /// The parameters the run actually used.
+    pub params: ResolvedParams,
+}
+
+/// The concrete parameter values an SBL run resolved to (after applying the
+/// paper formulas and any overrides).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedParams {
+    /// Sampling probability `p`.
+    pub p: f64,
+    /// Dimension cap `d` passed to the BL subroutine.
+    pub dimension_cap: usize,
+    /// Residual-size threshold (`1/p²` by default).
+    pub tail_threshold: usize,
+}
+
+/// Runs SBL with the default (paper-shaped, practically clamped) parameters.
+pub fn sbl_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> SblOutcome {
+    sbl_mis_with(h, rng, &SblConfig::default())
+}
+
+/// Runs SBL with an explicit configuration.
+pub fn sbl_mis_with<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+) -> SblOutcome {
+    let n = h.n_vertices();
+    let params = SblParams::practical_default(n.max(2));
+    let p = config.p.unwrap_or(params.p).clamp(1e-9, 1.0);
+    let dimension_cap = config
+        .dimension_cap
+        .unwrap_or_else(|| params.d_cap())
+        .clamp(1, MAX_ENUMERABLE_DIMENSION);
+    let tail_threshold = config
+        .tail_threshold
+        .unwrap_or_else(|| params.tail_threshold.ceil() as usize)
+        .max(1);
+    let resolved = ResolvedParams {
+        p,
+        dimension_cap,
+        tail_threshold,
+    };
+
+    let mut cost = CostTracker::new();
+    let mut coloring = Coloring::new(n);
+    let mut independent_set: Vec<VertexId> = Vec::new();
+    let mut trace = SblTrace::default();
+    let mut active = ActiveHypergraph::from_hypergraph(h);
+
+    // Line 3 / 26 of Algorithm 1: if every edge is already within the
+    // dimension cap, a single BL call suffices.
+    if h.dimension() <= dimension_cap {
+        let (added, bl_trace) = bl_on_active(&mut active, rng, &config.bl, &mut cost);
+        for &v in &added {
+            coloring.set_blue(v);
+        }
+        for v in 0..n as VertexId {
+            if !added.contains(&v) {
+                coloring.set_red(v);
+            }
+        }
+        independent_set = added;
+        trace.direct_bl = true;
+        trace.tail = TailAlgorithm::None;
+        // Record the single BL call as one round so round counts stay
+        // comparable across branches.
+        trace.rounds.push(SblRoundStats {
+            round: 0,
+            n_alive: n,
+            m: h.n_edges(),
+            p: 1.0,
+            sampled: n,
+            sample_dimension: h.dimension(),
+            dimension_failures: 0,
+            sample_edges: h.n_edges(),
+            added: independent_set.len(),
+            rejected: n - independent_set.len(),
+            edges_discarded: h.n_edges(),
+            bl_stages: bl_trace.n_stages(),
+        });
+        return SblOutcome {
+            independent_set,
+            coloring,
+            trace,
+            cost,
+            params: resolved,
+        };
+    }
+
+    // Main sampling loop (lines 4–22).
+    let mut round = 0usize;
+    while active.n_alive() >= tail_threshold
+        && active.n_edges() > 0
+        && round < config.max_rounds
+    {
+        let n_alive = active.n_alive();
+        let m = active.n_edges();
+
+        // Sample until the dimension check passes (FAIL/retry), up to the
+        // configured retry budget.
+        let mut failures = 0usize;
+        let mut effective_cap = dimension_cap;
+        let (_marked, sampled, sub) = loop {
+            let mut marked = vec![false; active.id_space()];
+            let mut sampled = Vec::new();
+            for v in active.alive_vertices() {
+                if rng.gen_bool(p) {
+                    marked[v as usize] = true;
+                    sampled.push(v);
+                }
+            }
+            cost.record(Cost::parallel_step(n_alive as u64));
+            let sub = active.induced_by(&marked);
+            cost.record(Cost::parallel_step(
+                active.edges().iter().map(|e| e.len()).sum::<usize>() as u64,
+            ));
+            if sub.dimension() <= effective_cap {
+                break (marked, sampled, sub);
+            }
+            failures += 1;
+            if failures > config.max_round_retries {
+                // Accept the sample anyway with a raised cap (the paper would
+                // restart from scratch; raising the cap keeps termination
+                // deterministic and only weakens the round's time bound).
+                effective_cap = sub.dimension().min(MAX_ENUMERABLE_DIMENSION);
+                if sub.dimension() <= effective_cap {
+                    break (marked, sampled, sub);
+                }
+            }
+        };
+
+        // Run BL on the sampled sub-hypergraph.
+        let mut sub = sub;
+        let sample_dimension = sub.dimension();
+        let sample_edges = sub.n_edges();
+        let (blues, bl_trace) = bl_on_active(&mut sub, rng, &config.bl, &mut cost);
+
+        // Permanent coloring of V' (invariant of line 5).
+        let mut blue_flags = vec![false; active.id_space()];
+        for &v in &blues {
+            blue_flags[v as usize] = true;
+            coloring.set_blue(v);
+        }
+        let mut red_flags = vec![false; active.id_space()];
+        let mut rejected = 0usize;
+        for &v in &sampled {
+            if !blue_flags[v as usize] {
+                red_flags[v as usize] = true;
+                coloring.set_red(v);
+                rejected += 1;
+            }
+        }
+        independent_set.extend(blues.iter().copied());
+
+        // Update H (lines 12–20): V <- V \ V', drop edges touching red,
+        // shrink the rest by the blue vertices.
+        active.kill_vertices(sampled.iter().copied());
+        let edges_discarded = active.discard_edges_touching(&red_flags);
+        let emptied = active.shrink_edges_by(&blue_flags);
+        assert_eq!(
+            emptied, 0,
+            "an edge became entirely blue — BL returned a non-independent set"
+        );
+        cost.record(Cost::parallel_step(m as u64));
+        cost.bump_round();
+
+        trace.rounds.push(SblRoundStats {
+            round,
+            n_alive,
+            m,
+            p,
+            sampled: sampled.len(),
+            sample_dimension,
+            dimension_failures: failures,
+            sample_edges,
+            added: blues.len(),
+            rejected,
+            edges_discarded,
+            bl_stages: bl_trace.n_stages(),
+        });
+        round += 1;
+    }
+
+    // Tail (line 23): finish the residual instance.
+    let tail_vertices = active.n_alive();
+    if tail_vertices > 0 {
+        let added = match config.tail {
+            TailChoice::Greedy => greedy_on_active(&active, &mut cost),
+            TailChoice::Kuw => {
+                let (added, kuw_trace) = kuw_on_active(&mut active, rng, &mut cost);
+                let _ = kuw_trace;
+                added
+            }
+        };
+        trace.tail = match config.tail {
+            TailChoice::Greedy => TailAlgorithm::Greedy,
+            TailChoice::Kuw => TailAlgorithm::Kuw,
+        };
+        let mut blue_flags = vec![false; n];
+        for &v in &added {
+            blue_flags[v as usize] = true;
+            coloring.set_blue(v);
+        }
+        for v in 0..n as VertexId {
+            if coloring.get(v) == crate::coloring::Color::Undecided {
+                coloring.set_red(v);
+            }
+        }
+        independent_set.extend(added);
+    } else {
+        trace.tail = TailAlgorithm::None;
+        // Any vertex never sampled and never decided is impossible here
+        // (n_alive == 0), but the coloring may still contain undecided slots
+        // when the id space had vertices that were killed as part of BL's
+        // internal cleanup; mark them red for completeness.
+        for v in 0..n as VertexId {
+            if coloring.get(v) == crate::coloring::Color::Undecided {
+                coloring.set_red(v);
+            }
+        }
+    }
+    trace.tail_vertices = tail_vertices;
+
+    independent_set.sort_unstable();
+    independent_set.dedup();
+    SblOutcome {
+        independent_set,
+        coloring,
+        trace,
+        cost,
+        params: resolved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_valid_mis, verify_mis};
+    use hypergraph::builder::hypergraph_from_edges;
+    use hypergraph::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sbl_on_toy_is_valid() {
+        let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
+        let out = sbl_mis(&h, &mut rng(1));
+        assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+        assert!(out.coloring.is_complete());
+        assert_eq!(out.coloring.blues(), out.independent_set);
+    }
+
+    #[test]
+    fn sbl_small_dimension_goes_straight_to_bl() {
+        let mut r = rng(2);
+        let h = generate::d_uniform(&mut r, 40, 80, 3);
+        let out = sbl_mis(&h, &mut r);
+        assert!(out.trace.direct_bl);
+        assert!(is_valid_mis(&h, &out.independent_set));
+    }
+
+    #[test]
+    fn sbl_general_hypergraph_uses_sampling_rounds() {
+        let mut r = rng(3);
+        // Edge sizes up to 12 exceed the practical dimension cap (3), so the
+        // sampling loop must engage.
+        let h = generate::paper_regime(&mut r, 600, 80, 12);
+        assert!(h.dimension() > 3);
+        let out = sbl_mis(&h, &mut r);
+        assert!(!out.trace.direct_bl);
+        assert!(out.trace.n_rounds() >= 1);
+        assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+        assert!(out.coloring.is_complete());
+    }
+
+    #[test]
+    fn sbl_respects_explicit_parameters() {
+        let mut r = rng(4);
+        let h = generate::paper_regime(&mut r, 400, 60, 10);
+        let cfg = SblConfig {
+            p: Some(0.25),
+            dimension_cap: Some(4),
+            tail_threshold: Some(20),
+            ..SblConfig::default()
+        };
+        let out = sbl_mis_with(&h, &mut r, &cfg);
+        assert_eq!(out.params.p, 0.25);
+        assert_eq!(out.params.dimension_cap, 4);
+        assert_eq!(out.params.tail_threshold, 20);
+        assert!(is_valid_mis(&h, &out.independent_set));
+        // Every round's accepted sample respected the (possibly raised) cap;
+        // with retries available the recorded dimension should usually be
+        // within the configured cap.
+        for round in &out.trace.rounds {
+            assert!(round.sample_dimension <= h.dimension());
+        }
+    }
+
+    #[test]
+    fn sbl_with_kuw_tail_is_valid() {
+        let mut r = rng(5);
+        let h = generate::paper_regime(&mut r, 500, 70, 10);
+        let cfg = SblConfig {
+            tail: TailChoice::Kuw,
+            ..SblConfig::default()
+        };
+        let out = sbl_mis_with(&h, &mut r, &cfg);
+        assert!(is_valid_mis(&h, &out.independent_set));
+        if out.trace.tail_vertices > 0 {
+            assert_eq!(out.trace.tail, TailAlgorithm::Kuw);
+        }
+    }
+
+    #[test]
+    fn sbl_deterministic_for_fixed_seed() {
+        let h = generate::paper_regime(&mut rng(6), 400, 60, 10);
+        let a = sbl_mis(&h, &mut rng(10));
+        let b = sbl_mis(&h, &mut rng(10));
+        assert_eq!(a.independent_set, b.independent_set);
+        assert_eq!(a.trace.n_rounds(), b.trace.n_rounds());
+    }
+
+    #[test]
+    fn sbl_valid_across_many_seeds_and_shapes() {
+        for seed in 0..6u64 {
+            let mut r = rng(200 + seed);
+            let h = match seed % 3 {
+                0 => generate::paper_regime(&mut r, 300, 50, 10),
+                1 => generate::mixed_dimension(&mut r, 200, 300, &[2, 3, 4, 5, 6, 7]),
+                _ => generate::d_uniform(&mut r, 150, 300, 5),
+            };
+            let out = sbl_mis(&h, &mut r);
+            assert_eq!(
+                verify_mis(&h, &out.independent_set),
+                Ok(()),
+                "seed {seed} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn sbl_on_edgeless_and_tiny_inputs() {
+        let h = hypergraph_from_edges::<Vec<u32>>(5, vec![]);
+        let out = sbl_mis(&h, &mut rng(7));
+        assert_eq!(out.independent_set, vec![0, 1, 2, 3, 4]);
+
+        let h = hypergraph_from_edges::<Vec<u32>>(0, vec![]);
+        let out = sbl_mis(&h, &mut rng(8));
+        assert!(out.independent_set.is_empty());
+
+        let h = hypergraph_from_edges(1, vec![vec![0]]);
+        let out = sbl_mis(&h, &mut rng(9));
+        assert!(out.independent_set.is_empty());
+        assert!(is_valid_mis(&h, &out.independent_set));
+    }
+
+    #[test]
+    fn sbl_round_progress_shrinks_instance() {
+        let mut r = rng(12);
+        let h = generate::paper_regime(&mut r, 800, 100, 12);
+        let cfg = SblConfig {
+            p: Some(0.2),
+            dimension_cap: Some(5),
+            tail_threshold: Some(25),
+            ..SblConfig::default()
+        };
+        let out = sbl_mis_with(&h, &mut r, &cfg);
+        assert!(is_valid_mis(&h, &out.independent_set));
+        // Alive counts must be strictly decreasing whenever something was
+        // sampled.
+        let alive: Vec<usize> = out.trace.rounds.iter().map(|r| r.n_alive).collect();
+        for w in alive.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        // And the number of rounds should be far below n (the point of the
+        // algorithm).
+        assert!(out.trace.n_rounds() < 200);
+    }
+}

@@ -1,0 +1,162 @@
+//! Verification of algorithm outputs: turns the correctness argument of
+//! Section 2.1 into runtime checks.
+//!
+//! The paper argues two properties of SBL's final blue set:
+//!
+//! 1. **Independence** — no edge of the *original* hypergraph is fully blue;
+//! 2. **Maximality** — every red vertex `v` has a witnessing edge `e ∋ v`
+//!    whose other vertices are all blue, so flipping `v` to blue would break
+//!    independence.
+//!
+//! [`verify_mis`] checks both and reports the exact witness when a check
+//! fails, which makes property-test counterexamples actionable.
+
+use hypergraph::{Hypergraph, VertexId};
+
+/// The ways an alleged maximal independent set can be wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A vertex id is out of range or repeated.
+    MalformedSet {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// Some edge is entirely contained in the set.
+    NotIndependent {
+        /// Index of the violated edge.
+        edge: usize,
+        /// The violated edge's vertices.
+        vertices: Vec<VertexId>,
+    },
+    /// Some vertex outside the set could be added without breaking
+    /// independence.
+    NotMaximal {
+        /// A vertex that could still be added.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::MalformedSet { vertex } => {
+                write!(f, "vertex {vertex} is out of range or repeated")
+            }
+            VerifyError::NotIndependent { edge, vertices } => {
+                write!(f, "edge #{edge} {vertices:?} is entirely inside the set")
+            }
+            VerifyError::NotMaximal { vertex } => {
+                write!(f, "vertex {vertex} could be added without breaking independence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks that `set` is a maximal independent set of `h`.
+///
+/// Runs in `O(Σ_e |e| + n)` and returns the first violation found.
+pub fn verify_mis(h: &Hypergraph, set: &[VertexId]) -> Result<(), VerifyError> {
+    let n = h.n_vertices();
+    let mut member = vec![false; n];
+    for &v in set {
+        if (v as usize) >= n || member[v as usize] {
+            return Err(VerifyError::MalformedSet { vertex: v });
+        }
+        member[v as usize] = true;
+    }
+
+    // Independence: no edge fully inside the set.
+    for (i, e) in h.edges().enumerate() {
+        if e.iter().all(|&v| member[v as usize]) {
+            return Err(VerifyError::NotIndependent {
+                edge: i,
+                vertices: e.to_vec(),
+            });
+        }
+    }
+
+    // Maximality: every non-member must have a witnessing edge whose other
+    // vertices are all members.
+    for v in 0..n as VertexId {
+        if member[v as usize] {
+            continue;
+        }
+        let blocked = h
+            .incident_edges(v)
+            .iter()
+            .any(|&e| h.edge(e).iter().all(|&u| u == v || member[u as usize]));
+        if !blocked {
+            return Err(VerifyError::NotMaximal { vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: `true` iff [`verify_mis`] succeeds.
+pub fn is_valid_mis(h: &Hypergraph, set: &[VertexId]) -> bool {
+    verify_mis(h, set).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::builder::hypergraph_from_edges;
+
+    fn toy() -> Hypergraph {
+        hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]])
+    }
+
+    #[test]
+    fn accepts_valid_mis() {
+        let h = toy();
+        assert_eq!(verify_mis(&h, &[0, 1, 3, 5]), Ok(()));
+        assert!(is_valid_mis(&h, &[0, 1, 3, 5]));
+    }
+
+    #[test]
+    fn rejects_dependent_set() {
+        let h = toy();
+        let err = verify_mis(&h, &[2, 3, 0]).unwrap_err();
+        assert!(matches!(err, VerifyError::NotIndependent { .. }));
+    }
+
+    #[test]
+    fn rejects_non_maximal_set() {
+        let h = toy();
+        // Both 4 and 5 could still be added; the checker reports the first.
+        let err = verify_mis(&h, &[0, 1, 3]).unwrap_err();
+        assert_eq!(err, VerifyError::NotMaximal { vertex: 4 });
+    }
+
+    #[test]
+    fn rejects_malformed_sets() {
+        let h = toy();
+        assert!(matches!(
+            verify_mis(&h, &[0, 99]),
+            Err(VerifyError::MalformedSet { vertex: 99 })
+        ));
+        assert!(matches!(
+            verify_mis(&h, &[1, 1]),
+            Err(VerifyError::MalformedSet { vertex: 1 })
+        ));
+    }
+
+    #[test]
+    fn edgeless_hypergraph_requires_all_vertices() {
+        let h = hypergraph_from_edges::<Vec<u32>>(3, vec![]);
+        assert!(is_valid_mis(&h, &[0, 1, 2]));
+        assert!(!is_valid_mis(&h, &[0, 1]));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::NotIndependent {
+            edge: 3,
+            vertices: vec![1, 2],
+        };
+        assert!(e.to_string().contains("edge #3"));
+        assert!(VerifyError::NotMaximal { vertex: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,502 @@
+//! [`ActiveHypergraph`]: the mutable working copy consumed round by round by
+//! the iterative MIS algorithms.
+//!
+//! The Beame–Luby algorithm (Algorithm 2 in the paper) and the SBL algorithm
+//! (Algorithm 1) both maintain a hypergraph that shrinks over time:
+//!
+//! * vertices are *decided* (colored blue = in the independent set, or red =
+//!   excluded) and leave the vertex set;
+//! * edges lose their blue vertices ("trimming", line 14 of Algorithm 2 /
+//!   line 19 of Algorithm 1);
+//! * edges that contain another edge as a subset are discarded ("dominated"
+//!   edges, lines 16–20 of Algorithm 2);
+//! * singleton edges `{v}` are discarded together with their vertex, which can
+//!   never join the independent set (lines 21–24 of Algorithm 2);
+//! * in SBL, edges containing a red vertex are discarded outright (lines
+//!   13–17 of Algorithm 1) because they can never become fully blue.
+//!
+//! [`ActiveHypergraph`] provides exactly these primitive updates so that the
+//! algorithm implementations in the `mis-core` crate read like the pseudocode.
+//! Vertex ids are *global* (those of the original hypergraph); nothing is ever
+//! relabelled, which is what lets SBL stitch the per-round colorings together.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Hypergraph, VertexId};
+use crate::view::HypergraphView;
+
+/// A mutable hypergraph view over a fixed vertex id space.
+///
+/// See the [module documentation](self) for the role it plays in the
+/// algorithms.
+#[derive(Debug, Clone)]
+pub struct ActiveHypergraph {
+    /// Size of the vertex id space (ids of the original hypergraph).
+    id_space: usize,
+    /// `alive[v]` — vertex `v` is still undecided.
+    alive: Vec<bool>,
+    /// Number of `true` entries in `alive`.
+    n_alive: usize,
+    /// Current edges: sorted vertex lists over alive vertices.
+    edges: Vec<Vec<VertexId>>,
+}
+
+impl ActiveHypergraph {
+    /// Creates an active copy of a full hypergraph: every vertex alive, every
+    /// edge present.
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        ActiveHypergraph {
+            id_space: h.n_vertices(),
+            alive: vec![true; h.n_vertices()],
+            n_alive: h.n_vertices(),
+            edges: h.edges_owned(),
+        }
+    }
+
+    /// Creates an active hypergraph from raw parts.
+    ///
+    /// `alive` selects the active vertices out of the id space `0..alive.len()`;
+    /// `edges` must be sorted, duplicate-free and only mention alive vertices.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if an edge mentions a dead or out-of-range
+    /// vertex or is not sorted.
+    pub fn from_parts(alive: Vec<bool>, edges: Vec<Vec<VertexId>>) -> Self {
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        let ah = ActiveHypergraph {
+            id_space: alive.len(),
+            alive,
+            n_alive,
+            edges,
+        };
+        ah.debug_validate();
+        ah
+    }
+
+    /// Size of the vertex id space (ids of the original hypergraph); every
+    /// vertex id handled by this view is `< id_space()`.
+    #[inline]
+    pub fn id_space(&self) -> usize {
+        self.id_space
+    }
+
+    /// Number of alive vertices.
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Number of current edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if vertex `v` is alive.
+    #[inline]
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// The alive vertices in increasing order.
+    pub fn alive_vertices(&self) -> Vec<VertexId> {
+        (0..self.id_space as u32)
+            .filter(|&v| self.alive[v as usize])
+            .collect()
+    }
+
+    /// Read-only access to the current edges.
+    pub fn edges(&self) -> &[Vec<VertexId>] {
+        &self.edges
+    }
+
+    /// Maximum cardinality among current edges (0 if edgeless).
+    pub fn dimension(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// Marks the given vertices dead (decided). Edges are not touched; combine
+    /// with [`shrink_edges_by`](Self::shrink_edges_by) or
+    /// [`discard_edges_touching`](Self::discard_edges_touching) according to
+    /// the algorithm's semantics.
+    pub fn kill_vertices<I: IntoIterator<Item = VertexId>>(&mut self, vs: I) {
+        for v in vs {
+            let slot = &mut self.alive[v as usize];
+            if *slot {
+                *slot = false;
+                self.n_alive -= 1;
+            }
+        }
+    }
+
+    /// Removes the vertices of `set` from every edge (the "trim" step: these
+    /// vertices joined the independent set, so the rest of each edge must
+    /// still avoid becoming fully blue). Edges that become empty are dropped —
+    /// an empty edge can only arise if the caller violated independence, so
+    /// this also returns how many edges emptied (0 in correct executions;
+    /// tests assert on it).
+    pub fn shrink_edges_by(&mut self, set: &[bool]) -> usize {
+        let mut emptied = 0;
+        for e in &mut self.edges {
+            e.retain(|&v| !set[v as usize]);
+            if e.is_empty() {
+                emptied += 1;
+            }
+        }
+        if emptied > 0 {
+            self.edges.retain(|e| !e.is_empty());
+        }
+        emptied
+    }
+
+    /// Discards every edge that contains at least one vertex from `set`
+    /// (SBL: edges touching a red vertex can never become fully blue).
+    /// Returns the number of edges discarded.
+    pub fn discard_edges_touching(&mut self, set: &[bool]) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|e| !e.iter().any(|&v| set[v as usize]));
+        before - self.edges.len()
+    }
+
+    /// Removes every edge that strictly contains another current edge
+    /// ("dominated" edges). Exact duplicates keep one representative.
+    /// Returns the number of edges removed.
+    ///
+    /// Runs in `O(Σ|e| · avg-degree)` by probing, for every edge, the edges
+    /// incident to its least-frequent vertex.
+    pub fn remove_dominated_edges(&mut self) -> usize {
+        let m = self.edges.len();
+        if m <= 1 {
+            return 0;
+        }
+        // Incidence lists over current edges.
+        let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); self.id_space];
+        for (i, e) in self.edges.iter().enumerate() {
+            for &v in e {
+                incidence[v as usize].push(i as u32);
+            }
+        }
+        // Sort edge indices by size so we keep the smaller (containing) edge
+        // and drop the larger one; ties keep the earlier index.
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_by_key(|&i| (self.edges[i as usize].len(), i));
+
+        let mut dead = vec![false; m];
+        for &i in &order {
+            if dead[i as usize] {
+                continue;
+            }
+            let e = &self.edges[i as usize];
+            // Any *other* live edge that contains every vertex of e is
+            // dominated. Candidates must be incident to the least-degree
+            // vertex of e.
+            let pivot = e
+                .iter()
+                .copied()
+                .min_by_key(|&v| incidence[v as usize].len())
+                .expect("edges are non-empty");
+            for &cand in &incidence[pivot as usize] {
+                if cand == i || dead[cand as usize] {
+                    continue;
+                }
+                let ce = &self.edges[cand as usize];
+                if ce.len() <= e.len() {
+                    // Can't strictly contain e (equal-size duplicates were
+                    // already deduplicated at build time; if not, keep both —
+                    // harmless for correctness).
+                    continue;
+                }
+                if e.iter().all(|&v| ce.binary_search(&v).is_ok()) {
+                    dead[cand as usize] = true;
+                }
+            }
+        }
+        let removed = dead.iter().filter(|&&d| d).count();
+        if removed > 0 {
+            let mut idx = 0;
+            self.edges.retain(|_| {
+                let keep = !dead[idx];
+                idx += 1;
+                keep
+            });
+        }
+        removed
+    }
+
+    /// Removes singleton edges `{v}` and kills their vertex `v` (such a vertex
+    /// can never join the independent set). Returns the killed vertices.
+    ///
+    /// Removing a singleton may not create new singletons by itself (edges do
+    /// not shrink here), so a single pass suffices.
+    pub fn remove_singleton_edges(&mut self) -> Vec<VertexId> {
+        let mut killed = BTreeSet::new();
+        for e in &self.edges {
+            if e.len() == 1 {
+                killed.insert(e[0]);
+            }
+        }
+        if killed.is_empty() {
+            return Vec::new();
+        }
+        self.edges.retain(|e| e.len() != 1);
+        // Edges through a killed vertex can never be fully blue any more, so
+        // they are dropped as well (the vertex is decided red). This mirrors
+        // the effect of V' <- V' \ {v} in Algorithm 2: the edge can never be
+        // completed within the remaining vertex set... but note the BL
+        // pseudocode only deletes the singleton edge and its vertex; other
+        // edges keep the vertex and simply can never be fully marked because
+        // the vertex is gone from V'. To keep the invariant "edges only
+        // mention alive vertices", we drop the killed vertex from the other
+        // edges is NOT correct (it would let them become blue). Instead we
+        // discard those edges: they are satisfied forever.
+        let mut flag = vec![false; self.id_space];
+        for &v in &killed {
+            flag[v as usize] = true;
+        }
+        self.discard_edges_touching(&flag);
+        self.kill_vertices(killed.iter().copied());
+        killed.into_iter().collect()
+    }
+
+    /// The sub-hypergraph induced by the marked vertices, keeping only edges
+    /// *fully contained* in the mark set (the `H' = (V', E')` of SBL line 7).
+    ///
+    /// The returned hypergraph shares the global id space.
+    pub fn induced_by(&self, marked: &[bool]) -> ActiveHypergraph {
+        let mut alive = vec![false; self.id_space];
+        let mut n_alive = 0;
+        for v in 0..self.id_space {
+            if self.alive[v] && marked[v] {
+                alive[v] = true;
+                n_alive += 1;
+            }
+        }
+        let edges: Vec<Vec<VertexId>> = self
+            .edges
+            .iter()
+            .filter(|e| e.iter().all(|&v| alive[v as usize]))
+            .cloned()
+            .collect();
+        ActiveHypergraph {
+            id_space: self.id_space,
+            alive,
+            n_alive,
+            edges,
+        }
+    }
+
+    /// Converts the active view into a compact immutable [`Hypergraph`] with
+    /// vertices relabelled to `0..n_alive`, returning the hypergraph and the
+    /// mapping `new -> old` id.
+    pub fn compact(&self) -> (Hypergraph, Vec<VertexId>) {
+        let mut new_to_old = Vec::with_capacity(self.n_alive);
+        let mut old_to_new = vec![u32::MAX; self.id_space];
+        for v in 0..self.id_space {
+            if self.alive[v] {
+                old_to_new[v] = new_to_old.len() as u32;
+                new_to_old.push(v as u32);
+            }
+        }
+        let edges: Vec<Vec<VertexId>> = self
+            .edges
+            .iter()
+            .map(|e| e.iter().map(|&v| old_to_new[v as usize]).collect())
+            .collect();
+        (
+            Hypergraph::from_sorted_edges(new_to_old.len() as u32, edges),
+            new_to_old,
+        )
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    /// Panics if an edge is unsorted, mentions a dead vertex, or is empty.
+    pub fn debug_validate(&self) {
+        debug_assert_eq!(
+            self.n_alive,
+            self.alive.iter().filter(|&&a| a).count(),
+            "n_alive out of sync"
+        );
+        for e in &self.edges {
+            debug_assert!(!e.is_empty(), "empty edge");
+            debug_assert!(
+                e.windows(2).all(|w| w[0] < w[1]),
+                "edge not sorted/deduplicated: {e:?}"
+            );
+            for &v in e {
+                debug_assert!((v as usize) < self.id_space, "vertex out of range");
+                debug_assert!(self.alive[v as usize], "edge mentions dead vertex {v}");
+            }
+        }
+    }
+}
+
+impl HypergraphView for ActiveHypergraph {
+    fn id_space(&self) -> usize {
+        self.id_space
+    }
+
+    fn n_active_vertices(&self) -> usize {
+        self.n_alive
+    }
+
+    fn n_active_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn is_active(&self, v: VertexId) -> bool {
+        self.alive[v as usize]
+    }
+
+    fn active_vertices(&self) -> Vec<VertexId> {
+        self.alive_vertices()
+    }
+
+    fn edge_slices(&self) -> Box<dyn Iterator<Item = &[VertexId]> + '_> {
+        Box::new(self.edges.iter().map(|e| e.as_slice()))
+    }
+
+    fn dimension(&self) -> usize {
+        ActiveHypergraph::dimension(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    fn toy() -> ActiveHypergraph {
+        let h = hypergraph_from_edges(
+            6,
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 1, 2, 3]],
+        );
+        ActiveHypergraph::from_hypergraph(&h)
+    }
+
+    #[test]
+    fn from_hypergraph_copies_everything() {
+        let ah = toy();
+        assert_eq!(ah.n_alive(), 6);
+        assert_eq!(ah.n_edges(), 4);
+        assert_eq!(ah.dimension(), 4);
+        ah.debug_validate();
+    }
+
+    #[test]
+    fn kill_and_shrink() {
+        let mut ah = toy();
+        // Vertex 2 joins the IS: trim it out of every edge.
+        let mut set = vec![false; 6];
+        set[2] = true;
+        ah.kill_vertices([2]);
+        let emptied = ah.shrink_edges_by(&set);
+        assert_eq!(emptied, 0);
+        assert_eq!(ah.n_alive(), 5);
+        assert!(ah.edges().iter().all(|e| !e.contains(&2)));
+        // Edge {2,3} became {3}; {0,1,2} became {0,1}; {0,1,2,3} became {0,1,3}.
+        assert!(ah.edges().contains(&vec![3]));
+        assert!(ah.edges().contains(&vec![0, 1]));
+        ah.debug_validate();
+    }
+
+    #[test]
+    fn shrink_reports_emptied_edges() {
+        let h = hypergraph_from_edges(3, vec![vec![0, 1]]);
+        let mut ah = ActiveHypergraph::from_hypergraph(&h);
+        let mut set = vec![true, true, false];
+        ah.kill_vertices([0, 1]);
+        let emptied = ah.shrink_edges_by(&mut set);
+        assert_eq!(emptied, 1);
+        assert_eq!(ah.n_edges(), 0);
+    }
+
+    #[test]
+    fn discard_edges_touching_red() {
+        let mut ah = toy();
+        let mut red = vec![false; 6];
+        red[4] = true;
+        let removed = ah.discard_edges_touching(&red);
+        assert_eq!(removed, 1); // only {3,4,5}
+        assert_eq!(ah.n_edges(), 3);
+    }
+
+    #[test]
+    fn dominated_edges_are_removed() {
+        let mut ah = toy();
+        let removed = ah.remove_dominated_edges();
+        // {0,1,2,3} strictly contains {0,1,2} and {2,3}.
+        assert_eq!(removed, 1);
+        assert_eq!(ah.n_edges(), 3);
+        assert!(!ah.edges().contains(&vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn dominated_chain() {
+        let h = hypergraph_from_edges(
+            5,
+            vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![3, 4]],
+        );
+        let mut ah = ActiveHypergraph::from_hypergraph(&h);
+        let removed = ah.remove_dominated_edges();
+        assert_eq!(removed, 2);
+        assert_eq!(ah.n_edges(), 2);
+        assert!(ah.edges().contains(&vec![0]));
+        assert!(ah.edges().contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn singleton_removal_kills_vertex_and_satisfied_edges() {
+        let h = hypergraph_from_edges(4, vec![vec![1], vec![1, 2], vec![2, 3]]);
+        let mut ah = ActiveHypergraph::from_hypergraph(&h);
+        let killed = ah.remove_singleton_edges();
+        assert_eq!(killed, vec![1]);
+        assert!(!ah.is_alive(1));
+        // {1} gone, {1,2} discarded (contains the now-red vertex 1), {2,3} stays.
+        assert_eq!(ah.n_edges(), 1);
+        assert_eq!(ah.edges()[0], vec![2, 3]);
+        ah.debug_validate();
+    }
+
+    #[test]
+    fn induced_subhypergraph_keeps_only_contained_edges() {
+        let ah = toy();
+        let mut marked = vec![false; 6];
+        for v in [0, 1, 2] {
+            marked[v] = true;
+        }
+        let sub = ah.induced_by(&marked);
+        assert_eq!(sub.n_alive(), 3);
+        assert_eq!(sub.n_edges(), 1); // only {0,1,2}
+        assert_eq!(sub.edges()[0], vec![0, 1, 2]);
+        sub.debug_validate();
+    }
+
+    #[test]
+    fn compact_relabels_densely() {
+        let mut ah = toy();
+        ah.kill_vertices([0, 2]);
+        let mut set = vec![false; 6];
+        set[0] = true;
+        set[2] = true;
+        ah.discard_edges_touching(&set);
+        let (h, new_to_old) = ah.compact();
+        assert_eq!(h.n_vertices(), 4);
+        assert_eq!(new_to_old, vec![1, 3, 4, 5]);
+        // Remaining edge {3,4,5} maps to {1,2,3} in new ids.
+        assert_eq!(h.n_edges(), 1);
+        assert_eq!(h.edge(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn view_impl_matches_direct_accessors() {
+        let ah = toy();
+        let v: &dyn HypergraphView = &ah;
+        assert_eq!(v.n_active_vertices(), ah.n_alive());
+        assert_eq!(v.n_active_edges(), ah.n_edges());
+        assert_eq!(v.dimension(), 4);
+        assert!(v.is_independent_in_view(&[0, 1, 3]));
+        assert!(!v.is_independent_in_view(&[2, 3]));
+    }
+}

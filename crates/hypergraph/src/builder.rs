@@ -1,0 +1,173 @@
+//! Mutable construction of [`Hypergraph`]s.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Hypergraph, VertexId};
+
+/// Incremental builder for a [`Hypergraph`].
+///
+/// Edges may be added in any order and with unsorted / duplicated vertices;
+/// the builder normalizes each edge to a sorted, duplicate-free list. Exact
+/// duplicate edges are deduplicated on [`build`](HypergraphBuilder::build)
+/// (the algorithms in this workspace never benefit from parallel edges, and
+/// the papers assume simple hypergraphs).
+///
+/// # Example
+/// ```
+/// use hypergraph::HypergraphBuilder;
+/// let mut b = HypergraphBuilder::new(4);
+/// b.add_edge([2, 1]);
+/// b.add_edge([1, 2]);       // duplicate of the edge above
+/// b.add_edge([0, 3, 3]);    // vertex repetition collapses
+/// let h = b.build();
+/// assert_eq!(h.n_edges(), 2);
+/// assert_eq!(h.edge(0), &[1, 2]);
+/// assert_eq!(h.edge(1), &[0, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HypergraphBuilder {
+    n: u32,
+    edges: Vec<Vec<VertexId>>,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for a hypergraph on the vertex set `{0, …, n-1}`.
+    pub fn new(n: usize) -> Self {
+        HypergraphBuilder {
+            n: n as u32,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity reserved for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        HypergraphBuilder {
+            n: n as u32,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices the final hypergraph will have.
+    pub fn n_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an edge given by any iterator of vertex ids.
+    ///
+    /// The edge is normalized (sorted, deduplicated). Empty edges are ignored:
+    /// a hypergraph with an empty edge has no independent set at all, which
+    /// none of the algorithms here model.
+    ///
+    /// # Panics
+    /// Panics if a vertex id is `>= n`.
+    pub fn add_edge<I>(&mut self, vertices: I) -> &mut Self
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let set: BTreeSet<VertexId> = vertices.into_iter().collect();
+        for &v in &set {
+            assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
+        }
+        if !set.is_empty() {
+            self.edges.push(set.into_iter().collect());
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator of edges.
+    pub fn add_edges<I, E>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = E>,
+        E: IntoIterator<Item = VertexId>,
+    {
+        for e in edges {
+            self.add_edge(e);
+        }
+        self
+    }
+
+    /// Finalizes the builder into an immutable [`Hypergraph`].
+    ///
+    /// Exact duplicate edges are removed; edge order otherwise follows
+    /// insertion order.
+    pub fn build(mut self) -> Hypergraph {
+        let mut seen: BTreeSet<Vec<VertexId>> = BTreeSet::new();
+        let mut unique = Vec::with_capacity(self.edges.len());
+        for e in self.edges.drain(..) {
+            if seen.insert(e.clone()) {
+                unique.push(e);
+            }
+        }
+        Hypergraph::from_sorted_edges(self.n, unique)
+    }
+}
+
+/// Builds a hypergraph directly from a vertex count and an edge list.
+///
+/// Convenience wrapper over [`HypergraphBuilder`] used pervasively in tests
+/// and examples.
+pub fn hypergraph_from_edges<E>(n: usize, edges: impl IntoIterator<Item = E>) -> Hypergraph
+where
+    E: IntoIterator<Item = VertexId>,
+{
+    let mut b = HypergraphBuilder::new(n);
+    b.add_edges(edges);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_and_dedups() {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_edge([3, 1, 1]);
+        b.add_edge([1, 3]);
+        b.add_edge([4, 0, 2]);
+        let h = b.build();
+        assert_eq!(h.n_edges(), 2);
+        assert_eq!(h.edge(0), &[1, 3]);
+        assert_eq!(h.edge(1), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn ignores_empty_edges() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([]);
+        b.add_edge([1]);
+        let h = b.build();
+        assert_eq!(h.n_edges(), 1);
+        assert_eq!(h.dimension(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_vertices() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_edge([0, 2]);
+    }
+
+    #[test]
+    fn from_edges_helper() {
+        let h = hypergraph_from_edges(4, vec![vec![0, 1], vec![2, 3, 1]]);
+        assert_eq!(h.n_vertices(), 4);
+        assert_eq!(h.n_edges(), 2);
+        assert_eq!(h.dimension(), 3);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = HypergraphBuilder::with_capacity(10, 100);
+        assert_eq!(b.n_vertices(), 10);
+        b.add_edge([0, 9]);
+        assert_eq!(b.n_edges(), 1);
+        let h = b.build();
+        assert_eq!(h.n_edges(), 1);
+    }
+}

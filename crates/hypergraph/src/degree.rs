@@ -1,0 +1,312 @@
+//! Kelsen's normalized-degree machinery (Section 3 of the paper).
+//!
+//! For a hypergraph `H` of dimension `d`, a non-empty vertex set `x` and
+//! `1 ≤ j ≤ d − |x|`, the paper defines
+//!
+//! * `N_j(x, H)` — the set of `j`-element vertex sets `y` disjoint from `x`
+//!   with `x ∪ y ∈ E` (so `|N_j(x,H)|` counts the edges of size `|x| + j`
+//!   containing `x`);
+//! * the *normalized degree* `d_j(x, H) = |N_j(x, H)|^{1/j}`;
+//! * `Δ_i(H) = max { d_{i−|x|}(x, H) : x ⊆ V, 0 < |x| < i }` — the maximum
+//!   normalized degree with respect to dimension-`i` edges;
+//! * `Δ(H) = max { Δ_i(H) : 2 ≤ i ≤ d }`.
+//!
+//! The Beame–Luby marking probability is `p = 1 / (2^{d+1} Δ(H))`, and the
+//! entire Theorem-2 analysis (potential functions `v_i`, thresholds `T_j`,
+//! per-stage migration bounds) is phrased in these quantities, so they are
+//! implemented here once and reused by the `concentration` and `mis-core`
+//! crates.
+//!
+//! # Complexity
+//!
+//! Only sets `x` that are subsets of some edge have a non-zero degree, so the
+//! implementation enumerates, for every edge, all of its proper non-empty
+//! subsets — `O(m · 2^d)` work. This is exactly the regime the paper cares
+//! about (`d` at most `log log n / (4 log log log n)`, i.e. single digits for
+//! any realistic `n`), but it does mean callers must not feed hypergraphs of
+//! large dimension: [`DegreeTable::build`] refuses dimensions above
+//! [`MAX_ENUMERABLE_DIMENSION`].
+
+use std::collections::HashMap;
+
+use crate::graph::VertexId;
+use crate::view::HypergraphView;
+
+/// Largest dimension for which the `O(m·2^d)` subset enumeration is allowed.
+pub const MAX_ENUMERABLE_DIMENSION: usize = 20;
+
+/// Maximum degree of a single vertex (number of incident active edges).
+///
+/// This is the classical graph degree, *not* the normalized degree; it is used
+/// by generators and statistics.
+pub fn max_vertex_degree<V: HypergraphView + ?Sized>(view: &V) -> usize {
+    let mut deg = vec![0usize; view.id_space()];
+    for e in view.edge_slices() {
+        for &v in e {
+            deg[v as usize] += 1;
+        }
+    }
+    deg.into_iter().max().unwrap_or(0)
+}
+
+/// A table of `|N_j(x, H)|` for every `x` that is a proper non-empty subset of
+/// some edge, keyed by `x` (sorted) and the co-size `j`.
+///
+/// Build it once per hypergraph snapshot with [`DegreeTable::build`], then
+/// query [`n_j`](Self::n_j), [`d_j`](Self::d_j), [`delta_i`](Self::delta_i)
+/// and [`delta`](Self::delta).
+#[derive(Debug, Clone)]
+pub struct DegreeTable {
+    /// counts[x] = vector indexed by j-1 of |N_j(x, H)| (only for j ≥ 1).
+    counts: HashMap<Vec<VertexId>, Vec<u64>>,
+    /// Dimension of the hypergraph the table was built from.
+    dim: usize,
+    /// Number of edges the table was built from.
+    m: usize,
+}
+
+impl DegreeTable {
+    /// Enumerates every proper non-empty subset of every active edge and
+    /// counts, for each such subset `x` and each co-size `j`, the number of
+    /// edges of size `|x| + j` that contain `x`.
+    ///
+    /// # Panics
+    /// Panics if the view's dimension exceeds [`MAX_ENUMERABLE_DIMENSION`].
+    pub fn build<V: HypergraphView + ?Sized>(view: &V) -> Self {
+        let dim = view.dimension();
+        assert!(
+            dim <= MAX_ENUMERABLE_DIMENSION,
+            "DegreeTable::build called on dimension {dim} > {MAX_ENUMERABLE_DIMENSION}; \
+             the subset enumeration would be intractable"
+        );
+        let mut counts: HashMap<Vec<VertexId>, Vec<u64>> = HashMap::new();
+        let mut m = 0usize;
+        for e in view.edge_slices() {
+            m += 1;
+            let k = e.len();
+            if k < 2 {
+                // A singleton edge has no proper non-empty subset.
+                continue;
+            }
+            // Enumerate proper non-empty subsets via bitmasks.
+            let full: u32 = (1u32 << k) - 1;
+            for mask in 1..full {
+                let size = mask.count_ones() as usize;
+                let j = k - size;
+                let mut x = Vec::with_capacity(size);
+                for (i, &v) in e.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        x.push(v);
+                    }
+                }
+                let entry = counts.entry(x).or_insert_with(|| vec![0; dim]);
+                entry[j - 1] += 1;
+            }
+        }
+        DegreeTable { counts, dim, m }
+    }
+
+    /// Dimension of the hypergraph this table describes.
+    pub fn dimension(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of edges of the hypergraph this table describes.
+    pub fn n_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Number of distinct sets `x` with a non-zero degree.
+    pub fn n_tracked_sets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `|N_j(x, H)|`: the number of edges of size `|x| + j` containing `x`.
+    ///
+    /// `x` must be sorted. Returns 0 for unknown sets or `j == 0`.
+    pub fn n_j(&self, x: &[VertexId], j: usize) -> u64 {
+        if j == 0 {
+            return 0;
+        }
+        self.counts
+            .get(x)
+            .and_then(|v| v.get(j - 1))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The normalized degree `d_j(x, H) = |N_j(x,H)|^{1/j}`.
+    pub fn d_j(&self, x: &[VertexId], j: usize) -> f64 {
+        let c = self.n_j(x, j);
+        if c == 0 || j == 0 {
+            0.0
+        } else {
+            (c as f64).powf(1.0 / j as f64)
+        }
+    }
+
+    /// `Δ_i(H)`: the maximum of `d_{i−|x|}(x, H)` over all tracked `x` with
+    /// `0 < |x| < i`.
+    pub fn delta_i(&self, i: usize) -> f64 {
+        if i < 2 {
+            return 0.0;
+        }
+        let mut best: f64 = 0.0;
+        for (x, row) in &self.counts {
+            let xs = x.len();
+            if xs == 0 || xs >= i {
+                continue;
+            }
+            let j = i - xs;
+            if let Some(&c) = row.get(j - 1) {
+                if c > 0 {
+                    let d = (c as f64).powf(1.0 / j as f64);
+                    if d > best {
+                        best = d;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// `Δ(H) = max_{2 ≤ i ≤ d} Δ_i(H)`; 0 for hypergraphs of dimension < 2.
+    pub fn delta(&self) -> f64 {
+        (2..=self.dim).fold(0.0f64, |acc, i| acc.max(self.delta_i(i)))
+    }
+
+    /// All tracked sets `x` together with their per-`j` counts, for the
+    /// instrumentation used by the migration experiments (E6/E7). Sets are
+    /// returned in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[VertexId], &[u64])> {
+        self.counts.iter().map(|(x, row)| (x.as_slice(), row.as_slice()))
+    }
+}
+
+/// Convenience wrapper: builds a [`DegreeTable`] and returns `Δ(H)` directly.
+pub fn max_normalized_degree<V: HypergraphView + ?Sized>(view: &V) -> f64 {
+    DegreeTable::build(view).delta()
+}
+
+/// The Beame–Luby marking probability `p = 1 / (2^{d+1} · Δ(H))`, clamped into
+/// `(0, 1]`. For an edgeless hypergraph (where `Δ` would be 0) this returns 1:
+/// every vertex can be marked.
+pub fn beame_luby_probability(delta: f64, dim: usize) -> f64 {
+    if delta <= 0.0 {
+        return 1.0;
+    }
+    let a = 2f64.powi(dim as i32 + 1);
+    (1.0 / (a * delta)).clamp(f64::MIN_POSITIVE, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    #[test]
+    fn graph_case_matches_classical_degree() {
+        // For an ordinary graph (dimension 2), Δ(H) = Δ_2(H) is the maximum
+        // vertex degree, because d_1({v}, H) = |N_1(v)|.
+        let h = hypergraph_from_edges(
+            5,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![3, 4]],
+        );
+        let t = DegreeTable::build(&h);
+        assert_eq!(t.n_j(&[0], 1), 3);
+        assert_eq!(t.n_j(&[3], 1), 2);
+        assert_eq!(t.n_j(&[4], 1), 1);
+        assert!((t.delta_i(2) - 3.0).abs() < 1e-12);
+        assert!((t.delta() - 3.0).abs() < 1e-12);
+        assert_eq!(max_vertex_degree(&h), 3);
+    }
+
+    #[test]
+    fn three_uniform_counts() {
+        // Two triangles sharing the pair {0,1}.
+        let h = hypergraph_from_edges(5, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        let t = DegreeTable::build(&h);
+        // Pair {0,1} is contained in 2 edges of size 3 => N_1({0,1}) = 2.
+        assert_eq!(t.n_j(&[0, 1], 1), 2);
+        // Vertex {0} is in 2 edges of size 3 => N_2({0}) = 2, d_2 = sqrt(2).
+        assert_eq!(t.n_j(&[0], 2), 2);
+        assert!((t.d_j(&[0], 2) - 2f64.sqrt()).abs() < 1e-12);
+        // Δ_3 = max(d_1 over pairs, d_2 over singletons) = max(2, sqrt 2) = 2.
+        assert!((t.delta_i(3) - 2.0).abs() < 1e-12);
+        // No edges of size 2, so Δ_2 = 0 and Δ = Δ_3 = 2.
+        assert_eq!(t.delta_i(2), 0.0);
+        assert!((t.delta() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_dimension_table() {
+        let h = hypergraph_from_edges(
+            6,
+            vec![vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3], vec![4, 5]],
+        );
+        let t = DegreeTable::build(&h);
+        assert_eq!(t.dimension(), 4);
+        assert_eq!(t.n_edges(), 4);
+        // {0,1} is inside one size-2 edge (itself is an edge but j=0 doesn't
+        // count), one size-3 edge (j=1) and one size-4 edge (j=2).
+        assert_eq!(t.n_j(&[0, 1], 1), 1);
+        assert_eq!(t.n_j(&[0, 1], 2), 1);
+        assert_eq!(t.n_j(&[0, 1], 0), 0);
+        // Singleton {0}: one size-2 edge (j=1), one size-3 (j=2), one size-4 (j=3).
+        assert_eq!(t.n_j(&[0], 1), 1);
+        assert_eq!(t.n_j(&[0], 2), 1);
+        assert_eq!(t.n_j(&[0], 3), 1);
+        // Unknown sets have zero degree.
+        assert_eq!(t.n_j(&[5, 0], 1), 0);
+        assert_eq!(t.d_j(&[2, 3], 5), 0.0);
+    }
+
+    #[test]
+    fn singleton_edges_have_no_subsets() {
+        let h = hypergraph_from_edges(3, vec![vec![0], vec![1, 2]]);
+        let t = DegreeTable::build(&h);
+        assert_eq!(t.n_j(&[0], 1), 0);
+        assert_eq!(t.n_j(&[1], 1), 1);
+        assert_eq!(t.n_tracked_sets(), 2);
+    }
+
+    #[test]
+    fn edgeless_hypergraph() {
+        let h = hypergraph_from_edges::<Vec<u32>>(4, vec![]);
+        let t = DegreeTable::build(&h);
+        assert_eq!(t.delta(), 0.0);
+        assert_eq!(max_vertex_degree(&h), 0);
+        assert_eq!(beame_luby_probability(t.delta(), 0), 1.0);
+    }
+
+    #[test]
+    fn bl_probability_formula() {
+        // d = 2, Δ = 4  =>  p = 1 / (2^3 · 4) = 1/32.
+        assert!((beame_luby_probability(4.0, 2) - 1.0 / 32.0).abs() < 1e-12);
+        // Degenerate Δ keeps p in (0, 1].
+        assert_eq!(beame_luby_probability(0.0, 5), 1.0);
+        assert!(beame_luby_probability(1e-30, 3) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn refuses_huge_dimension() {
+        let edge: Vec<u32> = (0..25).collect();
+        let h = hypergraph_from_edges(30, vec![edge]);
+        let _ = DegreeTable::build(&h);
+    }
+
+    #[test]
+    fn works_on_active_view_too() {
+        use crate::active::ActiveHypergraph;
+        let h = hypergraph_from_edges(5, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        let mut ah = ActiveHypergraph::from_hypergraph(&h);
+        let mut red = vec![false; 5];
+        red[3] = true;
+        ah.discard_edges_touching(&red);
+        ah.kill_vertices([3]);
+        let t = DegreeTable::build(&ah);
+        assert_eq!(t.n_j(&[0, 1], 1), 1);
+        assert!((t.delta() - 1.0).abs() < 1e-12);
+    }
+}

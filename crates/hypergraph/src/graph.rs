@@ -1,0 +1,360 @@
+//! The immutable [`Hypergraph`] arena and its accessors.
+//!
+//! A [`Hypergraph`] stores every edge as a sorted slice of vertex ids inside a
+//! single flat `Vec` (CSR layout), plus the reverse vertex→edge incidence
+//! index in the same layout. This keeps the per-round scans of the parallel
+//! algorithms cache-friendly and allocation-free.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a vertex: a dense index in `0..n`.
+pub type VertexId = u32;
+
+/// Identifier of an edge: a dense index in `0..m`.
+pub type EdgeId = u32;
+
+/// An immutable hypergraph `H = (V, E)` with `V = {0, …, n-1}` and edges
+/// stored as sorted vertex lists.
+///
+/// Construct one with [`HypergraphBuilder`](crate::builder::HypergraphBuilder)
+/// or one of the [`generate`](crate::generate) functions.
+///
+/// # Example
+/// ```
+/// use hypergraph::HypergraphBuilder;
+///
+/// let mut b = HypergraphBuilder::new(5);
+/// b.add_edge([0, 1, 2]);
+/// b.add_edge([2, 3]);
+/// let h = b.build();
+/// assert_eq!(h.n_vertices(), 5);
+/// assert_eq!(h.n_edges(), 2);
+/// assert_eq!(h.dimension(), 3);
+/// assert_eq!(h.edge(0), &[0, 1, 2]);
+/// assert_eq!(h.incident_edges(2), &[0, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: u32,
+    /// CSR offsets into `edge_vertices`; length `m + 1`.
+    edge_offsets: Vec<u32>,
+    /// Concatenated, per-edge-sorted vertex lists.
+    edge_vertices: Vec<VertexId>,
+    /// CSR offsets into `incident`; length `n + 1`.
+    inc_offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted lists of incident edge ids.
+    incident: Vec<EdgeId>,
+    /// Maximum edge cardinality (0 for an edgeless hypergraph).
+    dim: u32,
+}
+
+impl Hypergraph {
+    /// Builds the arena from a vertex count and a list of edges.
+    ///
+    /// Every edge must be sorted, duplicate-free, non-empty and reference only
+    /// vertices `< n`. The builder enforces these invariants; this constructor
+    /// asserts them in debug builds.
+    pub(crate) fn from_sorted_edges(n: u32, edges: Vec<Vec<VertexId>>) -> Self {
+        let m = edges.len();
+        let total: usize = edges.iter().map(|e| e.len()).sum();
+        let mut edge_offsets = Vec::with_capacity(m + 1);
+        let mut edge_vertices = Vec::with_capacity(total);
+        let mut dim = 0u32;
+        edge_offsets.push(0u32);
+        for e in &edges {
+            debug_assert!(!e.is_empty(), "edges must be non-empty");
+            debug_assert!(e.windows(2).all(|w| w[0] < w[1]), "edges must be sorted and duplicate-free");
+            debug_assert!(e.iter().all(|&v| v < n), "edge vertex out of range");
+            dim = dim.max(e.len() as u32);
+            edge_vertices.extend_from_slice(e);
+            edge_offsets.push(edge_vertices.len() as u32);
+        }
+
+        // Build the vertex -> edge incidence index with a counting pass.
+        let mut counts = vec![0u32; n as usize + 1];
+        for &v in &edge_vertices {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            counts[i + 1] += counts[i];
+        }
+        let inc_offsets = counts.clone();
+        let mut cursor = inc_offsets.clone();
+        let mut incident = vec![0u32; edge_vertices.len()];
+        for (eid, e) in edges.iter().enumerate() {
+            for &v in e {
+                let slot = cursor[v as usize];
+                incident[slot as usize] = eid as EdgeId;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        Hypergraph {
+            n,
+            edge_offsets,
+            edge_vertices,
+            inc_offsets,
+            incident,
+            dim,
+        }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of edges `m = |E|`.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edge_offsets.len() - 1
+    }
+
+    /// Dimension: the maximum edge cardinality (0 if there are no edges).
+    #[inline]
+    pub fn dimension(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The sorted vertex list of edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e >= self.n_edges()`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &[VertexId] {
+        let lo = self.edge_offsets[e as usize] as usize;
+        let hi = self.edge_offsets[e as usize + 1] as usize;
+        &self.edge_vertices[lo..hi]
+    }
+
+    /// Cardinality of edge `e`.
+    #[inline]
+    pub fn edge_len(&self, e: EdgeId) -> usize {
+        (self.edge_offsets[e as usize + 1] - self.edge_offsets[e as usize]) as usize
+    }
+
+    /// Iterator over all edges as sorted vertex slices, in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
+        (0..self.n_edges() as EdgeId).map(move |e| self.edge(e))
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n
+    }
+
+    /// The sorted list of edges incident to vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= self.n_vertices()`.
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        let lo = self.inc_offsets[v as usize] as usize;
+        let hi = self.inc_offsets[v as usize + 1] as usize;
+        &self.incident[lo..hi]
+    }
+
+    /// Degree of vertex `v`: the number of edges containing it.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.incident_edges(v).len()
+    }
+
+    /// Returns `true` if the (sorted or unsorted) vertex set `set` contains
+    /// some edge of the hypergraph entirely, i.e. it is *not* independent.
+    ///
+    /// Runs in `O(Σ_e |e|)` over edges touching the set, using the incidence
+    /// index to avoid scanning unrelated edges.
+    pub fn contains_edge_within(&self, set: &[VertexId]) -> bool {
+        if self.n_edges() == 0 {
+            return false;
+        }
+        let mut member = vec![false; self.n as usize];
+        for &v in set {
+            member[v as usize] = true;
+        }
+        // Only edges incident to some vertex of `set` can be inside it.
+        let mut seen = vec![false; self.n_edges()];
+        for &v in set {
+            for &e in self.incident_edges(v) {
+                if !seen[e as usize] {
+                    seen[e as usize] = true;
+                    if self.edge(e).iter().all(|&u| member[u as usize]) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if `set` is an independent set: no edge is fully
+    /// contained in it.
+    pub fn is_independent(&self, set: &[VertexId]) -> bool {
+        !self.contains_edge_within(set)
+    }
+
+    /// Returns `true` if `set` is a *maximal* independent set.
+    ///
+    /// Maximality is checked by attempting to add every vertex not in the set:
+    /// the set is maximal iff every such addition creates a fully-contained
+    /// edge.
+    pub fn is_maximal_independent(&self, set: &[VertexId]) -> bool {
+        if !self.is_independent(set) {
+            return false;
+        }
+        let mut member = vec![false; self.n as usize];
+        for &v in set {
+            member[v as usize] = true;
+        }
+        for v in 0..self.n {
+            if member[v as usize] {
+                continue;
+            }
+            // Would adding v keep the set independent? It does unless some
+            // edge through v has all other vertices in the set.
+            let violates = self.incident_edges(v).iter().any(|&e| {
+                self.edge(e)
+                    .iter()
+                    .all(|&u| u == v || member[u as usize])
+            });
+            if !violates {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns the edge id of an exact edge equal to `query` (sorted), if any.
+    ///
+    /// Intended for tests and small-scale tooling; linear in the degree of the
+    /// first vertex of the query.
+    pub fn find_edge(&self, query: &[VertexId]) -> Option<EdgeId> {
+        let first = *query.first()?;
+        if first >= self.n {
+            return None;
+        }
+        self.incident_edges(first)
+            .iter()
+            .copied()
+            .find(|&e| self.edge(e) == query)
+    }
+
+    /// Total storage footprint of the edge lists, i.e. `Σ_e |e|`.
+    pub fn total_edge_size(&self) -> usize {
+        self.edge_vertices.len()
+    }
+
+    /// Collects the edges into owned `Vec`s (mainly for conversion into an
+    /// [`ActiveHypergraph`](crate::active::ActiveHypergraph) or for tests).
+    pub fn edges_owned(&self) -> Vec<Vec<VertexId>> {
+        self.edges().map(|e| e.to_vec()).collect()
+    }
+
+    /// The set of distinct edge cardinalities present, in increasing order.
+    pub fn edge_sizes(&self) -> Vec<usize> {
+        let sizes: BTreeSet<usize> = self.edges().map(|e| e.len()).collect();
+        sizes.into_iter().collect()
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypergraph")
+            .field("n", &self.n)
+            .field("m", &self.n_edges())
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+
+    fn toy() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_edge([0, 1, 2]);
+        b.add_edge([2, 3]);
+        b.add_edge([3, 4, 5]);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let h = toy();
+        assert_eq!(h.n_vertices(), 6);
+        assert_eq!(h.n_edges(), 3);
+        assert_eq!(h.dimension(), 3);
+        assert_eq!(h.total_edge_size(), 8);
+        assert_eq!(h.edge_sizes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn edges_and_incidence_are_consistent() {
+        let h = toy();
+        assert_eq!(h.edge(0), &[0, 1, 2]);
+        assert_eq!(h.edge(1), &[2, 3]);
+        assert_eq!(h.edge(2), &[3, 4, 5]);
+        assert_eq!(h.incident_edges(0), &[0]);
+        assert_eq!(h.incident_edges(2), &[0, 1]);
+        assert_eq!(h.incident_edges(3), &[1, 2]);
+        assert_eq!(h.degree(3), 2);
+        assert_eq!(h.degree(5), 1);
+    }
+
+    #[test]
+    fn independence_checks() {
+        let h = toy();
+        assert!(h.is_independent(&[0, 1, 3]));
+        assert!(!h.is_independent(&[0, 1, 2]));
+        assert!(!h.is_independent(&[2, 3]));
+        assert!(h.is_independent(&[]));
+        // {0,1,3,5} is independent and maximal: adding 2 completes {2,3}? no,
+        // adding 2 completes edge {0,1,2}; adding 4 completes {3,4,5}? needs 5
+        // and 3 -> yes.
+        assert!(h.is_maximal_independent(&[0, 1, 3, 5]));
+        // {0,1,3} is independent but not maximal (5 can be added).
+        assert!(!h.is_maximal_independent(&[0, 1, 3]));
+        // Non-independent sets are never maximal independent.
+        assert!(!h.is_maximal_independent(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let h = HypergraphBuilder::new(0).build();
+        assert_eq!(h.n_vertices(), 0);
+        assert_eq!(h.n_edges(), 0);
+        assert_eq!(h.dimension(), 0);
+        assert!(h.is_independent(&[]));
+        assert!(h.is_maximal_independent(&[]));
+
+        let h = HypergraphBuilder::new(4).build();
+        // With no edges the only maximal independent set is all of V.
+        assert!(h.is_independent(&[0, 1, 2, 3]));
+        assert!(h.is_maximal_independent(&[0, 1, 2, 3]));
+        assert!(!h.is_maximal_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn find_edge_works() {
+        let h = toy();
+        assert_eq!(h.find_edge(&[2, 3]), Some(1));
+        assert_eq!(h.find_edge(&[0, 1, 2]), Some(0));
+        assert_eq!(h.find_edge(&[1, 2]), None);
+        assert_eq!(h.find_edge(&[]), None);
+        assert_eq!(h.find_edge(&[99]), None);
+    }
+
+    #[test]
+    fn singleton_edge_forces_vertex_out() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_edge([1]);
+        let h = b.build();
+        assert!(!h.is_independent(&[1]));
+        assert!(h.is_maximal_independent(&[0, 2]));
+    }
+}

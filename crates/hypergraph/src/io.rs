@@ -1,0 +1,201 @@
+//! Plain-text serialization of hypergraphs.
+//!
+//! The format is line-oriented and human-editable:
+//!
+//! ```text
+//! # optional comment lines
+//! n m
+//! v1 v2 v3        <- one edge per line, whitespace-separated vertex ids
+//! …
+//! ```
+//!
+//! The header records the vertex count `n` and the edge count `m`; the edge
+//! count is validated on read. Writing always emits edges sorted as stored.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::builder::HypergraphBuilder;
+use crate::graph::Hypergraph;
+
+/// Errors produced when parsing the text format.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line `n m` is missing or malformed.
+    BadHeader(String),
+    /// A vertex id could not be parsed or is out of range.
+    BadVertex {
+        /// 1-based line number of the offending edge line.
+        line: usize,
+        /// The offending token.
+        token: String },
+    /// The number of edge lines does not match the header.
+    EdgeCountMismatch {
+        /// Edge count announced in the header.
+        expected: usize,
+        /// Edge lines actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(h) => write!(f, "bad header line: {h:?}"),
+            ParseError::BadVertex { line, token } => {
+                write!(f, "bad vertex token {token:?} on line {line}")
+            }
+            ParseError::EdgeCountMismatch { expected, found } => {
+                write!(f, "header announced {expected} edges but found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a hypergraph into the text format.
+pub fn to_string(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", h.n_vertices(), h.n_edges());
+    for e in h.edges() {
+        let mut first = true;
+        for &v in e {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a hypergraph from the text format.
+pub fn from_str(s: &str) -> Result<Hypergraph, ParseError> {
+    let mut lines = s
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (hline_no, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+    let m: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+    if it.next().is_some() {
+        return Err(ParseError::BadHeader(header.to_string()));
+    }
+    let _ = hline_no;
+
+    let mut builder = HypergraphBuilder::with_capacity(n, m);
+    let mut found = 0usize;
+    for (line_no, line) in lines {
+        let mut edge = Vec::new();
+        for token in line.split_whitespace() {
+            let v: u32 = token.parse().map_err(|_| ParseError::BadVertex {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            if (v as usize) >= n {
+                return Err(ParseError::BadVertex {
+                    line: line_no,
+                    token: token.to_string(),
+                });
+            }
+            edge.push(v);
+        }
+        builder.add_edge(edge);
+        found += 1;
+    }
+    if found != m {
+        return Err(ParseError::EdgeCountMismatch {
+            expected: m,
+            found,
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Writes a hypergraph to a file in the text format.
+pub fn write_file<P: AsRef<Path>>(h: &Hypergraph, path: P) -> io::Result<()> {
+    fs::write(path, to_string(h))
+}
+
+/// Reads a hypergraph from a file in the text format.
+pub fn read_file<P: AsRef<Path>>(path: P) -> io::Result<Hypergraph> {
+    let s = fs::read_to_string(path)?;
+    from_str(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    #[test]
+    fn round_trip() {
+        let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![3, 5], vec![2, 4]]);
+        let s = to_string(&h);
+        let back = from_str(&s).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = "# a comment\n\n3 2\n0 1\n# another\n1 2\n";
+        let h = from_str(s).unwrap();
+        assert_eq!(h.n_vertices(), 3);
+        assert_eq!(h.n_edges(), 2);
+    }
+
+    #[test]
+    fn bad_header() {
+        assert!(matches!(from_str(""), Err(ParseError::BadHeader(_))));
+        assert!(matches!(from_str("x y\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(from_str("3 1 9\n0 1\n"), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_vertex_and_range() {
+        let err = from_str("3 1\n0 zebra\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadVertex { .. }));
+        let err = from_str("3 1\n0 7\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadVertex { .. }));
+    }
+
+    #[test]
+    fn edge_count_mismatch() {
+        let err = from_str("3 2\n0 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::EdgeCountMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let h = hypergraph_from_edges(4, vec![vec![0, 3], vec![1, 2, 3]]);
+        let dir = std::env::temp_dir().join("hypergraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.hg");
+        write_file(&h, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(h, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,63 @@
+//! Hypergraph data structures for parallel maximal-independent-set algorithms.
+//!
+//! This crate is the substrate layer of the `hypergraph-mis` workspace, which
+//! reproduces *"On Computing Maximal Independent Sets of Hypergraphs in
+//! Parallel"* (Bercea, Goyal, Harris, Srinivasan — SPAA 2014).
+//!
+//! It provides:
+//!
+//! * [`Hypergraph`] — an immutable, arena/CSR-style hypergraph with a
+//!   vertex→edge incidence index, built through [`HypergraphBuilder`].
+//! * [`ActiveHypergraph`] — a mutable *view* used by the iterative algorithms
+//!   (Beame–Luby, SBL, KUW): vertices die, edges shrink, dominated and
+//!   singleton edges are discarded, exactly as in the papers' cleanup steps.
+//! * [`degree`] — the normalized-degree machinery of Kelsen's analysis:
+//!   `N_j(x,H)`, `d_j(x,H)`, `Δ_i(H)` and `Δ(H)` (Section 3 of the paper).
+//! * [`generate`] — seeded random hypergraph generators for every workload the
+//!   experiments need (d-uniform, mixed-dimension, linear, planted,
+//!   paper-regime `m ≤ n^β`, and small special families).
+//! * [`params`] — the paper's parameter formulas (`α`, `β`, the dimension
+//!   bound `d(n)`, the sampling probability `p(n)`), with the iterated-log
+//!   helpers they are built from.
+//! * [`io`] — a small text format for persisting hypergraphs.
+//! * [`stats`] — summary statistics used by examples and the experiment
+//!   harness.
+//!
+//! # Conventions
+//!
+//! Vertices are dense indices `0..n` of type [`VertexId`] (`u32`). Edges are
+//! sorted, duplicate-free vertex lists. The *dimension* of a hypergraph is the
+//! maximum edge cardinality, matching the paper. An *independent set* is a set
+//! of vertices containing no edge entirely; it is *maximal* if no vertex can be
+//! added without swallowing an edge.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod active;
+pub mod builder;
+pub mod degree;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod params;
+pub mod stats;
+pub mod view;
+
+pub use active::ActiveHypergraph;
+pub use builder::HypergraphBuilder;
+pub use graph::{EdgeId, Hypergraph, VertexId};
+pub use stats::HypergraphStats;
+pub use view::HypergraphView;
+
+/// Commonly used items, intended for `use hypergraph::prelude::*`.
+pub mod prelude {
+    pub use crate::active::ActiveHypergraph;
+    pub use crate::builder::HypergraphBuilder;
+    pub use crate::degree;
+    pub use crate::generate;
+    pub use crate::graph::{EdgeId, Hypergraph, VertexId};
+    pub use crate::params;
+    pub use crate::stats::HypergraphStats;
+    pub use crate::view::HypergraphView;
+}

@@ -1,0 +1,112 @@
+//! Summary statistics over hypergraph views, used by the examples and by the
+//! experiment harness to describe workloads.
+
+use crate::degree::{max_vertex_degree, DegreeTable, MAX_ENUMERABLE_DIMENSION};
+use crate::view::HypergraphView;
+
+/// A compact numeric summary of a hypergraph (or of the active part of one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypergraphStats {
+    /// Number of active vertices.
+    pub n: usize,
+    /// Number of active edges.
+    pub m: usize,
+    /// Maximum edge cardinality.
+    pub dimension: usize,
+    /// Minimum edge cardinality (0 when edgeless).
+    pub min_edge_size: usize,
+    /// Mean edge cardinality (0 when edgeless).
+    pub mean_edge_size: f64,
+    /// Maximum vertex degree (number of incident edges).
+    pub max_degree: usize,
+    /// Kelsen's maximum normalized degree `Δ(H)`, when the dimension is small
+    /// enough to enumerate (see [`MAX_ENUMERABLE_DIMENSION`]); `None`
+    /// otherwise.
+    pub max_normalized_degree: Option<f64>,
+    /// Histogram of edge sizes: `histogram[k]` = number of edges of size `k`
+    /// (index 0 unused).
+    pub edge_size_histogram: Vec<usize>,
+}
+
+impl HypergraphStats {
+    /// Computes statistics for a view.
+    pub fn compute<V: HypergraphView + ?Sized>(view: &V) -> Self {
+        let n = view.n_active_vertices();
+        let m = view.n_active_edges();
+        let dimension = view.dimension();
+        let mut histogram = vec![0usize; dimension + 1];
+        let mut total = 0usize;
+        let mut min_edge_size = usize::MAX;
+        for e in view.edge_slices() {
+            histogram[e.len()] += 1;
+            total += e.len();
+            min_edge_size = min_edge_size.min(e.len());
+        }
+        if m == 0 {
+            min_edge_size = 0;
+        }
+        let max_normalized_degree = if dimension <= MAX_ENUMERABLE_DIMENSION {
+            Some(DegreeTable::build(view).delta())
+        } else {
+            None
+        };
+        HypergraphStats {
+            n,
+            m,
+            dimension,
+            min_edge_size,
+            mean_edge_size: if m == 0 { 0.0 } else { total as f64 / m as f64 },
+            max_degree: max_vertex_degree(view),
+            max_normalized_degree,
+            edge_size_histogram: histogram,
+        }
+    }
+
+    /// Renders the statistics as a short single-line summary, convenient for
+    /// harness logs.
+    pub fn one_line(&self) -> String {
+        format!(
+            "n={} m={} dim={} avg|e|={:.2} maxdeg={} Δ={}",
+            self.n,
+            self.m,
+            self.dimension,
+            self.mean_edge_size,
+            self.max_degree,
+            self.max_normalized_degree
+                .map(|d| format!("{d:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    #[test]
+    fn stats_on_toy() {
+        let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
+        let s = HypergraphStats::compute(&h);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.dimension, 3);
+        assert_eq!(s.min_edge_size, 2);
+        assert!((s.mean_edge_size - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.edge_size_histogram, vec![0, 0, 1, 2]);
+        assert!(s.max_normalized_degree.is_some());
+        assert!(s.one_line().contains("n=6"));
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let h = hypergraph_from_edges::<Vec<u32>>(3, vec![]);
+        let s = HypergraphStats::compute(&h);
+        assert_eq!(s.m, 0);
+        assert_eq!(s.min_edge_size, 0);
+        assert_eq!(s.mean_edge_size, 0.0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.max_normalized_degree, Some(0.0));
+    }
+}

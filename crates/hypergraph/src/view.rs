@@ -1,0 +1,100 @@
+//! The [`HypergraphView`] trait: a read-only interface shared by the immutable
+//! [`Hypergraph`](crate::Hypergraph) arena and the mutable
+//! [`ActiveHypergraph`](crate::ActiveHypergraph) working copy, so that the
+//! degree machinery, statistics and verification code can be written once.
+
+use crate::graph::{Hypergraph, VertexId};
+
+/// Read-only access to a (possibly partially consumed) hypergraph.
+///
+/// Implementors expose the *active* part of the structure: vertices that are
+/// still undecided and edges that are still relevant. For the immutable
+/// [`Hypergraph`] everything is active.
+pub trait HypergraphView {
+    /// Size of the vertex id space (ids are always `< id_space`).
+    fn id_space(&self) -> usize;
+
+    /// Number of active vertices.
+    fn n_active_vertices(&self) -> usize;
+
+    /// Number of active edges.
+    fn n_active_edges(&self) -> usize;
+
+    /// Returns `true` if vertex `v` is active.
+    fn is_active(&self, v: VertexId) -> bool;
+
+    /// The active vertices, in increasing id order.
+    fn active_vertices(&self) -> Vec<VertexId>;
+
+    /// Iterator over the active edges as sorted vertex slices.
+    fn edge_slices(&self) -> Box<dyn Iterator<Item = &[VertexId]> + '_>;
+
+    /// Maximum cardinality among active edges (0 if none).
+    fn dimension(&self) -> usize {
+        self.edge_slices().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if the given vertex set contains no active edge
+    /// entirely.
+    fn is_independent_in_view(&self, set: &[VertexId]) -> bool {
+        let mut member = vec![false; self.id_space()];
+        for &v in set {
+            member[v as usize] = true;
+        }
+        !self
+            .edge_slices()
+            .any(|e| e.iter().all(|&v| member[v as usize]))
+    }
+}
+
+impl HypergraphView for Hypergraph {
+    fn id_space(&self) -> usize {
+        self.n_vertices()
+    }
+
+    fn n_active_vertices(&self) -> usize {
+        self.n_vertices()
+    }
+
+    fn n_active_edges(&self) -> usize {
+        self.n_edges()
+    }
+
+    fn is_active(&self, v: VertexId) -> bool {
+        (v as usize) < self.n_vertices()
+    }
+
+    fn active_vertices(&self) -> Vec<VertexId> {
+        self.vertices().collect()
+    }
+
+    fn edge_slices(&self) -> Box<dyn Iterator<Item = &[VertexId]> + '_> {
+        Box::new(self.edges())
+    }
+
+    fn dimension(&self) -> usize {
+        Hypergraph::dimension(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    #[test]
+    fn hypergraph_implements_view() {
+        let h = hypergraph_from_edges(5, vec![vec![0, 1, 2], vec![3, 4]]);
+        let v: &dyn HypergraphView = &h;
+        assert_eq!(v.id_space(), 5);
+        assert_eq!(v.n_active_vertices(), 5);
+        assert_eq!(v.n_active_edges(), 2);
+        assert_eq!(v.dimension(), 3);
+        assert!(v.is_active(4));
+        assert_eq!(v.active_vertices(), vec![0, 1, 2, 3, 4]);
+        let edges: Vec<Vec<u32>> = v.edge_slices().map(|e| e.to_vec()).collect();
+        assert_eq!(edges, vec![vec![0, 1, 2], vec![3, 4]]);
+        assert!(v.is_independent_in_view(&[0, 1, 3]));
+        assert!(!v.is_independent_in_view(&[3, 4]));
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the hypergraph substrate.
+
+use hypergraph::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a random edge list over `n` vertices with edges of size 1..=max_d.
+fn edges_strategy(n: usize, max_edges: usize, max_d: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..(n as u32), 1..=max_d.min(n)),
+        0..=max_edges,
+    )
+    .prop_map(|edges| edges.into_iter().map(|s| s.into_iter().collect()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Building a hypergraph never loses or invents vertices, and the
+    /// dimension equals the largest edge.
+    #[test]
+    fn builder_preserves_shape(edges in edges_strategy(24, 40, 6)) {
+        let n = 24usize;
+        let h = hypergraph::builder::hypergraph_from_edges(n, edges.clone());
+        prop_assert_eq!(h.n_vertices(), n);
+        let mut uniq: std::collections::BTreeSet<Vec<u32>> = std::collections::BTreeSet::new();
+        for e in &edges {
+            if !e.is_empty() {
+                uniq.insert(e.clone());
+            }
+        }
+        prop_assert_eq!(h.n_edges(), uniq.len());
+        let expected_dim = uniq.iter().map(|e| e.len()).max().unwrap_or(0);
+        prop_assert_eq!(h.dimension(), expected_dim);
+    }
+
+    /// Text-format round-trip is the identity.
+    #[test]
+    fn io_round_trip(edges in edges_strategy(16, 25, 5)) {
+        let h = hypergraph::builder::hypergraph_from_edges(16, edges);
+        let s = hypergraph::io::to_string(&h);
+        let back = hypergraph::io::from_str(&s).unwrap();
+        prop_assert_eq!(h, back);
+    }
+
+    /// The incidence index agrees with a brute-force recount.
+    #[test]
+    fn incidence_matches_bruteforce(edges in edges_strategy(20, 30, 5)) {
+        let h = hypergraph::builder::hypergraph_from_edges(20, edges);
+        for v in 0..20u32 {
+            let brute: Vec<u32> = h
+                .edges()
+                .enumerate()
+                .filter(|(_, e)| e.contains(&v))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(h.incident_edges(v), brute.as_slice());
+        }
+    }
+
+    /// `is_independent` agrees with the definition applied edge by edge.
+    #[test]
+    fn independence_definition(
+        edges in edges_strategy(18, 30, 4),
+        set in prop::collection::btree_set(0u32..18, 0..18)
+    ) {
+        let h = hypergraph::builder::hypergraph_from_edges(18, edges);
+        let set: Vec<u32> = set.into_iter().collect();
+        let brute = !h.edges().any(|e| e.iter().all(|v| set.contains(v)));
+        prop_assert_eq!(h.is_independent(&set), brute);
+    }
+
+    /// A maximal independent set reported by the checker really is one:
+    /// independent and not extendable.
+    #[test]
+    fn maximality_definition(
+        edges in edges_strategy(14, 20, 4),
+        set in prop::collection::btree_set(0u32..14, 0..14)
+    ) {
+        let h = hypergraph::builder::hypergraph_from_edges(14, edges);
+        let set: Vec<u32> = set.into_iter().collect();
+        let is_mis = h.is_maximal_independent(&set);
+        if is_mis {
+            prop_assert!(h.is_independent(&set));
+            for v in 0..14u32 {
+                if set.contains(&v) { continue; }
+                let mut bigger = set.clone();
+                bigger.push(v);
+                prop_assert!(!h.is_independent(&bigger),
+                    "adding vertex {} kept the set independent, so it was not maximal", v);
+            }
+        }
+    }
+
+    /// Degree table counts match brute force on small instances.
+    #[test]
+    fn degree_table_matches_bruteforce(edges in edges_strategy(12, 15, 4)) {
+        let h = hypergraph::builder::hypergraph_from_edges(12, edges);
+        let table = degree::DegreeTable::build(&h);
+        // Check every singleton and every pair.
+        for a in 0..12u32 {
+            for j in 1..=3usize {
+                let brute = h.edges()
+                    .filter(|e| e.contains(&a) && e.len() == 1 + j)
+                    .count() as u64;
+                prop_assert_eq!(table.n_j(&[a], j), brute);
+            }
+            for b in (a + 1)..12u32 {
+                for j in 1..=2usize {
+                    let brute = h.edges()
+                        .filter(|e| e.contains(&a) && e.contains(&b) && e.len() == 2 + j)
+                        .count() as u64;
+                    prop_assert_eq!(table.n_j(&[a, b], j), brute);
+                }
+            }
+        }
+    }
+
+    /// Dominated-edge removal keeps exactly the minimal edges, and does not
+    /// change which vertex sets are independent.
+    #[test]
+    fn dominated_removal_preserves_independence(
+        edges in edges_strategy(14, 25, 5),
+        set in prop::collection::btree_set(0u32..14, 0..14)
+    ) {
+        let h = hypergraph::builder::hypergraph_from_edges(14, edges);
+        let mut active = ActiveHypergraph::from_hypergraph(&h);
+        active.remove_dominated_edges();
+        active.debug_validate();
+        let set: Vec<u32> = set.into_iter().collect();
+        // A set is independent in H iff it is independent in the reduced
+        // hypergraph: removing an edge that contains another edge never
+        // changes independence (the smaller edge still witnesses it).
+        prop_assert_eq!(
+            h.is_independent(&set),
+            active.is_independent_in_view(&set)
+        );
+        // No remaining edge strictly contains another remaining edge.
+        let remaining = active.edges();
+        for (i, e) in remaining.iter().enumerate() {
+            for (j, f) in remaining.iter().enumerate() {
+                if i != j && e.len() < f.len() {
+                    let contained = e.iter().all(|v| f.contains(v));
+                    prop_assert!(!contained, "edge {:?} still dominated by {:?}", f, e);
+                }
+            }
+        }
+    }
+
+    /// Compacting an active hypergraph preserves edge structure under the
+    /// relabelling map.
+    #[test]
+    fn compact_is_faithful(edges in edges_strategy(16, 20, 4), kill in prop::collection::btree_set(0u32..16, 0..8)) {
+        let h = hypergraph::builder::hypergraph_from_edges(16, edges);
+        let mut active = ActiveHypergraph::from_hypergraph(&h);
+        let mut flag = vec![false; 16];
+        for &v in &kill { flag[v as usize] = true; }
+        active.discard_edges_touching(&flag);
+        active.kill_vertices(kill.iter().copied());
+        let (compacted, new_to_old) = active.compact();
+        prop_assert_eq!(compacted.n_vertices(), active.n_alive());
+        prop_assert_eq!(compacted.n_edges(), active.n_edges());
+        for (ce, oe) in compacted.edges().zip(active.edges().iter()) {
+            let mapped: Vec<u32> = ce.iter().map(|&v| new_to_old[v as usize]).collect();
+            prop_assert_eq!(&mapped, oe);
+        }
+    }
+}
+
+/// Generators are deterministic for a fixed seed (not a proptest: exercises
+/// the ChaCha seeding path used by every experiment).
+#[test]
+fn generators_are_seed_deterministic() {
+    let mk = |seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate::paper_regime(&mut rng, 300, 40, 10)
+    };
+    assert_eq!(mk(11), mk(11));
+    assert_ne!(mk(11), mk(12));
+}
+
+/// The planted generator's certificate survives the full pipeline of active
+/// operations used by SBL.
+#[test]
+fn planted_certificate_is_stable_under_updates() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let h = generate::planted_independent(&mut rng, 80, 200, 3, 30);
+    let planted: Vec<u32> = (0..30).collect();
+    assert!(h.is_independent(&planted));
+    let mut active = ActiveHypergraph::from_hypergraph(&h);
+    active.remove_dominated_edges();
+    assert!(active.is_independent_in_view(&planted));
+}

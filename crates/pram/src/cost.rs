@@ -1,0 +1,206 @@
+//! Work–depth / PRAM cost accounting.
+//!
+//! The paper states its results in the EREW PRAM model: "time `T` with
+//! `poly(m, n)` processors". Real hardware (and this crate's rayon-backed
+//! execution) does not expose those quantities directly, so every algorithm in
+//! the workspace threads a [`CostTracker`] through its execution and records,
+//! for each parallel step, how much *work* it did (total operations) and what
+//! the *depth* of that step is (the critical-path length of the step, i.e. the
+//! parallel time it would take with unboundedly many processors).
+//!
+//! By Brent's theorem a computation with work `W` and depth `D` runs in
+//! `O(W/P + D)` time on `P` processors, so the experiment harness reports both
+//! quantities plus the implied processor requirement `⌈W/D⌉`. The *round*
+//! counter corresponds to global synchronisation barriers — the quantity the
+//! paper's theorems actually bound (number of stages of BL, number of rounds
+//! of SBL).
+
+use std::ops::Add;
+
+/// The cost of a (sub)computation in the work–depth model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Total number of primitive operations performed.
+    pub work: u64,
+    /// Critical-path length (parallel time with unbounded processors).
+    pub depth: u64,
+}
+
+impl Cost {
+    /// A cost of zero.
+    pub const ZERO: Cost = Cost { work: 0, depth: 0 };
+
+    /// Creates a cost with the given work and depth.
+    pub fn new(work: u64, depth: u64) -> Self {
+        Cost { work, depth }
+    }
+
+    /// The cost of a fully parallel step over `n` items whose per-item work is
+    /// `O(1)` and whose combining tree has logarithmic depth (the standard
+    /// cost of map/reduce/scan primitives on an EREW PRAM).
+    pub fn parallel_step(n: u64) -> Self {
+        Cost {
+            work: n,
+            depth: (64 - n.max(1).leading_zeros() as u64).max(1),
+        }
+    }
+
+    /// The cost of a purely sequential computation of `n` operations.
+    pub fn sequential(n: u64) -> Self {
+        Cost { work: n, depth: n }
+    }
+
+    /// Sequential composition: work and depth both add.
+    pub fn then(self, other: Cost) -> Cost {
+        Cost {
+            work: self.work + other.work,
+            depth: self.depth + other.depth,
+        }
+    }
+
+    /// Parallel composition: work adds, depth is the maximum branch.
+    pub fn join(self, other: Cost) -> Cost {
+        Cost {
+            work: self.work + other.work,
+            depth: self.depth.max(other.depth),
+        }
+    }
+
+    /// Processors needed to achieve the depth bound, `⌈work/depth⌉`
+    /// (Brent's theorem). Returns 1 for the zero cost.
+    pub fn processors(&self) -> u64 {
+        if self.depth == 0 {
+            1
+        } else {
+            self.work.div_ceil(self.depth)
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        self.then(rhs)
+    }
+}
+
+/// Accumulates [`Cost`] and a round counter over the lifetime of an algorithm
+/// run.
+#[derive(Debug, Clone, Default)]
+pub struct CostTracker {
+    total: Cost,
+    rounds: u64,
+    /// Largest single-step work, a proxy for the processor count a literal
+    /// PRAM implementation would need.
+    max_step_work: u64,
+}
+
+impl CostTracker {
+    /// A fresh tracker with zero cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a parallel step of the given cost (sequential composition with
+    /// everything recorded so far).
+    pub fn record(&mut self, c: Cost) {
+        self.total = self.total.then(c);
+        self.max_step_work = self.max_step_work.max(c.work);
+    }
+
+    /// Records a fully parallel `O(1)`-per-item step over `n` items.
+    pub fn record_parallel(&mut self, n: u64) {
+        self.record(Cost::parallel_step(n));
+    }
+
+    /// Records a sequential computation of `n` operations.
+    pub fn record_sequential(&mut self, n: u64) {
+        self.record(Cost::sequential(n));
+    }
+
+    /// Marks the end of a global round (synchronisation barrier).
+    pub fn bump_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Total accumulated cost.
+    pub fn cost(&self) -> Cost {
+        self.total
+    }
+
+    /// Number of global rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Largest single-step work recorded (processor requirement of a literal
+    /// PRAM implementation).
+    pub fn max_step_work(&self) -> u64 {
+        self.max_step_work
+    }
+
+    /// Merges another tracker that ran *sequentially after* this one
+    /// (costs compose with `then`, rounds add).
+    pub fn absorb(&mut self, other: &CostTracker) {
+        self.total = self.total.then(other.total);
+        self.rounds += other.rounds;
+        self.max_step_work = self.max_step_work.max(other.max_step_work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_step_costs() {
+        let c = Cost::parallel_step(1024);
+        assert_eq!(c.work, 1024);
+        assert_eq!(c.depth, 11); // ceil(log2 1024) + 1 = 11 (floor(log2)+1)
+        let c1 = Cost::parallel_step(1);
+        assert_eq!(c1.depth, 1);
+        let c0 = Cost::parallel_step(0);
+        assert_eq!(c0.work, 0);
+        assert!(c0.depth >= 1);
+    }
+
+    #[test]
+    fn composition_laws() {
+        let a = Cost::new(100, 5);
+        let b = Cost::new(50, 9);
+        assert_eq!(a.then(b), Cost::new(150, 14));
+        assert_eq!(a.join(b), Cost::new(150, 9));
+        assert_eq!(a + b, a.then(b));
+        assert_eq!(Cost::ZERO.then(a), a);
+        assert_eq!(Cost::ZERO.join(a), a);
+    }
+
+    #[test]
+    fn brent_processors() {
+        assert_eq!(Cost::new(1000, 10).processors(), 100);
+        assert_eq!(Cost::new(1001, 10).processors(), 101);
+        assert_eq!(Cost::ZERO.processors(), 1);
+        assert_eq!(Cost::sequential(7).processors(), 1);
+    }
+
+    #[test]
+    fn tracker_accumulates() {
+        let mut t = CostTracker::new();
+        t.record_parallel(8);
+        t.record_parallel(8);
+        t.bump_round();
+        t.record_sequential(3);
+        assert_eq!(t.rounds(), 1);
+        assert_eq!(t.cost().work, 19);
+        assert_eq!(t.cost().depth, 4 + 4 + 3);
+        assert_eq!(t.max_step_work(), 8);
+
+        let mut t2 = CostTracker::new();
+        t2.record_parallel(100);
+        t2.bump_round();
+        t.absorb(&t2);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.max_step_work(), 100);
+        assert_eq!(t.cost().work, 119);
+    }
+}

@@ -1,0 +1,150 @@
+//! A lightweight EREW (exclusive-read exclusive-write) access checker.
+//!
+//! The paper's algorithms are stated for the EREW PRAM: within one parallel
+//! step, no two processors may read or write the same memory cell. The
+//! shared-memory implementations in this workspace do not need that
+//! discipline for correctness (rayon guarantees data-race freedom at the
+//! language level), but the *model* claim — "can be implemented on EREW
+//! PRAM" — is part of Theorem 1/2, so the primitives register their access
+//! patterns with an [`AccessLog`] in tests to demonstrate that each parallel
+//! step touches every cell at most once.
+
+use std::collections::HashMap;
+
+/// The kind of access a processor performs on a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The cell is read.
+    Read,
+    /// The cell is written.
+    Write,
+}
+
+/// A conflict detected within a parallel step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The parallel step in which the conflict occurred.
+    pub step: u64,
+    /// The cell (abstract address) that was touched more than once.
+    pub cell: u64,
+    /// Total number of accesses to the cell in that step.
+    pub count: u32,
+}
+
+/// Records cell accesses per parallel step and reports EREW violations.
+///
+/// Cells are abstract `u64` addresses chosen by the caller (array name hashed
+/// with the index, for instance). The checker is intentionally simple — it is
+/// a verification harness for tests, not a production dependency.
+#[derive(Debug, Default)]
+pub struct AccessLog {
+    step: u64,
+    counts: HashMap<(u64, u64), u32>,
+    conflicts: Vec<Conflict>,
+}
+
+impl AccessLog {
+    /// Creates an empty log positioned at step 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current step number.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Registers an access to `cell` in the current step.
+    pub fn touch(&mut self, cell: u64, _kind: Access) {
+        let c = self.counts.entry((self.step, cell)).or_insert(0);
+        *c += 1;
+        if *c == 2 {
+            self.conflicts.push(Conflict {
+                step: self.step,
+                cell,
+                count: 2,
+            });
+        } else if *c > 2 {
+            if let Some(last) = self
+                .conflicts
+                .iter_mut()
+                .rev()
+                .find(|cf| cf.step == self.step && cf.cell == cell)
+            {
+                last.count = *c;
+            }
+        }
+    }
+
+    /// Ends the current parallel step; subsequent accesses belong to the next
+    /// step (and may legitimately touch the same cells again).
+    pub fn barrier(&mut self) {
+        self.step += 1;
+    }
+
+    /// All conflicts recorded so far.
+    pub fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// `true` if every step so far was exclusive-read exclusive-write.
+    pub fn is_erew(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// Helper to derive distinct abstract cell addresses for indexed arrays:
+/// `cell(array_id, index)` never collides across arrays for indices below
+/// `2^40`.
+pub fn cell(array_id: u16, index: usize) -> u64 {
+    ((array_id as u64) << 40) | (index as u64 & ((1u64 << 40) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_accesses_pass() {
+        let mut log = AccessLog::new();
+        for i in 0..100 {
+            log.touch(cell(0, i), Access::Write);
+        }
+        log.barrier();
+        for i in 0..100 {
+            log.touch(cell(0, i), Access::Read);
+        }
+        assert!(log.is_erew());
+        assert_eq!(log.step(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_are_flagged() {
+        let mut log = AccessLog::new();
+        log.touch(cell(1, 7), Access::Read);
+        log.touch(cell(1, 7), Access::Read);
+        log.touch(cell(1, 7), Access::Read);
+        assert!(!log.is_erew());
+        assert_eq!(log.conflicts().len(), 1);
+        assert_eq!(log.conflicts()[0].count, 3);
+    }
+
+    #[test]
+    fn same_cell_in_different_steps_is_fine() {
+        let mut log = AccessLog::new();
+        log.touch(cell(0, 3), Access::Write);
+        log.barrier();
+        log.touch(cell(0, 3), Access::Write);
+        assert!(log.is_erew());
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_collide() {
+        assert_ne!(cell(0, 5), cell(1, 5));
+        assert_ne!(cell(2, 0), cell(3, 0));
+        let mut log = AccessLog::new();
+        log.touch(cell(0, 5), Access::Write);
+        log.touch(cell(1, 5), Access::Write);
+        assert!(log.is_erew());
+    }
+}

@@ -1,0 +1,38 @@
+//! EREW PRAM cost model and parallel primitives.
+//!
+//! The SBL paper states its results in the EREW PRAM model ("time `n^{o(1)}`
+//! with `poly(m,n)` processors"). This crate provides the two halves needed to
+//! make such statements measurable on real hardware:
+//!
+//! * [`cost`] — a work–depth cost model ([`Cost`], [`CostTracker`]): every
+//!   algorithm in the workspace records per-step work and depth, plus a
+//!   *round* counter for the global synchronisation barriers that the paper's
+//!   theorems actually bound.
+//! * [`primitives`] — the PRAM building blocks (map, reduce, scan, compact,
+//!   tabulate) executed with rayon and charged with their textbook
+//!   `O(n)`-work / `O(log n)`-depth costs.
+//! * [`erew`] — a small exclusive-read/exclusive-write access checker used by
+//!   tests to demonstrate that the primitives' access patterns respect the
+//!   EREW discipline the paper assumes.
+//! * [`pool`] — helpers to run a computation on a dedicated rayon pool with a
+//!   fixed thread count (used by the threads-sweep experiment).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod erew;
+pub mod pool;
+pub mod primitives;
+
+pub use cost::{Cost, CostTracker};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cost::{Cost, CostTracker};
+    pub use crate::pool::{available_parallelism, with_threads};
+    pub use crate::primitives::{
+        exclusive_scan, par_compact_indices, par_count, par_map, par_max_by, par_sum_by,
+        par_tabulate,
+    };
+}

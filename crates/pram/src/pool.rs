@@ -1,0 +1,53 @@
+//! Thread-pool management for the threads-sweep experiment (E8).
+//!
+//! Everything else in the workspace uses rayon's global pool; the experiment
+//! that measures wall-clock scaling versus thread count builds dedicated pools
+//! through [`with_threads`].
+
+use rayon::ThreadPool;
+
+/// Builds a rayon [`ThreadPool`] with exactly `threads` worker threads.
+///
+/// # Panics
+/// Panics if the pool cannot be constructed (e.g. `threads == 0`).
+pub fn build_pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .thread_name(|i| format!("pram-worker-{i}"))
+        .build()
+        .expect("failed to build rayon thread pool")
+}
+
+/// Runs `f` inside a dedicated pool with `threads` workers and returns its
+/// result. The pool is torn down afterwards.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    build_pool(threads).install(f)
+}
+
+/// Number of logical CPUs rayon would use by default.
+pub fn available_parallelism() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn dedicated_pool_runs_work() {
+        let sum: u64 = with_threads(2, || (0u64..1000).into_par_iter().sum());
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn pool_thread_count_is_respected() {
+        let n = with_threads(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! PRAM-style parallel primitives, executed with rayon and accounted for in
+//! the work–depth model.
+//!
+//! These are the building blocks the MIS algorithms are expressed with on an
+//! EREW PRAM: elementwise map, reduction, prefix sums (scan), stream
+//! compaction and maximum search. Each function takes an optional
+//! [`CostTracker`] and records the standard PRAM cost of the operation
+//! (`O(n)` work, `O(log n)` depth), so that the experiment harness can report
+//! model quantities alongside wall-clock time.
+//!
+//! The rayon execution is the *real* parallel implementation; the cost model
+//! is bookkeeping. Results are always identical to the sequential semantics
+//! (rayon's parallel iterators guarantee this for the deterministic folds used
+//! here).
+
+use rayon::prelude::*;
+
+use crate::cost::{Cost, CostTracker};
+
+/// Minimum slice length before the primitives bother spawning parallel tasks;
+/// below this a sequential loop is faster on every machine we tested and the
+/// result is identical.
+pub const SEQUENTIAL_CUTOFF: usize = 4096;
+
+fn track(tracker: Option<&mut CostTracker>, cost: Cost) {
+    if let Some(t) = tracker {
+        t.record(cost);
+    }
+}
+
+/// Elementwise map: `out[i] = f(&input[i])`.
+///
+/// Work `O(n)`, depth `O(log n)` (the depth charge accounts for the implicit
+/// spawn tree; the per-element function is assumed `O(1)`).
+pub fn par_map<T, U, F>(input: &[T], f: F, tracker: Option<&mut CostTracker>) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
+    track(tracker, Cost::parallel_step(input.len() as u64));
+    if input.len() < SEQUENTIAL_CUTOFF {
+        input.iter().map(f).collect()
+    } else {
+        input.par_iter().map(f).collect()
+    }
+}
+
+/// Sum reduction over `u64` values produced by `f`.
+pub fn par_sum_by<T, F>(input: &[T], f: F, tracker: Option<&mut CostTracker>) -> u64
+where
+    T: Sync,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    track(tracker, Cost::parallel_step(input.len() as u64));
+    if input.len() < SEQUENTIAL_CUTOFF {
+        input.iter().map(f).sum()
+    } else {
+        input.par_iter().map(f).sum()
+    }
+}
+
+/// Maximum reduction; returns `None` on an empty slice.
+pub fn par_max_by<T, F>(input: &[T], f: F, tracker: Option<&mut CostTracker>) -> Option<u64>
+where
+    T: Sync,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    track(tracker, Cost::parallel_step(input.len() as u64));
+    if input.len() < SEQUENTIAL_CUTOFF {
+        input.iter().map(f).max()
+    } else {
+        input.par_iter().map(f).max()
+    }
+}
+
+/// Counts the elements satisfying a predicate.
+pub fn par_count<T, F>(input: &[T], pred: F, tracker: Option<&mut CostTracker>) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    track(tracker, Cost::parallel_step(input.len() as u64));
+    if input.len() < SEQUENTIAL_CUTOFF {
+        input.iter().filter(|x| pred(x)).count()
+    } else {
+        input.par_iter().filter(|x| pred(x)).count()
+    }
+}
+
+/// Exclusive prefix sum (scan): `out[i] = Σ_{k<i} input[k]`, and the total sum
+/// is returned alongside.
+///
+/// Implemented as the classic two-pass blocked scan: per-block sums, a scan of
+/// the block sums, then a per-block rescan with offsets. Work `O(n)`, depth
+/// `O(log n)`; this is the textbook EREW scan.
+pub fn exclusive_scan(input: &[u64], tracker: Option<&mut CostTracker>) -> (Vec<u64>, u64) {
+    let n = input.len();
+    track(tracker, Cost::parallel_step(n as u64).then(Cost::parallel_step(n as u64)));
+    if n < SEQUENTIAL_CUTOFF {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    let block = 8192usize;
+    let n_blocks = n.div_ceil(block);
+    // Pass 1: per-block totals.
+    let block_sums: Vec<u64> = (0..n_blocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * block;
+            let hi = (lo + block).min(n);
+            input[lo..hi].iter().sum()
+        })
+        .collect();
+    // Scan the block totals sequentially (n_blocks is tiny).
+    let mut block_offsets = Vec::with_capacity(n_blocks);
+    let mut acc = 0u64;
+    for &s in &block_sums {
+        block_offsets.push(acc);
+        acc += s;
+    }
+    let total = acc;
+    // Pass 2: rescan each block with its offset.
+    let mut out = vec![0u64; n];
+    out.par_chunks_mut(block)
+        .enumerate()
+        .for_each(|(b, chunk)| {
+            let lo = b * block;
+            let mut acc = block_offsets[b];
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = acc;
+                acc += input[lo + i];
+            }
+        });
+    (out, total)
+}
+
+/// Stream compaction: returns the (stable) indices of the elements satisfying
+/// `pred`. This is the PRAM "processor allocation" primitive: a flag vector, a
+/// scan, and a scatter.
+pub fn par_compact_indices<T, F>(
+    input: &[T],
+    pred: F,
+    mut tracker: Option<&mut CostTracker>,
+) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    let flags: Vec<u64> = par_map(input, |x| if pred(x) { 1 } else { 0 }, tracker.as_deref_mut());
+    let (offsets, total) = exclusive_scan(&flags, tracker.as_deref_mut());
+    track(tracker, Cost::parallel_step(input.len() as u64));
+    if input.len() < SEQUENTIAL_CUTOFF {
+        let mut out = vec![0usize; total as usize];
+        for (i, &f) in flags.iter().enumerate() {
+            if f == 1 {
+                out[offsets[i] as usize] = i;
+            }
+        }
+        out
+    } else {
+        // Scatter by chunk: each chunk produces its survivors in order and the
+        // chunk results are concatenated in chunk order, which preserves
+        // stability. Each output slot is written exactly once (the EREW
+        // guarantee the scan provides).
+        let chunk = 8192usize;
+        let pieces: Vec<Vec<usize>> = flags
+            .par_chunks(chunk)
+            .enumerate()
+            .map(|(b, fl)| {
+                let lo = b * chunk;
+                fl.iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f == 1)
+                    .map(|(i, _)| lo + i)
+                    .collect()
+            })
+            .collect();
+        let mut flat = Vec::with_capacity(total as usize);
+        for p in pieces {
+            flat.extend(p);
+        }
+        flat
+    }
+}
+
+/// Applies `f` to every index in `0..n` in parallel and collects the results.
+/// Convenience wrapper used by the algorithms for per-vertex and per-edge
+/// steps.
+pub fn par_tabulate<U, F>(n: usize, f: F, tracker: Option<&mut CostTracker>) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync + Send,
+{
+    track(tracker, Cost::parallel_step(n as u64));
+    if n < SEQUENTIAL_CUTOFF {
+        (0..n).map(f).collect()
+    } else {
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&v, |x| x * 2, None);
+        assert_eq!(out.len(), v.len());
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn sum_and_max_and_count() {
+        let v: Vec<u64> = (1..=10_000).collect();
+        assert_eq!(par_sum_by(&v, |&x| x, None), 10_000 * 10_001 / 2);
+        assert_eq!(par_max_by(&v, |&x| x, None), Some(10_000));
+        assert_eq!(par_max_by::<u64, _>(&[], |&x| x, None), None);
+        assert_eq!(par_count(&v, |&x| x % 2 == 0, None), 5_000);
+    }
+
+    #[test]
+    fn scan_small_and_large() {
+        for n in [0usize, 1, 5, 100, 50_000] {
+            let v: Vec<u64> = (0..n as u64).map(|x| x % 7).collect();
+            let (scan, total) = exclusive_scan(&v, None);
+            assert_eq!(scan.len(), n);
+            let mut acc = 0u64;
+            for i in 0..n {
+                assert_eq!(scan[i], acc, "mismatch at {i} for n={n}");
+                acc += v[i];
+            }
+            assert_eq!(total, acc);
+        }
+    }
+
+    #[test]
+    fn compact_matches_filter() {
+        for n in [0usize, 10, 1000, 30_000] {
+            let v: Vec<u64> = (0..n as u64).collect();
+            let idx = par_compact_indices(&v, |&x| x % 3 == 0, None);
+            let expected: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+            assert_eq!(idx, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tabulate() {
+        let out = par_tabulate(10_000, |i| i as u64 * i as u64, None);
+        assert_eq!(out[77], 77 * 77);
+        assert_eq!(out.len(), 10_000);
+    }
+
+    #[test]
+    fn costs_are_recorded() {
+        let mut t = CostTracker::new();
+        let v: Vec<u64> = (0..512).collect();
+        let _ = par_map(&v, |x| x + 1, Some(&mut t));
+        let (_, _) = exclusive_scan(&v, Some(&mut t));
+        assert!(t.cost().work >= 512 * 3); // map + two scan passes
+        assert!(t.cost().depth >= 3);
+        assert!(t.cost().processors() >= 1);
+    }
+}

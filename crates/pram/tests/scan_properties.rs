@@ -1,0 +1,58 @@
+//! Property-based tests for the PRAM primitives: every parallel primitive
+//! must agree with its obvious sequential specification, for any input.
+
+use pram::cost::CostTracker;
+use pram::primitives::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scan_matches_sequential(v in prop::collection::vec(0u64..1000, 0..6000)) {
+        let (scan, total) = exclusive_scan(&v, None);
+        let mut acc = 0u64;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn compact_matches_filter(v in prop::collection::vec(0u64..100, 0..6000), modulus in 1u64..10) {
+        let idx = par_compact_indices(&v, |&x| x % modulus == 0, None);
+        let expected: Vec<usize> = v.iter().enumerate()
+            .filter(|(_, &x)| x % modulus == 0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(idx, expected);
+    }
+
+    #[test]
+    fn sum_and_max_match(v in prop::collection::vec(0u64..1_000_000, 0..5000)) {
+        prop_assert_eq!(par_sum_by(&v, |&x| x, None), v.iter().sum::<u64>());
+        prop_assert_eq!(par_max_by(&v, |&x| x, None), v.iter().copied().max());
+    }
+
+    #[test]
+    fn map_is_elementwise(v in prop::collection::vec(0i64..1000, 0..5000)) {
+        let out = par_map(&v, |&x| x * x - 1, None);
+        prop_assert_eq!(out.len(), v.len());
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(out[i], x * x - 1);
+        }
+    }
+
+    #[test]
+    fn cost_tracking_is_monotone(v in prop::collection::vec(0u64..10, 1..3000)) {
+        let mut t = CostTracker::new();
+        let _ = par_sum_by(&v, |&x| x, Some(&mut t));
+        let w1 = t.cost().work;
+        let _ = exclusive_scan(&v, Some(&mut t));
+        let w2 = t.cost().work;
+        prop_assert!(w2 > w1);
+        prop_assert!(t.cost().depth >= 1);
+        prop_assert!(t.cost().processors() >= 1);
+    }
+}

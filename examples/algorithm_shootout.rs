@@ -1,0 +1,104 @@
+//! Side-by-side comparison of every MIS algorithm in the workspace on the same
+//! instances: SBL, Beame–Luby (when the dimension allows), KUW, sequential
+//! greedy, permutation greedy, and the linear-hypergraph specialisation (on
+//! linear instances).
+//!
+//! Run with `cargo run --release --example algorithm_shootout`.
+
+use hypergraph_mis::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    println!("== 3-uniform hypergraph (BL's home turf) ==");
+    let h = generate::d_uniform(&mut rng, 2_000, 4_000, 3);
+    shootout(&h, &mut rng, true);
+
+    println!("\n== general hypergraph in the paper regime (edges up to size 16) ==");
+    let h = generate::paper_regime(&mut rng, 2_000, 300, 16);
+    shootout(&h, &mut rng, h.dimension() <= 6);
+
+    println!("\n== linear hypergraph (Łuczak–Szymańska case) ==");
+    let h = generate::linear(&mut rng, 2_000, 1_200, 3);
+    shootout(&h, &mut rng, true);
+    let mut r2 = rng.clone();
+    let (lin, ms) = time(|| linear_mis(&h, &mut r2).expect("input is linear"));
+    verify_mis(&h, &lin.independent_set).unwrap();
+    println!(
+        "{:12} |MIS| = {:5} | rounds = {:4} | {:8.2} ms",
+        "linear-LS",
+        lin.independent_set.len(),
+        lin.trace.n_stages(),
+        ms
+    );
+}
+
+fn shootout(h: &Hypergraph, rng: &mut ChaCha8Rng, run_bl: bool) {
+    println!("instance: {}", HypergraphStats::compute(h).one_line());
+
+    let (sbl, ms) = time(|| sbl_mis(h, rng));
+    verify_mis(h, &sbl.independent_set).unwrap();
+    println!(
+        "{:12} |MIS| = {:5} | rounds = {:4} | depth = {:8} | {:8.2} ms",
+        "SBL",
+        sbl.independent_set.len(),
+        sbl.trace.n_rounds(),
+        sbl.cost.cost().depth,
+        ms
+    );
+
+    if run_bl {
+        let (bl, ms) = time(|| bl_mis(h, rng, &BlConfig::default()));
+        verify_mis(h, &bl.independent_set).unwrap();
+        println!(
+            "{:12} |MIS| = {:5} | stages = {:4} | depth = {:8} | {:8.2} ms",
+            "Beame-Luby",
+            bl.independent_set.len(),
+            bl.trace.n_stages(),
+            bl.cost.cost().depth,
+            ms
+        );
+    }
+
+    let (kuw, ms) = time(|| kuw_mis(h, rng));
+    verify_mis(h, &kuw.independent_set).unwrap();
+    println!(
+        "{:12} |MIS| = {:5} | rounds = {:4} | depth = {:8} | {:8.2} ms",
+        "KUW",
+        kuw.independent_set.len(),
+        kuw.trace.n_rounds(),
+        kuw.cost.cost().depth,
+        ms
+    );
+
+    let (g, ms) = time(|| greedy_mis(h, None));
+    verify_mis(h, &g.independent_set).unwrap();
+    println!(
+        "{:12} |MIS| = {:5} | rounds = {:4} | depth = {:8} | {:8.2} ms",
+        "greedy",
+        g.independent_set.len(),
+        1,
+        g.cost.cost().depth,
+        ms
+    );
+
+    let (p, ms) = time(|| permutation_rounds_mis(h, rng));
+    verify_mis(h, &p.independent_set).unwrap();
+    println!(
+        "{:12} |MIS| = {:5} | rounds = {:4} | depth = {:8} | {:8.2} ms",
+        "permutation",
+        p.independent_set.len(),
+        p.rounds,
+        p.cost.cost().depth,
+        ms
+    );
+}

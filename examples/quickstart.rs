@@ -1,0 +1,51 @@
+//! Quickstart: build a hypergraph, run the SBL algorithm, verify the result.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hypergraph_mis::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2014);
+
+    // 1. Build a hypergraph by hand …
+    let mut b = HypergraphBuilder::new(8);
+    b.add_edge([0, 1, 2]);
+    b.add_edge([2, 3, 4]);
+    b.add_edge([4, 5]);
+    b.add_edge([5, 6, 7]);
+    let small = b.build();
+    let out = sbl_mis(&small, &mut rng);
+    println!(
+        "hand-built hypergraph ({}): MIS = {:?}",
+        HypergraphStats::compute(&small).one_line(),
+        out.independent_set
+    );
+    verify_mis(&small, &out.independent_set).expect("SBL must return a maximal independent set");
+
+    // 2. … or generate one in the paper's regime (general hypergraph, m ≤ n^β).
+    let h = generate::paper_regime(&mut rng, 2_000, 200, 14);
+    println!("\npaper-regime instance: {}", HypergraphStats::compute(&h).one_line());
+
+    let out = sbl_mis(&h, &mut rng);
+    verify_mis(&h, &out.independent_set).expect("valid MIS");
+    println!(
+        "SBL: |MIS| = {}, sampling rounds = {}, BL stages = {}, PRAM work = {}, depth = {}",
+        out.independent_set.len(),
+        out.trace.n_rounds(),
+        out.trace.total_bl_stages(),
+        out.cost.cost().work,
+        out.cost.cost().depth,
+    );
+
+    // 3. Compare against the baselines the paper discusses.
+    let g = greedy_mis(&h, None);
+    let k = kuw_mis(&h, &mut rng);
+    println!(
+        "greedy: |MIS| = {} (sequential); KUW: |MIS| = {} in {} rounds",
+        g.independent_set.len(),
+        k.independent_set.len(),
+        k.trace.n_rounds()
+    );
+}

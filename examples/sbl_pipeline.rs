@@ -1,0 +1,66 @@
+//! A look inside one SBL run: per-round progress, dimension-check failures,
+//! the analytic failure bounds of Section 2.2, and the PRAM cost model.
+//!
+//! Run with `cargo run --release --example sbl_pipeline`.
+
+use concentration::chernoff;
+use hypergraph_mis::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31337);
+    let n = 4_000;
+    let h = generate::paper_regime(&mut rng, n, 400, 16);
+    println!("instance: {}", HypergraphStats::compute(&h).one_line());
+
+    let cfg = SblConfig::default();
+    let out = sbl_mis_with(&h, &mut rng, &cfg);
+    verify_mis(&h, &out.independent_set).expect("valid MIS");
+
+    println!(
+        "\nparameters: p = {:.4}, dimension cap d = {}, tail threshold 1/p² = {}",
+        out.params.p, out.params.dimension_cap, out.params.tail_threshold
+    );
+
+    println!("\nround | alive   | sampled | dim(H') | fails | added | rejected | BL stages");
+    for r in &out.trace.rounds {
+        println!(
+            "{:5} | {:7} | {:7} | {:7} | {:5} | {:5} | {:8} | {:9}",
+            r.round, r.n_alive, r.sampled, r.sample_dimension, r.dimension_failures, r.added,
+            r.rejected, r.bl_stages
+        );
+    }
+    println!(
+        "tail: {:?} over {} vertices",
+        out.trace.tail, out.trace.tail_vertices
+    );
+
+    // The analytic failure estimates the paper's Section 2.2 works with.
+    let p = out.params.p;
+    let rounds = out.trace.n_rounds() as f64;
+    println!("\nanalysis of this run:");
+    println!(
+        "  event A (slow round) bound      : {:.3e}  (observed slow rounds: {})",
+        chernoff::event_a_total(p, rounds),
+        out.trace
+            .rounds
+            .iter()
+            .filter(|r| (r.sampled as f64) < p * r.n_alive as f64 / 2.0)
+            .count()
+    );
+    println!(
+        "  event B (big sampled edge) bound: {:.3e}  (observed dimension failures: {})",
+        chernoff::event_b_total(p, h.n_edges() as f64, out.params.dimension_cap as u32, rounds),
+        out.trace.total_dimension_failures()
+    );
+
+    // PRAM cost summary (Brent: time ≈ work/P + depth).
+    let c = out.cost.cost();
+    println!("\nPRAM cost model: work = {}, depth = {}, rounds = {}, implied processors = {}",
+        c.work, c.depth, out.cost.rounds(), c.processors());
+    println!(
+        "for comparison, sequential greedy work = {}",
+        greedy_mis(&h, None).cost.cost().work
+    );
+}

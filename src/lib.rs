@@ -1,0 +1,53 @@
+//! # hypergraph-mis
+//!
+//! A Rust implementation of *"On Computing Maximal Independent Sets of
+//! Hypergraphs in Parallel"* (Bercea, Goyal, Harris, Srinivasan — SPAA 2014):
+//! the **SBL** sampling algorithm for general hypergraphs, the Beame–Luby
+//! subroutine it is built on, the Karp–Upfal–Wigderson and greedy baselines,
+//! an EREW-PRAM-style cost model, and the full Kelsen / Kim–Vu analysis
+//! machinery (concentration bounds, potential functions, migration bounds).
+//!
+//! This crate is a thin facade over the workspace members:
+//!
+//! * [`hypergraph`] — data structures, normalized degrees, generators, I/O;
+//! * [`pram`] — work–depth cost model and rayon-backed parallel primitives;
+//! * [`concentration`] — the analysis quantities of Sections 2.2, 3 and 4;
+//! * [`mis_core`] — the algorithms (SBL, BL, KUW, greedy, permutation,
+//!   linear-hypergraph), verification and instrumentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use hypergraph_mis::prelude::*;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! // A general hypergraph: 400 vertices, edges of size 2..=10.
+//! let h = generate::paper_regime(&mut rng, 400, 50, 10);
+//!
+//! // The paper's algorithm.
+//! let out = sbl_mis(&h, &mut rng);
+//! assert!(verify_mis(&h, &out.independent_set).is_ok());
+//!
+//! // Compare with the sequential greedy baseline.
+//! let baseline = greedy_mis(&h, None);
+//! assert!(verify_mis(&h, &baseline.independent_set).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use concentration;
+pub use hypergraph;
+pub use mis_core;
+pub use pram;
+
+/// One-stop imports for applications: hypergraph construction and generation,
+/// every algorithm, verification, and the cost model.
+pub mod prelude {
+    pub use concentration::prelude::*;
+    pub use hypergraph::prelude::*;
+    pub use mis_core::prelude::*;
+    pub use pram::prelude::*;
+}

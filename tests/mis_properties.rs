@@ -1,0 +1,110 @@
+//! Property-based tests over random hypergraphs: the central invariants of
+//! the paper — every algorithm returns a maximal independent set, SBL's
+//! coloring is a certificate, and the analysis quantities relate to each other
+//! the way the lemmas say — hold for arbitrary inputs, not just the seeded
+//! workloads of the unit tests.
+
+use hypergraph_mis::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: an arbitrary hypergraph on `n ≤ 40` vertices with up to 60 edges
+/// of size 1..=6, plus an RNG seed.
+fn instance() -> impl Strategy<Value = (Hypergraph, u64)> {
+    (2usize..40, 0usize..60, any::<u64>()).prop_flat_map(|(n, m, seed)| {
+        prop::collection::vec(
+            prop::collection::btree_set(0u32..(n as u32), 1..=6usize.min(n)),
+            0..=m,
+        )
+        .prop_map(move |edges| {
+            let edges: Vec<Vec<u32>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+            (
+                hypergraph::builder::hypergraph_from_edges(n, edges),
+                seed,
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SBL always returns a verified MIS with a complete coloring.
+    #[test]
+    fn sbl_always_returns_verified_mis((h, seed) in instance()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = sbl_mis(&h, &mut rng);
+        prop_assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+        prop_assert!(out.coloring.is_complete());
+        prop_assert_eq!(out.coloring.blues(), out.independent_set);
+    }
+
+    /// Beame–Luby always returns a verified MIS (dimension is ≤ 6 by
+    /// construction of the strategy).
+    #[test]
+    fn bl_always_returns_verified_mis((h, seed) in instance()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = bl_mis(&h, &mut rng, &BlConfig::default());
+        prop_assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+    }
+
+    /// KUW always returns a verified MIS.
+    #[test]
+    fn kuw_always_returns_verified_mis((h, seed) in instance()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = kuw_mis(&h, &mut rng);
+        prop_assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+    }
+
+    /// Greedy and permutation greedy always return verified MISs, and greedy
+    /// over the identity order equals permutation greedy over the identity
+    /// permutation (differential check of the two implementations).
+    #[test]
+    fn greedy_variants_agree((h, seed) in instance()) {
+        let out = greedy_mis(&h, None);
+        prop_assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let perm = permutation_mis(&h, &mut rng);
+        prop_assert_eq!(verify_mis(&h, &perm.independent_set), Ok(()));
+        let order: Vec<u32> = (0..h.n_vertices() as u32).collect();
+        let ordered = greedy_mis(&h, Some(&order));
+        prop_assert_eq!(ordered.independent_set, out.independent_set);
+    }
+
+    /// Every MIS is also an MIS after dominated-edge removal and vice versa:
+    /// the cleanup steps of the algorithms never change the problem.
+    #[test]
+    fn dominated_edge_removal_preserves_mis_property((h, seed) in instance()) {
+        let mut active = ActiveHypergraph::from_hypergraph(&h);
+        active.remove_dominated_edges();
+        let (reduced, mapping) = active.compact();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = sbl_mis(&reduced, &mut rng);
+        // Map back to original ids and verify against the original hypergraph.
+        let mapped: Vec<u32> = out
+            .independent_set
+            .iter()
+            .map(|&v| mapping[v as usize])
+            .collect();
+        prop_assert_eq!(verify_mis(&h, &mapped), Ok(()));
+    }
+
+    /// The Kim–Vu migration bound never exceeds Kelsen's, for degree profiles
+    /// read off real hypergraphs (Section 4's claim, checked on data rather
+    /// than synthetic Δ values).
+    #[test]
+    fn kimvu_bound_dominated_by_kelsen((h, _seed) in instance()) {
+        let n = h.n_vertices().max(4);
+        if h.n_edges() == 0 { return Ok(()); }
+        let table = hypergraph::degree::DegreeTable::build(&h);
+        let dim = h.dimension();
+        let deltas: Vec<f64> = (0..=dim).map(|i| table.delta_i(i)).collect();
+        for j in 2..dim {
+            let kel = concentration::kimvu::kelsen_migration_bound(n, j, &deltas);
+            let kv = concentration::kimvu::kim_vu_migration_bound(n, j, &deltas);
+            prop_assert!(kv <= kel + 1e-9,
+                "Kim-Vu bound {} exceeds Kelsen bound {} at j={}", kv, kel, j);
+        }
+    }
+}
