@@ -20,7 +20,9 @@ fn special_classes(c: &mut Criterion) {
     group.bench_function("bl_3uniform_n1024", |b| {
         b.iter(|| {
             let mut rng = rng_for(11);
-            bl_mis(&h3, &mut rng, &BlConfig::default()).independent_set.len()
+            bl_mis(&h3, &mut rng, &BlConfig::default())
+                .independent_set
+                .len()
         })
     });
 
@@ -34,7 +36,9 @@ fn special_classes(c: &mut Criterion) {
     group.bench_function("bl_on_linear_n1024", |b| {
         b.iter(|| {
             let mut rng = rng_for(13);
-            bl_mis(&hl, &mut rng, &BlConfig::default()).independent_set.len()
+            bl_mis(&hl, &mut rng, &BlConfig::default())
+                .independent_set
+                .len()
         })
     });
     group.finish();

@@ -10,7 +10,7 @@
 //! cargo run --release -p bench --bin experiments -- --quick # smaller sweeps
 //! ```
 
-use bench::{markdown_table, paper_workload, rng_for, uniform_workload, linear_workload};
+use bench::{linear_workload, markdown_table, paper_workload, rng_for, uniform_workload};
 use concentration::chernoff;
 use concentration::kimvu;
 use concentration::potential::{Potential, Recurrence};
@@ -24,8 +24,13 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
-    let want = |tag: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(tag));
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let want =
+        |tag: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(tag));
 
     if want("e1") {
         e1_sbl_scaling(quick);
@@ -60,7 +65,11 @@ fn main() {
 }
 
 fn ns(quick: bool, full: &[usize], small: &[usize]) -> Vec<usize> {
-    if quick { small.to_vec() } else { full.to_vec() }
+    if quick {
+        small.to_vec()
+    } else {
+        full.to_vec()
+    }
 }
 
 /// E1 — Theorem 1: SBL parallel time on paper-regime hypergraphs scales far
@@ -68,7 +77,11 @@ fn ns(quick: bool, full: &[usize], small: &[usize]) -> Vec<usize> {
 fn e1_sbl_scaling(quick: bool) {
     println!("\n## E1 — SBL scaling on paper-regime hypergraphs (Theorem 1)\n");
     let mut rows = Vec::new();
-    for n in ns(quick, &[256, 512, 1024, 2048, 4096, 8192], &[256, 1024, 4096]) {
+    for n in ns(
+        quick,
+        &[256, 512, 1024, 2048, 4096, 8192],
+        &[256, 1024, 4096],
+    ) {
         let h = paper_workload(n, 1);
         let mut rng = rng_for(n as u64);
         let t0 = Instant::now();
@@ -90,7 +103,16 @@ fn e1_sbl_scaling(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "dim", "SBL rounds", "BL stages", "PRAM depth", "sqrt(n)", "wall ms"],
+            &[
+                "n",
+                "m",
+                "dim",
+                "SBL rounds",
+                "BL stages",
+                "PRAM depth",
+                "sqrt(n)",
+                "wall ms"
+            ],
             &rows
         )
     );
@@ -121,7 +143,10 @@ fn e2_bl_stages(quick: bool) {
     }
     println!(
         "{}",
-        markdown_table(&["d", "n", "BL stages", "log2 n", "stages/log n", "sqrt(n)"], &rows)
+        markdown_table(
+            &["d", "n", "BL stages", "log2 n", "stages/log n", "sqrt(n)"],
+            &rows
+        )
     );
 }
 
@@ -143,12 +168,8 @@ fn e3_event_b(quick: bool) {
             total_failures += out.trace.total_dimension_failures();
         }
         let empirical = total_failures as f64 / total_rounds.max(1) as f64;
-        let bound = chernoff::event_b_total(
-            params.p,
-            h.n_edges() as f64,
-            params.d_cap() as u32,
-            1.0,
-        );
+        let bound =
+            chernoff::event_b_total(params.p, h.n_edges() as f64, params.d_cap() as u32, 1.0);
         rows.push(vec![
             n.to_string(),
             h.n_edges().to_string(),
@@ -163,7 +184,16 @@ fn e3_event_b(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "p", "d cap", "rounds (all trials)", "failures", "failures/round", "per-round bound r=1"],
+            &[
+                "n",
+                "m",
+                "p",
+                "d cap",
+                "rounds (all trials)",
+                "failures",
+                "failures/round",
+                "per-round bound r=1"
+            ],
             &rows
         )
     );
@@ -191,13 +221,25 @@ fn e4_event_a(quick: bool) {
             format!("{:.3}", if min.is_finite() { min } else { 0.0 }),
             format!("{:.3}", p / 2.0),
             slow.to_string(),
-            format!("{:.2e}", chernoff::event_a_total(p, out.trace.n_rounds() as f64)),
+            format!(
+                "{:.2e}",
+                chernoff::event_a_total(p, out.trace.n_rounds() as f64)
+            ),
         ]);
     }
     println!(
         "{}",
         markdown_table(
-            &["n", "p", "rounds", "mean decided frac", "min decided frac", "p/2", "slow rounds", "event A bound"],
+            &[
+                "n",
+                "p",
+                "rounds",
+                "mean decided frac",
+                "min decided frac",
+                "p/2",
+                "slow rounds",
+                "event A bound"
+            ],
             &rows
         )
     );
@@ -296,7 +338,14 @@ fn e6_migration(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["n", "j", "observed max increase", "Kim-Vu bound", "Kelsen bound", "Kelsen/Kim-Vu"],
+            &[
+                "n",
+                "j",
+                "observed max increase",
+                "Kim-Vu bound",
+                "Kelsen bound",
+                "Kelsen/Kim-Vu"
+            ],
             &rows
         )
     );
@@ -328,12 +377,19 @@ fn e7_potential_decay(quick: bool) {
             s.n_alive.to_string(),
             s.m.to_string(),
             format!("{:.2}", s.delta),
-            if v2.is_finite() { format!("{:.1}", v2) } else { "-inf".into() },
+            if v2.is_finite() {
+                format!("{:.1}", v2)
+            } else {
+                "-inf".into()
+            },
         ]);
     }
     println!(
         "{}",
-        markdown_table(&["stage", "alive", "edges", "Δ(H_s)", "log2 v2(H_s)"], &rows)
+        markdown_table(
+            &["stage", "alive", "edges", "Δ(H_s)", "log2 v2(H_s)"],
+            &rows
+        )
     );
 }
 
@@ -361,7 +417,10 @@ fn e8_threads(quick: bool) {
             format!("{:.2}x", base / ms),
         ]);
     }
-    println!("{}", markdown_table(&["threads", "SBL wall ms", "speedup vs 1 thread"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["threads", "SBL wall ms", "speedup vs 1 thread"], &rows)
+    );
     println!(
         "note: the CI host exposes {} logical CPU(s); with a single core the speedup column is expected to stay ≈1.0x — the work/depth ratio reported in E1/E5 is the model-level parallelism claim.",
         pram::pool::available_parallelism()
@@ -396,7 +455,13 @@ fn e9_special_classes(quick: bool) {
     println!(
         "{}",
         markdown_table(
-            &["n", "BL stages (3-uniform)", "linear m", "LS stages (linear)", "BL stages (linear)"],
+            &[
+                "n",
+                "BL stages (3-uniform)",
+                "linear m",
+                "LS stages (linear)",
+                "BL stages (linear)"
+            ],
             &rows
         )
     );
@@ -408,7 +473,11 @@ fn e10_admissibility() {
     println!("\n## E10 — Admissibility of the Theorem-2 analysis (recurrence comparison)\n");
     let mut rows = Vec::new();
     for log2n in [16u32, 24, 32, 48, 64] {
-        let n = if log2n >= 63 { usize::MAX } else { 1usize << log2n };
+        let n = if log2n >= 63 {
+            usize::MAX
+        } else {
+            1usize << log2n
+        };
         for d in [3u32, 4, 5, 6, 8] {
             let paper = Potential::new(n, d, Recurrence::PaperDSquared);
             let kelsen = Potential::new(n, d, Recurrence::KelsenOriginal);
@@ -443,5 +512,9 @@ fn e10_admissibility() {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }

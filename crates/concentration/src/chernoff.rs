@@ -15,7 +15,7 @@
 /// Lower-tail Chernoff bound of Lemma 1:
 /// `Pr[ X_1 + … + X_n ≤ pn − a ] ≤ e^{−a²/(2pn)}`.
 pub fn chernoff_lower_tail(p: f64, n: f64, a: f64) -> f64 {
-    assert!(p >= 0.0 && p <= 1.0 && n >= 0.0 && a >= 0.0);
+    assert!((0.0..=1.0).contains(&p) && n >= 0.0 && a >= 0.0);
     if p == 0.0 || n == 0.0 {
         return if a > 0.0 { 0.0 } else { 1.0 };
     }

@@ -138,9 +138,7 @@ mod tests {
     fn improved_bound_is_smaller_than_kelsen() {
         // Δ_k = 4 for k = 3..6, n = 2^16, j = 2.
         let mut deltas = vec![0.0; 7];
-        for k in 3..7 {
-            deltas[k] = 4.0;
-        }
+        deltas[3..7].fill(4.0);
         let n = 1 << 16;
         let kel = kelsen_migration_bound(n, 2, &deltas);
         let kv = kim_vu_migration_bound(n, 2, &deltas);

@@ -140,8 +140,7 @@ impl Potential {
     /// configured constant in general).
     pub fn migration_exponent_normalized(&self, j: u32, k: u32) -> f64 {
         assert!(k > j && j >= 2);
-        2f64.powi((k - j + 1) as i32) + 2.0 - self.constant() + self.big_f(j)
-            - self.big_f(k - 1)
+        2f64.powi((k - j + 1) as i32) + 2.0 - self.constant() + self.big_f(j) - self.big_f(k - 1)
     }
 
     /// The key claim of the Theorem-2 proof, for a fixed `j`:

@@ -228,7 +228,11 @@ mod tests {
     fn bl_on_toy_produces_valid_mis() {
         let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
         let out = bl_mis(&h, &mut rng(1), &BlConfig::default());
-        assert!(is_valid_mis(&h, &out.independent_set), "{:?}", out.independent_set);
+        assert!(
+            is_valid_mis(&h, &out.independent_set),
+            "{:?}",
+            out.independent_set
+        );
         assert!(out.trace.n_stages() >= 1);
         assert!(out.cost.rounds() >= 1);
     }
@@ -271,7 +275,11 @@ mod tests {
         let out = bl_mis(&h, &mut r, &BlConfig::default());
         assert!(is_valid_mis(&h, &out.independent_set));
         // Stage count should be modest (polylog in practice).
-        assert!(out.trace.n_stages() < 200, "{} stages", out.trace.n_stages());
+        assert!(
+            out.trace.n_stages() < 200,
+            "{} stages",
+            out.trace.n_stages()
+        );
     }
 
     #[test]

@@ -46,9 +46,7 @@ pub fn greedy_mis(h: &Hypergraph, order: Option<&[VertexId]>) -> GreedyOutcome {
             .incident_edges(v)
             .iter()
             .any(|&e| missing[e as usize] == 1);
-        cost.record(Cost::sequential(
-            1 + h.incident_edges(v).len() as u64,
-        ));
+        cost.record(Cost::sequential(1 + h.incident_edges(v).len() as u64));
         if !blocked && !in_set[v as usize] {
             in_set[v as usize] = true;
             set.push(v);
@@ -76,7 +74,8 @@ pub fn greedy_on_active(active: &ActiveHypergraph, cost: &mut CostTracker) -> Ve
     // missing[e] counts how many more vertices of e would need to join.
     let mut missing: Vec<u32> = edges.iter().map(|e| e.len() as u32).collect();
     // incident lists over alive ids.
-    let mut incident: std::collections::HashMap<VertexId, Vec<u32>> = std::collections::HashMap::new();
+    let mut incident: std::collections::HashMap<VertexId, Vec<u32>> =
+        std::collections::HashMap::new();
     for (i, e) in edges.iter().enumerate() {
         for &v in e {
             incident.entry(v).or_default().push(i as u32);

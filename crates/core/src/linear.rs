@@ -67,10 +67,7 @@ pub fn check_linear(h: &Hypergraph) -> Result<(), LinearError> {
         for i in 0..e.len() {
             for j in (i + 1)..e.len() {
                 if let Some(&first) = pair_owner.get(&(e[i], e[j])) {
-                    return Err(LinearError::NotLinear {
-                        first,
-                        second: idx,
-                    });
+                    return Err(LinearError::NotLinear { first, second: idx });
                 }
                 pair_owner.insert((e[i], e[j]), idx);
             }
@@ -210,11 +207,17 @@ mod tests {
         let not_linear = hypergraph_from_edges(5, vec![vec![0, 1, 2], vec![0, 1, 3]]);
         assert_eq!(
             check_linear(&not_linear),
-            Err(LinearError::NotLinear { first: 0, second: 1 })
+            Err(LinearError::NotLinear {
+                first: 0,
+                second: 1
+            })
         );
-        assert!(LinearError::NotLinear { first: 0, second: 1 }
-            .to_string()
-            .contains("not linear"));
+        assert!(LinearError::NotLinear {
+            first: 0,
+            second: 1
+        }
+        .to_string()
+        .contains("not linear"));
     }
 
     #[test]
@@ -257,6 +260,10 @@ mod tests {
         let h = generate::linear(&mut r, 300, 200, 3);
         let out = linear_mis(&h, &mut r).unwrap();
         assert!(is_valid_mis(&h, &out.independent_set));
-        assert!(out.trace.n_stages() < 100, "{} stages", out.trace.n_stages());
+        assert!(
+            out.trace.n_stages() < 100,
+            "{} stages",
+            out.trace.n_stages()
+        );
     }
 }

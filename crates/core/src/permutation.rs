@@ -62,10 +62,7 @@ pub fn permutation_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> Permutat
 /// identical to [`permutation_mis`] run with the same permutation — the chunk
 /// structure only changes the *cost accounting*, which is the quantity the
 /// open question about this algorithm concerns.
-pub fn permutation_rounds_mis<R: Rng + ?Sized>(
-    h: &Hypergraph,
-    rng: &mut R,
-) -> PermutationOutcome {
+pub fn permutation_rounds_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> PermutationOutcome {
     let n = h.n_vertices();
     let mut order: Vec<VertexId> = (0..n as u32).collect();
     order.shuffle(rng);

@@ -185,10 +185,7 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
 
     // Main sampling loop (lines 4–22).
     let mut round = 0usize;
-    while active.n_alive() >= tail_threshold
-        && active.n_edges() > 0
-        && round < config.max_rounds
-    {
+    while active.n_alive() >= tail_threshold && active.n_edges() > 0 && round < config.max_rounds {
         let n_alive = active.n_alive();
         let m = active.n_edges();
 

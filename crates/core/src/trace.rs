@@ -68,11 +68,11 @@ impl BlTrace {
         let mut out = vec![0.0f64; max_dim];
         for w in self.stages.windows(2) {
             let (a, b) = (&w[0].deltas_by_dimension, &w[1].deltas_by_dimension);
-            for j in 0..max_dim {
+            for (j, slot) in out.iter_mut().enumerate() {
                 let before = a.get(j).copied().unwrap_or(0.0);
                 let after = b.get(j).copied().unwrap_or(0.0);
                 if after > before {
-                    out[j] = out[j].max(after - before);
+                    *slot = slot.max(after - before);
                 }
             }
         }
@@ -81,7 +81,7 @@ impl BlTrace {
 }
 
 /// What SBL used to finish off the small residual hypergraph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TailAlgorithm {
     /// The sequential greedy sweep ("time linear in the number of vertices").
     Greedy,
@@ -89,6 +89,7 @@ pub enum TailAlgorithm {
     Kuw,
     /// No tail was needed (the while loop consumed every vertex, or BL was
     /// invoked directly because the input dimension was already small).
+    #[default]
     None,
 }
 
@@ -134,12 +135,6 @@ pub struct SblTrace {
     /// `true` when the input dimension was already within the cap and SBL
     /// delegated to a single BL call (the `else` branch of Algorithm 1).
     pub direct_bl: bool,
-}
-
-impl Default for TailAlgorithm {
-    fn default() -> Self {
-        TailAlgorithm::None
-    }
 }
 
 impl SblTrace {
@@ -294,7 +289,10 @@ mod tests {
     #[test]
     fn empty_traces() {
         assert_eq!(BlTrace::default().n_stages(), 0);
-        assert_eq!(BlTrace::default().max_delta_increase_by_dimension().len(), 0);
+        assert_eq!(
+            BlTrace::default().max_delta_increase_by_dimension().len(),
+            0
+        );
         assert_eq!(SblTrace::default().n_rounds(), 0);
         assert_eq!(SblTrace::default().tail, TailAlgorithm::None);
         assert_eq!(KuwTrace::default().n_rounds(), 0);

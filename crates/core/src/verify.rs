@@ -46,7 +46,10 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "edge #{edge} {vertices:?} is entirely inside the set")
             }
             VerifyError::NotMaximal { vertex } => {
-                write!(f, "vertex {vertex} could be added without breaking independence")
+                write!(
+                    f,
+                    "vertex {vertex} could be added without breaking independence"
+                )
             }
         }
     }
@@ -157,6 +160,8 @@ mod tests {
             vertices: vec![1, 2],
         };
         assert!(e.to_string().contains("edge #3"));
-        assert!(VerifyError::NotMaximal { vertex: 7 }.to_string().contains('7'));
+        assert!(VerifyError::NotMaximal { vertex: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

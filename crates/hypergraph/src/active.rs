@@ -291,9 +291,9 @@ impl ActiveHypergraph {
     pub fn compact(&self) -> (Hypergraph, Vec<VertexId>) {
         let mut new_to_old = Vec::with_capacity(self.n_alive);
         let mut old_to_new = vec![u32::MAX; self.id_space];
-        for v in 0..self.id_space {
+        for (v, slot) in old_to_new.iter_mut().enumerate() {
             if self.alive[v] {
-                old_to_new[v] = new_to_old.len() as u32;
+                *slot = new_to_old.len() as u32;
                 new_to_old.push(v as u32);
             }
         }
@@ -405,9 +405,9 @@ mod tests {
     fn shrink_reports_emptied_edges() {
         let h = hypergraph_from_edges(3, vec![vec![0, 1]]);
         let mut ah = ActiveHypergraph::from_hypergraph(&h);
-        let mut set = vec![true, true, false];
+        let set = vec![true, true, false];
         ah.kill_vertices([0, 1]);
-        let emptied = ah.shrink_edges_by(&mut set);
+        let emptied = ah.shrink_edges_by(&set);
         assert_eq!(emptied, 1);
         assert_eq!(ah.n_edges(), 0);
     }
@@ -434,10 +434,7 @@ mod tests {
 
     #[test]
     fn dominated_chain() {
-        let h = hypergraph_from_edges(
-            5,
-            vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![3, 4]],
-        );
+        let h = hypergraph_from_edges(5, vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![3, 4]]);
         let mut ah = ActiveHypergraph::from_hypergraph(&h);
         let removed = ah.remove_dominated_edges();
         assert_eq!(removed, 2);

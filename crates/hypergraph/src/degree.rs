@@ -179,7 +179,9 @@ impl DegreeTable {
     /// instrumentation used by the migration experiments (E6/E7). Sets are
     /// returned in no particular order.
     pub fn iter(&self) -> impl Iterator<Item = (&[VertexId], &[u64])> {
-        self.counts.iter().map(|(x, row)| (x.as_slice(), row.as_slice()))
+        self.counts
+            .iter()
+            .map(|(x, row)| (x.as_slice(), row.as_slice()))
     }
 }
 
@@ -208,10 +210,7 @@ mod tests {
     fn graph_case_matches_classical_degree() {
         // For an ordinary graph (dimension 2), Δ(H) = Δ_2(H) is the maximum
         // vertex degree, because d_1({v}, H) = |N_1(v)|.
-        let h = hypergraph_from_edges(
-            5,
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![3, 4]],
-        );
+        let h = hypergraph_from_edges(5, vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![3, 4]]);
         let t = DegreeTable::build(&h);
         assert_eq!(t.n_j(&[0], 1), 3);
         assert_eq!(t.n_j(&[3], 1), 2);

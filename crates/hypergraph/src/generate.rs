@@ -191,7 +191,10 @@ pub fn planted_independent<R: Rng + ?Sized>(
     d: usize,
     planted_size: usize,
 ) -> Hypergraph {
-    assert!(planted_size < n, "planted set must leave at least one vertex");
+    assert!(
+        planted_size < n,
+        "planted set must leave at least one vertex"
+    );
     assert!(d >= 2 && d <= n);
     let mut builder = HypergraphBuilder::with_capacity(n, m);
     let mut seen: BTreeSet<Vec<VertexId>> = BTreeSet::new();
@@ -338,10 +341,7 @@ mod tests {
         let edges: Vec<&[u32]> = h.edges().collect();
         for i in 0..edges.len() {
             for j in (i + 1)..edges.len() {
-                let inter = edges[i]
-                    .iter()
-                    .filter(|v| edges[j].contains(v))
-                    .count();
+                let inter = edges[i].iter().filter(|v| edges[j].contains(v)).count();
                 assert!(inter <= 1, "edges {i} and {j} share {inter} vertices");
             }
         }

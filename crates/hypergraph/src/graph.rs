@@ -64,7 +64,10 @@ impl Hypergraph {
         edge_offsets.push(0u32);
         for e in &edges {
             debug_assert!(!e.is_empty(), "edges must be non-empty");
-            debug_assert!(e.windows(2).all(|w| w[0] < w[1]), "edges must be sorted and duplicate-free");
+            debug_assert!(
+                e.windows(2).all(|w| w[0] < w[1]),
+                "edges must be sorted and duplicate-free"
+            );
             debug_assert!(e.iter().all(|&v| v < n), "edge vertex out of range");
             dim = dim.max(e.len() as u32);
             edge_vertices.extend_from_slice(e);
@@ -215,11 +218,10 @@ impl Hypergraph {
             }
             // Would adding v keep the set independent? It does unless some
             // edge through v has all other vertices in the set.
-            let violates = self.incident_edges(v).iter().any(|&e| {
-                self.edge(e)
-                    .iter()
-                    .all(|&u| u == v || member[u as usize])
-            });
+            let violates = self
+                .incident_edges(v)
+                .iter()
+                .any(|&e| self.edge(e).iter().all(|&u| u == v || member[u as usize]));
             if !violates {
                 return false;
             }

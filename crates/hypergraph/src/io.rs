@@ -30,7 +30,8 @@ pub enum ParseError {
         /// 1-based line number of the offending edge line.
         line: usize,
         /// The offending token.
-        token: String },
+        token: String,
+    },
     /// The number of edge lines does not match the header.
     EdgeCountMismatch {
         /// Edge count announced in the header.
@@ -120,10 +121,7 @@ pub fn from_str(s: &str) -> Result<Hypergraph, ParseError> {
         found += 1;
     }
     if found != m {
-        return Err(ParseError::EdgeCountMismatch {
-            expected: m,
-            found,
-        });
+        return Err(ParseError::EdgeCountMismatch { expected: m, found });
     }
     Ok(builder.build())
 }
@@ -164,7 +162,10 @@ mod tests {
     fn bad_header() {
         assert!(matches!(from_str(""), Err(ParseError::BadHeader(_))));
         assert!(matches!(from_str("x y\n"), Err(ParseError::BadHeader(_))));
-        assert!(matches!(from_str("3 1 9\n0 1\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            from_str("3 1 9\n0 1\n"),
+            Err(ParseError::BadHeader(_))
+        ));
     }
 
     #[test]

@@ -6,7 +6,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Strategy: a random edge list over `n` vertices with edges of size 1..=max_d.
-fn edges_strategy(n: usize, max_edges: usize, max_d: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+fn edges_strategy(
+    n: usize,
+    max_edges: usize,
+    max_d: usize,
+) -> impl Strategy<Value = Vec<Vec<u32>>> {
     prop::collection::vec(
         prop::collection::btree_set(0u32..(n as u32), 1..=max_d.min(n)),
         0..=max_edges,

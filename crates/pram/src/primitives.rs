@@ -96,7 +96,10 @@ where
 /// `O(log n)`; this is the textbook EREW scan.
 pub fn exclusive_scan(input: &[u64], tracker: Option<&mut CostTracker>) -> (Vec<u64>, u64) {
     let n = input.len();
-    track(tracker, Cost::parallel_step(n as u64).then(Cost::parallel_step(n as u64)));
+    track(
+        tracker,
+        Cost::parallel_step(n as u64).then(Cost::parallel_step(n as u64)),
+    );
     if n < SEQUENTIAL_CUTOFF {
         let mut out = Vec::with_capacity(n);
         let mut acc = 0u64;
@@ -152,7 +155,11 @@ where
     T: Sync,
     F: Fn(&T) -> bool + Sync + Send,
 {
-    let flags: Vec<u64> = par_map(input, |x| if pred(x) { 1 } else { 0 }, tracker.as_deref_mut());
+    let flags: Vec<u64> = par_map(
+        input,
+        |x| if pred(x) { 1 } else { 0 },
+        tracker.as_deref_mut(),
+    );
     let (offsets, total) = exclusive_scan(&flags, tracker.as_deref_mut());
     track(tracker, Cost::parallel_step(input.len() as u64));
     if input.len() < SEQUENTIAL_CUTOFF {

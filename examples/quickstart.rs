@@ -26,7 +26,10 @@ fn main() {
 
     // 2. … or generate one in the paper's regime (general hypergraph, m ≤ n^β).
     let h = generate::paper_regime(&mut rng, 2_000, 200, 14);
-    println!("\npaper-regime instance: {}", HypergraphStats::compute(&h).one_line());
+    println!(
+        "\npaper-regime instance: {}",
+        HypergraphStats::compute(&h).one_line()
+    );
 
     let out = sbl_mis(&h, &mut rng);
     verify_mis(&h, &out.independent_set).expect("valid MIS");

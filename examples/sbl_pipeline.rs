@@ -27,8 +27,14 @@ fn main() {
     for r in &out.trace.rounds {
         println!(
             "{:5} | {:7} | {:7} | {:7} | {:5} | {:5} | {:8} | {:9}",
-            r.round, r.n_alive, r.sampled, r.sample_dimension, r.dimension_failures, r.added,
-            r.rejected, r.bl_stages
+            r.round,
+            r.n_alive,
+            r.sampled,
+            r.sample_dimension,
+            r.dimension_failures,
+            r.added,
+            r.rejected,
+            r.bl_stages
         );
     }
     println!(
@@ -51,14 +57,24 @@ fn main() {
     );
     println!(
         "  event B (big sampled edge) bound: {:.3e}  (observed dimension failures: {})",
-        chernoff::event_b_total(p, h.n_edges() as f64, out.params.dimension_cap as u32, rounds),
+        chernoff::event_b_total(
+            p,
+            h.n_edges() as f64,
+            out.params.dimension_cap as u32,
+            rounds
+        ),
         out.trace.total_dimension_failures()
     );
 
     // PRAM cost summary (Brent: time ≈ work/P + depth).
     let c = out.cost.cost();
-    println!("\nPRAM cost model: work = {}, depth = {}, rounds = {}, implied processors = {}",
-        c.work, c.depth, out.cost.rounds(), c.processors());
+    println!(
+        "\nPRAM cost model: work = {}, depth = {}, rounds = {}, implied processors = {}",
+        c.work,
+        c.depth,
+        out.cost.rounds(),
+        c.processors()
+    );
     println!(
         "for comparison, sequential greedy work = {}",
         greedy_mis(&h, None).cost.cost().work

@@ -91,7 +91,10 @@ fn ablation_tail_choice() {
     // The sampling phase consumed the same random stream in both runs, so the
     // outer round structure is identical; only the tail differs.
     assert_eq!(greedy_tail.trace.n_rounds(), kuw_tail.trace.n_rounds());
-    assert_eq!(greedy_tail.trace.tail_vertices, kuw_tail.trace.tail_vertices);
+    assert_eq!(
+        greedy_tail.trace.tail_vertices,
+        kuw_tail.trace.tail_vertices
+    );
 }
 
 /// Ablation 4 — BL potential tracking. Turning the per-stage degree profiling

@@ -17,10 +17,16 @@ fn all_algorithms_produce_valid_mis_on_all_families() {
     let workloads: Vec<(&str, Hypergraph)> = vec![
         ("2-uniform", generate::d_uniform(&mut r, 120, 260, 2)),
         ("3-uniform", generate::d_uniform(&mut r, 120, 300, 3)),
-        ("mixed 2..6", generate::mixed_dimension(&mut r, 150, 280, &[2, 3, 4, 5, 6])),
+        (
+            "mixed 2..6",
+            generate::mixed_dimension(&mut r, 150, 280, &[2, 3, 4, 5, 6]),
+        ),
         ("paper regime", generate::paper_regime(&mut r, 400, 60, 12)),
         ("linear", generate::linear(&mut r, 150, 90, 3)),
-        ("planted", generate::planted_independent(&mut r, 150, 250, 4, 60)),
+        (
+            "planted",
+            generate::planted_independent(&mut r, 150, 250, 4, 60),
+        ),
         ("complete graph", generate::special::complete_graph(40)),
         ("star", generate::special::star(60)),
         ("sunflower", generate::special::sunflower(8, 4, 2)),
@@ -34,7 +40,11 @@ fn all_algorithms_produce_valid_mis_on_all_families() {
         assert_eq!(verify_mis(h, &out.independent_set), Ok(()), "KUW on {name}");
 
         let out = greedy_mis(h, None);
-        assert_eq!(verify_mis(h, &out.independent_set), Ok(()), "greedy on {name}");
+        assert_eq!(
+            verify_mis(h, &out.independent_set),
+            Ok(()),
+            "greedy on {name}"
+        );
 
         let out = permutation_rounds_mis(h, &mut r);
         assert_eq!(

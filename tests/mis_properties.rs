@@ -19,10 +19,7 @@ fn instance() -> impl Strategy<Value = (Hypergraph, u64)> {
         )
         .prop_map(move |edges| {
             let edges: Vec<Vec<u32>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
-            (
-                hypergraph::builder::hypergraph_from_edges(n, edges),
-                seed,
-            )
+            (hypergraph::builder::hypergraph_from_edges(n, edges), seed)
         })
     })
 }

@@ -1,0 +1,213 @@
+//! Offline, API-compatible subset of `proptest` for this workspace.
+//!
+//! Supports the property-testing surface the workspace's test suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` and `prop_flat_map`;
+//! * range strategies over the primitive integers, [`prelude::any`] for
+//!   full-domain values, tuple strategies, and [`collection`]'s `vec` /
+//!   `btree_set`;
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) and the
+//!   [`prop_assert!`] / [`prop_assert_eq!`] assertion macros.
+//!
+//! Differences from upstream: no shrinking, and generation is fully
+//! deterministic — each test function derives its RNG stream from its own
+//! name and the case index, so a failure reproduces exactly across runs and
+//! machines. A `prop_assert!`/`prop_assert_eq!` failure reports the failing
+//! case index (generated values are *not* printed; re-run the case to
+//! inspect them); a plain `panic!`/`unwrap` inside the body escapes without
+//! case information, so prefer the `prop_assert` macros in test bodies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual imports: the [`strategy::Strategy`] trait, configuration, the
+/// `prop` crate alias, and `any`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// A strategy producing any value of `T` (full domain), for the
+    /// primitive types [`Arbitrary`] is implemented for.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary + std::fmt::Debug> crate::strategy::Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; matches one test function at a
+/// time and recurses on the rest.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                )+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest '{}' failed at case {}/{}:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0u32..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0u64..100, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn btree_sets_are_within_domain(s in prop::collection::btree_set(0u32..8, 1..=4usize)) {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.iter().all(|&x| x < 8));
+        }
+
+        #[test]
+        fn flat_map_chains(pair in (1usize..5).prop_flat_map(|n| {
+            (0usize..n, prop::strategy::Just(n))
+        })) {
+            let (i, n) = pair;
+            prop_assert!(i < n, "i={} n={}", i, n);
+        }
+
+        #[test]
+        fn tuples_and_maps(t in (0u64..10, 0u64..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(t <= 18);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let a = strat.generate(&mut crate::test_runner::TestRng::deterministic("t", 3));
+        let b = strat.generate(&mut crate::test_runner::TestRng::deterministic("t", 3));
+        let c = strat.generate(&mut crate::test_runner::TestRng::deterministic("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,69 @@
+//! Uniform range sampling (the subset of `rand::distributions` this
+//! workspace uses).
+
+/// Uniform sampling over primitive ranges.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that a value can be sampled from uniformly.
+    pub trait SampleRange<T> {
+        /// Samples a single value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    /// Uniform `u64` in `[0, span)` via Lemire's multiply-shift. `span` must
+    /// be non-zero. The bias is at most `span / 2^64`, far below anything a
+    /// statistical test in this workspace can observe.
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(below(rng, span) as $t)
+                }
+
+                fn is_empty(&self) -> bool {
+                    self.start >= self.end
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Only reachable for the full u64/i64/usize domain.
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(below(rng, span as u64) as $t)
+                }
+
+                fn is_empty(&self) -> bool {
+                    self.start() > self.end()
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + (self.end - self.start) * unit
+        }
+
+        fn is_empty(&self) -> bool {
+            self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less)
+        }
+    }
+}

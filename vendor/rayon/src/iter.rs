@@ -1,0 +1,279 @@
+//! Order-preserving parallel iterators.
+//!
+//! The pipeline is eager: each adapter that carries user work (`map`,
+//! `for_each`) distributes its items over up to [`crate::current_num_threads`]
+//! scoped threads, preserving item order; cheap adapters and terminals fold
+//! sequentially over the materialized values. This gives rayon's observable
+//! semantics (deterministic, sequential-equivalent results) for the
+//! operations the workspace uses, with real multi-core execution of the
+//! expensive per-item closures.
+
+use crate::current_num_threads;
+
+/// An eager, order-preserving parallel iterator over materialized items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Splits `items` into at most `parts` contiguous runs, preserving order.
+fn split_owned<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let chunk = n.div_ceil(parts);
+    let mut it = items.into_iter();
+    let mut out = Vec::with_capacity(parts);
+    loop {
+        let piece: Vec<T> = it.by_ref().take(chunk).collect();
+        if piece.is_empty() {
+            break;
+        }
+        out.push(piece);
+    }
+    out
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() < 2 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let chunks = split_owned(self.items, threads);
+        let f = &f;
+        let pieces: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    // Propagate the installed pool size into the worker so
+                    // nested parallel operations stay within the pool's
+                    // degree of parallelism.
+                    scope.spawn(move || {
+                        crate::with_num_threads(threads, || {
+                            chunk.into_iter().map(f).collect::<Vec<U>>()
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect()
+        });
+        ParIter {
+            items: pieces.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel (order of side effects between
+    /// chunks is unspecified, as with rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() < 2 {
+            self.items.into_iter().for_each(f);
+            return;
+        }
+        let chunks = split_owned(self.items, threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                scope.spawn(move || {
+                    crate::with_num_threads(threads, || chunk.into_iter().for_each(f))
+                });
+            }
+        });
+    }
+
+    /// Keeps the items satisfying `pred`, preserving order.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|x| pred(x)).collect(),
+        }
+    }
+
+    /// Pairs every item with its index, preserving order.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// The maximum item, or `None` if empty.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// The number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` container, in order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator; blanket-implemented for every
+/// `IntoIterator` with `Send` items (ranges, vectors, …).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Parallel views over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+
+    /// Parallel iterator over contiguous `chunk_size`-sized subslices (the
+    /// last may be shorter), in order.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel views over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable `chunk_size`-sized subslices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_sum() {
+        let s: u64 = (0u64..1000).into_par_iter().sum();
+        assert_eq!(s, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(b, chunk)| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = (b * 64 + i) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn filter_count_max() {
+        let v: Vec<u64> = (0..500).collect();
+        assert_eq!(v.par_iter().filter(|&&x| x % 5 == 0).count(), 100);
+        assert_eq!(v.par_iter().map(|&x| x).max(), Some(499));
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.par_iter().map(|&x| x).max(), None);
+    }
+
+    #[test]
+    fn workers_inherit_pool_size() {
+        // A nested parallel operation inside a worker closure must see the
+        // installed pool size, not the machine default.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let seen: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| crate::current_num_threads())
+                .collect()
+        });
+        assert!(seen.iter().all(|&n| n == 3), "workers saw {seen:?}");
+    }
+
+    #[test]
+    fn parallelism_is_bounded_by_pool() {
+        // Under a 1-thread pool the map runs inline; this is mostly a
+        // smoke-test that with_num_threads plumbs through.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let out: Vec<u64> = pool.install(|| (0u64..100).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out[99], 100);
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline, API-compatible subset of `rayon` for this workspace.
+//!
+//! The workspace builds with no crates.io access, so this crate implements
+//! the slice of rayon the PRAM layer uses, with genuine multi-threading via
+//! [`std::thread::scope`]:
+//!
+//! * [`prelude`] — `into_par_iter()` on anything iterable, `par_iter()` /
+//!   `par_chunks()` / `par_chunks_mut()` on slices, and the adapters
+//!   `map`, `filter`, `enumerate` with terminals `collect`, `sum`, `max`,
+//!   `count`, `for_each`;
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] / [`current_num_threads`] — a
+//!   scoped notion of "how many workers", honored by every parallel
+//!   operation started while a pool's `install` closure runs.
+//!
+//! Semantics match rayon where it matters for this workspace: all adapters
+//! are **order-preserving**, so `collect` equals the sequential result and
+//! deterministic folds are reproducible across thread counts. `map` and
+//! `for_each` distribute real work across OS threads; the cheap terminals
+//! (`sum`, `max`, `count`) fold sequentially over already-computed values.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+mod pool;
+
+pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+/// Commonly used traits: bring parallel-iterator methods into scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations started from this thread
+/// will use: the innermost installed [`ThreadPool`]'s size, or the machine's
+/// available parallelism outside any pool.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` with [`current_num_threads`] reporting `n`, restoring the
+/// previous value afterwards (exception-safe via a drop guard).
+fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            CURRENT_THREADS.with(|c| c.set(prev));
+        }
+    }
+
+    let _guard = Restore(CURRENT_THREADS.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Error type kept for API compatibility; pool construction in this
+/// implementation only fails for zero threads.
+pub struct ThreadPoolError(pub(crate) String);
+
+impl fmt::Debug for ThreadPoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadPoolError({})", self.0)
+    }
+}

@@ -1,0 +1,115 @@
+//! Scoped thread-pool configuration.
+//!
+//! This implementation does not keep persistent worker threads; a "pool" is
+//! the *degree of parallelism* its `install` scope grants to the parallel
+//! iterators, which spawn scoped threads per operation. That preserves the
+//! two properties the workspace relies on: `current_num_threads()` inside
+//! `install` reports the configured size, and parallel operations use at
+//! most that many workers.
+
+use std::fmt;
+
+/// A handle granting a fixed degree of parallelism to code run under
+/// [`ThreadPool::install`].
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count active and returns its result.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        crate::with_num_threads(self.threads, f)
+    }
+
+    /// The number of worker threads this pool grants.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error returned when a pool cannot be built (zero threads requested).
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadPoolBuildError {{ {} }}", self.msg)
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine) parallelism.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the number of worker threads; `0` means "machine default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepts (and ignores) a thread-name function, for API compatibility;
+    /// this implementation names its scoped threads at spawn time.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+        // Restored afterwards.
+        let outer = crate::current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn nested_installs_restore() {
+        let p2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let p5 = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let (inner, outer) = p2.install(|| {
+            let inner = p5.install(crate::current_num_threads);
+            (inner, crate::current_num_threads())
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(outer, 2);
+    }
+}

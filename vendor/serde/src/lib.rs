@@ -1,0 +1,16 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace reserves `serde` in `[workspace.dependencies]` for future
+//! wire formats (experiment result dumps, hypergraph interchange). No crate
+//! serializes anything yet, so this placeholder only pins the trait names;
+//! the `derive` feature is declared but a no-op. Swap the path dependency
+//! for the real crates.io `serde` when a consumer lands.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized (placeholder).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (placeholder).
+pub trait Deserialize<'de>: Sized {}
