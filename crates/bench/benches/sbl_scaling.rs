@@ -13,7 +13,7 @@ fn sbl_scaling(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    for n in [256usize, 1024, 4096] {
+    for n in [1024usize, 4096, 16384] {
         let h = paper_workload(n, 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
             b.iter(|| {

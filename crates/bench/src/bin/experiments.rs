@@ -16,9 +16,10 @@ use concentration::kimvu;
 use concentration::potential::{Potential, Recurrence};
 use hypergraph::degree::DegreeTable;
 use hypergraph::params::SblParams;
-use hypergraph::HypergraphStats;
+use hypergraph::{ActiveHypergraph, HypergraphStats, ReferenceActiveHypergraph};
 use mis_core::prelude::*;
 use pram::pool::with_threads;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
@@ -62,6 +63,128 @@ fn main() {
     if want("e10") {
         e10_admissibility();
     }
+    if want("activeset") {
+        activeset_engine_guard(quick);
+    }
+}
+
+/// Engine regression guard: SBL on the `sbl_scaling` workloads, run on both
+/// the flat `ActiveHypergraph` engine and the pre-flat reference engine, with
+/// identical seeds. Asserts the engines make identical decisions (same
+/// independent set, same cost totals) and records wall time and per-round
+/// cost for both into `BENCH_activeset.json` (consumed by CI as an artifact;
+/// the acceptance bar is a ≥ 2× speedup on the largest workload).
+fn activeset_engine_guard(quick: bool) {
+    println!("\n## activeset — flat engine vs reference engine on the sbl_scaling workloads\n");
+    let iters = if quick { 3 } else { 7 };
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut largest: Option<(usize, f64)> = None;
+    for n in [256usize, 1024, 4096, 16384] {
+        let h = paper_workload(n, 1);
+        let cfg = SblConfig::default();
+
+        let mut best_ref = f64::INFINITY;
+        let mut reference = None;
+        for _ in 0..iters {
+            let mut rng = rng_for(n as u64);
+            let t0 = Instant::now();
+            let out = sbl_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng, &cfg);
+            best_ref = best_ref.min(t0.elapsed().as_secs_f64() * 1e3);
+            reference = Some(out);
+        }
+        let reference = reference.expect("iters >= 1");
+
+        let mut best_flat = f64::INFINITY;
+        let mut flat = None;
+        for _ in 0..iters {
+            let mut rng = rng_for(n as u64);
+            let t0 = Instant::now();
+            let out = sbl_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng, &cfg);
+            best_flat = best_flat.min(t0.elapsed().as_secs_f64() * 1e3);
+            flat = Some(out);
+        }
+        let flat = flat.expect("iters >= 1");
+
+        verify_mis(&h, &flat.independent_set).expect("activeset: invalid MIS");
+        assert_eq!(
+            flat.independent_set, reference.independent_set,
+            "activeset: engines disagree on the independent set (n={n})"
+        );
+        let (fc, rc) = (flat.cost.cost(), reference.cost.cost());
+        assert_eq!(
+            (fc.work, fc.depth, flat.cost.rounds()),
+            (rc.work, rc.depth, reference.cost.rounds()),
+            "activeset: engines disagree on cost totals (n={n})"
+        );
+
+        let rounds = flat.cost.rounds().max(1);
+        let speedup = best_ref / best_flat;
+        largest = Some((n, speedup));
+        rows.push(vec![
+            n.to_string(),
+            h.n_edges().to_string(),
+            format!("{best_ref:.2}"),
+            format!("{best_flat:.2}"),
+            format!("{speedup:.2}x"),
+            rounds.to_string(),
+            format!("{:.3}", best_ref / rounds as f64),
+            format!("{:.3}", best_flat / rounds as f64),
+            (fc.work / rounds).to_string(),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"reference_ms\": {:.4}, \"flat_ms\": {:.4}, ",
+                "\"speedup\": {:.3}, \"rounds\": {}, \"work\": {}, \"depth\": {}, ",
+                "\"reference_ms_per_round\": {:.5}, \"flat_ms_per_round\": {:.5}, ",
+                "\"work_per_round\": {}, \"sets_identical\": true, \"costs_identical\": true}}"
+            ),
+            n,
+            h.n_edges(),
+            best_ref,
+            best_flat,
+            speedup,
+            rounds,
+            fc.work,
+            fc.depth,
+            best_ref / rounds as f64,
+            best_flat / rounds as f64,
+            fc.work / rounds,
+        ));
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "n",
+                "m",
+                "reference ms",
+                "flat ms",
+                "speedup",
+                "rounds",
+                "ref ms/round",
+                "flat ms/round",
+                "work/round"
+            ],
+            &rows
+        )
+    );
+    let (largest_n, largest_speedup) = largest.expect("at least one workload");
+    let mut json = String::from("{\n  \"experiment\": \"activeset_engine_guard\",\n");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"ReferenceActiveHypergraph (pre-flat Vec/BTreeSet engine)\",\n  \
+         \"candidate\": \"ActiveHypergraph (flat epoch-stamped engine)\",\n  \
+         \"iters\": {iters},\n  \
+         \"largest_workload\": {{\"n\": {largest_n}, \"speedup\": {largest_speedup:.3}}},\n  \
+         \"workloads\": ["
+    );
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_activeset.json", &json).expect("write BENCH_activeset.json");
+    println!(
+        "wrote BENCH_activeset.json (largest workload n={largest_n}: {largest_speedup:.2}x)\n"
+    );
 }
 
 fn ns(quick: bool, full: &[usize], small: &[usize]) -> Vec<usize> {

@@ -21,7 +21,7 @@
 //! migration bounds and potential functions with observed behaviour.
 
 use hypergraph::degree::{beame_luby_probability, DegreeTable, MAX_ENUMERABLE_DIMENSION};
-use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
 use rand::Rng;
 
@@ -62,14 +62,24 @@ pub struct BlOutcome {
     pub cost: CostTracker,
 }
 
-/// Runs Beame–Luby on a full hypergraph.
+/// Runs Beame–Luby on a full hypergraph with the default (flat) engine.
 ///
 /// # Panics
 /// Panics if the hypergraph dimension exceeds
 /// [`MAX_ENUMERABLE_DIMENSION`] — BL is only meant for small dimensions; use
 /// [`crate::sbl::sbl_mis`] for general hypergraphs.
 pub fn bl_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R, config: &BlConfig) -> BlOutcome {
-    let mut active = ActiveHypergraph::from_hypergraph(h);
+    bl_mis_with_engine::<ActiveHypergraph, R>(h, rng, config)
+}
+
+/// Runs Beame–Luby on a full hypergraph with an explicit [`ActiveEngine`]
+/// (used by the differential suites and the bench regression guard).
+pub fn bl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &BlConfig,
+) -> BlOutcome {
+    let mut active = E::from_hypergraph(h);
     let mut cost = CostTracker::new();
     let (independent_set, trace) = bl_on_active(&mut active, rng, config, &mut cost);
     BlOutcome {
@@ -79,14 +89,14 @@ pub fn bl_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R, config: &BlConfig) -
     }
 }
 
-/// Runs Beame–Luby on an [`ActiveHypergraph`] *in place*, consuming every
+/// Runs Beame–Luby on an [`ActiveEngine`] *in place*, consuming every
 /// alive vertex (each ends up either in the returned independent set or
 /// implicitly red). Returns the added vertices (sorted, global ids) and the
 /// stage trace; costs are recorded into `cost`.
 ///
 /// This is the entry point SBL uses on its sampled sub-hypergraphs.
-pub fn bl_on_active<R: Rng + ?Sized>(
-    active: &mut ActiveHypergraph,
+pub fn bl_on_active<E: ActiveEngine, R: Rng + ?Sized>(
+    active: &mut E,
     rng: &mut R,
     config: &BlConfig,
     cost: &mut CostTracker,
@@ -95,6 +105,11 @@ pub fn bl_on_active<R: Rng + ?Sized>(
     let mut independent_set: Vec<VertexId> = Vec::new();
     let mut trace = BlTrace::default();
     let mut stage = 0usize;
+    // Per-stage scratch, cleared by resetting the entries of the stage's
+    // alive vertices (every set entry belongs to an alive vertex).
+    let mut marked = vec![false; id_space];
+    let mut unmark = vec![false; id_space];
+    let mut accepted_flags = vec![false; id_space];
 
     while active.n_alive() > 0 {
         if stage >= config.max_stages {
@@ -104,12 +119,12 @@ pub fn bl_on_active<R: Rng + ?Sized>(
             for &v in &added {
                 flags[v as usize] = true;
             }
-            active.kill_vertices(added.iter().copied());
-            let emptied = active.shrink_edges_by(&flags);
+            active.kill_vertices(&added);
+            let emptied = active.shrink_edges_by(&flags, &added);
             debug_assert_eq!(emptied, 0, "greedy fallback produced a dependent set");
             // Everything else is red: kill the rest too.
             let rest = active.alive_vertices();
-            active.kill_vertices(rest);
+            active.kill_vertices(&rest);
             independent_set.extend(added);
             break;
         }
@@ -121,7 +136,7 @@ pub fn bl_on_active<R: Rng + ?Sized>(
              supports dimension <= {MAX_ENUMERABLE_DIMENSION} (use SBL for general hypergraphs)"
         );
         let n_alive = active.n_alive();
-        let m = active.n_edges();
+        let m = active.n_live_edges();
 
         // Degree profile and marking probability.
         let (delta, deltas_by_dimension) = if m == 0 {
@@ -138,10 +153,11 @@ pub fn bl_on_active<R: Rng + ?Sized>(
         };
         let p = beame_luby_probability(delta, dim);
 
-        // Step 1: independent marking.
-        let mut marked = vec![false; id_space];
+        // Step 1: independent marking (ascending vertex order, which pins the
+        // RNG consumption order across engines).
+        let alive = active.alive_vertices();
         let mut n_marked = 0usize;
-        for v in active.alive_vertices() {
+        for &v in &alive {
             if rng.gen_bool(p) {
                 marked[v as usize] = true;
                 n_marked += 1;
@@ -150,21 +166,18 @@ pub fn bl_on_active<R: Rng + ?Sized>(
         cost.record(Cost::parallel_step(n_alive as u64));
 
         // Step 2: unmark every vertex of every fully marked edge.
-        let mut unmark = vec![false; id_space];
-        for e in active.edges() {
+        for e in active.edge_slices() {
             if e.iter().all(|&v| marked[v as usize]) {
                 for &v in e {
                     unmark[v as usize] = true;
                 }
             }
         }
-        let total_edge_size: usize = active.edges().iter().map(|e| e.len()).sum();
-        cost.record(Cost::parallel_step(total_edge_size as u64));
+        cost.record(Cost::parallel_step(active.total_live_size() as u64));
 
         let mut n_unmarked = 0usize;
-        let mut accepted_flags = vec![false; id_space];
         let mut accepted: Vec<VertexId> = Vec::new();
-        for v in active.alive_vertices() {
+        for &v in &alive {
             if marked[v as usize] {
                 if unmark[v as usize] {
                     n_unmarked += 1;
@@ -177,8 +190,8 @@ pub fn bl_on_active<R: Rng + ?Sized>(
         cost.record(Cost::parallel_step(n_alive as u64));
 
         // Step 3: commit I', trim edges, cleanup.
-        active.kill_vertices(accepted.iter().copied());
-        let emptied = active.shrink_edges_by(&accepted_flags);
+        active.kill_vertices(&accepted);
+        let emptied = active.shrink_edges_by(&accepted_flags, &accepted);
         debug_assert_eq!(
             emptied, 0,
             "a fully marked edge survived the unmarking step"
@@ -205,6 +218,13 @@ pub fn bl_on_active<R: Rng + ?Sized>(
             deltas_by_dimension,
         });
         stage += 1;
+
+        // Reset the scratch for the next stage.
+        for &v in &alive {
+            marked[v as usize] = false;
+            unmark[v as usize] = false;
+            accepted_flags[v as usize] = false;
+        }
     }
 
     independent_set.sort_unstable();

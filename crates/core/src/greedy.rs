@@ -2,7 +2,7 @@
 //! baseline the paper mentions for finishing off small instances, and the
 //! ground-truth oracle for correctness tests.
 
-use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use hypergraph::{ActiveEngine, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
 
 /// Result of a greedy run.
@@ -63,27 +63,41 @@ pub fn greedy_mis(h: &Hypergraph, order: Option<&[VertexId]>) -> GreedyOutcome {
     }
 }
 
-/// Greedy MIS over the alive part of an [`ActiveHypergraph`], used by SBL's
-/// tail. Returns the vertices added (global ids).
-pub fn greedy_on_active(active: &ActiveHypergraph, cost: &mut CostTracker) -> Vec<VertexId> {
+/// Greedy MIS over the alive part of an [`ActiveEngine`], used by SBL's
+/// tail and the BL safety net. Returns the vertices added (global ids).
+///
+/// Works on any engine; the incidence lists are rebuilt flat (counting sort
+/// over the live edges) so the scan is allocation-light and deterministic.
+pub fn greedy_on_active<E: ActiveEngine>(active: &E, cost: &mut CostTracker) -> Vec<VertexId> {
     let alive = active.alive_vertices();
     if alive.is_empty() {
         return Vec::new();
     }
-    let edges = active.edges();
+    let edges: Vec<&[VertexId]> = active.edge_slices().collect();
     // missing[e] counts how many more vertices of e would need to join.
     let mut missing: Vec<u32> = edges.iter().map(|e| e.len() as u32).collect();
-    // incident lists over alive ids.
-    let mut incident: std::collections::HashMap<VertexId, Vec<u32>> =
-        std::collections::HashMap::new();
+    // Flat incidence lists over the live edges (counting sort).
+    let id_space = active.id_space();
+    let mut inc_offsets = vec![0u32; id_space + 1];
+    for e in &edges {
+        for &v in *e {
+            inc_offsets[v as usize + 1] += 1;
+        }
+    }
+    for v in 0..id_space {
+        inc_offsets[v + 1] += inc_offsets[v];
+    }
+    let mut cursor = inc_offsets.clone();
+    let mut incident = vec![0u32; inc_offsets[id_space] as usize];
     for (i, e) in edges.iter().enumerate() {
-        for &v in e {
-            incident.entry(v).or_default().push(i as u32);
+        for &v in *e {
+            incident[cursor[v as usize] as usize] = i as u32;
+            cursor[v as usize] += 1;
         }
     }
     let mut added = Vec::new();
     for &v in &alive {
-        let inc = incident.get(&v).map(|x| x.as_slice()).unwrap_or(&[]);
+        let inc = &incident[inc_offsets[v as usize] as usize..inc_offsets[v as usize + 1] as usize];
         let blocked = inc.iter().any(|&e| missing[e as usize] == 1);
         cost.record(Cost::sequential(1 + inc.len() as u64));
         if !blocked {
@@ -146,6 +160,7 @@ mod tests {
 
     #[test]
     fn greedy_on_active_matches_full_when_everything_alive() {
+        use hypergraph::ActiveHypergraph;
         let h = hypergraph_from_edges(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
         let active = ActiveHypergraph::from_hypergraph(&h);
         let mut cost = CostTracker::new();
@@ -155,6 +170,7 @@ mod tests {
 
     #[test]
     fn greedy_on_empty_active() {
+        use hypergraph::ActiveHypergraph;
         let h = hypergraph_from_edges::<Vec<u32>>(0, vec![]);
         let active = ActiveHypergraph::from_hypergraph(&h);
         let mut cost = CostTracker::new();

@@ -25,7 +25,7 @@
 //! the behaviour the `O(√n)` analysis exploits. Experiment E5 measures the
 //! resulting round counts next to SBL's.
 
-use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -46,9 +46,19 @@ pub struct KuwOutcome {
     pub cost: CostTracker,
 }
 
-/// Runs the KUW-style baseline on a full hypergraph.
+/// Runs the KUW-style baseline on a full hypergraph with the default (flat)
+/// engine.
 pub fn kuw_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> KuwOutcome {
-    let mut active = ActiveHypergraph::from_hypergraph(h);
+    kuw_mis_with_engine::<ActiveHypergraph, R>(h, rng)
+}
+
+/// Runs the KUW-style baseline on a full hypergraph with an explicit
+/// [`ActiveEngine`] (used by the differential suites).
+pub fn kuw_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+) -> KuwOutcome {
+    let mut active = E::from_hypergraph(h);
     let mut cost = CostTracker::new();
     let (independent_set, trace) = kuw_on_active(&mut active, rng, &mut cost);
     KuwOutcome {
@@ -58,11 +68,11 @@ pub fn kuw_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> KuwOutcome {
     }
 }
 
-/// Runs the KUW-style baseline on an [`ActiveHypergraph`] in place, deciding
+/// Runs the KUW-style baseline on an [`ActiveEngine`] in place, deciding
 /// every alive vertex. Returns the added vertices (sorted, global ids) and the
 /// round trace; costs are recorded into `cost`.
-pub fn kuw_on_active<R: Rng + ?Sized>(
-    active: &mut ActiveHypergraph,
+pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
+    active: &mut E,
     rng: &mut R,
     cost: &mut CostTracker,
 ) -> (Vec<VertexId>, KuwTrace) {
@@ -76,21 +86,21 @@ pub fn kuw_on_active<R: Rng + ?Sized>(
 
     while active.n_alive() > 0 && round < max_rounds {
         let n_alive = active.n_alive();
-        let m = active.n_edges();
+        let m = active.n_live_edges();
 
         // Step 1: vertices trapped by singleton edges are decided out.
         let excluded = active.remove_singleton_edges();
         cost.record(Cost::parallel_step(m as u64));
 
-        if active.n_edges() == 0 {
+        if active.n_live_edges() == 0 {
             // No constraints remain: everything still alive joins.
             let rest = active.alive_vertices();
             let mut flags = vec![false; id_space];
             for &v in &rest {
                 flags[v as usize] = true;
             }
-            active.kill_vertices(rest.iter().copied());
-            active.shrink_edges_by(&flags);
+            active.kill_vertices(&rest);
+            active.shrink_edges_by(&flags, &rest);
             cost.record(Cost::parallel_step(rest.len() as u64));
             cost.bump_round();
             trace.rounds.push(KuwRoundStats {
@@ -113,17 +123,17 @@ pub fn kuw_on_active<R: Rng + ?Sized>(
         let mut tested = 0usize;
         let mut size = 1usize;
         let mut scratch = alive.clone();
+        // The instance does not change while candidates are tested, so the
+        // per-test oracle charge is a constant this round.
+        let oracle_work = active.total_live_size() as u64;
         while size <= alive.len() {
             for _ in 0..TRIES_PER_SIZE {
                 scratch.shuffle(rng);
-                let candidate = &scratch[..size];
                 tested += 1;
-                let independent = is_independent_in_active(active, candidate);
-                cost.record(Cost::parallel_step(
-                    active.edges().iter().map(|e| e.len()).sum::<usize>() as u64,
-                ));
-                if independent && candidate.len() > best.len() {
-                    best = candidate.to_vec();
+                let independent = !active.contains_live_edge_within(&scratch[..size]);
+                cost.record(Cost::parallel_step(oracle_work));
+                if independent && size > best.len() {
+                    best = scratch[..size].to_vec();
                 }
             }
             if size == alive.len() {
@@ -140,8 +150,8 @@ pub fn kuw_on_active<R: Rng + ?Sized>(
         for &v in &best {
             flags[v as usize] = true;
         }
-        active.kill_vertices(best.iter().copied());
-        let emptied = active.shrink_edges_by(&flags);
+        active.kill_vertices(&best);
+        let emptied = active.shrink_edges_by(&flags, &best);
         debug_assert_eq!(emptied, 0, "committed batch was not independent");
         cost.record(Cost::parallel_step(m as u64));
         cost.bump_round();
@@ -160,19 +170,6 @@ pub fn kuw_on_active<R: Rng + ?Sized>(
 
     independent_set.sort_unstable();
     (independent_set, trace)
-}
-
-/// Independence oracle over the current active hypergraph: `true` iff no
-/// current edge lies entirely inside `set`.
-fn is_independent_in_active(active: &ActiveHypergraph, set: &[VertexId]) -> bool {
-    let mut member = vec![false; active.id_space()];
-    for &v in set {
-        member[v as usize] = true;
-    }
-    !active
-        .edges()
-        .iter()
-        .any(|e| e.iter().all(|&v| member[v as usize]))
 }
 
 #[cfg(test)]

@@ -51,21 +51,23 @@ pub mod sbl;
 pub mod trace;
 pub mod verify;
 
-pub use bl::{bl_mis, BlConfig, BlOutcome};
+pub use bl::{bl_mis, bl_mis_with_engine, BlConfig, BlOutcome};
 pub use greedy::{greedy_mis, GreedyOutcome};
-pub use kuw::{kuw_mis, KuwOutcome};
-pub use sbl::{sbl_mis, sbl_mis_with, SblConfig, SblOutcome, TailChoice};
+pub use kuw::{kuw_mis, kuw_mis_with_engine, KuwOutcome};
+pub use sbl::{sbl_mis, sbl_mis_with, sbl_mis_with_engine, SblConfig, SblOutcome, TailChoice};
 pub use verify::{is_valid_mis, verify_mis, VerifyError};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::bl::{bl_mis, BlConfig, BlOutcome};
+    pub use crate::bl::{bl_mis, bl_mis_with_engine, BlConfig, BlOutcome};
     pub use crate::coloring::{Color, Coloring};
-    pub use crate::greedy::{greedy_mis, GreedyOutcome};
-    pub use crate::kuw::{kuw_mis, KuwOutcome};
-    pub use crate::linear::{check_linear, linear_mis, LinearOutcome};
+    pub use crate::greedy::{greedy_mis, greedy_on_active, GreedyOutcome};
+    pub use crate::kuw::{kuw_mis, kuw_mis_with_engine, KuwOutcome};
+    pub use crate::linear::{check_linear, linear_mis, linear_mis_with_engine, LinearOutcome};
     pub use crate::permutation::{permutation_mis, permutation_rounds_mis, PermutationOutcome};
-    pub use crate::sbl::{sbl_mis, sbl_mis_with, SblConfig, SblOutcome, TailChoice};
+    pub use crate::sbl::{
+        sbl_mis, sbl_mis_with, sbl_mis_with_engine, SblConfig, SblOutcome, TailChoice,
+    };
     pub use crate::trace::{BlTrace, KuwTrace, SblTrace, TailAlgorithm};
     pub use crate::verify::{is_valid_mis, verify_mis, VerifyError};
 }

@@ -13,7 +13,7 @@
 //! accidentally run the specialised probability on a non-linear instance.
 
 use hypergraph::degree::max_vertex_degree;
-use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
 use rand::Rng;
 
@@ -85,8 +85,17 @@ pub fn linear_mis<R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,
 ) -> Result<LinearOutcome, LinearError> {
+    linear_mis_with_engine::<ActiveHypergraph, R>(h, rng)
+}
+
+/// Computes an MIS of a linear hypergraph with an explicit [`ActiveEngine`]
+/// (used by the differential suites).
+pub fn linear_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+) -> Result<LinearOutcome, LinearError> {
     check_linear(h)?;
-    let mut active = ActiveHypergraph::from_hypergraph(h);
+    let mut active = E::from_hypergraph(h);
     let mut cost = CostTracker::new();
     let mut trace = BlTrace::default();
     let mut independent_set: Vec<VertexId> = Vec::new();
@@ -98,12 +107,12 @@ pub fn linear_mis<R: Rng + ?Sized>(
         if stage >= max_stages {
             let added = greedy_on_active(&active, &mut cost);
             let rest = active.alive_vertices();
-            active.kill_vertices(rest);
+            active.kill_vertices(&rest);
             independent_set.extend(added);
             break;
         }
         let n_alive = active.n_alive();
-        let m = active.n_edges();
+        let m = active.n_live_edges();
         let dim = active.dimension();
 
         // Linear marking probability: with D = max vertex degree and edges of
@@ -120,7 +129,8 @@ pub fn linear_mis<R: Rng + ?Sized>(
 
         let mut marked = vec![false; id_space];
         let mut n_marked = 0usize;
-        for v in active.alive_vertices() {
+        let alive = active.alive_vertices();
+        for &v in &alive {
             if rng.gen_bool(p) {
                 marked[v as usize] = true;
                 n_marked += 1;
@@ -129,21 +139,19 @@ pub fn linear_mis<R: Rng + ?Sized>(
         cost.record(Cost::parallel_step(n_alive as u64));
 
         let mut unmark = vec![false; id_space];
-        for e in active.edges() {
+        for e in active.edge_slices() {
             if e.iter().all(|&v| marked[v as usize]) {
                 for &v in e {
                     unmark[v as usize] = true;
                 }
             }
         }
-        cost.record(Cost::parallel_step(
-            active.edges().iter().map(|e| e.len()).sum::<usize>() as u64,
-        ));
+        cost.record(Cost::parallel_step(active.total_live_size() as u64));
 
         let mut accepted_flags = vec![false; id_space];
         let mut accepted = Vec::new();
         let mut n_unmarked = 0usize;
-        for v in active.alive_vertices() {
+        for &v in &alive {
             if marked[v as usize] {
                 if unmark[v as usize] {
                     n_unmarked += 1;
@@ -153,8 +161,8 @@ pub fn linear_mis<R: Rng + ?Sized>(
                 }
             }
         }
-        active.kill_vertices(accepted.iter().copied());
-        let emptied = active.shrink_edges_by(&accepted_flags);
+        active.kill_vertices(&accepted);
+        let emptied = active.shrink_edges_by(&accepted_flags, &accepted);
         debug_assert_eq!(emptied, 0);
         let dominated_removed = active.remove_dominated_edges();
         let singletons = active.remove_singleton_edges();

@@ -24,7 +24,7 @@
 
 use hypergraph::degree::MAX_ENUMERABLE_DIMENSION;
 use hypergraph::params::SblParams;
-use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
 use rand::Rng;
 
@@ -114,8 +114,21 @@ pub fn sbl_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> SblOutcome {
     sbl_mis_with(h, rng, &SblConfig::default())
 }
 
-/// Runs SBL with an explicit configuration.
+/// Runs SBL with an explicit configuration on the default (flat) engine.
 pub fn sbl_mis_with<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+) -> SblOutcome {
+    sbl_mis_with_engine::<ActiveHypergraph, R>(h, rng, config)
+}
+
+/// Runs SBL with an explicit configuration and an explicit [`ActiveEngine`]
+/// (used by the differential suites and the bench regression guard). The RNG
+/// consumption order depends only on the engine-observable state (alive
+/// vertices ascending, live edges in arrival order), so two correct engines
+/// produce identical outcomes for the same seed.
+pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,
     config: &SblConfig,
@@ -141,7 +154,7 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
     let mut coloring = Coloring::new(n);
     let mut independent_set: Vec<VertexId> = Vec::new();
     let mut trace = SblTrace::default();
-    let mut active = ActiveHypergraph::from_hypergraph(h);
+    let mut active = E::from_hypergraph(h);
 
     // Line 3 / 26 of Algorithm 1: if every edge is already within the
     // dimension cap, a single BL call suffices.
@@ -183,20 +196,30 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
         };
     }
 
-    // Main sampling loop (lines 4–22).
+    // Main sampling loop (lines 4–22). The per-round flag buffers are reused
+    // across rounds and cleared through the round's sampled list.
     let mut round = 0usize;
-    while active.n_alive() >= tail_threshold && active.n_edges() > 0 && round < config.max_rounds {
+    let mut marked = vec![false; active.id_space()];
+    let mut blue_flags = vec![false; active.id_space()];
+    let mut red_flags = vec![false; active.id_space()];
+    while active.n_alive() >= tail_threshold
+        && active.n_live_edges() > 0
+        && round < config.max_rounds
+    {
         let n_alive = active.n_alive();
-        let m = active.n_edges();
+        let m = active.n_live_edges();
+        // The alive set and the live edges do not change across retries of
+        // the same round, so hoist them out of the retry loop.
+        let alive = active.alive_vertices();
+        let total_live = active.total_live_size() as u64;
 
         // Sample until the dimension check passes (FAIL/retry), up to the
         // configured retry budget.
         let mut failures = 0usize;
         let mut effective_cap = dimension_cap;
-        let (_marked, sampled, sub) = loop {
-            let mut marked = vec![false; active.id_space()];
+        let (sampled, sub) = loop {
             let mut sampled = Vec::new();
-            for v in active.alive_vertices() {
+            for &v in &alive {
                 if rng.gen_bool(p) {
                     marked[v as usize] = true;
                     sampled.push(v);
@@ -204,11 +227,13 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
             }
             cost.record(Cost::parallel_step(n_alive as u64));
             let sub = active.induced_by(&marked);
-            cost.record(Cost::parallel_step(
-                active.edges().iter().map(|e| e.len()).sum::<usize>() as u64,
-            ));
+            // Reset the mark scratch for the next retry / round.
+            for &v in &sampled {
+                marked[v as usize] = false;
+            }
+            cost.record(Cost::parallel_step(total_live));
             if sub.dimension() <= effective_cap {
-                break (marked, sampled, sub);
+                break (sampled, sub);
             }
             failures += 1;
             if failures > config.max_round_retries {
@@ -217,7 +242,7 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
                 // deterministic and only weakens the round's time bound).
                 effective_cap = sub.dimension().min(MAX_ENUMERABLE_DIMENSION);
                 if sub.dimension() <= effective_cap {
-                    break (marked, sampled, sub);
+                    break (sampled, sub);
                 }
             }
         };
@@ -225,37 +250,43 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
         // Run BL on the sampled sub-hypergraph.
         let mut sub = sub;
         let sample_dimension = sub.dimension();
-        let sample_edges = sub.n_edges();
+        let sample_edges = sub.n_live_edges();
         let (blues, bl_trace) = bl_on_active(&mut sub, rng, &config.bl, &mut cost);
 
         // Permanent coloring of V' (invariant of line 5).
-        let mut blue_flags = vec![false; active.id_space()];
         for &v in &blues {
             blue_flags[v as usize] = true;
             coloring.set_blue(v);
         }
-        let mut red_flags = vec![false; active.id_space()];
-        let mut rejected = 0usize;
+        let mut reds: Vec<VertexId> = Vec::new();
         for &v in &sampled {
             if !blue_flags[v as usize] {
                 red_flags[v as usize] = true;
                 coloring.set_red(v);
-                rejected += 1;
+                reds.push(v);
             }
         }
+        let rejected = reds.len();
         independent_set.extend(blues.iter().copied());
 
         // Update H (lines 12–20): V <- V \ V', drop edges touching red,
         // shrink the rest by the blue vertices.
-        active.kill_vertices(sampled.iter().copied());
-        let edges_discarded = active.discard_edges_touching(&red_flags);
-        let emptied = active.shrink_edges_by(&blue_flags);
+        active.kill_vertices(&sampled);
+        let edges_discarded = active.discard_edges_touching(&red_flags, &reds);
+        let emptied = active.shrink_edges_by(&blue_flags, &blues);
         assert_eq!(
             emptied, 0,
             "an edge became entirely blue — BL returned a non-independent set"
         );
         cost.record(Cost::parallel_step(m as u64));
         cost.bump_round();
+
+        // Every set flag belongs to a sampled vertex; reset for the next
+        // round.
+        for &v in &sampled {
+            blue_flags[v as usize] = false;
+            red_flags[v as usize] = false;
+        }
 
         trace.rounds.push(SblRoundStats {
             round,

@@ -1,5 +1,5 @@
 //! [`ActiveHypergraph`]: the mutable working copy consumed round by round by
-//! the iterative MIS algorithms.
+//! the iterative MIS algorithms, as a **flat, epoch-stamped engine**.
 //!
 //! The Beame–Luby algorithm (Algorithm 2 in the paper) and the SBL algorithm
 //! (Algorithm 1) both maintain a hypergraph that shrinks over time:
@@ -15,42 +15,251 @@
 //! * in SBL, edges containing a red vertex are discarded outright (lines
 //!   13–17 of Algorithm 1) because they can never become fully blue.
 //!
-//! [`ActiveHypergraph`] provides exactly these primitive updates so that the
-//! algorithm implementations in the `mis-core` crate read like the pseudocode.
-//! Vertex ids are *global* (those of the original hypergraph); nothing is ever
-//! relabelled, which is what lets SBL stitch the per-round colorings together.
+//! # Layout
+//!
+//! The paper models every one of these updates as `O(1)`-per-element PRAM
+//! work, so the engine stores everything in flat arrays instead of per-edge
+//! set structures:
+//!
+//! * a per-vertex `u8` status array plus a compacted, ascending list of the
+//!   alive vertices (`alive_slice`), maintained incrementally on kills;
+//! * a CSR edge arena (`edge_offsets` / `edge_vertices`) whose per-edge
+//!   segments are compacted in place when blue vertices are trimmed, plus a
+//!   per-edge live-vertex counter — the live members of edge `e` are always
+//!   the sorted prefix `edge_vertices[offsets[e] .. offsets[e] + live_len[e]]`;
+//! * a per-edge `u8` status recording *why* an edge left the instance
+//!   (discarded through a red vertex, dominated, emptied, singleton);
+//! * a compacted live-edge frontier (ascending edge ids), rebuilt with the
+//!   [`pram`] compaction primitives after every batch update;
+//! * a per-vertex epoch-stamp array: transient vertex sets (the killed set of
+//!   a singleton sweep, the membership set of an independence query) are
+//!   represented as `stamp[v] == current_epoch`, so clearing a set is a single
+//!   counter bump instead of an `O(n)` wipe or a fresh allocation.
+//!
+//! Edge trimming and the domination/discard scans run through the
+//! rayon-backed [`pram`] primitives ([`par_map_segments`], [`par_map`],
+//! [`par_compact_indices`]), which fall back to sequential loops below the
+//! cutoff and are order-preserving above it, so results are identical across
+//! thread counts. Cost accounting stays in the *algorithm* layer (the
+//! `mis-core` crate charges the same work–depth script the pseudocode
+//! implies), which keeps `CostTracker` totals independent of the engine.
+//!
+//! # The [`ActiveEngine`] trait and the reference engine
+//!
+//! All algorithms in `mis-core` are generic over [`ActiveEngine`], the
+//! abstract update interface. Two implementations exist:
+//!
+//! * [`ActiveHypergraph`] — the flat engine described above (the default);
+//! * [`reference::ReferenceActiveHypergraph`] — the original
+//!   `Vec<Vec<VertexId>>`/`BTreeSet`-backed implementation, preserved
+//!   verbatim behind the `reference-engine` feature (on by default) as the
+//!   semantic oracle. The differential suites replay identical edit scripts
+//!   and whole algorithm runs against both engines and require identical live
+//!   edges, degrees, colorings and cost totals.
+//!
+//! Vertex ids are *global* (those of the original hypergraph); nothing is
+//! ever relabelled, which is what lets SBL stitch the per-round colorings
+//! together.
 
-use std::collections::BTreeSet;
-
-use crate::graph::{Hypergraph, VertexId};
+use crate::graph::{EdgeId, Hypergraph, VertexId};
 use crate::view::HypergraphView;
+use pram::primitives::{par_compact_indices, par_map, par_map_segments, par_tabulate};
 
-/// A mutable hypergraph view over a fixed vertex id space.
+const V_ALIVE: u8 = 0;
+const V_DEAD: u8 = 1;
+
+/// Edge is still part of the instance.
+pub const EDGE_LIVE: u8 = 0;
+/// Edge was discarded because it touched a decided-red vertex.
+pub const EDGE_DISCARDED: u8 = 1;
+/// Edge was removed because it strictly contains another live edge.
+pub const EDGE_DOMINATED: u8 = 2;
+/// Edge lost all of its vertices to trimming (only possible if the caller
+/// violated independence; the algorithms assert this never happens).
+pub const EDGE_EMPTIED: u8 = 3;
+/// Edge was a singleton `{v}` and was removed together with `v`.
+pub const EDGE_SINGLETON: u8 = 4;
+
+/// The abstract update interface of the round-based MIS algorithms: every
+/// mutation the SBL/BL/KUW pseudocode performs on its working hypergraph.
 ///
-/// See the [module documentation](self) for the role it plays in the
-/// algorithms.
+/// Implementations must be *observationally identical*: given the same
+/// sequence of calls they must report the same alive vertices (ascending),
+/// the same live edges (same relative order, same sorted member lists) and
+/// the same return values. The differential suites
+/// (`crates/hypergraph/tests/active_diff.rs` and the facade property tests)
+/// enforce this between [`ActiveHypergraph`] and the reference engine.
+pub trait ActiveEngine: HypergraphView + Clone {
+    /// Creates an active copy of a full hypergraph: every vertex alive, every
+    /// edge present.
+    fn from_hypergraph(h: &Hypergraph) -> Self;
+
+    /// Number of alive (undecided) vertices.
+    fn n_alive(&self) -> usize {
+        self.n_active_vertices()
+    }
+
+    /// Number of live edges.
+    fn n_live_edges(&self) -> usize {
+        self.n_active_edges()
+    }
+
+    /// Returns `true` if vertex `v` is alive.
+    fn is_alive(&self, v: VertexId) -> bool {
+        self.is_active(v)
+    }
+
+    /// The alive vertices in increasing order.
+    fn alive_vertices(&self) -> Vec<VertexId> {
+        self.active_vertices()
+    }
+
+    /// Total size of the live edges, `Σ_e |e|` over live members.
+    fn total_live_size(&self) -> usize;
+
+    /// Marks the given vertices dead (decided). Edges are not touched;
+    /// combine with [`shrink_edges_by`](Self::shrink_edges_by) or
+    /// [`discard_edges_touching`](Self::discard_edges_touching) according to
+    /// the algorithm's semantics.
+    fn kill_vertices(&mut self, vs: &[VertexId]);
+
+    /// Removes the vertices of `set` from every edge (the "trim" step: these
+    /// vertices joined the independent set, so the rest of each edge must
+    /// still avoid becoming fully blue). `vs` must list exactly the vertices
+    /// flagged in `set` (duplicate-free; implementations may use either
+    /// representation). Edges that become empty are dropped — an empty edge
+    /// can only arise if the caller violated independence, so this also
+    /// returns how many edges emptied (0 in correct executions; tests assert
+    /// on it).
+    fn shrink_edges_by(&mut self, set: &[bool], vs: &[VertexId]) -> usize;
+
+    /// Discards every edge that contains at least one vertex from `set`
+    /// (SBL: edges touching a red vertex can never become fully blue).
+    /// `vs` must list exactly the vertices flagged in `set`.
+    /// Returns the number of edges discarded.
+    fn discard_edges_touching(&mut self, set: &[bool], vs: &[VertexId]) -> usize;
+
+    /// Removes every edge that strictly contains another live edge
+    /// ("dominated" edges). Exact duplicates keep both representatives.
+    /// Returns the number of edges removed.
+    fn remove_dominated_edges(&mut self) -> usize;
+
+    /// Removes singleton edges `{v}` and kills their vertex `v` (such a
+    /// vertex can never join the independent set), discarding every other
+    /// edge through `v`. Returns the killed vertices, ascending.
+    fn remove_singleton_edges(&mut self) -> Vec<VertexId>;
+
+    /// The sub-hypergraph induced by the marked vertices, keeping only edges
+    /// *fully contained* in the mark set (the `H' = (V', E')` of SBL line 7).
+    /// The returned engine shares the global id space.
+    fn induced_by(&self, marked: &[bool]) -> Self;
+
+    /// Independence oracle: `true` iff some live edge lies entirely inside
+    /// `set`. Takes `&mut self` so implementations may use epoch-stamped
+    /// scratch instead of allocating a membership array per query.
+    fn contains_live_edge_within(&mut self, set: &[VertexId]) -> bool;
+
+    /// The live edges as owned sorted vertex lists, in frontier order
+    /// (used by tests and the differential oracle).
+    fn live_edges_owned(&self) -> Vec<Vec<VertexId>>;
+
+    /// Converts the active view into a compact immutable [`Hypergraph`] with
+    /// vertices relabelled to `0..n_alive`, returning the hypergraph and the
+    /// mapping `new -> old` id.
+    fn compact(&self) -> (Hypergraph, Vec<VertexId>);
+
+    /// Checks internal invariants (debug builds); used by tests.
+    fn validate(&self);
+}
+
+/// A mutable hypergraph view over a fixed vertex id space, stored as flat
+/// epoch-stamped arrays.
+///
+/// See the [module documentation](self) for the layout and the role it plays
+/// in the algorithms.
 #[derive(Debug, Clone)]
 pub struct ActiveHypergraph {
     /// Size of the vertex id space (ids of the original hypergraph).
     id_space: usize,
-    /// `alive[v]` — vertex `v` is still undecided.
-    alive: Vec<bool>,
-    /// Number of `true` entries in `alive`.
-    n_alive: usize,
-    /// Current edges: sorted vertex lists over alive vertices.
-    edges: Vec<Vec<VertexId>>,
+    /// `status[v]` — `V_ALIVE` while vertex `v` is undecided.
+    status: Vec<u8>,
+    /// Compacted list of alive vertices, always ascending.
+    alive_list: Vec<VertexId>,
+    /// CSR offsets into `edge_vertices`; fixed at construction.
+    edge_offsets: Vec<u32>,
+    /// Per-edge sorted vertex runs; live members are compacted to the front
+    /// of each segment.
+    edge_vertices: Vec<VertexId>,
+    /// `live_len[e]` — number of live members of edge `e`.
+    live_len: Vec<u32>,
+    /// `edge_status[e]` — `EDGE_LIVE` or the reason the edge left.
+    edge_status: Vec<u8>,
+    /// Compacted frontier of live edge ids, always ascending.
+    live_edges: Vec<EdgeId>,
+    /// Epoch stamps for transient vertex sets: `stamp[v] == epoch` means "in
+    /// the current set".
+    stamp: Vec<u32>,
+    /// Current epoch of `stamp`.
+    epoch: u32,
+    /// Vertex→edge incidence CSR of the *original* edge arena (offsets of
+    /// length `id_space + 1`, concatenated edge ids), inherited from the
+    /// source [`Hypergraph`]. Edges only ever lose members, so an edge
+    /// containing `v` now was always incident to `v` — which makes the
+    /// original incidence a sound over-approximation and enables the
+    /// incidence-directed trim/discard fast path. `None` for engines built
+    /// from raw parts or by [`induced_by`](Self::induced_by) (their instances
+    /// are small; the scan path is cheap there).
+    incidence: Option<(Vec<u32>, Vec<EdgeId>)>,
 }
 
 impl ActiveHypergraph {
-    /// Creates an active copy of a full hypergraph: every vertex alive, every
-    /// edge present.
-    pub fn from_hypergraph(h: &Hypergraph) -> Self {
-        ActiveHypergraph {
-            id_space: h.n_vertices(),
-            alive: vec![true; h.n_vertices()],
-            n_alive: h.n_vertices(),
-            edges: h.edges_owned(),
+    /// `alive_list` must be exactly the ascending ids with `status == V_ALIVE`.
+    fn from_edge_lists<'a, I>(
+        id_space: usize,
+        status: Vec<u8>,
+        alive_list: Vec<VertexId>,
+        edges: I,
+    ) -> Self
+    where
+        I: Iterator<Item = &'a [VertexId]>,
+    {
+        let mut edge_offsets = vec![0u32];
+        let mut edge_vertices = Vec::new();
+        let mut live_len = Vec::new();
+        for e in edges {
+            edge_vertices.extend_from_slice(e);
+            edge_offsets.push(edge_vertices.len() as u32);
+            live_len.push(e.len() as u32);
         }
+        let m = live_len.len();
+        ActiveHypergraph {
+            id_space,
+            status,
+            alive_list,
+            edge_offsets,
+            edge_vertices,
+            live_len,
+            edge_status: vec![EDGE_LIVE; m],
+            live_edges: (0..m as EdgeId).collect(),
+            stamp: vec![0; id_space],
+            epoch: 0,
+            incidence: None,
+        }
+    }
+
+    /// Creates an active copy of a full hypergraph: every vertex alive, every
+    /// edge present. Inherits the hypergraph's incidence index, enabling the
+    /// incidence-directed trim/discard fast path.
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        let mut ah = Self::from_edge_lists(
+            h.n_vertices(),
+            vec![V_ALIVE; h.n_vertices()],
+            (0..h.n_vertices() as u32).collect(),
+            h.edges(),
+        );
+        let (offsets, incident) = h.incidence_csr();
+        ah.incidence = Some((offsets.to_vec(), incident.to_vec()));
+        ah
     }
 
     /// Creates an active hypergraph from raw parts.
@@ -62,13 +271,19 @@ impl ActiveHypergraph {
     /// Panics (in debug builds) if an edge mentions a dead or out-of-range
     /// vertex or is not sorted.
     pub fn from_parts(alive: Vec<bool>, edges: Vec<Vec<VertexId>>) -> Self {
-        let n_alive = alive.iter().filter(|&&a| a).count();
-        let ah = ActiveHypergraph {
-            id_space: alive.len(),
-            alive,
-            n_alive,
-            edges,
-        };
+        let status: Vec<u8> = alive
+            .iter()
+            .map(|&a| if a { V_ALIVE } else { V_DEAD })
+            .collect();
+        let alive_list = (0..alive.len() as u32)
+            .filter(|&v| alive[v as usize])
+            .collect();
+        let ah = Self::from_edge_lists(
+            alive.len(),
+            status,
+            alive_list,
+            edges.iter().map(|e| e.as_slice()),
+        );
         ah.debug_validate();
         ah
     }
@@ -83,224 +298,520 @@ impl ActiveHypergraph {
     /// Number of alive vertices.
     #[inline]
     pub fn n_alive(&self) -> usize {
-        self.n_alive
+        self.alive_list.len()
     }
 
-    /// Number of current edges.
+    /// Number of live edges.
     #[inline]
     pub fn n_edges(&self) -> usize {
-        self.edges.len()
+        self.live_edges.len()
     }
 
     /// Returns `true` if vertex `v` is alive.
     #[inline]
     pub fn is_alive(&self, v: VertexId) -> bool {
-        self.alive[v as usize]
+        self.status[v as usize] == V_ALIVE
+    }
+
+    /// The alive vertices in increasing order, as a borrowed slice (no
+    /// allocation; the list is maintained incrementally).
+    #[inline]
+    pub fn alive_slice(&self) -> &[VertexId] {
+        &self.alive_list
     }
 
     /// The alive vertices in increasing order.
     pub fn alive_vertices(&self) -> Vec<VertexId> {
-        (0..self.id_space as u32)
-            .filter(|&v| self.alive[v as usize])
+        self.alive_list.clone()
+    }
+
+    /// The live edge ids (ascending), indexing into the original edge arena.
+    #[inline]
+    pub fn live_edge_ids(&self) -> &[EdgeId] {
+        &self.live_edges
+    }
+
+    /// The sorted live members of edge `e`.
+    #[inline]
+    pub fn live_edge(&self, e: EdgeId) -> &[VertexId] {
+        let lo = self.edge_offsets[e as usize] as usize;
+        &self.edge_vertices[lo..lo + self.live_len[e as usize] as usize]
+    }
+
+    /// Why edge `e` left the instance (`EDGE_LIVE` if it has not).
+    #[inline]
+    pub fn edge_status(&self, e: EdgeId) -> u8 {
+        self.edge_status[e as usize]
+    }
+
+    /// The live edges as owned sorted vertex lists, in frontier order.
+    pub fn live_edges_owned(&self) -> Vec<Vec<VertexId>> {
+        self.live_edges
+            .iter()
+            .map(|&e| self.live_edge(e).to_vec())
             .collect()
     }
 
-    /// Read-only access to the current edges.
-    pub fn edges(&self) -> &[Vec<VertexId>] {
-        &self.edges
+    /// Total size of the live edges, `Σ_e |e|` over live members.
+    pub fn total_live_size(&self) -> usize {
+        self.live_edges
+            .iter()
+            .map(|&e| self.live_len[e as usize] as usize)
+            .sum()
     }
 
-    /// Maximum cardinality among current edges (0 if edgeless).
+    /// Maximum cardinality among live edges (0 if edgeless).
     pub fn dimension(&self) -> usize {
-        self.edges.iter().map(|e| e.len()).max().unwrap_or(0)
+        self.live_edges
+            .iter()
+            .map(|&e| self.live_len[e as usize] as usize)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Marks the given vertices dead (decided). Edges are not touched; combine
-    /// with [`shrink_edges_by`](Self::shrink_edges_by) or
-    /// [`discard_edges_touching`](Self::discard_edges_touching) according to
-    /// the algorithm's semantics.
-    pub fn kill_vertices<I: IntoIterator<Item = VertexId>>(&mut self, vs: I) {
-        for v in vs {
-            let slot = &mut self.alive[v as usize];
-            if *slot {
-                *slot = false;
-                self.n_alive -= 1;
+    /// Bumps the stamp epoch, wiping the previous transient set in `O(1)`.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Rebuilds the live-edge frontier from the per-edge status array,
+    /// preserving ascending order.
+    fn rebuild_frontier(&mut self) {
+        let status = &self.edge_status;
+        let keep =
+            par_compact_indices(&self.live_edges, |&e| status[e as usize] == EDGE_LIVE, None);
+        let new: Vec<EdgeId> = keep.into_iter().map(|i| self.live_edges[i]).collect();
+        self.live_edges = new;
+    }
+
+    /// Marks the given vertices dead (decided) and compacts the alive list.
+    pub fn kill_vertices(&mut self, vs: &[VertexId]) {
+        let mut changed = false;
+        for &v in vs {
+            let slot = &mut self.status[v as usize];
+            if *slot == V_ALIVE {
+                *slot = V_DEAD;
+                changed = true;
             }
+        }
+        if changed {
+            let status = &self.status;
+            self.alive_list.retain(|&v| status[v as usize] == V_ALIVE);
         }
     }
 
-    /// Removes the vertices of `set` from every edge (the "trim" step: these
-    /// vertices joined the independent set, so the rest of each edge must
-    /// still avoid becoming fully blue). Edges that become empty are dropped —
-    /// an empty edge can only arise if the caller violated independence, so
-    /// this also returns how many edges emptied (0 in correct executions;
-    /// tests assert on it).
-    pub fn shrink_edges_by(&mut self, set: &[bool]) -> usize {
-        let mut emptied = 0;
-        for e in &mut self.edges {
-            e.retain(|&v| !set[v as usize]);
-            if e.is_empty() {
-                emptied += 1;
+    /// Total number of original incident edges of `vs`, if the incidence
+    /// index is available — the cost of the incidence-directed update path.
+    fn incidence_work(&self, vs: &[VertexId]) -> Option<usize> {
+        let (offsets, _) = self.incidence.as_ref()?;
+        Some(
+            vs.iter()
+                .map(|&v| (offsets[v as usize + 1] - offsets[v as usize]) as usize)
+                .sum(),
+        )
+    }
+
+    /// Removes the vertices of `set` from every live edge. `vs` must list
+    /// exactly the set vertices (any order, duplicate-free). Returns the
+    /// number of edges that became empty; those edges are dropped.
+    ///
+    /// Two implementations with identical results: when the trim set's total
+    /// incident degree is small compared to the instance (the common case in
+    /// the SBL/BL rounds), each trimmed vertex walks its original incidence
+    /// list and splices itself out of the affected segments; otherwise every
+    /// live segment is compacted in place through the parallel
+    /// [`par_map_segments`] primitive.
+    pub fn shrink_edges_by(&mut self, set: &[bool], vs: &[VertexId]) -> usize {
+        if let Some(work) = self.incidence_work(vs) {
+            if work.saturating_mul(4) < self.total_live_size() {
+                return self.shrink_by_incidence(vs);
+            }
+        }
+        self.shrink_by_segments(set)
+    }
+
+    /// Incidence-directed trim: `O(Σ_v deg(v) · log|e|)` in the original
+    /// degrees of the trimmed vertices.
+    fn shrink_by_incidence(&mut self, vs: &[VertexId]) -> usize {
+        let (offsets, incident) = self.incidence.as_ref().expect("checked by caller");
+        let mut emptied = 0usize;
+        for &v in vs {
+            let lo = offsets[v as usize] as usize;
+            let hi = offsets[v as usize + 1] as usize;
+            for &e in &incident[lo..hi] {
+                if self.edge_status[e as usize] != EDGE_LIVE {
+                    continue;
+                }
+                let seg_lo = self.edge_offsets[e as usize] as usize;
+                let len = self.live_len[e as usize] as usize;
+                let seg = &mut self.edge_vertices[seg_lo..seg_lo + len];
+                if let Ok(pos) = seg.binary_search(&v) {
+                    seg.copy_within(pos + 1.., pos);
+                    self.live_len[e as usize] = (len - 1) as u32;
+                    if len == 1 {
+                        self.edge_status[e as usize] = EDGE_EMPTIED;
+                        emptied += 1;
+                    }
+                }
             }
         }
         if emptied > 0 {
-            self.edges.retain(|e| !e.is_empty());
+            self.rebuild_frontier();
         }
         emptied
     }
 
-    /// Discards every edge that contains at least one vertex from `set`
-    /// (SBL: edges touching a red vertex can never become fully blue).
-    /// Returns the number of edges discarded.
-    pub fn discard_edges_touching(&mut self, set: &[bool]) -> usize {
-        let before = self.edges.len();
-        self.edges.retain(|e| !e.iter().any(|&v| set[v as usize]));
-        before - self.edges.len()
+    /// Full-scan trim: every live segment is compacted in place (in parallel
+    /// above the pram cutoff).
+    fn shrink_by_segments(&mut self, set: &[bool]) -> usize {
+        // Carve the live-edge segments out of the arena as disjoint mutable
+        // slices (frontier order is ascending, so a split_at_mut sweep works).
+        let mut segments: Vec<&mut [VertexId]> = Vec::with_capacity(self.live_edges.len());
+        let mut rest: &mut [VertexId] = &mut self.edge_vertices;
+        let mut pos = 0usize;
+        for &e in &self.live_edges {
+            let lo = self.edge_offsets[e as usize] as usize;
+            let len = self.live_len[e as usize] as usize;
+            let (_, tail) = std::mem::take(&mut rest).split_at_mut(lo - pos);
+            let (seg, tail) = tail.split_at_mut(len);
+            segments.push(seg);
+            rest = tail;
+            pos = lo + len;
+        }
+        let new_lens = par_map_segments(
+            segments,
+            |seg| {
+                let mut w = 0usize;
+                for i in 0..seg.len() {
+                    let v = seg[i];
+                    if !set[v as usize] {
+                        seg[w] = v;
+                        w += 1;
+                    }
+                }
+                w as u32
+            },
+            None,
+        );
+        let mut emptied = 0usize;
+        for (k, &e) in self.live_edges.iter().enumerate() {
+            self.live_len[e as usize] = new_lens[k];
+            if new_lens[k] == 0 {
+                self.edge_status[e as usize] = EDGE_EMPTIED;
+                emptied += 1;
+            }
+        }
+        if emptied > 0 {
+            self.rebuild_frontier();
+        }
+        emptied
     }
 
-    /// Removes every edge that strictly contains another current edge
-    /// ("dominated" edges). Exact duplicates keep one representative.
-    /// Returns the number of edges removed.
+    /// Discards every live edge containing at least one vertex from `set`.
+    /// `vs` must list exactly the set vertices (any order, duplicate-free).
+    /// Returns the number of edges discarded.
     ///
-    /// Runs in `O(Σ|e| · avg-degree)` by probing, for every edge, the edges
-    /// incident to its least-frequent vertex.
-    pub fn remove_dominated_edges(&mut self) -> usize {
-        let m = self.edges.len();
-        if m <= 1 {
-            return 0;
-        }
-        // Incidence lists over current edges.
-        let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); self.id_space];
-        for (i, e) in self.edges.iter().enumerate() {
-            for &v in e {
-                incidence[v as usize].push(i as u32);
+    /// Like [`shrink_edges_by`](Self::shrink_edges_by), this picks between an
+    /// incidence-directed walk of the touched vertices' edges and a parallel
+    /// scan of all live edges; the results are identical.
+    pub fn discard_edges_touching(&mut self, set: &[bool], vs: &[VertexId]) -> usize {
+        if let Some(work) = self.incidence_work(vs) {
+            if work.saturating_mul(4) < self.total_live_size() {
+                return self.discard_by_incidence(vs);
             }
         }
-        // Sort edge indices by size so we keep the smaller (containing) edge
-        // and drop the larger one; ties keep the earlier index.
-        let mut order: Vec<u32> = (0..m as u32).collect();
-        order.sort_by_key(|&i| (self.edges[i as usize].len(), i));
+        self.discard_by_scan(set)
+    }
 
-        let mut dead = vec![false; m];
-        for &i in &order {
-            if dead[i as usize] {
-                continue;
-            }
-            let e = &self.edges[i as usize];
-            // Any *other* live edge that contains every vertex of e is
-            // dominated. Candidates must be incident to the least-degree
-            // vertex of e.
-            let pivot = e
-                .iter()
-                .copied()
-                .min_by_key(|&v| incidence[v as usize].len())
-                .expect("edges are non-empty");
-            for &cand in &incidence[pivot as usize] {
-                if cand == i || dead[cand as usize] {
+    /// Incidence-directed discard: only the original incident edges of the
+    /// touched vertices are inspected. Membership is re-checked against the
+    /// *live* members, since a vertex may have been trimmed out of an edge
+    /// earlier (such an edge must survive).
+    fn discard_by_incidence(&mut self, vs: &[VertexId]) -> usize {
+        let (offsets, incident) = self.incidence.as_ref().expect("checked by caller");
+        let mut removed = 0usize;
+        for &v in vs {
+            let lo = offsets[v as usize] as usize;
+            let hi = offsets[v as usize + 1] as usize;
+            for &e in &incident[lo..hi] {
+                if self.edge_status[e as usize] != EDGE_LIVE {
                     continue;
                 }
-                let ce = &self.edges[cand as usize];
-                if ce.len() <= e.len() {
-                    // Can't strictly contain e (equal-size duplicates were
-                    // already deduplicated at build time; if not, keep both —
-                    // harmless for correctness).
-                    continue;
-                }
-                if e.iter().all(|&v| ce.binary_search(&v).is_ok()) {
-                    dead[cand as usize] = true;
+                let seg_lo = self.edge_offsets[e as usize] as usize;
+                let len = self.live_len[e as usize] as usize;
+                if self.edge_vertices[seg_lo..seg_lo + len]
+                    .binary_search(&v)
+                    .is_ok()
+                {
+                    self.edge_status[e as usize] = EDGE_DISCARDED;
+                    removed += 1;
                 }
             }
         }
-        let removed = dead.iter().filter(|&&d| d).count();
         if removed > 0 {
-            let mut idx = 0;
-            self.edges.retain(|_| {
-                let keep = !dead[idx];
-                idx += 1;
-                keep
-            });
+            self.rebuild_frontier();
         }
         removed
     }
 
-    /// Removes singleton edges `{v}` and kills their vertex `v` (such a vertex
-    /// can never join the independent set). Returns the killed vertices.
-    ///
-    /// Removing a singleton may not create new singletons by itself (edges do
-    /// not shrink here), so a single pass suffices.
-    pub fn remove_singleton_edges(&mut self) -> Vec<VertexId> {
-        let mut killed = BTreeSet::new();
-        for e in &self.edges {
-            if e.len() == 1 {
-                killed.insert(e[0]);
+    /// Full-scan discard over every live edge (in parallel above the pram
+    /// cutoff).
+    fn discard_by_scan(&mut self, set: &[bool]) -> usize {
+        let offsets = &self.edge_offsets;
+        let verts = &self.edge_vertices;
+        let live_len = &self.live_len;
+        let hit: Vec<bool> = par_map(
+            &self.live_edges,
+            |&e| {
+                let lo = offsets[e as usize] as usize;
+                verts[lo..lo + live_len[e as usize] as usize]
+                    .iter()
+                    .any(|&v| set[v as usize])
+            },
+            None,
+        );
+        self.apply_edge_hits(&hit, EDGE_DISCARDED)
+    }
+
+    /// Discards every live edge with a member stamped at `cur`, tagging it
+    /// with `reason`. Returns the number of edges discarded.
+    fn discard_edges_stamped(&mut self, cur: u32, reason: u8) -> usize {
+        let offsets = &self.edge_offsets;
+        let verts = &self.edge_vertices;
+        let live_len = &self.live_len;
+        let stamp = &self.stamp;
+        let hit: Vec<bool> = par_map(
+            &self.live_edges,
+            |&e| {
+                let lo = offsets[e as usize] as usize;
+                verts[lo..lo + live_len[e as usize] as usize]
+                    .iter()
+                    .any(|&v| stamp[v as usize] == cur)
+            },
+            None,
+        );
+        self.apply_edge_hits(&hit, reason)
+    }
+
+    /// Tags every frontier edge whose `hit` flag is set with `reason` and
+    /// rebuilds the frontier; returns how many edges were tagged.
+    fn apply_edge_hits(&mut self, hit: &[bool], reason: u8) -> usize {
+        let mut removed = 0usize;
+        for (k, &e) in self.live_edges.iter().enumerate() {
+            if hit[k] {
+                self.edge_status[e as usize] = reason;
+                removed += 1;
             }
         }
-        if killed.is_empty() {
+        if removed > 0 {
+            self.rebuild_frontier();
+        }
+        removed
+    }
+
+    /// Removes every live edge that strictly contains another live edge.
+    /// Exact duplicates (equal live member sets) keep both representatives.
+    /// Returns the number of edges removed.
+    ///
+    /// Every edge probes the edges incident to its least-frequent member for
+    /// strict supersets; the probes are independent, so they run through
+    /// [`par_tabulate`]. The removed set is order-independent (an edge is
+    /// removed iff *some* live edge is strictly contained in it), which is
+    /// what makes the parallel formulation exact.
+    pub fn remove_dominated_edges(&mut self) -> usize {
+        let m = self.live_edges.len();
+        if m <= 1 {
+            return 0;
+        }
+        // Incidence via (vertex, frontier-position) pair sort: `O(T log T)`
+        // in the total live size `T`, with no dependence on the id space —
+        // crucial for SBL's sampled sub-instances, which inherit the global
+        // id space but hold only a handful of vertices.
+        let mut pairs: Vec<(VertexId, u32)> = Vec::with_capacity(self.total_live_size());
+        for (k, &e) in self.live_edges.iter().enumerate() {
+            for &v in self.live_edge(e) {
+                pairs.push((v, k as u32));
+            }
+        }
+        pairs.sort_unstable();
+        // incidence(v) = the contiguous run of pairs with first component v.
+        let run_of = |v: VertexId| -> &[(VertexId, u32)] {
+            let lo = pairs.partition_point(|&(u, _)| u < v);
+            let hi = pairs.partition_point(|&(u, _)| u <= v);
+            &pairs[lo..hi]
+        };
+
+        let live_edges = &self.live_edges;
+        let offsets = &self.edge_offsets;
+        let verts = &self.edge_vertices;
+        let live_len = &self.live_len;
+        let slice_of = |k: usize| -> &[VertexId] {
+            let e = live_edges[k] as usize;
+            let lo = offsets[e] as usize;
+            &verts[lo..lo + live_len[e] as usize]
+        };
+        let hits: Vec<Vec<u32>> = par_tabulate(
+            m,
+            |k| {
+                let e = slice_of(k);
+                // Any *other* live edge that contains every member of e is
+                // dominated. Candidates must be incident to the
+                // least-frequent member of e.
+                let pivot = e
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| run_of(v).len())
+                    .expect("live edges are non-empty");
+                let mut out = Vec::new();
+                for &(_, cand) in run_of(pivot) {
+                    if cand as usize == k {
+                        continue;
+                    }
+                    let ce = slice_of(cand as usize);
+                    // Equal-size edges cannot *strictly* contain e.
+                    if ce.len() <= e.len() {
+                        continue;
+                    }
+                    if e.iter().all(|&v| ce.binary_search(&v).is_ok()) {
+                        out.push(cand);
+                    }
+                }
+                out
+            },
+            None,
+        );
+        let mut dead = vec![false; m];
+        let mut removed = 0usize;
+        for hs in &hits {
+            for &c in hs {
+                if !dead[c as usize] {
+                    dead[c as usize] = true;
+                    removed += 1;
+                }
+            }
+        }
+        if removed > 0 {
+            for (k, &e) in self.live_edges.iter().enumerate() {
+                if dead[k] {
+                    self.edge_status[e as usize] = EDGE_DOMINATED;
+                }
+            }
+            self.rebuild_frontier();
+        }
+        removed
+    }
+
+    /// Removes singleton edges `{v}` and kills their vertex `v` (such a
+    /// vertex can never join the independent set). Every other edge through a
+    /// killed vertex can never become fully blue any more and is discarded as
+    /// well. Returns the killed vertices, ascending.
+    pub fn remove_singleton_edges(&mut self) -> Vec<VertexId> {
+        let cur = self.next_epoch();
+        let mut killed: Vec<VertexId> = Vec::new();
+        let mut any = false;
+        for &e in &self.live_edges {
+            if self.live_len[e as usize] == 1 {
+                any = true;
+                self.edge_status[e as usize] = EDGE_SINGLETON;
+                let v = self.edge_vertices[self.edge_offsets[e as usize] as usize];
+                if self.stamp[v as usize] != cur {
+                    self.stamp[v as usize] = cur;
+                    killed.push(v);
+                }
+            }
+        }
+        if !any {
             return Vec::new();
         }
-        self.edges.retain(|e| e.len() != 1);
-        // Edges through a killed vertex can never be fully blue any more, so
-        // they are dropped as well (the vertex is decided red). This mirrors
-        // the effect of V' <- V' \ {v} in Algorithm 2: the edge can never be
-        // completed within the remaining vertex set... but note the BL
-        // pseudocode only deletes the singleton edge and its vertex; other
-        // edges keep the vertex and simply can never be fully marked because
-        // the vertex is gone from V'. To keep the invariant "edges only
-        // mention alive vertices", we drop the killed vertex from the other
-        // edges is NOT correct (it would let them become blue). Instead we
-        // discard those edges: they are satisfied forever.
-        let mut flag = vec![false; self.id_space];
-        for &v in &killed {
-            flag[v as usize] = true;
+        killed.sort_unstable();
+        self.rebuild_frontier();
+        let use_incidence = self
+            .incidence_work(&killed)
+            .is_some_and(|w| w.saturating_mul(4) < self.total_live_size());
+        if use_incidence {
+            self.discard_by_incidence(&killed);
+        } else {
+            self.discard_edges_stamped(cur, EDGE_DISCARDED);
         }
-        self.discard_edges_touching(&flag);
-        self.kill_vertices(killed.iter().copied());
-        killed.into_iter().collect()
+        self.kill_vertices(&killed);
+        killed
     }
 
     /// The sub-hypergraph induced by the marked vertices, keeping only edges
     /// *fully contained* in the mark set (the `H' = (V', E')` of SBL line 7).
     ///
-    /// The returned hypergraph shares the global id space.
+    /// The returned engine shares the global id space.
     pub fn induced_by(&self, marked: &[bool]) -> ActiveHypergraph {
-        let mut alive = vec![false; self.id_space];
-        let mut n_alive = 0;
-        for v in 0..self.id_space {
-            if self.alive[v] && marked[v] {
-                alive[v] = true;
-                n_alive += 1;
+        let mut status = vec![V_DEAD; self.id_space];
+        let mut alive_list = Vec::new();
+        for &v in &self.alive_list {
+            if marked[v as usize] {
+                status[v as usize] = V_ALIVE;
+                alive_list.push(v);
             }
         }
-        let edges: Vec<Vec<VertexId>> = self
-            .edges
+        let status_ref = &status;
+        let offsets = &self.edge_offsets;
+        let verts = &self.edge_vertices;
+        let live_len = &self.live_len;
+        let keep: Vec<bool> = par_map(
+            &self.live_edges,
+            |&e| {
+                let lo = offsets[e as usize] as usize;
+                verts[lo..lo + live_len[e as usize] as usize]
+                    .iter()
+                    .all(|&v| status_ref[v as usize] == V_ALIVE)
+            },
+            None,
+        );
+        let edges = self
+            .live_edges
             .iter()
-            .filter(|e| e.iter().all(|&v| alive[v as usize]))
-            .cloned()
-            .collect();
-        ActiveHypergraph {
-            id_space: self.id_space,
-            alive,
-            n_alive,
-            edges,
+            .enumerate()
+            .filter(|&(k, _)| keep[k])
+            .map(|(_, &e)| self.live_edge(e));
+        Self::from_edge_lists(self.id_space, status, alive_list, edges)
+    }
+
+    /// Independence oracle over the live edges: `true` iff some live edge
+    /// lies entirely inside `set`. Uses the epoch-stamp scratch, so repeated
+    /// queries allocate nothing.
+    pub fn contains_live_edge_within(&mut self, set: &[VertexId]) -> bool {
+        let cur = self.next_epoch();
+        for &v in set {
+            self.stamp[v as usize] = cur;
         }
+        self.live_edges.iter().any(|&e| {
+            let lo = self.edge_offsets[e as usize] as usize;
+            self.edge_vertices[lo..lo + self.live_len[e as usize] as usize]
+                .iter()
+                .all(|&v| self.stamp[v as usize] == cur)
+        })
     }
 
     /// Converts the active view into a compact immutable [`Hypergraph`] with
     /// vertices relabelled to `0..n_alive`, returning the hypergraph and the
     /// mapping `new -> old` id.
     pub fn compact(&self) -> (Hypergraph, Vec<VertexId>) {
-        let mut new_to_old = Vec::with_capacity(self.n_alive);
+        let new_to_old = self.alive_list.clone();
         let mut old_to_new = vec![u32::MAX; self.id_space];
-        for (v, slot) in old_to_new.iter_mut().enumerate() {
-            if self.alive[v] {
-                *slot = new_to_old.len() as u32;
-                new_to_old.push(v as u32);
-            }
+        for (new, &old) in new_to_old.iter().enumerate() {
+            old_to_new[old as usize] = new as u32;
         }
         let edges: Vec<Vec<VertexId>> = self
-            .edges
+            .live_edges
             .iter()
-            .map(|e| e.iter().map(|&v| old_to_new[v as usize]).collect())
+            .map(|&e| {
+                self.live_edge(e)
+                    .iter()
+                    .map(|&v| old_to_new[v as usize])
+                    .collect()
+            })
             .collect();
         (
             Hypergraph::from_sorted_edges(new_to_old.len() as u32, edges),
@@ -311,22 +822,40 @@ impl ActiveHypergraph {
     /// Checks internal invariants; used by tests and debug assertions.
     ///
     /// # Panics
-    /// Panics if an edge is unsorted, mentions a dead vertex, or is empty.
+    /// Panics (in debug builds) if a live edge is unsorted, mentions a dead
+    /// vertex, is empty, or the alive list / frontier is out of sync.
     pub fn debug_validate(&self) {
-        debug_assert_eq!(
-            self.n_alive,
-            self.alive.iter().filter(|&&a| a).count(),
-            "n_alive out of sync"
+        debug_assert!(
+            self.alive_list.windows(2).all(|w| w[0] < w[1]),
+            "alive list not ascending"
         );
-        for e in &self.edges {
-            debug_assert!(!e.is_empty(), "empty edge");
+        debug_assert_eq!(
+            self.alive_list.len(),
+            self.status.iter().filter(|&&s| s == V_ALIVE).count(),
+            "alive list out of sync with status"
+        );
+        debug_assert!(
+            self.live_edges.windows(2).all(|w| w[0] < w[1]),
+            "frontier not ascending"
+        );
+        debug_assert_eq!(
+            self.live_edges.len(),
+            self.edge_status.iter().filter(|&&s| s == EDGE_LIVE).count(),
+            "frontier out of sync with edge status"
+        );
+        for &e in &self.live_edges {
+            let edge = self.live_edge(e);
+            debug_assert!(!edge.is_empty(), "empty live edge");
             debug_assert!(
-                e.windows(2).all(|w| w[0] < w[1]),
-                "edge not sorted/deduplicated: {e:?}"
+                edge.windows(2).all(|w| w[0] < w[1]),
+                "edge not sorted/deduplicated: {edge:?}"
             );
-            for &v in e {
+            for &v in edge {
                 debug_assert!((v as usize) < self.id_space, "vertex out of range");
-                debug_assert!(self.alive[v as usize], "edge mentions dead vertex {v}");
+                debug_assert!(
+                    self.status[v as usize] == V_ALIVE,
+                    "edge mentions dead vertex {v}"
+                );
             }
         }
     }
@@ -338,27 +867,387 @@ impl HypergraphView for ActiveHypergraph {
     }
 
     fn n_active_vertices(&self) -> usize {
-        self.n_alive
+        self.alive_list.len()
     }
 
     fn n_active_edges(&self) -> usize {
-        self.edges.len()
+        self.live_edges.len()
     }
 
     fn is_active(&self, v: VertexId) -> bool {
-        self.alive[v as usize]
+        self.status[v as usize] == V_ALIVE
     }
 
     fn active_vertices(&self) -> Vec<VertexId> {
-        self.alive_vertices()
+        self.alive_list.clone()
     }
 
     fn edge_slices(&self) -> Box<dyn Iterator<Item = &[VertexId]> + '_> {
-        Box::new(self.edges.iter().map(|e| e.as_slice()))
+        Box::new(self.live_edges.iter().map(move |&e| self.live_edge(e)))
     }
 
     fn dimension(&self) -> usize {
         ActiveHypergraph::dimension(self)
+    }
+}
+
+impl ActiveEngine for ActiveHypergraph {
+    fn from_hypergraph(h: &Hypergraph) -> Self {
+        ActiveHypergraph::from_hypergraph(h)
+    }
+
+    fn total_live_size(&self) -> usize {
+        ActiveHypergraph::total_live_size(self)
+    }
+
+    fn kill_vertices(&mut self, vs: &[VertexId]) {
+        ActiveHypergraph::kill_vertices(self, vs)
+    }
+
+    fn shrink_edges_by(&mut self, set: &[bool], vs: &[VertexId]) -> usize {
+        ActiveHypergraph::shrink_edges_by(self, set, vs)
+    }
+
+    fn discard_edges_touching(&mut self, set: &[bool], vs: &[VertexId]) -> usize {
+        ActiveHypergraph::discard_edges_touching(self, set, vs)
+    }
+
+    fn remove_dominated_edges(&mut self) -> usize {
+        ActiveHypergraph::remove_dominated_edges(self)
+    }
+
+    fn remove_singleton_edges(&mut self) -> Vec<VertexId> {
+        ActiveHypergraph::remove_singleton_edges(self)
+    }
+
+    fn induced_by(&self, marked: &[bool]) -> Self {
+        ActiveHypergraph::induced_by(self, marked)
+    }
+
+    fn contains_live_edge_within(&mut self, set: &[VertexId]) -> bool {
+        ActiveHypergraph::contains_live_edge_within(self, set)
+    }
+
+    fn live_edges_owned(&self) -> Vec<Vec<VertexId>> {
+        ActiveHypergraph::live_edges_owned(self)
+    }
+
+    fn compact(&self) -> (Hypergraph, Vec<VertexId>) {
+        ActiveHypergraph::compact(self)
+    }
+
+    fn validate(&self) {
+        self.debug_validate()
+    }
+}
+
+#[cfg(feature = "reference-engine")]
+pub mod reference {
+    //! The original `Vec<Vec<VertexId>>`-backed `ActiveHypergraph`, preserved
+    //! as the semantic oracle for the flat engine.
+    //!
+    //! This is the pre-flat implementation, kept byte-for-byte where possible
+    //! (only the construction and trait plumbing changed). It is compiled
+    //! behind the `reference-engine` feature (on by default) and used by:
+    //!
+    //! * `crates/hypergraph/tests/active_diff.rs` — random edit scripts
+    //!   replayed against both engines;
+    //! * the facade's `tests/mis_properties.rs` — whole algorithm runs
+    //!   compared decision-for-decision;
+    //! * the `bench` crate's `BENCH_activeset.json` regression guard.
+    //!
+    //! Do not optimise this module: its value is that it stays simple and
+    //! obviously correct.
+
+    use std::collections::BTreeSet;
+
+    use super::ActiveEngine;
+    use crate::graph::{Hypergraph, VertexId};
+    use crate::view::HypergraphView;
+
+    /// A mutable hypergraph view over a fixed vertex id space, backed by
+    /// per-edge `Vec`s (the pre-flat representation).
+    #[derive(Debug, Clone)]
+    pub struct ReferenceActiveHypergraph {
+        /// Size of the vertex id space (ids of the original hypergraph).
+        id_space: usize,
+        /// `alive[v]` — vertex `v` is still undecided.
+        alive: Vec<bool>,
+        /// Number of `true` entries in `alive`.
+        n_alive: usize,
+        /// Current edges: sorted vertex lists over alive vertices.
+        edges: Vec<Vec<VertexId>>,
+    }
+
+    impl ReferenceActiveHypergraph {
+        /// Creates an active copy of a full hypergraph.
+        pub fn from_hypergraph(h: &Hypergraph) -> Self {
+            ReferenceActiveHypergraph {
+                id_space: h.n_vertices(),
+                alive: vec![true; h.n_vertices()],
+                n_alive: h.n_vertices(),
+                edges: h.edges_owned(),
+            }
+        }
+
+        /// Number of alive vertices.
+        pub fn n_alive(&self) -> usize {
+            self.n_alive
+        }
+
+        /// Read-only access to the current edges.
+        pub fn edges(&self) -> &[Vec<VertexId>] {
+            &self.edges
+        }
+
+        /// The alive vertices in increasing order.
+        pub fn alive_vertices(&self) -> Vec<VertexId> {
+            (0..self.id_space as u32)
+                .filter(|&v| self.alive[v as usize])
+                .collect()
+        }
+
+        fn kill_vertices_impl(&mut self, vs: &[VertexId]) {
+            for &v in vs {
+                let slot = &mut self.alive[v as usize];
+                if *slot {
+                    *slot = false;
+                    self.n_alive -= 1;
+                }
+            }
+        }
+
+        fn shrink_edges_by_impl(&mut self, set: &[bool]) -> usize {
+            let mut emptied = 0;
+            for e in &mut self.edges {
+                e.retain(|&v| !set[v as usize]);
+                if e.is_empty() {
+                    emptied += 1;
+                }
+            }
+            if emptied > 0 {
+                self.edges.retain(|e| !e.is_empty());
+            }
+            emptied
+        }
+
+        fn discard_edges_touching_impl(&mut self, set: &[bool]) -> usize {
+            let before = self.edges.len();
+            self.edges.retain(|e| !e.iter().any(|&v| set[v as usize]));
+            before - self.edges.len()
+        }
+
+        fn remove_dominated_edges_impl(&mut self) -> usize {
+            let m = self.edges.len();
+            if m <= 1 {
+                return 0;
+            }
+            let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); self.id_space];
+            for (i, e) in self.edges.iter().enumerate() {
+                for &v in e {
+                    incidence[v as usize].push(i as u32);
+                }
+            }
+            let mut order: Vec<u32> = (0..m as u32).collect();
+            order.sort_by_key(|&i| (self.edges[i as usize].len(), i));
+
+            let mut dead = vec![false; m];
+            for &i in &order {
+                if dead[i as usize] {
+                    continue;
+                }
+                let e = &self.edges[i as usize];
+                let pivot = e
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| incidence[v as usize].len())
+                    .expect("edges are non-empty");
+                for &cand in &incidence[pivot as usize] {
+                    if cand == i || dead[cand as usize] {
+                        continue;
+                    }
+                    let ce = &self.edges[cand as usize];
+                    if ce.len() <= e.len() {
+                        continue;
+                    }
+                    if e.iter().all(|&v| ce.binary_search(&v).is_ok()) {
+                        dead[cand as usize] = true;
+                    }
+                }
+            }
+            let removed = dead.iter().filter(|&&d| d).count();
+            if removed > 0 {
+                let mut idx = 0;
+                self.edges.retain(|_| {
+                    let keep = !dead[idx];
+                    idx += 1;
+                    keep
+                });
+            }
+            removed
+        }
+
+        fn remove_singleton_edges_impl(&mut self) -> Vec<VertexId> {
+            let mut killed = BTreeSet::new();
+            for e in &self.edges {
+                if e.len() == 1 {
+                    killed.insert(e[0]);
+                }
+            }
+            if killed.is_empty() {
+                return Vec::new();
+            }
+            self.edges.retain(|e| e.len() != 1);
+            let mut flag = vec![false; self.id_space];
+            for &v in &killed {
+                flag[v as usize] = true;
+            }
+            self.discard_edges_touching_impl(&flag);
+            let killed: Vec<VertexId> = killed.into_iter().collect();
+            self.kill_vertices_impl(&killed);
+            killed
+        }
+
+        fn induced_by_impl(&self, marked: &[bool]) -> Self {
+            let mut alive = vec![false; self.id_space];
+            let mut n_alive = 0;
+            for v in 0..self.id_space {
+                if self.alive[v] && marked[v] {
+                    alive[v] = true;
+                    n_alive += 1;
+                }
+            }
+            let edges: Vec<Vec<VertexId>> = self
+                .edges
+                .iter()
+                .filter(|e| e.iter().all(|&v| alive[v as usize]))
+                .cloned()
+                .collect();
+            ReferenceActiveHypergraph {
+                id_space: self.id_space,
+                alive,
+                n_alive,
+                edges,
+            }
+        }
+
+        /// Checks internal invariants.
+        pub fn debug_validate(&self) {
+            debug_assert_eq!(
+                self.n_alive,
+                self.alive.iter().filter(|&&a| a).count(),
+                "n_alive out of sync"
+            );
+            for e in &self.edges {
+                debug_assert!(!e.is_empty(), "empty edge");
+                debug_assert!(
+                    e.windows(2).all(|w| w[0] < w[1]),
+                    "edge not sorted/deduplicated: {e:?}"
+                );
+                for &v in e {
+                    debug_assert!((v as usize) < self.id_space, "vertex out of range");
+                    debug_assert!(self.alive[v as usize], "edge mentions dead vertex {v}");
+                }
+            }
+        }
+    }
+
+    impl HypergraphView for ReferenceActiveHypergraph {
+        fn id_space(&self) -> usize {
+            self.id_space
+        }
+
+        fn n_active_vertices(&self) -> usize {
+            self.n_alive
+        }
+
+        fn n_active_edges(&self) -> usize {
+            self.edges.len()
+        }
+
+        fn is_active(&self, v: VertexId) -> bool {
+            self.alive[v as usize]
+        }
+
+        fn active_vertices(&self) -> Vec<VertexId> {
+            self.alive_vertices()
+        }
+
+        fn edge_slices(&self) -> Box<dyn Iterator<Item = &[VertexId]> + '_> {
+            Box::new(self.edges.iter().map(|e| e.as_slice()))
+        }
+    }
+
+    impl ActiveEngine for ReferenceActiveHypergraph {
+        fn from_hypergraph(h: &Hypergraph) -> Self {
+            ReferenceActiveHypergraph::from_hypergraph(h)
+        }
+
+        fn total_live_size(&self) -> usize {
+            self.edges.iter().map(|e| e.len()).sum()
+        }
+
+        fn kill_vertices(&mut self, vs: &[VertexId]) {
+            self.kill_vertices_impl(vs)
+        }
+
+        fn shrink_edges_by(&mut self, set: &[bool], _vs: &[VertexId]) -> usize {
+            self.shrink_edges_by_impl(set)
+        }
+
+        fn discard_edges_touching(&mut self, set: &[bool], _vs: &[VertexId]) -> usize {
+            self.discard_edges_touching_impl(set)
+        }
+
+        fn remove_dominated_edges(&mut self) -> usize {
+            self.remove_dominated_edges_impl()
+        }
+
+        fn remove_singleton_edges(&mut self) -> Vec<VertexId> {
+            self.remove_singleton_edges_impl()
+        }
+
+        fn induced_by(&self, marked: &[bool]) -> Self {
+            self.induced_by_impl(marked)
+        }
+
+        fn contains_live_edge_within(&mut self, set: &[VertexId]) -> bool {
+            let mut member = vec![false; self.id_space];
+            for &v in set {
+                member[v as usize] = true;
+            }
+            self.edges
+                .iter()
+                .any(|e| e.iter().all(|&v| member[v as usize]))
+        }
+
+        fn live_edges_owned(&self) -> Vec<Vec<VertexId>> {
+            self.edges.clone()
+        }
+
+        fn compact(&self) -> (Hypergraph, Vec<VertexId>) {
+            let mut new_to_old = Vec::with_capacity(self.n_alive);
+            let mut old_to_new = vec![u32::MAX; self.id_space];
+            for (v, slot) in old_to_new.iter_mut().enumerate() {
+                if self.alive[v] {
+                    *slot = new_to_old.len() as u32;
+                    new_to_old.push(v as u32);
+                }
+            }
+            let edges: Vec<Vec<VertexId>> = self
+                .edges
+                .iter()
+                .map(|e| e.iter().map(|&v| old_to_new[v as usize]).collect())
+                .collect();
+            (
+                Hypergraph::from_sorted_edges(new_to_old.len() as u32, edges),
+                new_to_old,
+            )
+        }
+
+        fn validate(&self) {
+            self.debug_validate()
+        }
     }
 }
 
@@ -381,6 +1270,7 @@ mod tests {
         assert_eq!(ah.n_alive(), 6);
         assert_eq!(ah.n_edges(), 4);
         assert_eq!(ah.dimension(), 4);
+        assert_eq!(ah.total_live_size(), 12);
         ah.debug_validate();
     }
 
@@ -390,15 +1280,17 @@ mod tests {
         // Vertex 2 joins the IS: trim it out of every edge.
         let mut set = vec![false; 6];
         set[2] = true;
-        ah.kill_vertices([2]);
-        let emptied = ah.shrink_edges_by(&set);
+        ah.kill_vertices(&[2]);
+        let emptied = ah.shrink_edges_by(&set, &[2]);
         assert_eq!(emptied, 0);
         assert_eq!(ah.n_alive(), 5);
-        assert!(ah.edges().iter().all(|e| !e.contains(&2)));
+        assert_eq!(ah.alive_slice(), &[0, 1, 3, 4, 5]);
+        let edges = ah.live_edges_owned();
+        assert!(edges.iter().all(|e| !e.contains(&2)));
         // Edge {2,3} became {3}; {0,1,2} became {0,1}; {0,1,2,3} became {0,1,3}.
-        assert!(ah.edges().contains(&vec![3]));
-        assert!(ah.edges().contains(&vec![0, 1]));
-        ah.debug_validate();
+        assert!(edges.contains(&vec![3]));
+        assert!(edges.contains(&vec![0, 1]));
+        assert!(edges.contains(&vec![0, 1, 3]));
     }
 
     #[test]
@@ -406,10 +1298,12 @@ mod tests {
         let h = hypergraph_from_edges(3, vec![vec![0, 1]]);
         let mut ah = ActiveHypergraph::from_hypergraph(&h);
         let set = vec![true, true, false];
-        ah.kill_vertices([0, 1]);
-        let emptied = ah.shrink_edges_by(&set);
+        ah.kill_vertices(&[0, 1]);
+        let emptied = ah.shrink_edges_by(&set, &[0, 1]);
         assert_eq!(emptied, 1);
         assert_eq!(ah.n_edges(), 0);
+        assert_eq!(ah.edge_status(0), EDGE_EMPTIED);
+        ah.debug_validate();
     }
 
     #[test]
@@ -417,9 +1311,10 @@ mod tests {
         let mut ah = toy();
         let mut red = vec![false; 6];
         red[4] = true;
-        let removed = ah.discard_edges_touching(&red);
+        let removed = ah.discard_edges_touching(&red, &[4]);
         assert_eq!(removed, 1); // only {3,4,5}
         assert_eq!(ah.n_edges(), 3);
+        assert_eq!(ah.edge_status(2), EDGE_DISCARDED);
     }
 
     #[test]
@@ -429,7 +1324,8 @@ mod tests {
         // {0,1,2,3} strictly contains {0,1,2} and {2,3}.
         assert_eq!(removed, 1);
         assert_eq!(ah.n_edges(), 3);
-        assert!(!ah.edges().contains(&vec![0, 1, 2, 3]));
+        assert!(!ah.live_edges_owned().contains(&vec![0, 1, 2, 3]));
+        assert_eq!(ah.edge_status(3), EDGE_DOMINATED);
     }
 
     #[test]
@@ -439,8 +1335,25 @@ mod tests {
         let removed = ah.remove_dominated_edges();
         assert_eq!(removed, 2);
         assert_eq!(ah.n_edges(), 2);
-        assert!(ah.edges().contains(&vec![0]));
-        assert!(ah.edges().contains(&vec![3, 4]));
+        let edges = ah.live_edges_owned();
+        assert!(edges.contains(&vec![0]));
+        assert!(edges.contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn equal_live_sets_are_both_kept() {
+        // {0,1,2} and {0,1,3} both trim to {0,1}: neither strictly contains
+        // the other, so the dominated sweep keeps both (matching the
+        // reference engine's behaviour for post-trim duplicates).
+        let h = hypergraph_from_edges(4, vec![vec![0, 1, 2], vec![0, 1, 3]]);
+        let mut ah = ActiveHypergraph::from_hypergraph(&h);
+        let mut set = vec![false; 4];
+        set[2] = true;
+        set[3] = true;
+        ah.kill_vertices(&[2, 3]);
+        ah.shrink_edges_by(&set, &[2, 3]);
+        assert_eq!(ah.remove_dominated_edges(), 0);
+        assert_eq!(ah.n_edges(), 2);
     }
 
     #[test]
@@ -452,7 +1365,7 @@ mod tests {
         assert!(!ah.is_alive(1));
         // {1} gone, {1,2} discarded (contains the now-red vertex 1), {2,3} stays.
         assert_eq!(ah.n_edges(), 1);
-        assert_eq!(ah.edges()[0], vec![2, 3]);
+        assert_eq!(ah.live_edges_owned(), vec![vec![2, 3]]);
         ah.debug_validate();
     }
 
@@ -466,18 +1379,18 @@ mod tests {
         let sub = ah.induced_by(&marked);
         assert_eq!(sub.n_alive(), 3);
         assert_eq!(sub.n_edges(), 1); // only {0,1,2}
-        assert_eq!(sub.edges()[0], vec![0, 1, 2]);
+        assert_eq!(sub.live_edges_owned(), vec![vec![0, 1, 2]]);
         sub.debug_validate();
     }
 
     #[test]
     fn compact_relabels_densely() {
         let mut ah = toy();
-        ah.kill_vertices([0, 2]);
+        ah.kill_vertices(&[0, 2]);
         let mut set = vec![false; 6];
         set[0] = true;
         set[2] = true;
-        ah.discard_edges_touching(&set);
+        ah.discard_edges_touching(&set, &[0, 2]);
         let (h, new_to_old) = ah.compact();
         assert_eq!(h.n_vertices(), 4);
         assert_eq!(new_to_old, vec![1, 3, 4, 5]);
@@ -495,5 +1408,101 @@ mod tests {
         assert_eq!(v.dimension(), 4);
         assert!(v.is_independent_in_view(&[0, 1, 3]));
         assert!(!v.is_independent_in_view(&[2, 3]));
+    }
+
+    #[test]
+    fn contains_live_edge_within_matches_view_oracle() {
+        let mut ah = toy();
+        for set in [vec![0u32, 1, 3], vec![2, 3], vec![3, 4, 5], vec![]] {
+            let expected = !ah.is_independent_in_view(&set);
+            assert_eq!(ah.contains_live_edge_within(&set), expected, "{set:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_stamps_do_not_leak_between_queries() {
+        let mut ah = toy();
+        // First query stamps {0,1,2}; second query with a disjoint set must
+        // not see those stamps.
+        assert!(ah.contains_live_edge_within(&[0, 1, 2]));
+        assert!(!ah.contains_live_edge_within(&[3, 4]));
+        assert!(ah.contains_live_edge_within(&[3, 4, 5]));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let ah = ActiveHypergraph::from_parts(
+            vec![true, false, true, true],
+            vec![vec![0, 2], vec![2, 3]],
+        );
+        assert_eq!(ah.n_alive(), 3);
+        assert_eq!(ah.n_edges(), 2);
+        assert_eq!(ah.alive_slice(), &[0, 2, 3]);
+    }
+
+    #[cfg(feature = "reference-engine")]
+    #[test]
+    fn flat_and_reference_agree_on_a_small_script() {
+        use super::reference::ReferenceActiveHypergraph;
+        let h = hypergraph_from_edges(
+            8,
+            vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![0, 1, 2, 3],
+                vec![6],
+                vec![5, 6, 7],
+            ],
+        );
+        let mut flat = ActiveHypergraph::from_hypergraph(&h);
+        let mut reference = ReferenceActiveHypergraph::from_hypergraph(&h);
+
+        let same = |f: &ActiveHypergraph, r: &ReferenceActiveHypergraph| {
+            assert_eq!(f.n_alive(), ActiveEngine::n_alive(r));
+            assert_eq!(f.alive_vertices(), ActiveEngine::alive_vertices(r));
+            assert_eq!(f.live_edges_owned(), ActiveEngine::live_edges_owned(r));
+            assert_eq!(HypergraphView::dimension(f), HypergraphView::dimension(r));
+        };
+
+        assert_eq!(
+            flat.remove_singleton_edges(),
+            ActiveEngine::remove_singleton_edges(&mut reference)
+        );
+        same(&flat, &reference);
+
+        assert_eq!(
+            flat.remove_dominated_edges(),
+            ActiveEngine::remove_dominated_edges(&mut reference)
+        );
+        same(&flat, &reference);
+
+        let mut blue = vec![false; 8];
+        blue[2] = true;
+        flat.kill_vertices(&[2]);
+        ActiveEngine::kill_vertices(&mut reference, &[2]);
+        assert_eq!(
+            flat.shrink_edges_by(&blue, &[2]),
+            ActiveEngine::shrink_edges_by(&mut reference, &blue, &[2])
+        );
+        same(&flat, &reference);
+
+        let mut red = vec![false; 8];
+        red[4] = true;
+        flat.kill_vertices(&[4]);
+        ActiveEngine::kill_vertices(&mut reference, &[4]);
+        assert_eq!(
+            flat.discard_edges_touching(&red, &[4]),
+            ActiveEngine::discard_edges_touching(&mut reference, &red, &[4])
+        );
+        same(&flat, &reference);
+
+        let mut marked = vec![false; 8];
+        for v in [0, 1, 3, 5] {
+            marked[v] = true;
+        }
+        let fs = flat.induced_by(&marked);
+        let rs = ActiveEngine::induced_by(&reference, &marked);
+        same(&fs, &rs);
     }
 }

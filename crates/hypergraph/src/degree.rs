@@ -302,8 +302,8 @@ mod tests {
         let mut ah = ActiveHypergraph::from_hypergraph(&h);
         let mut red = vec![false; 5];
         red[3] = true;
-        ah.discard_edges_touching(&red);
-        ah.kill_vertices([3]);
+        ah.discard_edges_touching(&red, &[3]);
+        ah.kill_vertices(&[3]);
         let t = DegreeTable::build(&ah);
         assert_eq!(t.n_j(&[0, 1], 1), 1);
         assert!((t.delta() - 1.0).abs() < 1e-12);

@@ -264,6 +264,32 @@ pub mod special {
         b.build()
     }
 
+    /// One giant edge over the first `g` vertices, plus a star of `k` 2-edges
+    /// hanging off vertex 0. The giant edge is far above any practical
+    /// dimension cap, so SBL must reach it through sampling rounds; the star
+    /// keeps vertex 0 high-degree. Stresses the mixed giant/small edge paths
+    /// of the trimming and domination machinery.
+    pub fn giant_edge_with_stars(g: usize, k: usize) -> Hypergraph {
+        assert!(g >= 2, "the giant edge needs at least 2 vertices");
+        let n = g + k;
+        let mut b = HypergraphBuilder::new(n);
+        b.add_edge(0..g as VertexId);
+        for i in 0..k {
+            b.add_edge([0, (g + i) as VertexId]);
+        }
+        b.build()
+    }
+
+    /// Every vertex trapped by its own singleton edge `{v}`: the unique MIS
+    /// is empty. Stresses the singleton-removal path of every algorithm.
+    pub fn all_singletons(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(n);
+        for v in 0..n as VertexId {
+            b.add_edge([v]);
+        }
+        b.build()
+    }
+
     /// The "sunflower" with `k` petals of size `d` sharing a common core of
     /// size `c`: every pair of petals intersects exactly in the core. With
     /// `c = 1` this is a linear hypergraph; it stresses the dominated-edge and
@@ -304,6 +330,20 @@ mod tests {
         }
         assert_eq!(random_subset(&mut r, 5, 5), vec![0, 1, 2, 3, 4]);
         assert!(random_subset(&mut r, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn special_adversarial_shapes() {
+        let h = special::giant_edge_with_stars(10, 4);
+        assert_eq!(h.n_vertices(), 14);
+        assert_eq!(h.n_edges(), 5);
+        assert_eq!(h.dimension(), 10);
+        assert_eq!(h.degree(0), 5); // giant edge + all four star edges
+
+        let h = special::all_singletons(6);
+        assert_eq!(h.n_edges(), 6);
+        assert_eq!(h.dimension(), 1);
+        assert!(h.is_maximal_independent(&[]));
     }
 
     #[test]

@@ -148,6 +148,14 @@ impl Hypergraph {
         0..self.n
     }
 
+    /// The raw incidence CSR (offsets of length `n + 1`, concatenated edge
+    /// ids), used by the active engine to seed its incidence-directed
+    /// trimming path.
+    #[inline]
+    pub(crate) fn incidence_csr(&self) -> (&[u32], &[EdgeId]) {
+        (&self.inc_offsets, &self.incident)
+    }
+
     /// The sorted list of edges incident to vertex `v`.
     ///
     /// # Panics

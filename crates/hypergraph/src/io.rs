@@ -20,16 +20,32 @@ use std::path::Path;
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
 
+/// Largest vertex count [`from_str`] accepts. Building the arena allocates
+/// `O(n)` incidence arrays, so the parser refuses headers that would turn a
+/// few hostile bytes into a multi-gigabyte allocation; 2²⁴ vertices (≈200 MB
+/// of arena) is far beyond anything the text format is used for. Construct
+/// larger hypergraphs programmatically via [`HypergraphBuilder`].
+pub const MAX_TEXT_VERTICES: usize = 1 << 24;
+
 /// Errors produced when parsing the text format.
 #[derive(Debug, PartialEq, Eq)]
 pub enum ParseError {
-    /// The header line `n m` is missing or malformed.
+    /// The header line `n m` is missing or malformed (including a vertex
+    /// count beyond [`MAX_TEXT_VERTICES`]).
     BadHeader(String),
-    /// A vertex id could not be parsed or is out of range.
+    /// A vertex id could not be parsed, overflows the id type, or is out of
+    /// range.
     BadVertex {
         /// 1-based line number of the offending edge line.
         line: usize,
         /// The offending token.
+        token: String,
+    },
+    /// A vertex id appears twice on the same edge line.
+    DuplicateVertex {
+        /// 1-based line number of the offending edge line.
+        line: usize,
+        /// The repeated vertex id, in canonical decimal form.
         token: String,
     },
     /// The number of edge lines does not match the header.
@@ -47,6 +63,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadHeader(h) => write!(f, "bad header line: {h:?}"),
             ParseError::BadVertex { line, token } => {
                 write!(f, "bad vertex token {token:?} on line {line}")
+            }
+            ParseError::DuplicateVertex { line, token } => {
+                write!(f, "vertex {token:?} repeated on line {line}")
             }
             ParseError::EdgeCountMismatch { expected, found } => {
                 write!(f, "header announced {expected} edges but found {found}")
@@ -76,6 +95,12 @@ pub fn to_string(h: &Hypergraph) -> String {
 }
 
 /// Parses a hypergraph from the text format.
+///
+/// The parser is total: malformed input of any shape (overflowing counts or
+/// ids, non-numeric tokens, repeated vertices, wrong edge counts) is reported
+/// as a [`ParseError`], never a panic. Blank lines, lines of only whitespace
+/// (including a trailing `\r` from CRLF files) and `#` comments are ignored;
+/// tokens may be separated by any amount of whitespace.
 pub fn from_str(s: &str) -> Result<Hypergraph, ParseError> {
     let mut lines = s
         .lines()
@@ -83,45 +108,70 @@ pub fn from_str(s: &str) -> Result<Hypergraph, ParseError> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-    let (hline_no, header) = lines
+    let (_, header) = lines
         .next()
         .ok_or_else(|| ParseError::BadHeader("<empty input>".into()))?;
+    let bad_header = || ParseError::BadHeader(header.to_string());
+    let parse_count = |t: &str| -> Option<usize> {
+        // Strict digits only: no signs, no leading `+`, no stray characters.
+        if t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        t.parse().ok()
+    };
     let mut it = header.split_whitespace();
-    let n: usize = it
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
-    let m: usize = it
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or_else(|| ParseError::BadHeader(header.to_string()))?;
+    let n: usize = it.next().and_then(parse_count).ok_or_else(bad_header)?;
+    let m: usize = it.next().and_then(parse_count).ok_or_else(bad_header)?;
     if it.next().is_some() {
-        return Err(ParseError::BadHeader(header.to_string()));
+        return Err(bad_header());
     }
-    let _ = hline_no;
+    // Vertex ids are u32, so a larger count cannot be represented (silently
+    // truncating it would mis-validate every id against `n % 2^32`), and the
+    // arena build allocates `O(n)` incidence arrays, so a hostile 13-byte
+    // header must not be able to demand a multi-gigabyte graph either.
+    if n > MAX_TEXT_VERTICES {
+        return Err(bad_header());
+    }
+
+    // Validate the edge count against the actual lines *before* reserving
+    // capacity, so a hostile header cannot trigger a huge or overflowing
+    // allocation.
+    let lines: Vec<(usize, &str)> = lines.collect();
+    if lines.len() != m {
+        return Err(ParseError::EdgeCountMismatch {
+            expected: m,
+            found: lines.len(),
+        });
+    }
 
     let mut builder = HypergraphBuilder::with_capacity(n, m);
-    let mut found = 0usize;
     for (line_no, line) in lines {
-        let mut edge = Vec::new();
+        let mut edge: Vec<u32> = Vec::new();
         for token in line.split_whitespace() {
-            let v: u32 = token.parse().map_err(|_| ParseError::BadVertex {
+            let bad = || ParseError::BadVertex {
                 line: line_no,
                 token: token.to_string(),
-            })?;
+            };
+            if !token.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let v: u32 = token.parse().map_err(|_| bad())?;
             if (v as usize) >= n {
-                return Err(ParseError::BadVertex {
-                    line: line_no,
-                    token: token.to_string(),
-                });
+                return Err(bad());
             }
             edge.push(v);
         }
+        // Duplicate detection via a sorted copy — `O(k log k)`, so a single
+        // hostile line cannot trigger quadratic scanning.
+        let mut sorted = edge.clone();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ParseError::DuplicateVertex {
+                line: line_no,
+                token: w[0].to_string(),
+            });
+        }
         builder.add_edge(edge);
-        found += 1;
-    }
-    if found != m {
-        return Err(ParseError::EdgeCountMismatch { expected: m, found });
     }
     Ok(builder.build())
 }
@@ -186,6 +236,118 @@ mod tests {
                 found: 1
             }
         );
+        // Too many edge lines is just as wrong as too few.
+        let err = from_str("3 1\n0 1\n1 2\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::EdgeCountMismatch {
+                expected: 1,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn overflowing_counts_are_rejected_not_truncated() {
+        // n beyond u32::MAX must not be silently truncated to n % 2^32.
+        assert!(matches!(
+            from_str("4294967296 0\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        // A representable but hostile n must not force an O(n) arena
+        // allocation from a few header bytes.
+        assert!(matches!(
+            from_str("4294967295 0\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        let at_cap = format!("{} 0\n", MAX_TEXT_VERTICES);
+        assert_eq!(from_str(&at_cap).unwrap().n_vertices(), MAX_TEXT_VERTICES);
+        // Counts beyond usize fail the same way.
+        assert!(matches!(
+            from_str("99999999999999999999999999 0\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        // A hostile edge count cannot trigger a huge reservation: the count
+        // is checked against the actual lines first.
+        assert_eq!(
+            from_str("3 18446744073709551615\n0 1\n").unwrap_err(),
+            ParseError::EdgeCountMismatch {
+                expected: usize::MAX,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn overflowing_and_signed_ids_are_rejected() {
+        // An id beyond u32::MAX overflows the id type.
+        let err = from_str("3 1\n0 4294967296\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadVertex { .. }));
+        // Signs are not part of the grammar even though `u32::from_str`
+        // would accept a leading `+`.
+        let err = from_str("3 1\n0 +1\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadVertex { .. }));
+        let err = from_str("3 1\n0 -1\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadVertex { .. }));
+        assert!(matches!(from_str("+3 0\n"), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn duplicate_vertex_on_a_line_is_rejected() {
+        let err = from_str("4 1\n1 2 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::DuplicateVertex {
+                line: 2,
+                token: "1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn whitespace_and_crlf_are_tolerated() {
+        // Trailing whitespace, CRLF endings and whitespace-only lines all
+        // parse to the same hypergraph.
+        let unix = "3 2\n0 1\n1 2\n";
+        let messy = "3 2\r\n0 1  \r\n   \r\n1 2\t\r\n";
+        assert_eq!(from_str(unix).unwrap(), from_str(messy).unwrap());
+    }
+
+    #[test]
+    fn fuzzish_inputs_never_panic() {
+        // A grab-bag of malformed shapes: every one must produce Err, not a
+        // panic or an abort.
+        for s in [
+            "",
+            "\n\n\n",
+            "# only comments\n",
+            "1",
+            "1 2 3\n",
+            "x",
+            "0 0 extra\n",
+            "3 1\n\u{1F600}\n",
+            "2 1\n0 0\n",
+            "3 1\n2 1 0 2\n",
+            "18446744073709551615 18446744073709551615\n",
+            "3 3\n0\n1\n",
+        ] {
+            assert!(from_str(s).is_err(), "{s:?} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_reparse_of_own_output() {
+        // to_string output is always re-parseable, including degenerate
+        // hypergraphs.
+        for h in [
+            hypergraph_from_edges::<Vec<u32>>(0, vec![]),
+            hypergraph_from_edges::<Vec<u32>>(5, vec![]),
+            hypergraph_from_edges(3, vec![vec![0], vec![1], vec![2]]),
+            hypergraph_from_edges(6, vec![vec![0, 1, 2, 3, 4, 5], vec![0, 5]]),
+        ] {
+            let back = from_str(&to_string(&h)).unwrap();
+            assert_eq!(h, back);
+        }
     }
 
     #[test]

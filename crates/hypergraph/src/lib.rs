@@ -8,9 +8,14 @@
 //!
 //! * [`Hypergraph`] — an immutable, arena/CSR-style hypergraph with a
 //!   vertex→edge incidence index, built through [`HypergraphBuilder`].
-//! * [`ActiveHypergraph`] — a mutable *view* used by the iterative algorithms
-//!   (Beame–Luby, SBL, KUW): vertices die, edges shrink, dominated and
-//!   singleton edges are discarded, exactly as in the papers' cleanup steps.
+//! * [`ActiveHypergraph`] — the flat, epoch-stamped working copy consumed by
+//!   the iterative algorithms (Beame–Luby, SBL, KUW): vertices die, edges
+//!   shrink, dominated and singleton edges are discarded, exactly as in the
+//!   papers' cleanup steps. The [`ActiveEngine`] trait abstracts this update
+//!   interface; the pre-flat implementation survives as
+//!   `active::reference::ReferenceActiveHypergraph` behind the
+//!   `reference-engine` feature (on by default) and anchors the differential
+//!   test suites.
 //! * [`degree`] — the normalized-degree machinery of Kelsen's analysis:
 //!   `N_j(x,H)`, `d_j(x,H)`, `Δ_i(H)` and `Δ(H)` (Section 3 of the paper).
 //! * [`generate`] — seeded random hypergraph generators for every workload the
@@ -44,7 +49,9 @@ pub mod params;
 pub mod stats;
 pub mod view;
 
-pub use active::ActiveHypergraph;
+#[cfg(feature = "reference-engine")]
+pub use active::reference::ReferenceActiveHypergraph;
+pub use active::{ActiveEngine, ActiveHypergraph};
 pub use builder::HypergraphBuilder;
 pub use graph::{EdgeId, Hypergraph, VertexId};
 pub use stats::HypergraphStats;
@@ -52,7 +59,9 @@ pub use view::HypergraphView;
 
 /// Commonly used items, intended for `use hypergraph::prelude::*`.
 pub mod prelude {
-    pub use crate::active::ActiveHypergraph;
+    #[cfg(feature = "reference-engine")]
+    pub use crate::active::reference::ReferenceActiveHypergraph;
+    pub use crate::active::{ActiveEngine, ActiveHypergraph};
     pub use crate::builder::HypergraphBuilder;
     pub use crate::degree;
     pub use crate::generate;

@@ -1,0 +1,314 @@
+//! Differential suite for the flat [`ActiveHypergraph`] engine: random edit
+//! scripts of decide/trim/discard operations are replayed against both the
+//! flat engine and the pre-flat reference engine
+//! ([`ReferenceActiveHypergraph`]), and every observable — alive vertices,
+//! live edges, degrees, dimension, operation return values — must match after
+//! every step, for every generator family.
+//!
+//! Requires the `reference-engine` feature (on by default).
+
+#![cfg(feature = "reference-engine")]
+
+use hypergraph::degree::{max_vertex_degree, DegreeTable};
+use hypergraph::prelude::*;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One step of an edit script, in the vocabulary of the round-based
+/// algorithms.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Decide a vertex set blue: kill it and trim it out of every edge.
+    DecideBlue(Vec<u32>),
+    /// Decide a vertex set red: kill it and discard every edge touching it.
+    DecideRed(Vec<u32>),
+    /// Drop edges strictly containing another live edge.
+    RemoveDominated,
+    /// Drop singleton edges together with their vertex.
+    RemoveSingletons,
+    /// Query the independence oracle (no mutation).
+    Oracle(Vec<u32>),
+    /// Restrict both engines to the sub-hypergraph induced by a mark set.
+    Induce(Vec<u32>),
+}
+
+fn flags(id_space: usize, vs: &[u32]) -> Vec<bool> {
+    let mut f = vec![false; id_space];
+    for &v in vs {
+        f[v as usize] = true;
+    }
+    f
+}
+
+/// Asserts every observable of the two engines matches.
+fn assert_same_state(flat: &ActiveHypergraph, reference: &ReferenceActiveHypergraph, ctx: &str) {
+    assert_eq!(
+        flat.n_alive(),
+        ActiveEngine::n_alive(reference),
+        "{ctx}: n_alive"
+    );
+    assert_eq!(
+        flat.alive_vertices(),
+        ActiveEngine::alive_vertices(reference),
+        "{ctx}: alive vertices"
+    );
+    assert_eq!(
+        flat.live_edges_owned(),
+        ActiveEngine::live_edges_owned(reference),
+        "{ctx}: live edges"
+    );
+    assert_eq!(
+        HypergraphView::dimension(flat),
+        HypergraphView::dimension(reference),
+        "{ctx}: dimension"
+    );
+    assert_eq!(
+        flat.total_live_size(),
+        ActiveEngine::total_live_size(reference),
+        "{ctx}: total live size"
+    );
+    assert_eq!(
+        max_vertex_degree(flat),
+        max_vertex_degree(reference),
+        "{ctx}: max vertex degree"
+    );
+    flat.debug_validate();
+    reference.debug_validate();
+    // Normalized degrees (the quantity BL's marking probability is computed
+    // from) must agree whenever the dimension admits the subset enumeration.
+    if HypergraphView::dimension(flat) <= 12 {
+        let df = DegreeTable::build(flat).delta();
+        let dr = DegreeTable::build(reference).delta();
+        assert!(
+            (df - dr).abs() < 1e-12,
+            "{ctx}: delta mismatch {df} vs {dr}"
+        );
+    }
+    // Compaction must agree as well (same relabelling, same edges).
+    let (hf, mf) = ActiveEngine::compact(flat);
+    let (hr, mr) = ActiveEngine::compact(reference);
+    assert_eq!(mf, mr, "{ctx}: compact mapping");
+    assert_eq!(hf, hr, "{ctx}: compacted hypergraph");
+}
+
+/// Replays `ops` against both engines, checking state equality after every
+/// step. Ops reference arbitrary vertex ids; they are filtered to the id
+/// space on the fly.
+fn replay(h: &Hypergraph, ops: &[Op]) {
+    let mut flat = ActiveHypergraph::from_hypergraph(h);
+    let mut reference = ReferenceActiveHypergraph::from_hypergraph(h);
+    assert_same_state(&flat, &reference, "initial");
+    let id_space = h.n_vertices();
+
+    for (i, op) in ops.iter().enumerate() {
+        let ctx = format!("op {i} = {op:?}");
+        match op {
+            Op::DecideBlue(vs) => {
+                let vs: Vec<u32> = vs
+                    .iter()
+                    .copied()
+                    .filter(|&v| (v as usize) < id_space)
+                    .collect();
+                let f = flags(id_space, &vs);
+                flat.kill_vertices(&vs);
+                ActiveEngine::kill_vertices(&mut reference, &vs);
+                assert_eq!(
+                    flat.shrink_edges_by(&f, &vs),
+                    ActiveEngine::shrink_edges_by(&mut reference, &f, &vs),
+                    "{ctx}: emptied count"
+                );
+            }
+            Op::DecideRed(vs) => {
+                let vs: Vec<u32> = vs
+                    .iter()
+                    .copied()
+                    .filter(|&v| (v as usize) < id_space)
+                    .collect();
+                let f = flags(id_space, &vs);
+                assert_eq!(
+                    flat.discard_edges_touching(&f, &vs),
+                    ActiveEngine::discard_edges_touching(&mut reference, &f, &vs),
+                    "{ctx}: discard count"
+                );
+                flat.kill_vertices(&vs);
+                ActiveEngine::kill_vertices(&mut reference, &vs);
+            }
+            Op::RemoveDominated => {
+                assert_eq!(
+                    flat.remove_dominated_edges(),
+                    ActiveEngine::remove_dominated_edges(&mut reference),
+                    "{ctx}: dominated count"
+                );
+            }
+            Op::RemoveSingletons => {
+                assert_eq!(
+                    flat.remove_singleton_edges(),
+                    ActiveEngine::remove_singleton_edges(&mut reference),
+                    "{ctx}: killed vertices"
+                );
+            }
+            Op::Oracle(vs) => {
+                let vs: Vec<u32> = vs
+                    .iter()
+                    .copied()
+                    .filter(|&v| (v as usize) < id_space)
+                    .collect();
+                assert_eq!(
+                    flat.contains_live_edge_within(&vs),
+                    ActiveEngine::contains_live_edge_within(&mut reference, &vs),
+                    "{ctx}: oracle answer"
+                );
+            }
+            Op::Induce(vs) => {
+                let vs: Vec<u32> = vs
+                    .iter()
+                    .copied()
+                    .filter(|&v| (v as usize) < id_space)
+                    .collect();
+                let f = flags(id_space, &vs);
+                flat = flat.induced_by(&f);
+                reference = ActiveEngine::induced_by(&reference, &f);
+            }
+        }
+        assert_same_state(&flat, &reference, &ctx);
+    }
+}
+
+/// A random edit script in the shape the algorithms actually produce: blue
+/// batches are trimmed, red batches are discarded, cleanup ops interleave.
+fn random_script<R: Rng>(rng: &mut R, id_space: usize, len: usize) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(len);
+    let all: Vec<u32> = (0..id_space as u32).collect();
+    let subset = |rng: &mut R, max: usize| -> Vec<u32> {
+        let k = rng.gen_range(0..=max.min(id_space));
+        let mut pool = all.clone();
+        pool.shuffle(rng);
+        pool.truncate(k);
+        pool.sort_unstable();
+        pool
+    };
+    for _ in 0..len {
+        let op = match rng.gen_range(0..6u32) {
+            0 => Op::DecideBlue(subset(rng, 4)),
+            1 => Op::DecideRed(subset(rng, 4)),
+            2 => Op::RemoveDominated,
+            3 => Op::RemoveSingletons,
+            4 => Op::Oracle(subset(rng, 8)),
+            _ => Op::Induce(subset(rng, id_space)),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Every generator family × random edit scripts.
+#[test]
+fn edit_scripts_across_generator_families() {
+    for seed in 0..4u64 {
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(0xD1FF + seed);
+        let families: Vec<(&str, Hypergraph)> = vec![
+            ("d_uniform", generate::d_uniform(&mut gen_rng, 40, 80, 3)),
+            (
+                "mixed_dimension",
+                generate::mixed_dimension(&mut gen_rng, 40, 70, &[2, 3, 4, 5]),
+            ),
+            ("linear", generate::linear(&mut gen_rng, 40, 30, 3)),
+            (
+                "paper_regime",
+                generate::paper_regime(&mut gen_rng, 60, 20, 10),
+            ),
+            (
+                "planted",
+                generate::planted_independent(&mut gen_rng, 40, 80, 3, 12),
+            ),
+            ("sunflower", generate::special::sunflower(6, 4, 2)),
+            (
+                "giant_edge_with_stars",
+                generate::special::giant_edge_with_stars(12, 8),
+            ),
+            ("all_singletons", generate::special::all_singletons(9)),
+            ("complete_graph", generate::special::complete_graph(9)),
+            (
+                "edgeless",
+                hypergraph::builder::hypergraph_from_edges::<Vec<u32>>(7, vec![]),
+            ),
+        ];
+        for (family, h) in families {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5C81 + seed);
+            let ops = random_script(&mut rng, h.n_vertices(), 12);
+            replay(&h, &ops);
+            let _ = family;
+        }
+    }
+}
+
+/// Singleton cascades and duplicate live sets: hand-picked worst cases for
+/// the frontier/status bookkeeping.
+#[test]
+fn handpicked_scripts() {
+    // Duplicate live sets after trimming.
+    let h = hypergraph::builder::hypergraph_from_edges(
+        6,
+        vec![vec![0, 1, 2], vec![0, 1, 3], vec![2, 3], vec![4, 5]],
+    );
+    replay(
+        &h,
+        &[
+            Op::DecideBlue(vec![2, 3]),
+            Op::RemoveDominated,
+            Op::RemoveSingletons,
+            Op::Oracle(vec![0, 1]),
+        ],
+    );
+
+    // A singleton sweep that discards almost everything.
+    let h = hypergraph::builder::hypergraph_from_edges(
+        5,
+        vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![3, 4]],
+    );
+    replay(
+        &h,
+        &[
+            Op::RemoveSingletons,
+            Op::RemoveDominated,
+            Op::DecideRed(vec![3]),
+        ],
+    );
+
+    // Induce twice, then keep editing the nested sub-instance.
+    let h = generate::special::sunflower(5, 4, 1);
+    replay(
+        &h,
+        &[
+            Op::Induce((0..12).collect()),
+            Op::DecideBlue(vec![0]),
+            Op::Induce((0..8).collect()),
+            Op::RemoveSingletons,
+            Op::RemoveDominated,
+        ],
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary hypergraphs × arbitrary scripts: the engines agree on every
+    /// observable after every operation.
+    #[test]
+    fn arbitrary_scripts_agree(
+        edges in prop::collection::vec(
+            prop::collection::btree_set(0u32..20, 1..=5usize),
+            0..30,
+        ),
+        script_seed in any::<u64>(),
+        script_len in 1usize..16,
+    ) {
+        let edges: Vec<Vec<u32>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+        let h = hypergraph::builder::hypergraph_from_edges(20, edges);
+        let mut rng = ChaCha8Rng::seed_from_u64(script_seed);
+        let ops = random_script(&mut rng, h.n_vertices(), script_len);
+        replay(&h, &ops);
+    }
+}

@@ -141,7 +141,7 @@ proptest! {
             active.is_independent_in_view(&set)
         );
         // No remaining edge strictly contains another remaining edge.
-        let remaining = active.edges();
+        let remaining = active.live_edges_owned();
         for (i, e) in remaining.iter().enumerate() {
             for (j, f) in remaining.iter().enumerate() {
                 if i != j && e.len() < f.len() {
@@ -160,14 +160,15 @@ proptest! {
         let mut active = ActiveHypergraph::from_hypergraph(&h);
         let mut flag = vec![false; 16];
         for &v in &kill { flag[v as usize] = true; }
-        active.discard_edges_touching(&flag);
-        active.kill_vertices(kill.iter().copied());
+        let kill: Vec<u32> = kill.into_iter().collect();
+        active.discard_edges_touching(&flag, &kill);
+        active.kill_vertices(&kill);
         let (compacted, new_to_old) = active.compact();
         prop_assert_eq!(compacted.n_vertices(), active.n_alive());
         prop_assert_eq!(compacted.n_edges(), active.n_edges());
-        for (ce, oe) in compacted.edges().zip(active.edges().iter()) {
+        for (ce, oe) in compacted.edges().zip(active.live_edges_owned()) {
             let mapped: Vec<u32> = ce.iter().map(|&v| new_to_old[v as usize]).collect();
-            prop_assert_eq!(&mapped, oe);
+            prop_assert_eq!(mapped, oe);
         }
     }
 }

@@ -196,6 +196,34 @@ where
     }
 }
 
+/// Applies `f` to every element of a jagged collection of *disjoint* mutable
+/// segments (e.g. the per-edge vertex runs of a CSR layout) in parallel,
+/// collecting one result per segment, in segment order.
+///
+/// This is the PRAM "segmented update" primitive the flat
+/// `ActiveHypergraph` engine uses for edge trimming: each segment is a small
+/// sequential loop, segments are independent, and the total work is the sum of
+/// the segment lengths. Work `O(Σ|s|)`, depth `O(log Σ|s|)` (per-segment work
+/// is assumed `O(|s|)` with segments far shorter than the total).
+pub fn par_map_segments<T, R, F>(
+    segments: Vec<&mut [T]>,
+    f: F,
+    tracker: Option<&mut CostTracker>,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut [T]) -> R + Sync + Send,
+{
+    let total: usize = segments.iter().map(|s| s.len()).sum();
+    track(tracker, Cost::parallel_step(total as u64));
+    if total < SEQUENTIAL_CUTOFF {
+        segments.into_iter().map(f).collect()
+    } else {
+        segments.into_par_iter().map(f).collect()
+    }
+}
+
 /// Applies `f` to every index in `0..n` in parallel and collects the results.
 /// Convenience wrapper used by the algorithms for per-vertex and per-edge
 /// steps.
@@ -255,6 +283,34 @@ mod tests {
             let idx = par_compact_indices(&v, |&x| x % 3 == 0, None);
             let expected: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
             assert_eq!(idx, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn map_segments_small_and_large() {
+        for (n_segments, seg_len) in [(5usize, 3usize), (800, 64)] {
+            let mut data = vec![0u64; n_segments * seg_len];
+            let mut segments: Vec<&mut [u64]> = Vec::new();
+            let mut rest = data.as_mut_slice();
+            for _ in 0..n_segments {
+                let (seg, tail) = std::mem::take(&mut rest).split_at_mut(seg_len);
+                segments.push(seg);
+                rest = tail;
+            }
+            let lens = par_map_segments(
+                segments,
+                |seg| {
+                    for (i, slot) in seg.iter_mut().enumerate() {
+                        *slot = i as u64;
+                    }
+                    seg.len()
+                },
+                None,
+            );
+            assert_eq!(lens, vec![seg_len; n_segments]);
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, (i % seg_len) as u64);
+            }
         }
     }
 

@@ -36,11 +36,16 @@ fn check_all_algorithms(h: &Hypergraph, seed: u64, family: &str) {
         .unwrap_or_else(|e| panic!("{family}: SBL output failed verification: {e:?}"));
     assert_greedy_oracle(h, &sbl.independent_set, "sbl");
 
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
-    let bl = bl_mis(h, &mut rng, &BlConfig::default());
-    verify_mis(h, &bl.independent_set)
-        .unwrap_or_else(|e| panic!("{family}: BL output failed verification: {e:?}"));
-    assert_greedy_oracle(h, &bl.independent_set, "bl");
+    // BL is a small-dimension algorithm: its marking probability is
+    // 1/(2^{d+1}Δ), so beyond d ≈ 10 a stage essentially never marks anything
+    // (that regime is exactly what SBL's sampling exists for).
+    if h.dimension() <= 10 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
+        let bl = bl_mis(h, &mut rng, &BlConfig::default());
+        verify_mis(h, &bl.independent_set)
+            .unwrap_or_else(|e| panic!("{family}: BL output failed verification: {e:?}"));
+        assert_greedy_oracle(h, &bl.independent_set, "bl");
+    }
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
     let kuw = kuw_mis(h, &mut rng);
@@ -136,6 +141,115 @@ fn special_classes_sweep() {
     for (name, h) in cases {
         check_all_algorithms(&h, 0xC0FFEE, name);
     }
+}
+
+/// Runs every algorithm on both the flat and the reference engine and checks
+/// that the engines agree exactly, on top of the usual `verify_mis` + greedy
+/// oracle checks (which run via [`check_all_algorithms`] on the flat engine).
+fn check_all_algorithms_on_both_engines(h: &Hypergraph, seed: u64, family: &str) {
+    use hypergraph::{ActiveHypergraph, ReferenceActiveHypergraph};
+
+    check_all_algorithms(h, seed, family);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let flat = sbl_mis_with_engine::<ActiveHypergraph, _>(h, &mut rng, &SblConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let reference =
+        sbl_mis_with_engine::<ReferenceActiveHypergraph, _>(h, &mut rng, &SblConfig::default());
+    assert_eq!(
+        flat.independent_set, reference.independent_set,
+        "{family}: SBL engines disagree"
+    );
+    assert_eq!(
+        flat.coloring.blues(),
+        reference.coloring.blues(),
+        "{family}: SBL colorings disagree"
+    );
+
+    if h.dimension() <= 10 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
+        let flat = bl_mis_with_engine::<ActiveHypergraph, _>(h, &mut rng, &BlConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
+        let reference =
+            bl_mis_with_engine::<ReferenceActiveHypergraph, _>(h, &mut rng, &BlConfig::default());
+        assert_eq!(
+            flat.independent_set, reference.independent_set,
+            "{family}: BL engines disagree"
+        );
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
+    let flat = kuw_mis_with_engine::<ActiveHypergraph, _>(h, &mut rng);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
+    let reference = kuw_mis_with_engine::<ReferenceActiveHypergraph, _>(h, &mut rng);
+    assert_eq!(
+        flat.independent_set, reference.independent_set,
+        "{family}: KUW engines disagree"
+    );
+
+    if check_linear(h).is_ok() {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11);
+        let flat = linear_mis_with_engine::<ActiveHypergraph, _>(h, &mut rng).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11);
+        let reference =
+            linear_mis_with_engine::<ReferenceActiveHypergraph, _>(h, &mut rng).unwrap();
+        assert_eq!(
+            flat.independent_set, reference.independent_set,
+            "{family}: linear engines disagree"
+        );
+    }
+}
+
+/// Adversarial families: shapes chosen to stress the trimming, domination,
+/// singleton and sampling machinery rather than look like random workloads.
+/// All must pass `verify_mis`, the greedy maximality oracle, and exact
+/// flat/reference engine agreement.
+#[test]
+fn adversarial_families() {
+    // Sunflowers: maximal petal overlap through a shared core.
+    for (k, d, c) in [(8usize, 4usize, 2usize), (6, 5, 1), (10, 3, 2)] {
+        let h = generate::special::sunflower(k, d, c);
+        check_all_algorithms_on_both_engines(
+            &h,
+            0xADA0 + (k * 100 + d * 10 + c) as u64,
+            "sunflower",
+        );
+    }
+
+    // One giant edge plus stars: the giant edge exceeds every practical
+    // dimension cap, so SBL has to reach it through sampling.
+    for (g, k) in [(18usize, 12usize), (30, 5)] {
+        let h = generate::special::giant_edge_with_stars(g, k);
+        assert!(h.dimension() == g);
+        check_all_algorithms_on_both_engines(&h, 0xADA1 + g as u64, "giant_edge_with_stars");
+    }
+
+    // All-singleton edges: the unique MIS is empty.
+    let h = generate::special::all_singletons(11);
+    check_all_algorithms_on_both_engines(&h, 0xADA2, "all_singletons");
+    let out = sbl_mis(&h, &mut ChaCha8Rng::seed_from_u64(1));
+    assert!(out.independent_set.is_empty());
+
+    // Duplicate edges in the input: the builder deduplicates them, and edges
+    // that *become* duplicates after trimming must both survive.
+    let mut b = hypergraph::HypergraphBuilder::new(8);
+    for _ in 0..3 {
+        b.add_edge([0u32, 1, 2]);
+        b.add_edge([2u32, 3]);
+    }
+    b.add_edge([0u32, 1, 7]);
+    b.add_edge([4u32, 5, 6]);
+    let h = b.build();
+    assert_eq!(h.n_edges(), 4, "builder must deduplicate exact duplicates");
+    check_all_algorithms_on_both_engines(&h, 0xADA3, "duplicate_edges");
+
+    // Empty and edgeless instances.
+    let h = hypergraph::builder::hypergraph_from_edges::<Vec<u32>>(0, vec![]);
+    check_all_algorithms_on_both_engines(&h, 0xADA4, "empty");
+    let h = hypergraph::builder::hypergraph_from_edges::<Vec<u32>>(13, vec![]);
+    check_all_algorithms_on_both_engines(&h, 0xADA5, "edgeless");
+    let all: Vec<u32> = (0..13).collect();
+    assert!(verify_mis(&h, &all).is_ok());
 }
 
 /// Degenerate shapes every algorithm must survive: no vertices is not a valid
