@@ -23,9 +23,10 @@
 use hypergraph::degree::{beame_luby_probability, DegreeTable, MAX_ENUMERABLE_DIMENSION};
 use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
+use pram::Workspace;
 use rand::Rng;
 
-use crate::greedy::greedy_on_active;
+use crate::greedy::greedy_on_active_in;
 use crate::trace::{BlStageStats, BlTrace};
 
 /// Tuning knobs for a Beame–Luby run.
@@ -72,16 +73,47 @@ pub fn bl_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R, config: &BlConfig) -
     bl_mis_with_engine::<ActiveHypergraph, R>(h, rng, config)
 }
 
+/// Runs Beame–Luby with a caller-owned [`Workspace`], reusing its buffers
+/// and parked engine across solves (the zero-reallocation batch path).
+/// Identical results to [`bl_mis`] for the same seed, whether the workspace
+/// is fresh or warm.
+pub fn bl_mis_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &BlConfig,
+    ws: &mut Workspace,
+) -> BlOutcome {
+    bl_mis_with_engine_in::<ActiveHypergraph, R>(h, rng, config, ws)
+}
+
 /// Runs Beame–Luby on a full hypergraph with an explicit [`ActiveEngine`]
-/// (used by the differential suites and the bench regression guard).
-pub fn bl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+/// (used by the differential suites and the bench regression guard). Thin
+/// wrapper owning a fresh workspace.
+pub fn bl_mis_with_engine<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,
     config: &BlConfig,
 ) -> BlOutcome {
-    let mut active = E::from_hypergraph(h);
+    bl_mis_with_engine_in::<E, R>(h, rng, config, &mut Workspace::new())
+}
+
+/// Engine-generic, workspace-reusing Beame–Luby entry point.
+pub fn bl_mis_with_engine_in<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &BlConfig,
+    ws: &mut Workspace,
+) -> BlOutcome {
+    let mut active: E = match ws.take_any::<E>("mis.bl.engine") {
+        Some(mut engine) => {
+            engine.reset_from(h);
+            engine
+        }
+        None => E::from_hypergraph(h),
+    };
     let mut cost = CostTracker::new();
-    let (independent_set, trace) = bl_on_active(&mut active, rng, config, &mut cost);
+    let (independent_set, trace) = bl_on_active_in(&mut active, rng, config, &mut cost, ws);
+    ws.put_any("mis.bl.engine", active);
     BlOutcome {
         independent_set,
         trace,
@@ -101,30 +133,119 @@ pub fn bl_on_active<E: ActiveEngine, R: Rng + ?Sized>(
     config: &BlConfig,
     cost: &mut CostTracker,
 ) -> (Vec<VertexId>, BlTrace) {
+    bl_on_active_in(active, rng, config, cost, &mut Workspace::new())
+}
+
+/// Workspace-reusing variant of [`bl_on_active`]: all per-stage flag and
+/// index scratch comes from (and returns to) `ws`, so a warmed-up workspace
+/// makes the stage loop allocation-free. Decisions, RNG consumption order
+/// and the recorded cost script are identical to [`bl_on_active`].
+pub fn bl_on_active_in<E: ActiveEngine, R: Rng + ?Sized>(
+    active: &mut E,
+    rng: &mut R,
+    config: &BlConfig,
+    cost: &mut CostTracker,
+    ws: &mut Workspace,
+) -> (Vec<VertexId>, BlTrace) {
+    let mut scratch = BlScratch::take(ws, active.id_space());
+    let out = bl_on_active_scratch(active, rng, config, cost, ws, &mut scratch);
+    scratch.put(ws);
+    out
+}
+
+/// The per-stage scratch of a Beame–Luby run, hoisted so a caller driving
+/// many BL subruns (SBL invokes one per sampling round) pays the
+/// take/re-zero cost once per *solve* instead of once per round.
+///
+/// Invariant: the flag vectors are all-`false` between BL runs — every stage
+/// unwinds its entries through that stage's alive list, so the loop leaves
+/// them clean (debug-asserted on entry).
+pub(crate) struct BlScratch {
+    marked: Vec<bool>,
+    unmark: Vec<bool>,
+    accepted_flags: Vec<bool>,
+    alive: Vec<VertexId>,
+    accepted: Vec<VertexId>,
+}
+
+impl BlScratch {
+    /// Takes the scratch from `ws`, sized for `id_space`. The flag buffers
+    /// come through the trusted clean take (no `O(id_space)` re-zeroing):
+    /// the stage loop unwinds every bit it sets, so the pooled buffers are
+    /// all-`false` between runs (debug-asserted on take and on entry to
+    /// [`bl_on_active_scratch`]).
+    pub(crate) fn take(ws: &mut Workspace, id_space: usize) -> Self {
+        BlScratch {
+            marked: ws.take_flags_clean("mis.bl.marked", id_space),
+            unmark: ws.take_flags_clean("mis.bl.unmark", id_space),
+            accepted_flags: ws.take_flags_clean("mis.bl.accepted", id_space),
+            alive: ws.take_u32("mis.bl.alive"),
+            accepted: ws.take_u32("mis.bl.accepted_list"),
+        }
+    }
+
+    /// Returns the scratch to `ws` for the next taker.
+    pub(crate) fn put(self, ws: &mut Workspace) {
+        ws.put_flags("mis.bl.marked", self.marked);
+        ws.put_flags("mis.bl.unmark", self.unmark);
+        ws.put_flags("mis.bl.accepted", self.accepted_flags);
+        ws.put_u32("mis.bl.alive", self.alive);
+        ws.put_u32("mis.bl.accepted_list", self.accepted);
+    }
+}
+
+/// [`bl_on_active_in`] over caller-held [`BlScratch`] (see there for the
+/// reuse contract). `ws` is still needed for the greedy-fallback path.
+pub(crate) fn bl_on_active_scratch<E: ActiveEngine, R: Rng + ?Sized>(
+    active: &mut E,
+    rng: &mut R,
+    config: &BlConfig,
+    cost: &mut CostTracker,
+    ws: &mut Workspace,
+    scratch: &mut BlScratch,
+) -> (Vec<VertexId>, BlTrace) {
     let id_space = active.id_space();
     let mut independent_set: Vec<VertexId> = Vec::new();
     let mut trace = BlTrace::default();
     let mut stage = 0usize;
     // Per-stage scratch, cleared by resetting the entries of the stage's
-    // alive vertices (every set entry belongs to an alive vertex).
-    let mut marked = vec![false; id_space];
-    let mut unmark = vec![false; id_space];
-    let mut accepted_flags = vec![false; id_space];
+    // alive vertices (every set entry belongs to an alive vertex), so the
+    // buffers come back all-false between runs.
+    let BlScratch {
+        marked,
+        unmark,
+        accepted_flags,
+        alive,
+        accepted,
+    } = scratch;
+    debug_assert!(
+        marked[..id_space.min(marked.len())].iter().all(|&b| !b)
+            && unmark[..id_space.min(unmark.len())].iter().all(|&b| !b)
+            && accepted_flags[..id_space.min(accepted_flags.len())]
+                .iter()
+                .all(|&b| !b),
+        "BlScratch handed over dirty"
+    );
+    debug_assert!(
+        marked.len() >= id_space && unmark.len() >= id_space && accepted_flags.len() >= id_space,
+        "BlScratch sized for a smaller id space"
+    );
 
     while active.n_alive() > 0 {
         if stage >= config.max_stages {
             // Safety net: finish deterministically so callers always get an MIS.
-            let added = greedy_on_active(active, cost);
-            let mut flags = vec![false; id_space];
+            let added = greedy_on_active_in(active, cost, ws);
+            let mut flags = ws.take_flags("mis.bl.fallback", id_space);
             for &v in &added {
                 flags[v as usize] = true;
             }
             active.kill_vertices(&added);
             let emptied = active.shrink_edges_by(&flags, &added);
             debug_assert_eq!(emptied, 0, "greedy fallback produced a dependent set");
+            ws.put_flags("mis.bl.fallback", flags);
             // Everything else is red: kill the rest too.
-            let rest = active.alive_vertices();
-            active.kill_vertices(&rest);
+            active.alive_into(alive);
+            active.kill_vertices(alive);
             independent_set.extend(added);
             break;
         }
@@ -155,9 +276,9 @@ pub fn bl_on_active<E: ActiveEngine, R: Rng + ?Sized>(
 
         // Step 1: independent marking (ascending vertex order, which pins the
         // RNG consumption order across engines).
-        let alive = active.alive_vertices();
+        active.alive_into(alive);
         let mut n_marked = 0usize;
-        for &v in &alive {
+        for &v in alive.iter() {
             if rng.gen_bool(p) {
                 marked[v as usize] = true;
                 n_marked += 1;
@@ -176,8 +297,8 @@ pub fn bl_on_active<E: ActiveEngine, R: Rng + ?Sized>(
         cost.record(Cost::parallel_step(active.total_live_size() as u64));
 
         let mut n_unmarked = 0usize;
-        let mut accepted: Vec<VertexId> = Vec::new();
-        for &v in &alive {
+        accepted.clear();
+        for &v in alive.iter() {
             if marked[v as usize] {
                 if unmark[v as usize] {
                     n_unmarked += 1;
@@ -190,8 +311,8 @@ pub fn bl_on_active<E: ActiveEngine, R: Rng + ?Sized>(
         cost.record(Cost::parallel_step(n_alive as u64));
 
         // Step 3: commit I', trim edges, cleanup.
-        active.kill_vertices(&accepted);
-        let emptied = active.shrink_edges_by(&accepted_flags, &accepted);
+        active.kill_vertices(accepted);
+        let emptied = active.shrink_edges_by(accepted_flags, accepted);
         debug_assert_eq!(
             emptied, 0,
             "a fully marked edge survived the unmarking step"
@@ -220,7 +341,7 @@ pub fn bl_on_active<E: ActiveEngine, R: Rng + ?Sized>(
         stage += 1;
 
         // Reset the scratch for the next stage.
-        for &v in &alive {
+        for &v in alive.iter() {
             marked[v as usize] = false;
             unmark[v as usize] = false;
             accepted_flags[v as usize] = false;

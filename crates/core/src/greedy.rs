@@ -4,6 +4,7 @@
 
 use hypergraph::{ActiveEngine, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
+use pram::Workspace;
 
 /// Result of a greedy run.
 #[derive(Debug, Clone)]
@@ -23,18 +24,27 @@ pub struct GreedyOutcome {
 /// `O(n + Σ_e |e|·deg)` in the worst case but `O(n + Σ_e |e|)` amortised with
 /// the per-edge "missing vertices" counters used here.
 pub fn greedy_mis(h: &Hypergraph, order: Option<&[VertexId]>) -> GreedyOutcome {
+    greedy_mis_in(h, order, &mut Workspace::new())
+}
+
+/// Workspace-reusing variant of [`greedy_mis`]: the membership flags and
+/// per-edge counters come from (and return to) `ws`. Identical results.
+pub fn greedy_mis_in(
+    h: &Hypergraph,
+    order: Option<&[VertexId]>,
+    ws: &mut Workspace,
+) -> GreedyOutcome {
     let n = h.n_vertices();
     let mut cost = CostTracker::new();
-    let mut in_set = vec![false; n];
+    let mut in_set = ws.take_flags("mis.greedy.in_set", n);
     // missing[e] = number of vertices of edge e not (yet) in the set.
-    let mut missing: Vec<u32> = (0..h.n_edges())
-        .map(|e| h.edge_len(e as u32) as u32)
-        .collect();
-    let default_order: Vec<VertexId>;
+    let mut missing = ws.take_u32("mis.greedy.missing");
+    missing.extend((0..h.n_edges()).map(|e| h.edge_len(e as u32) as u32));
+    let mut default_order = ws.take_u32("mis.greedy.order");
     let order: &[VertexId] = match order {
         Some(o) => o,
         None => {
-            default_order = (0..n as u32).collect();
+            default_order.extend(0..n as u32);
             &default_order
         }
     };
@@ -57,6 +67,9 @@ pub fn greedy_mis(h: &Hypergraph, order: Option<&[VertexId]>) -> GreedyOutcome {
     }
     cost.bump_round();
     set.sort_unstable();
+    ws.put_flags("mis.greedy.in_set", in_set);
+    ws.put_u32("mis.greedy.missing", missing);
+    ws.put_u32("mis.greedy.order", default_order);
     GreedyOutcome {
         independent_set: set,
         cost,
@@ -69,28 +82,41 @@ pub fn greedy_mis(h: &Hypergraph, order: Option<&[VertexId]>) -> GreedyOutcome {
 /// Works on any engine; the incidence lists are rebuilt flat (counting sort
 /// over the live edges) so the scan is allocation-light and deterministic.
 pub fn greedy_on_active<E: ActiveEngine>(active: &E, cost: &mut CostTracker) -> Vec<VertexId> {
-    let alive = active.alive_vertices();
+    greedy_on_active_in(active, cost, &mut Workspace::new())
+}
+
+/// Workspace-reusing variant of [`greedy_on_active`]: the rebuilt incidence
+/// lists and counters come from (and return to) `ws`. Identical results.
+pub fn greedy_on_active_in<E: ActiveEngine>(
+    active: &E,
+    cost: &mut CostTracker,
+    ws: &mut Workspace,
+) -> Vec<VertexId> {
+    let mut alive = ws.take_u32("mis.greedy.alive");
+    active.alive_into(&mut alive);
     if alive.is_empty() {
+        ws.put_u32("mis.greedy.alive", alive);
         return Vec::new();
     }
-    let edges: Vec<&[VertexId]> = active.edge_slices().collect();
     // missing[e] counts how many more vertices of e would need to join.
-    let mut missing: Vec<u32> = edges.iter().map(|e| e.len() as u32).collect();
     // Flat incidence lists over the live edges (counting sort).
     let id_space = active.id_space();
-    let mut inc_offsets = vec![0u32; id_space + 1];
-    for e in &edges {
-        for &v in *e {
+    let mut missing = ws.take_u32("mis.greedy.missing");
+    let mut inc_offsets = ws.take_u32_zeroed("mis.greedy.inc_offsets", id_space + 1);
+    for e in active.edge_slices() {
+        missing.push(e.len() as u32);
+        for &v in e {
             inc_offsets[v as usize + 1] += 1;
         }
     }
     for v in 0..id_space {
         inc_offsets[v + 1] += inc_offsets[v];
     }
-    let mut cursor = inc_offsets.clone();
-    let mut incident = vec![0u32; inc_offsets[id_space] as usize];
-    for (i, e) in edges.iter().enumerate() {
-        for &v in *e {
+    let mut cursor = ws.take_u32("mis.greedy.cursor");
+    cursor.extend_from_slice(&inc_offsets);
+    let mut incident = ws.take_u32_zeroed("mis.greedy.incident", inc_offsets[id_space] as usize);
+    for (i, e) in active.edge_slices().enumerate() {
+        for &v in e {
             incident[cursor[v as usize] as usize] = i as u32;
             cursor[v as usize] += 1;
         }
@@ -108,6 +134,11 @@ pub fn greedy_on_active<E: ActiveEngine>(active: &E, cost: &mut CostTracker) -> 
         }
     }
     cost.bump_round();
+    ws.put_u32("mis.greedy.alive", alive);
+    ws.put_u32("mis.greedy.missing", missing);
+    ws.put_u32("mis.greedy.inc_offsets", inc_offsets);
+    ws.put_u32("mis.greedy.cursor", cursor);
+    ws.put_u32("mis.greedy.incident", incident);
     added
 }
 

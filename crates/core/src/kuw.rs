@@ -27,6 +27,7 @@
 
 use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
+use pram::Workspace;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -52,15 +53,39 @@ pub fn kuw_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> KuwOutcome {
     kuw_mis_with_engine::<ActiveHypergraph, R>(h, rng)
 }
 
+/// Runs the KUW-style baseline with a caller-owned [`Workspace`], reusing
+/// its buffers and parked engine across solves. Identical results to
+/// [`kuw_mis`] for the same seed.
+pub fn kuw_mis_in<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R, ws: &mut Workspace) -> KuwOutcome {
+    kuw_mis_with_engine_in::<ActiveHypergraph, R>(h, rng, ws)
+}
+
 /// Runs the KUW-style baseline on a full hypergraph with an explicit
-/// [`ActiveEngine`] (used by the differential suites).
-pub fn kuw_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+/// [`ActiveEngine`] (used by the differential suites). Thin wrapper owning a
+/// fresh workspace.
+pub fn kuw_mis_with_engine<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,
 ) -> KuwOutcome {
-    let mut active = E::from_hypergraph(h);
+    kuw_mis_with_engine_in::<E, R>(h, rng, &mut Workspace::new())
+}
+
+/// Engine-generic, workspace-reusing KUW entry point.
+pub fn kuw_mis_with_engine_in<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> KuwOutcome {
+    let mut active: E = match ws.take_any::<E>("mis.kuw.engine") {
+        Some(mut engine) => {
+            engine.reset_from(h);
+            engine
+        }
+        None => E::from_hypergraph(h),
+    };
     let mut cost = CostTracker::new();
-    let (independent_set, trace) = kuw_on_active(&mut active, rng, &mut cost);
+    let (independent_set, trace) = kuw_on_active_in(&mut active, rng, &mut cost, ws);
+    ws.put_any("mis.kuw.engine", active);
     KuwOutcome {
         independent_set,
         trace,
@@ -76,6 +101,20 @@ pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
     rng: &mut R,
     cost: &mut CostTracker,
 ) -> (Vec<VertexId>, KuwTrace) {
+    kuw_on_active_in(active, rng, cost, &mut Workspace::new())
+}
+
+/// Workspace-reusing variant of [`kuw_on_active`]: the per-round flag and
+/// candidate buffers come from (and return to) `ws`, and the commit flags
+/// are unwound through the committed batch instead of being reallocated, so
+/// a warmed-up workspace makes the round loop allocation-free. Decisions,
+/// RNG consumption order and the recorded cost script are identical.
+pub fn kuw_on_active_in<E: ActiveEngine, R: Rng + ?Sized>(
+    active: &mut E,
+    rng: &mut R,
+    cost: &mut CostTracker,
+    ws: &mut Workspace,
+) -> (Vec<VertexId>, KuwTrace) {
     let id_space = active.id_space();
     let mut independent_set: Vec<VertexId> = Vec::new();
     let mut trace = KuwTrace::default();
@@ -83,6 +122,12 @@ pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
     // Each round decides at least one vertex, so this cap is never reached in
     // practice; it guards against a logic error turning into a hang.
     let max_rounds = 4 * id_space + 16;
+    // Per-round scratch: `flags` is cleared through the committed batch at
+    // the end of every round, so it stays all-false between rounds.
+    let mut flags = ws.take_flags("mis.kuw.flags", id_space);
+    let mut alive = ws.take_u32("mis.kuw.alive");
+    let mut scratch = ws.take_u32("mis.kuw.scratch");
+    let mut best = ws.take_u32("mis.kuw.best");
 
     while active.n_alive() > 0 && round < max_rounds {
         let n_alive = active.n_alive();
@@ -94,35 +139,38 @@ pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
 
         if active.n_live_edges() == 0 {
             // No constraints remain: everything still alive joins.
-            let rest = active.alive_vertices();
-            let mut flags = vec![false; id_space];
-            for &v in &rest {
+            active.alive_into(&mut alive);
+            for &v in &alive {
                 flags[v as usize] = true;
             }
-            active.kill_vertices(&rest);
-            active.shrink_edges_by(&flags, &rest);
-            cost.record(Cost::parallel_step(rest.len() as u64));
+            active.kill_vertices(&alive);
+            active.shrink_edges_by(&flags, &alive);
+            for &v in &alive {
+                flags[v as usize] = false;
+            }
+            cost.record(Cost::parallel_step(alive.len() as u64));
             cost.bump_round();
             trace.rounds.push(KuwRoundStats {
                 round,
                 n_alive,
                 m,
                 candidates_tested: 0,
-                batch_added: rest.len(),
+                batch_added: alive.len(),
                 excluded: excluded.len(),
             });
-            independent_set.extend(rest);
+            independent_set.extend(alive.iter().copied());
             round += 1;
             continue;
         }
 
         // Step 2: parallel search over random candidate subsets with doubling
         // sizes.
-        let alive = active.alive_vertices();
-        let mut best: Vec<VertexId> = Vec::new();
+        active.alive_into(&mut alive);
+        best.clear();
         let mut tested = 0usize;
         let mut size = 1usize;
-        let mut scratch = alive.clone();
+        scratch.clear();
+        scratch.extend_from_slice(&alive);
         // The instance does not change while candidates are tested, so the
         // per-test oracle charge is a constant this round.
         let oracle_work = active.total_live_size() as u64;
@@ -133,7 +181,8 @@ pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
                 let independent = !active.contains_live_edge_within(&scratch[..size]);
                 cost.record(Cost::parallel_step(oracle_work));
                 if independent && size > best.len() {
-                    best = scratch[..size].to_vec();
+                    best.clear();
+                    best.extend_from_slice(&scratch[..size]);
                 }
             }
             if size == alive.len() {
@@ -146,13 +195,15 @@ pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
         debug_assert!(!best.is_empty() || alive.is_empty());
 
         // Step 3: commit the batch.
-        let mut flags = vec![false; id_space];
         for &v in &best {
             flags[v as usize] = true;
         }
         active.kill_vertices(&best);
         let emptied = active.shrink_edges_by(&flags, &best);
         debug_assert_eq!(emptied, 0, "committed batch was not independent");
+        for &v in &best {
+            flags[v as usize] = false;
+        }
         cost.record(Cost::parallel_step(m as u64));
         cost.bump_round();
 
@@ -164,10 +215,14 @@ pub fn kuw_on_active<E: ActiveEngine, R: Rng + ?Sized>(
             batch_added: best.len(),
             excluded: excluded.len(),
         });
-        independent_set.extend(best);
+        independent_set.extend(best.iter().copied());
         round += 1;
     }
 
+    ws.put_flags("mis.kuw.flags", flags);
+    ws.put_u32("mis.kuw.alive", alive);
+    ws.put_u32("mis.kuw.scratch", scratch);
+    ws.put_u32("mis.kuw.best", best);
     independent_set.sort_unstable();
     (independent_set, trace)
 }

@@ -51,23 +51,41 @@ pub mod sbl;
 pub mod trace;
 pub mod verify;
 
-pub use bl::{bl_mis, bl_mis_with_engine, BlConfig, BlOutcome};
-pub use greedy::{greedy_mis, GreedyOutcome};
-pub use kuw::{kuw_mis, kuw_mis_with_engine, KuwOutcome};
-pub use sbl::{sbl_mis, sbl_mis_with, sbl_mis_with_engine, SblConfig, SblOutcome, TailChoice};
+pub use bl::{bl_mis, bl_mis_in, bl_mis_with_engine, bl_mis_with_engine_in, BlConfig, BlOutcome};
+pub use greedy::{greedy_mis, greedy_mis_in, GreedyOutcome};
+pub use kuw::{kuw_mis, kuw_mis_in, kuw_mis_with_engine, kuw_mis_with_engine_in, KuwOutcome};
+pub use pram::Workspace;
+pub use sbl::{
+    sbl_mis, sbl_mis_in, sbl_mis_rebuild, sbl_mis_with, sbl_mis_with_engine,
+    sbl_mis_with_engine_in, SblConfig, SblOutcome, TailChoice,
+};
 pub use verify::{is_valid_mis, verify_mis, VerifyError};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::bl::{bl_mis, bl_mis_with_engine, BlConfig, BlOutcome};
+    pub use crate::bl::{
+        bl_mis, bl_mis_in, bl_mis_with_engine, bl_mis_with_engine_in, BlConfig, BlOutcome,
+    };
     pub use crate::coloring::{Color, Coloring};
-    pub use crate::greedy::{greedy_mis, greedy_on_active, GreedyOutcome};
-    pub use crate::kuw::{kuw_mis, kuw_mis_with_engine, KuwOutcome};
-    pub use crate::linear::{check_linear, linear_mis, linear_mis_with_engine, LinearOutcome};
-    pub use crate::permutation::{permutation_mis, permutation_rounds_mis, PermutationOutcome};
+    pub use crate::greedy::{
+        greedy_mis, greedy_mis_in, greedy_on_active, greedy_on_active_in, GreedyOutcome,
+    };
+    pub use crate::kuw::{
+        kuw_mis, kuw_mis_in, kuw_mis_with_engine, kuw_mis_with_engine_in, KuwOutcome,
+    };
+    pub use crate::linear::{
+        check_linear, linear_mis, linear_mis_in, linear_mis_with_engine, linear_mis_with_engine_in,
+        LinearOutcome,
+    };
+    pub use crate::permutation::{
+        permutation_mis, permutation_mis_in, permutation_rounds_mis, permutation_rounds_mis_in,
+        PermutationOutcome,
+    };
     pub use crate::sbl::{
-        sbl_mis, sbl_mis_with, sbl_mis_with_engine, SblConfig, SblOutcome, TailChoice,
+        sbl_mis, sbl_mis_in, sbl_mis_rebuild, sbl_mis_with, sbl_mis_with_engine,
+        sbl_mis_with_engine_in, SblConfig, SblOutcome, TailChoice,
     };
     pub use crate::trace::{BlTrace, KuwTrace, SblTrace, TailAlgorithm};
     pub use crate::verify::{is_valid_mis, verify_mis, VerifyError};
+    pub use pram::Workspace;
 }

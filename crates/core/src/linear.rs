@@ -15,9 +15,10 @@
 use hypergraph::degree::max_vertex_degree;
 use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
+use pram::Workspace;
 use rand::Rng;
 
-use crate::greedy::greedy_on_active;
+use crate::greedy::greedy_on_active_in;
 use crate::trace::{BlStageStats, BlTrace};
 
 /// Result of a linear-hypergraph MIS run.
@@ -88,26 +89,59 @@ pub fn linear_mis<R: Rng + ?Sized>(
     linear_mis_with_engine::<ActiveHypergraph, R>(h, rng)
 }
 
+/// Computes an MIS of a linear hypergraph with a caller-owned [`Workspace`],
+/// reusing its buffers and parked engine across solves. Identical results to
+/// [`linear_mis`] for the same seed.
+pub fn linear_mis_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> Result<LinearOutcome, LinearError> {
+    linear_mis_with_engine_in::<ActiveHypergraph, R>(h, rng, ws)
+}
+
 /// Computes an MIS of a linear hypergraph with an explicit [`ActiveEngine`]
-/// (used by the differential suites).
-pub fn linear_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+/// (used by the differential suites). Thin wrapper owning a fresh workspace.
+pub fn linear_mis_with_engine<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,
 ) -> Result<LinearOutcome, LinearError> {
+    linear_mis_with_engine_in::<E, R>(h, rng, &mut Workspace::new())
+}
+
+/// Engine-generic, workspace-reusing linear-hypergraph entry point.
+pub fn linear_mis_with_engine_in<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> Result<LinearOutcome, LinearError> {
     check_linear(h)?;
-    let mut active = E::from_hypergraph(h);
+    let mut active: E = match ws.take_any::<E>("mis.linear.engine") {
+        Some(mut engine) => {
+            engine.reset_from(h);
+            engine
+        }
+        None => E::from_hypergraph(h),
+    };
     let mut cost = CostTracker::new();
     let mut trace = BlTrace::default();
     let mut independent_set: Vec<VertexId> = Vec::new();
     let id_space = active.id_space();
     let max_stages = 100_000usize;
     let mut stage = 0usize;
+    // Per-stage scratch, cleared by resetting the entries of the stage's
+    // alive vertices (every set entry belongs to an alive vertex).
+    let mut marked = ws.take_flags("mis.linear.marked", id_space);
+    let mut unmark = ws.take_flags("mis.linear.unmark", id_space);
+    let mut accepted_flags = ws.take_flags("mis.linear.accepted", id_space);
+    let mut alive = ws.take_u32("mis.linear.alive");
+    let mut accepted: Vec<VertexId> = ws.take_u32("mis.linear.accepted_list");
 
     while active.n_alive() > 0 {
         if stage >= max_stages {
-            let added = greedy_on_active(&active, &mut cost);
-            let rest = active.alive_vertices();
-            active.kill_vertices(&rest);
+            let added = greedy_on_active_in(&active, &mut cost, ws);
+            active.alive_into(&mut alive);
+            active.kill_vertices(&alive);
             independent_set.extend(added);
             break;
         }
@@ -127,9 +161,8 @@ pub fn linear_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
             (0.5 / (vertex_degree * d).powf(1.0 / (d - 1.0))).clamp(f64::MIN_POSITIVE, 1.0)
         };
 
-        let mut marked = vec![false; id_space];
         let mut n_marked = 0usize;
-        let alive = active.alive_vertices();
+        active.alive_into(&mut alive);
         for &v in &alive {
             if rng.gen_bool(p) {
                 marked[v as usize] = true;
@@ -138,7 +171,6 @@ pub fn linear_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
         }
         cost.record(Cost::parallel_step(n_alive as u64));
 
-        let mut unmark = vec![false; id_space];
         for e in active.edge_slices() {
             if e.iter().all(|&v| marked[v as usize]) {
                 for &v in e {
@@ -148,8 +180,7 @@ pub fn linear_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
         }
         cost.record(Cost::parallel_step(active.total_live_size() as u64));
 
-        let mut accepted_flags = vec![false; id_space];
-        let mut accepted = Vec::new();
+        accepted.clear();
         let mut n_unmarked = 0usize;
         for &v in &alive {
             if marked[v as usize] {
@@ -185,8 +216,22 @@ pub fn linear_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
             deltas_by_dimension: Vec::new(),
         });
         stage += 1;
+
+        // Reset the scratch for the next stage (every set entry belongs to
+        // this stage's alive list).
+        for &v in &alive {
+            marked[v as usize] = false;
+            unmark[v as usize] = false;
+            accepted_flags[v as usize] = false;
+        }
     }
 
+    ws.put_flags("mis.linear.marked", marked);
+    ws.put_flags("mis.linear.unmark", unmark);
+    ws.put_flags("mis.linear.accepted", accepted_flags);
+    ws.put_u32("mis.linear.alive", alive);
+    ws.put_u32("mis.linear.accepted_list", accepted);
+    ws.put_any("mis.linear.engine", active);
     independent_set.sort_unstable();
     Ok(LinearOutcome {
         independent_set,

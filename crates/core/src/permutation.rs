@@ -23,10 +23,11 @@
 
 use hypergraph::{Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
+use pram::Workspace;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::greedy::greedy_mis;
+use crate::greedy::greedy_mis_in;
 
 /// Result of a permutation-MIS run.
 #[derive(Debug, Clone)]
@@ -45,9 +46,21 @@ pub struct PermutationOutcome {
 /// The lexicographically-first MIS under a uniformly random permutation
 /// (random-order greedy).
 pub fn permutation_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> PermutationOutcome {
+    permutation_mis_in(h, rng, &mut Workspace::new())
+}
+
+/// Workspace-reusing variant of [`permutation_mis`]: the greedy scan's
+/// scratch comes from (and returns to) `ws`. Identical results for the same
+/// seed. (The permutation itself is part of the outcome and is always
+/// freshly allocated.)
+pub fn permutation_mis_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> PermutationOutcome {
     let mut order: Vec<VertexId> = (0..h.n_vertices() as u32).collect();
     order.shuffle(rng);
-    let out = greedy_mis(h, Some(&order));
+    let out = greedy_mis_in(h, Some(&order), ws);
     PermutationOutcome {
         independent_set: out.independent_set,
         permutation: order,
@@ -63,15 +76,24 @@ pub fn permutation_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> Permutat
 /// structure only changes the *cost accounting*, which is the quantity the
 /// open question about this algorithm concerns.
 pub fn permutation_rounds_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> PermutationOutcome {
+    permutation_rounds_mis_in(h, rng, &mut Workspace::new())
+}
+
+/// Workspace-reusing variant of [`permutation_rounds_mis`]. Identical
+/// results for the same seed.
+pub fn permutation_rounds_mis_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    ws: &mut Workspace,
+) -> PermutationOutcome {
     let n = h.n_vertices();
     let mut order: Vec<VertexId> = (0..n as u32).collect();
     order.shuffle(rng);
 
     let mut cost = CostTracker::new();
-    let mut in_set = vec![false; n];
-    let mut missing: Vec<u32> = (0..h.n_edges())
-        .map(|e| h.edge_len(e as u32) as u32)
-        .collect();
+    let mut in_set = ws.take_flags("mis.perm.in_set", n);
+    let mut missing = ws.take_u32("mis.perm.missing");
+    missing.extend((0..h.n_edges()).map(|e| h.edge_len(e as u32) as u32));
     let mut set = Vec::new();
 
     let mut start = 0usize;
@@ -105,7 +127,8 @@ pub fn permutation_rounds_mis<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> P
     }
 
     set.sort_unstable();
-    let _ = in_set;
+    ws.put_flags("mis.perm.in_set", in_set);
+    ws.put_u32("mis.perm.missing", missing);
     PermutationOutcome {
         independent_set: set,
         permutation: order,

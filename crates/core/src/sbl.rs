@@ -26,12 +26,13 @@ use hypergraph::degree::MAX_ENUMERABLE_DIMENSION;
 use hypergraph::params::SblParams;
 use hypergraph::{ActiveEngine, ActiveHypergraph, Hypergraph, VertexId};
 use pram::cost::{Cost, CostTracker};
+use pram::Workspace;
 use rand::Rng;
 
-use crate::bl::{bl_on_active, BlConfig};
+use crate::bl::{bl_on_active_in, bl_on_active_scratch, BlConfig, BlScratch};
 use crate::coloring::Coloring;
-use crate::greedy::greedy_on_active;
-use crate::kuw::kuw_on_active;
+use crate::greedy::greedy_on_active_in;
+use crate::kuw::kuw_on_active_in;
 use crate::trace::{SblRoundStats, SblTrace, TailAlgorithm};
 
 /// Which algorithm SBL uses on the residual instance (fewer than `1/p²`
@@ -123,16 +124,93 @@ pub fn sbl_mis_with<R: Rng + ?Sized>(
     sbl_mis_with_engine::<ActiveHypergraph, R>(h, rng, config)
 }
 
+/// Runs SBL with a caller-owned [`Workspace`], reusing its buffers and
+/// parked engines (the main active engine *and* the per-round sampled
+/// sub-engine) across solves — the zero-reallocation batch path. Identical
+/// results to [`sbl_mis_with`] for the same seed, whether the workspace is
+/// fresh or warm.
+pub fn sbl_mis_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+    ws: &mut Workspace,
+) -> SblOutcome {
+    sbl_mis_with_engine_in::<ActiveHypergraph, R>(h, rng, config, ws)
+}
+
 /// Runs SBL with an explicit configuration and an explicit [`ActiveEngine`]
 /// (used by the differential suites and the bench regression guard). The RNG
 /// consumption order depends only on the engine-observable state (alive
 /// vertices ascending, live edges in arrival order), so two correct engines
-/// produce identical outcomes for the same seed.
-pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+/// produce identical outcomes for the same seed. Thin wrapper owning a fresh
+/// workspace.
+pub fn sbl_mis_with_engine<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,
     config: &SblConfig,
 ) -> SblOutcome {
+    sbl_mis_with_engine_in::<E, R>(h, rng, config, &mut Workspace::new())
+}
+
+/// Engine-generic, workspace-reusing SBL entry point.
+pub fn sbl_mis_with_engine_in<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+    ws: &mut Workspace,
+) -> SblOutcome {
+    let mut active: E = match ws.take_any::<E>("mis.sbl.engine") {
+        Some(mut engine) => {
+            engine.reset_from(h);
+            engine
+        }
+        None => E::from_hypergraph(h),
+    };
+    // The sub-engine slot is taken lazily at first induce (inside
+    // `sbl_run`): a solve that never reaches the sampling loop (direct BL,
+    // or the tail threshold already covers the instance) must not probe the
+    // pool for a slot it never fills — that probe would count as a fresh
+    // allocation on every such solve and break the zero-reallocation
+    // contract.
+    let mut sub_slot: Option<E> = None;
+    let outcome = sbl_run(h, rng, config, ws, &mut active, &mut sub_slot);
+    ws.put_any("mis.sbl.engine", active);
+    if let Some(sub) = sub_slot {
+        ws.put_any("mis.sbl.sub", sub);
+    }
+    outcome
+}
+
+/// Runs SBL through the **rebuild pipeline**: the pre-workspace execution
+/// path, preserved verbatim as the cold baseline. Every solve constructs a
+/// fresh engine, every sampling round materializes its sub-instance with the
+/// allocating [`ActiveEngine::induced_by`] (so sampled sub-engines carry no
+/// incidence index and trim via the full-scan path), and every BL subcall
+/// owns fresh flag scratch.
+///
+/// Outcomes are identical to [`sbl_mis_with`] / [`sbl_mis_in`] for the same
+/// seed — the batch experiment and the determinism suite assert this — and
+/// the *only* difference is lifecycle: rebuild-from-scratch versus
+/// buffer-reuse. Like the reference engine, this function exists to stay
+/// simple and measurable; do not optimise it.
+pub fn sbl_mis_rebuild<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+) -> SblOutcome {
+    sbl_mis_rebuild_with_engine::<ActiveHypergraph, R>(h, rng, config)
+}
+
+/// Engine-generic [`sbl_mis_rebuild`] (the pre-workspace pipeline).
+pub fn sbl_mis_rebuild_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+) -> SblOutcome {
+    use crate::bl::bl_on_active;
+    use crate::greedy::greedy_on_active;
+    use crate::kuw::kuw_on_active;
+
     let n = h.n_vertices();
     let params = SblParams::practical_default(n.max(2));
     let p = config.p.unwrap_or(params.p).clamp(1e-9, 1.0);
@@ -156,10 +234,214 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
     let mut trace = SblTrace::default();
     let mut active = E::from_hypergraph(h);
 
+    if h.dimension() <= dimension_cap {
+        let (added, bl_trace) = bl_on_active(&mut active, rng, &config.bl, &mut cost);
+        for &v in &added {
+            coloring.set_blue(v);
+        }
+        for v in 0..n as VertexId {
+            if !added.contains(&v) {
+                coloring.set_red(v);
+            }
+        }
+        independent_set = added;
+        trace.direct_bl = true;
+        trace.tail = TailAlgorithm::None;
+        trace.rounds.push(SblRoundStats {
+            round: 0,
+            n_alive: n,
+            m: h.n_edges(),
+            p: 1.0,
+            sampled: n,
+            sample_dimension: h.dimension(),
+            dimension_failures: 0,
+            sample_edges: h.n_edges(),
+            added: independent_set.len(),
+            rejected: n - independent_set.len(),
+            edges_discarded: h.n_edges(),
+            bl_stages: bl_trace.n_stages(),
+        });
+        return SblOutcome {
+            independent_set,
+            coloring,
+            trace,
+            cost,
+            params: resolved,
+        };
+    }
+
+    let mut round = 0usize;
+    let mut marked = vec![false; active.id_space()];
+    let mut blue_flags = vec![false; active.id_space()];
+    let mut red_flags = vec![false; active.id_space()];
+    while active.n_alive() >= tail_threshold
+        && active.n_live_edges() > 0
+        && round < config.max_rounds
+    {
+        let n_alive = active.n_alive();
+        let m = active.n_live_edges();
+        let alive = active.alive_vertices();
+        let total_live = active.total_live_size() as u64;
+
+        let mut failures = 0usize;
+        let mut effective_cap = dimension_cap;
+        let (sampled, sub) = loop {
+            let mut sampled = Vec::new();
+            for &v in &alive {
+                if rng.gen_bool(p) {
+                    marked[v as usize] = true;
+                    sampled.push(v);
+                }
+            }
+            cost.record(Cost::parallel_step(n_alive as u64));
+            let sub = active.induced_by(&marked);
+            for &v in &sampled {
+                marked[v as usize] = false;
+            }
+            cost.record(Cost::parallel_step(total_live));
+            if sub.dimension() <= effective_cap {
+                break (sampled, sub);
+            }
+            failures += 1;
+            if failures > config.max_round_retries {
+                effective_cap = sub.dimension().min(MAX_ENUMERABLE_DIMENSION);
+                if sub.dimension() <= effective_cap {
+                    break (sampled, sub);
+                }
+            }
+        };
+
+        let mut sub = sub;
+        let sample_dimension = sub.dimension();
+        let sample_edges = sub.n_live_edges();
+        let (blues, bl_trace) = bl_on_active(&mut sub, rng, &config.bl, &mut cost);
+
+        for &v in &blues {
+            blue_flags[v as usize] = true;
+            coloring.set_blue(v);
+        }
+        let mut reds: Vec<VertexId> = Vec::new();
+        for &v in &sampled {
+            if !blue_flags[v as usize] {
+                red_flags[v as usize] = true;
+                coloring.set_red(v);
+                reds.push(v);
+            }
+        }
+        let rejected = reds.len();
+        independent_set.extend(blues.iter().copied());
+
+        active.kill_vertices(&sampled);
+        let edges_discarded = active.discard_edges_touching(&red_flags, &reds);
+        let emptied = active.shrink_edges_by(&blue_flags, &blues);
+        assert_eq!(
+            emptied, 0,
+            "an edge became entirely blue — BL returned a non-independent set"
+        );
+        cost.record(Cost::parallel_step(m as u64));
+        cost.bump_round();
+
+        for &v in &sampled {
+            blue_flags[v as usize] = false;
+            red_flags[v as usize] = false;
+        }
+
+        trace.rounds.push(SblRoundStats {
+            round,
+            n_alive,
+            m,
+            p,
+            sampled: sampled.len(),
+            sample_dimension,
+            dimension_failures: failures,
+            sample_edges,
+            added: blues.len(),
+            rejected,
+            edges_discarded,
+            bl_stages: bl_trace.n_stages(),
+        });
+        round += 1;
+    }
+
+    let tail_vertices = active.n_alive();
+    if tail_vertices > 0 {
+        let added = match config.tail {
+            TailChoice::Greedy => greedy_on_active(&active, &mut cost),
+            TailChoice::Kuw => {
+                let (added, kuw_trace) = kuw_on_active(&mut active, rng, &mut cost);
+                let _ = kuw_trace;
+                added
+            }
+        };
+        trace.tail = match config.tail {
+            TailChoice::Greedy => TailAlgorithm::Greedy,
+            TailChoice::Kuw => TailAlgorithm::Kuw,
+        };
+        for &v in &added {
+            coloring.set_blue(v);
+        }
+        for v in 0..n as VertexId {
+            if coloring.get(v) == crate::coloring::Color::Undecided {
+                coloring.set_red(v);
+            }
+        }
+        independent_set.extend(added);
+    } else {
+        trace.tail = TailAlgorithm::None;
+        for v in 0..n as VertexId {
+            if coloring.get(v) == crate::coloring::Color::Undecided {
+                coloring.set_red(v);
+            }
+        }
+    }
+    trace.tail_vertices = tail_vertices;
+
+    independent_set.sort_unstable();
+    independent_set.dedup();
+    SblOutcome {
+        independent_set,
+        coloring,
+        trace,
+        cost,
+        params: resolved,
+    }
+}
+
+/// The SBL body, operating on a caller-provided engine and sub-engine slot.
+fn sbl_run<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+    config: &SblConfig,
+    ws: &mut Workspace,
+    active: &mut E,
+    sub_slot: &mut Option<E>,
+) -> SblOutcome {
+    let n = h.n_vertices();
+    let params = SblParams::practical_default(n.max(2));
+    let p = config.p.unwrap_or(params.p).clamp(1e-9, 1.0);
+    let dimension_cap = config
+        .dimension_cap
+        .unwrap_or_else(|| params.d_cap())
+        .clamp(1, MAX_ENUMERABLE_DIMENSION);
+    let tail_threshold = config
+        .tail_threshold
+        .unwrap_or_else(|| params.tail_threshold.ceil() as usize)
+        .max(1);
+    let resolved = ResolvedParams {
+        p,
+        dimension_cap,
+        tail_threshold,
+    };
+
+    let mut cost = CostTracker::new();
+    let mut coloring = Coloring::new(n);
+    let mut independent_set: Vec<VertexId> = Vec::new();
+    let mut trace = SblTrace::default();
+
     // Line 3 / 26 of Algorithm 1: if every edge is already within the
     // dimension cap, a single BL call suffices.
     if h.dimension() <= dimension_cap {
-        let (added, bl_trace) = bl_on_active(&mut active, rng, &config.bl, &mut cost);
+        let (added, bl_trace) = bl_on_active_in(active, rng, &config.bl, &mut cost, ws);
         for &v in &added {
             coloring.set_blue(v);
         }
@@ -197,11 +479,22 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
     }
 
     // Main sampling loop (lines 4–22). The per-round flag buffers are reused
-    // across rounds and cleared through the round's sampled list.
+    // across rounds (and, through the workspace, across runs) and cleared
+    // through the round's sampled list.
+    let id_space = active.id_space();
     let mut round = 0usize;
-    let mut marked = vec![false; active.id_space()];
-    let mut blue_flags = vec![false; active.id_space()];
-    let mut red_flags = vec![false; active.id_space()];
+    // Trusted clean takes (no O(id_space) re-zeroing): every round unwinds
+    // its marks/colors through the round's sampled list before putting the
+    // buffers back, so they are all-false between solves (debug-asserted).
+    let mut marked = ws.take_flags_clean("mis.sbl.marked", id_space);
+    let mut blue_flags = ws.take_flags_clean("mis.sbl.blue", id_space);
+    let mut red_flags = ws.take_flags_clean("mis.sbl.red", id_space);
+    let mut alive = ws.take_u32("mis.sbl.alive");
+    let mut sampled: Vec<VertexId> = ws.take_u32("mis.sbl.sampled");
+    let mut reds: Vec<VertexId> = ws.take_u32("mis.sbl.reds");
+    // One BL scratch for every per-round subcall: taken (and re-zeroed)
+    // once per solve, kept clean between rounds by BL's own stage unwinding.
+    let mut bl_scratch = BlScratch::take(ws, id_space);
     while active.n_alive() >= tail_threshold
         && active.n_live_edges() > 0
         && round < config.max_rounds
@@ -210,15 +503,16 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
         let m = active.n_live_edges();
         // The alive set and the live edges do not change across retries of
         // the same round, so hoist them out of the retry loop.
-        let alive = active.alive_vertices();
+        active.alive_into(&mut alive);
         let total_live = active.total_live_size() as u64;
 
         // Sample until the dimension check passes (FAIL/retry), up to the
-        // configured retry budget.
+        // configured retry budget. The sub-engine slot is re-induced in
+        // place on every retry (first use allocates it).
         let mut failures = 0usize;
         let mut effective_cap = dimension_cap;
-        let (sampled, sub) = loop {
-            let mut sampled = Vec::new();
+        loop {
+            sampled.clear();
             for &v in &alive {
                 if rng.gen_bool(p) {
                     marked[v as usize] = true;
@@ -226,14 +520,31 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
                 }
             }
             cost.record(Cost::parallel_step(n_alive as u64));
-            let sub = active.induced_by(&marked);
+            let sub: &E = match sub_slot {
+                Some(sub) => {
+                    active.induced_by_into(&marked, &sampled, sub);
+                    sub
+                }
+                None => {
+                    // First induce of this solve: recycle a parked sub-engine
+                    // from the workspace if one exists, else build fresh.
+                    *sub_slot = Some(match ws.take_any::<E>("mis.sbl.sub") {
+                        Some(mut sub) => {
+                            active.induced_by_into(&marked, &sampled, &mut sub);
+                            sub
+                        }
+                        None => active.induced_by(&marked),
+                    });
+                    sub_slot.as_ref().expect("just set")
+                }
+            };
             // Reset the mark scratch for the next retry / round.
             for &v in &sampled {
                 marked[v as usize] = false;
             }
             cost.record(Cost::parallel_step(total_live));
             if sub.dimension() <= effective_cap {
-                break (sampled, sub);
+                break;
             }
             failures += 1;
             if failures > config.max_round_retries {
@@ -242,23 +553,24 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
                 // deterministic and only weakens the round's time bound).
                 effective_cap = sub.dimension().min(MAX_ENUMERABLE_DIMENSION);
                 if sub.dimension() <= effective_cap {
-                    break (sampled, sub);
+                    break;
                 }
             }
-        };
+        }
 
         // Run BL on the sampled sub-hypergraph.
-        let mut sub = sub;
+        let sub = sub_slot.as_mut().expect("induced at least once");
         let sample_dimension = sub.dimension();
         let sample_edges = sub.n_live_edges();
-        let (blues, bl_trace) = bl_on_active(&mut sub, rng, &config.bl, &mut cost);
+        let (blues, bl_trace) =
+            bl_on_active_scratch(sub, rng, &config.bl, &mut cost, ws, &mut bl_scratch);
 
         // Permanent coloring of V' (invariant of line 5).
         for &v in &blues {
             blue_flags[v as usize] = true;
             coloring.set_blue(v);
         }
-        let mut reds: Vec<VertexId> = Vec::new();
+        reds.clear();
         for &v in &sampled {
             if !blue_flags[v as usize] {
                 red_flags[v as usize] = true;
@@ -305,13 +617,21 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
         round += 1;
     }
 
+    ws.put_flags("mis.sbl.marked", marked);
+    ws.put_flags("mis.sbl.blue", blue_flags);
+    ws.put_flags("mis.sbl.red", red_flags);
+    ws.put_u32("mis.sbl.alive", alive);
+    ws.put_u32("mis.sbl.sampled", sampled);
+    ws.put_u32("mis.sbl.reds", reds);
+    bl_scratch.put(ws);
+
     // Tail (line 23): finish the residual instance.
     let tail_vertices = active.n_alive();
     if tail_vertices > 0 {
         let added = match config.tail {
-            TailChoice::Greedy => greedy_on_active(&active, &mut cost),
+            TailChoice::Greedy => greedy_on_active_in(active, &mut cost, ws),
             TailChoice::Kuw => {
-                let (added, kuw_trace) = kuw_on_active(&mut active, rng, &mut cost);
+                let (added, kuw_trace) = kuw_on_active_in(active, rng, &mut cost, ws);
                 let _ = kuw_trace;
                 added
             }
@@ -320,9 +640,7 @@ pub fn sbl_mis_with_engine<E: ActiveEngine, R: Rng + ?Sized>(
             TailChoice::Greedy => TailAlgorithm::Greedy,
             TailChoice::Kuw => TailAlgorithm::Kuw,
         };
-        let mut blue_flags = vec![false; n];
         for &v in &added {
-            blue_flags[v as usize] = true;
             coloring.set_blue(v);
         }
         for v in 0..n as VertexId {

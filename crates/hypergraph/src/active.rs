@@ -29,20 +29,31 @@
 //!   the sorted prefix `edge_vertices[offsets[e] .. offsets[e] + live_len[e]]`;
 //! * a per-edge `u8` status recording *why* an edge left the instance
 //!   (discarded through a red vertex, dominated, emptied, singleton);
-//! * a compacted live-edge frontier (ascending edge ids), rebuilt with the
-//!   [`pram`] compaction primitives after every batch update;
+//! * a compacted live-edge frontier (ascending edge ids), re-compacted in
+//!   place (stable, allocation-free) after every batch update;
 //! * a per-vertex epoch-stamp array: transient vertex sets (the killed set of
 //!   a singleton sweep, the membership set of an independence query) are
 //!   represented as `stamp[v] == current_epoch`, so clearing a set is a single
 //!   counter bump instead of an `O(n)` wipe or a fresh allocation.
 //!
 //! Edge trimming and the domination/discard scans run through the
-//! rayon-backed [`pram`] primitives ([`par_map_segments`], [`par_map`],
-//! [`par_compact_indices`]), which fall back to sequential loops below the
-//! cutoff and are order-preserving above it, so results are identical across
-//! thread counts. Cost accounting stays in the *algorithm* layer (the
-//! `mis-core` crate charges the same work–depth script the pseudocode
-//! implies), which keeps `CostTracker` totals independent of the engine.
+//! rayon-backed [`pram`] primitives (`par_map_segments_into`,
+//! `par_map_into`), which fall back to sequential loops below the cutoff and
+//! are order-preserving above it, so results are identical across thread
+//! counts. Cost accounting stays in the *algorithm* layer (the `mis-core`
+//! crate charges the same work–depth script the pseudocode implies), which
+//! keeps `CostTracker` totals independent of the engine.
+//!
+//! # Lifecycle
+//!
+//! Engines are built once and then *recycled*: [`ActiveHypergraph::reset_from`]
+//! re-initializes an engine to a new instance in place, and
+//! [`ActiveHypergraph::induced_by_into`] derives a sampled sub-instance into
+//! an existing engine — deriving a **compact incidence index** from the kept
+//! edges so the sub keeps the incidence-directed trim/discard fast path with
+//! no `O(id_space)` pass. Per-operation scratch lives in an internal
+//! `EngineScratch` cache. See the [`ActiveEngine`] docs for the full
+//! construct/reset/induce contract.
 //!
 //! # The [`ActiveEngine`] trait and the reference engine
 //!
@@ -63,7 +74,7 @@
 
 use crate::graph::{EdgeId, Hypergraph, VertexId};
 use crate::view::HypergraphView;
-use pram::primitives::{par_compact_indices, par_map, par_map_segments, par_tabulate};
+use pram::primitives::{par_map, par_map_into, par_map_segments_into, par_tabulate};
 
 const V_ALIVE: u8 = 0;
 const V_DEAD: u8 = 1;
@@ -89,10 +100,49 @@ pub const EDGE_SINGLETON: u8 = 4;
 /// the same return values. The differential suites
 /// (`crates/hypergraph/tests/active_diff.rs` and the facade property tests)
 /// enforce this between [`ActiveHypergraph`] and the reference engine.
+///
+/// # Engine lifecycle: construct vs reset vs induce
+///
+/// An engine value has three ways of coming to hold an instance, forming the
+/// lifecycle the zero-reallocation run pipeline is built on:
+///
+/// * **Construct** — [`from_hypergraph`](Self::from_hypergraph) builds a
+///   fresh engine, allocating every internal buffer. This is the cold path;
+///   a server answering a stream of solves pays it once.
+/// * **Reset** — [`reset_from`](Self::reset_from) re-initializes an
+///   *existing* engine to a (possibly different) hypergraph **in place**,
+///   reusing its buffers. Observationally it is identical to constructing a
+///   fresh engine from the same hypergraph; only the allocation behaviour
+///   differs. The facade's `BatchRunner` parks engines in a
+///   [`pram::Workspace`] between solves and resets them on the next one.
+/// * **Induce** — [`induced_by`](Self::induced_by) derives a sub-instance
+///   engine, allocating it; [`induced_by_into`](Self::induced_by_into)
+///   derives the same sub-instance into an existing engine, reusing its
+///   buffers (SBL re-induces into one engine slot every sampling round).
+///   Both must yield observationally identical sub-engines over the *same
+///   global id space* as the parent.
+///
+/// **Who owns scratch:** transient per-call scratch (epoch stamps, frontier
+/// compaction buffers) is owned by the engine itself and is invisible to
+/// callers; per-*run* scratch (flag vectors, index lists) is owned by the
+/// caller's [`pram::Workspace`] and handed to the algorithm entry points
+/// (`mis-core`'s `*_in` functions); per-*stream* state (whole engines) is
+/// parked in the workspace's typed slots by the facade. No scratch may ever
+/// influence results: a warmed-up engine/workspace and a cold one must make
+/// byte-identical decisions, which the pinned-seed batch determinism suite
+/// enforces.
 pub trait ActiveEngine: HypergraphView + Clone {
     /// Creates an active copy of a full hypergraph: every vertex alive, every
     /// edge present.
     fn from_hypergraph(h: &Hypergraph) -> Self;
+
+    /// Re-initializes this engine to an active copy of `h` **in place**,
+    /// reusing internal buffers where possible. Observationally identical to
+    /// `*self = Self::from_hypergraph(h)`, which is also the default
+    /// implementation.
+    fn reset_from(&mut self, h: &Hypergraph) {
+        *self = Self::from_hypergraph(h);
+    }
 
     /// Number of alive (undecided) vertices.
     fn n_alive(&self) -> usize {
@@ -112,6 +162,15 @@ pub trait ActiveEngine: HypergraphView + Clone {
     /// The alive vertices in increasing order.
     fn alive_vertices(&self) -> Vec<VertexId> {
         self.active_vertices()
+    }
+
+    /// Writes the alive vertices (increasing order) into `out`, replacing its
+    /// contents. The borrowed variant the hot loops use: engines that keep a
+    /// compacted alive list serve this with a single memcpy and no
+    /// allocation once `out` has warmed up.
+    fn alive_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.alive_vertices());
     }
 
     /// Total size of the live edges, `Σ_e |e|` over live members.
@@ -153,6 +212,25 @@ pub trait ActiveEngine: HypergraphView + Clone {
     /// *fully contained* in the mark set (the `H' = (V', E')` of SBL line 7).
     /// The returned engine shares the global id space.
     fn induced_by(&self, marked: &[bool]) -> Self;
+
+    /// Derives the same sub-hypergraph as [`induced_by`](Self::induced_by)
+    /// into an existing engine, reusing `out`'s buffers. `vs` must list
+    /// exactly the vertices flagged in `marked` (any order, duplicate-free;
+    /// the same convention as [`shrink_edges_by`](Self::shrink_edges_by)),
+    /// which lets implementations find the kept edges through the *parent's*
+    /// incidence index instead of scanning every live edge.
+    ///
+    /// `out` may hold any previous state (a consumed sub-instance from an
+    /// earlier round, an engine over a different id space); afterwards it is
+    /// observationally identical to `self.induced_by(marked)`. The default
+    /// implementation simply overwrites `out`; [`ActiveHypergraph`]
+    /// overrides it to derive the kept edges incidence-directed and to equip
+    /// the sub-instance with a compact incidence index of its own, so the
+    /// incidence-directed trim/discard fast path stays available.
+    fn induced_by_into(&self, marked: &[bool], vs: &[VertexId], out: &mut Self) {
+        let _ = vs;
+        *out = self.induced_by(marked);
+    }
 
     /// Independence oracle: `true` iff some live edge lies entirely inside
     /// `set`. Takes `&mut self` so implementations may use epoch-stamped
@@ -201,15 +279,108 @@ pub struct ActiveHypergraph {
     stamp: Vec<u32>,
     /// Current epoch of `stamp`.
     epoch: u32,
-    /// Vertex→edge incidence CSR of the *original* edge arena (offsets of
-    /// length `id_space + 1`, concatenated edge ids), inherited from the
-    /// source [`Hypergraph`]. Edges only ever lose members, so an edge
-    /// containing `v` now was always incident to `v` — which makes the
-    /// original incidence a sound over-approximation and enables the
-    /// incidence-directed trim/discard fast path. `None` for engines built
-    /// from raw parts or by [`induced_by`](Self::induced_by) (their instances
-    /// are small; the scan path is cheap there).
-    incidence: Option<(Vec<u32>, Vec<EdgeId>)>,
+    /// Vertex→edge incidence of the edge arena *as of construction/induce
+    /// time*. Edges only ever lose members, so an edge containing `v` now
+    /// was always incident to `v` — which makes the construction-time
+    /// incidence a sound over-approximation and enables the
+    /// incidence-directed trim/discard fast path.
+    incidence: IncidenceIndex,
+    /// Reusable per-operation scratch; never observable (see
+    /// [`EngineScratch`]).
+    scratch: EngineScratch,
+}
+
+/// Vertex→edge incidence index of an [`ActiveHypergraph`].
+#[derive(Debug, Clone, Default)]
+enum IncidenceIndex {
+    /// No index: every update uses the scan paths (engines built from raw
+    /// parts or by the allocating [`ActiveHypergraph::induced_by`]).
+    #[default]
+    None,
+    /// Indexed directly by vertex id (offsets of length `id_space + 1`),
+    /// inherited from the source [`Hypergraph`] for engines built by
+    /// [`ActiveHypergraph::from_hypergraph`] / `reset_from`.
+    Full {
+        /// CSR offsets into `incident`, indexed by vertex id.
+        offsets: Vec<u32>,
+        /// Concatenated per-vertex lists of incident edge ids.
+        incident: Vec<EdgeId>,
+    },
+    /// Compact index over only the vertices that occur in the instance's
+    /// edges (`keys`, ascending; rank lookup by binary search), derived by
+    /// [`ActiveHypergraph::induced_by_into`] for sampled sub-instances so
+    /// they keep the incidence fast path without an `O(id_space)` table.
+    Compact {
+        /// The vertices with at least one incident edge, ascending.
+        keys: Vec<VertexId>,
+        /// CSR offsets into `incident`, of length `keys.len() + 1`.
+        offsets: Vec<u32>,
+        /// Concatenated per-key lists of incident edge ids.
+        incident: Vec<EdgeId>,
+    },
+}
+
+impl IncidenceIndex {
+    /// The edges incident to `v` at index-build time (empty if `v` is
+    /// unknown to the index), or `None` if no index exists at all.
+    #[inline]
+    fn incident(&self, v: VertexId) -> Option<&[EdgeId]> {
+        match self {
+            IncidenceIndex::None => None,
+            IncidenceIndex::Full { offsets, incident } => {
+                let lo = offsets[v as usize] as usize;
+                let hi = offsets[v as usize + 1] as usize;
+                Some(&incident[lo..hi])
+            }
+            IncidenceIndex::Compact {
+                keys,
+                offsets,
+                incident,
+            } => match keys.binary_search(&v) {
+                Ok(r) => Some(&incident[offsets[r] as usize..offsets[r + 1] as usize]),
+                Err(_) => Some(&[]),
+            },
+        }
+    }
+
+    /// Tears the index down into its (cleared-on-reuse) buffers so a rebuild
+    /// can reuse the allocations. Missing buffers come back empty.
+    fn take_buffers(&mut self) -> (Vec<VertexId>, Vec<u32>, Vec<EdgeId>) {
+        match std::mem::take(self) {
+            IncidenceIndex::None => (Vec::new(), Vec::new(), Vec::new()),
+            IncidenceIndex::Full { offsets, incident } => (Vec::new(), offsets, incident),
+            IncidenceIndex::Compact {
+                keys,
+                offsets,
+                incident,
+            } => (keys, offsets, incident),
+        }
+    }
+}
+
+/// Reusable scratch buffers for the engine's own update operations (frontier
+/// hit flags, per-segment trim lengths, the pair-sort arena of the dominated
+/// sweep and of the compact-incidence build). Purely an allocation cache:
+/// every user overwrites what it reads, so scratch contents never influence
+/// results — which is why `Clone` hands the copy empty scratch.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    /// Per-frontier-position hit flags (discard scans, induce keep flags).
+    hit: Vec<bool>,
+    /// Per-frontier-position trimmed lengths (segment trim).
+    lens: Vec<u32>,
+    /// `(vertex << 32) | position` pairs (dominated sweep, incidence build).
+    pairs: Vec<u64>,
+    /// Per-frontier-position dominated flags.
+    dead: Vec<bool>,
+    /// Vertex id scratch (induce mark-set sorting).
+    verts: Vec<VertexId>,
+}
+
+impl Clone for EngineScratch {
+    fn clone(&self) -> Self {
+        EngineScratch::default()
+    }
 }
 
 impl ActiveHypergraph {
@@ -243,7 +414,8 @@ impl ActiveHypergraph {
             live_edges: (0..m as EdgeId).collect(),
             stamp: vec![0; id_space],
             epoch: 0,
-            incidence: None,
+            incidence: IncidenceIndex::None,
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -251,15 +423,48 @@ impl ActiveHypergraph {
     /// edge present. Inherits the hypergraph's incidence index, enabling the
     /// incidence-directed trim/discard fast path.
     pub fn from_hypergraph(h: &Hypergraph) -> Self {
-        let mut ah = Self::from_edge_lists(
-            h.n_vertices(),
-            vec![V_ALIVE; h.n_vertices()],
-            (0..h.n_vertices() as u32).collect(),
-            h.edges(),
-        );
-        let (offsets, incident) = h.incidence_csr();
-        ah.incidence = Some((offsets.to_vec(), incident.to_vec()));
+        let mut ah =
+            Self::from_edge_lists(0, Vec::new(), Vec::new(), std::iter::empty::<&[VertexId]>());
+        ah.reset_from(h);
         ah
+    }
+
+    /// Re-initializes this engine to an active copy of `h` **in place**,
+    /// reusing every internal buffer (status, alive list, edge arena, epoch
+    /// stamps, incidence index). Observationally identical to
+    /// [`from_hypergraph`](Self::from_hypergraph) — only the allocation
+    /// behaviour differs: after a warm-up solve of a same-shaped instance,
+    /// resetting performs no allocation at all.
+    pub fn reset_from(&mut self, h: &Hypergraph) {
+        let n = h.n_vertices();
+        let m = h.n_edges();
+        self.id_space = n;
+        self.status.clear();
+        self.status.resize(n, V_ALIVE);
+        self.alive_list.clear();
+        self.alive_list.extend(0..n as u32);
+        let (edge_offsets, edge_vertices) = h.edge_csr();
+        self.edge_offsets.clear();
+        self.edge_offsets.extend_from_slice(edge_offsets);
+        self.edge_vertices.clear();
+        self.edge_vertices.extend_from_slice(edge_vertices);
+        self.live_len.clear();
+        self.live_len
+            .extend(edge_offsets.windows(2).map(|w| w[1] - w[0]));
+        self.edge_status.clear();
+        self.edge_status.resize(m, EDGE_LIVE);
+        self.live_edges.clear();
+        self.live_edges.extend(0..m as EdgeId);
+        // Stale stamps are all <= the current epoch and every reader bumps
+        // the epoch before stamping, so only *new* entries need zeroing.
+        self.stamp.resize(n, 0);
+        let (_keys, mut offsets, mut incident) = self.incidence.take_buffers();
+        let (inc_offsets, inc_edges) = h.incidence_csr();
+        offsets.clear();
+        offsets.extend_from_slice(inc_offsets);
+        incident.clear();
+        incident.extend_from_slice(inc_edges);
+        self.incidence = IncidenceIndex::Full { offsets, incident };
     }
 
     /// Creates an active hypergraph from raw parts.
@@ -380,13 +585,12 @@ impl ActiveHypergraph {
     }
 
     /// Rebuilds the live-edge frontier from the per-edge status array,
-    /// preserving ascending order.
+    /// preserving ascending order: an in-place stable compaction with no
+    /// allocation (the PRAM cost of the step is charged at the algorithm
+    /// layer, like every other engine update).
     fn rebuild_frontier(&mut self) {
         let status = &self.edge_status;
-        let keep =
-            par_compact_indices(&self.live_edges, |&e| status[e as usize] == EDGE_LIVE, None);
-        let new: Vec<EdgeId> = keep.into_iter().map(|i| self.live_edges[i]).collect();
-        self.live_edges = new;
+        self.live_edges.retain(|&e| status[e as usize] == EDGE_LIVE);
     }
 
     /// Marks the given vertices dead (decided) and compacts the alive list.
@@ -405,13 +609,16 @@ impl ActiveHypergraph {
         }
     }
 
-    /// Total number of original incident edges of `vs`, if the incidence
-    /// index is available — the cost of the incidence-directed update path.
+    /// Total number of construction-time incident edges of `vs`, if an
+    /// incidence index is available — the cost of the incidence-directed
+    /// update path.
     fn incidence_work(&self, vs: &[VertexId]) -> Option<usize> {
-        let (offsets, _) = self.incidence.as_ref()?;
+        if matches!(self.incidence, IncidenceIndex::None) {
+            return None;
+        }
         Some(
             vs.iter()
-                .map(|&v| (offsets[v as usize + 1] - offsets[v as usize]) as usize)
+                .map(|&v| self.incidence.incident(v).map_or(0, |inc| inc.len()))
                 .sum(),
         )
     }
@@ -435,15 +642,13 @@ impl ActiveHypergraph {
         self.shrink_by_segments(set)
     }
 
-    /// Incidence-directed trim: `O(Σ_v deg(v) · log|e|)` in the original
-    /// degrees of the trimmed vertices.
+    /// Incidence-directed trim: `O(Σ_v deg(v) · log|e|)` in the
+    /// construction-time degrees of the trimmed vertices.
     fn shrink_by_incidence(&mut self, vs: &[VertexId]) -> usize {
-        let (offsets, incident) = self.incidence.as_ref().expect("checked by caller");
         let mut emptied = 0usize;
         for &v in vs {
-            let lo = offsets[v as usize] as usize;
-            let hi = offsets[v as usize + 1] as usize;
-            for &e in &incident[lo..hi] {
+            let incident = self.incidence.incident(v).expect("checked by caller");
+            for &e in incident {
                 if self.edge_status[e as usize] != EDGE_LIVE {
                     continue;
                 }
@@ -483,7 +688,8 @@ impl ActiveHypergraph {
             rest = tail;
             pos = lo + len;
         }
-        let new_lens = par_map_segments(
+        let mut new_lens = std::mem::take(&mut self.scratch.lens);
+        par_map_segments_into(
             segments,
             |seg| {
                 let mut w = 0usize;
@@ -497,6 +703,7 @@ impl ActiveHypergraph {
                 w as u32
             },
             None,
+            &mut new_lens,
         );
         let mut emptied = 0usize;
         for (k, &e) in self.live_edges.iter().enumerate() {
@@ -506,6 +713,7 @@ impl ActiveHypergraph {
                 emptied += 1;
             }
         }
+        self.scratch.lens = new_lens;
         if emptied > 0 {
             self.rebuild_frontier();
         }
@@ -528,17 +736,15 @@ impl ActiveHypergraph {
         self.discard_by_scan(set)
     }
 
-    /// Incidence-directed discard: only the original incident edges of the
-    /// touched vertices are inspected. Membership is re-checked against the
-    /// *live* members, since a vertex may have been trimmed out of an edge
-    /// earlier (such an edge must survive).
+    /// Incidence-directed discard: only the construction-time incident edges
+    /// of the touched vertices are inspected. Membership is re-checked
+    /// against the *live* members, since a vertex may have been trimmed out
+    /// of an edge earlier (such an edge must survive).
     fn discard_by_incidence(&mut self, vs: &[VertexId]) -> usize {
-        let (offsets, incident) = self.incidence.as_ref().expect("checked by caller");
         let mut removed = 0usize;
         for &v in vs {
-            let lo = offsets[v as usize] as usize;
-            let hi = offsets[v as usize + 1] as usize;
-            for &e in &incident[lo..hi] {
+            let incident = self.incidence.incident(v).expect("checked by caller");
+            for &e in incident {
                 if self.edge_status[e as usize] != EDGE_LIVE {
                     continue;
                 }
@@ -562,10 +768,11 @@ impl ActiveHypergraph {
     /// Full-scan discard over every live edge (in parallel above the pram
     /// cutoff).
     fn discard_by_scan(&mut self, set: &[bool]) -> usize {
+        let mut hit = std::mem::take(&mut self.scratch.hit);
         let offsets = &self.edge_offsets;
         let verts = &self.edge_vertices;
         let live_len = &self.live_len;
-        let hit: Vec<bool> = par_map(
+        par_map_into(
             &self.live_edges,
             |&e| {
                 let lo = offsets[e as usize] as usize;
@@ -574,18 +781,22 @@ impl ActiveHypergraph {
                     .any(|&v| set[v as usize])
             },
             None,
+            &mut hit,
         );
-        self.apply_edge_hits(&hit, EDGE_DISCARDED)
+        let removed = self.apply_edge_hits(&hit, EDGE_DISCARDED);
+        self.scratch.hit = hit;
+        removed
     }
 
     /// Discards every live edge with a member stamped at `cur`, tagging it
     /// with `reason`. Returns the number of edges discarded.
     fn discard_edges_stamped(&mut self, cur: u32, reason: u8) -> usize {
+        let mut hit = std::mem::take(&mut self.scratch.hit);
         let offsets = &self.edge_offsets;
         let verts = &self.edge_vertices;
         let live_len = &self.live_len;
         let stamp = &self.stamp;
-        let hit: Vec<bool> = par_map(
+        par_map_into(
             &self.live_edges,
             |&e| {
                 let lo = offsets[e as usize] as usize;
@@ -594,8 +805,11 @@ impl ActiveHypergraph {
                     .any(|&v| stamp[v as usize] == cur)
             },
             None,
+            &mut hit,
         );
-        self.apply_edge_hits(&hit, reason)
+        let removed = self.apply_edge_hits(&hit, reason);
+        self.scratch.hit = hit;
+        removed
     }
 
     /// Tags every frontier edge whose `hit` flag is set with `reason` and
@@ -631,19 +845,24 @@ impl ActiveHypergraph {
         // Incidence via (vertex, frontier-position) pair sort: `O(T log T)`
         // in the total live size `T`, with no dependence on the id space —
         // crucial for SBL's sampled sub-instances, which inherit the global
-        // id space but hold only a handful of vertices.
-        let mut pairs: Vec<(VertexId, u32)> = Vec::with_capacity(self.total_live_size());
+        // id space but hold only a handful of vertices. Pairs are packed as
+        // `(v << 32) | k` so the u64 sort order equals the tuple order and
+        // the arena is reusable scratch.
+        let mut pairs = std::mem::take(&mut self.scratch.pairs);
+        pairs.clear();
+        pairs.reserve(self.total_live_size());
         for (k, &e) in self.live_edges.iter().enumerate() {
             for &v in self.live_edge(e) {
-                pairs.push((v, k as u32));
+                pairs.push(((v as u64) << 32) | k as u64);
             }
         }
         pairs.sort_unstable();
-        // incidence(v) = the contiguous run of pairs with first component v.
-        let run_of = |v: VertexId| -> &[(VertexId, u32)] {
-            let lo = pairs.partition_point(|&(u, _)| u < v);
-            let hi = pairs.partition_point(|&(u, _)| u <= v);
-            &pairs[lo..hi]
+        // incidence(v) = the contiguous run of pairs with high half v.
+        let pairs_ref = &pairs;
+        let run_of = |v: VertexId| -> &[u64] {
+            let lo = pairs_ref.partition_point(|&p| (p >> 32) < v as u64);
+            let hi = pairs_ref.partition_point(|&p| (p >> 32) <= v as u64);
+            &pairs_ref[lo..hi]
         };
 
         let live_edges = &self.live_edges;
@@ -668,7 +887,8 @@ impl ActiveHypergraph {
                     .min_by_key(|&v| run_of(v).len())
                     .expect("live edges are non-empty");
                 let mut out = Vec::new();
-                for &(_, cand) in run_of(pivot) {
+                for &pair in run_of(pivot) {
+                    let cand = (pair & u32::MAX as u64) as u32;
                     if cand as usize == k {
                         continue;
                     }
@@ -685,7 +905,9 @@ impl ActiveHypergraph {
             },
             None,
         );
-        let mut dead = vec![false; m];
+        let mut dead = std::mem::take(&mut self.scratch.dead);
+        dead.clear();
+        dead.resize(m, false);
         let mut removed = 0usize;
         for hs in &hits {
             for &c in hs {
@@ -703,6 +925,8 @@ impl ActiveHypergraph {
             }
             self.rebuild_frontier();
         }
+        self.scratch.dead = dead;
+        self.scratch.pairs = pairs;
         removed
     }
 
@@ -742,10 +966,207 @@ impl ActiveHypergraph {
         killed
     }
 
+    /// Derives the sub-hypergraph induced by the marked vertices into an
+    /// existing engine, reusing `out`'s buffers, and equips it with a
+    /// **compact incidence index** derived from the kept edges — so the
+    /// sub-instance keeps the incidence-directed trim/discard fast path
+    /// without ever touching an `O(id_space)` table. `vs` must list exactly
+    /// the marked vertices (any order, duplicate-free).
+    ///
+    /// When the parent carries an incidence index and the mark set's total
+    /// incident degree is small compared to the instance (the common case
+    /// for SBL's samples), the kept edges are found by walking the marked
+    /// vertices' incidence lists — `O(Σ_v deg(v))` — instead of scanning
+    /// every live edge: an edge fully inside the mark set is in particular
+    /// incident to a marked vertex, and edges only ever lose members, so the
+    /// parent's construction-time incidence is a sound over-approximation.
+    /// Candidate edge ids are sorted ascending, which *is* frontier order
+    /// (the live-edge frontier is maintained ascending), so both derivations
+    /// keep edges in the identical order.
+    ///
+    /// `out` may hold arbitrary previous state (a consumed sub-instance from
+    /// an earlier round, an engine over a different id space). The cost is
+    /// `O(n_alive + min(T, Σ_v deg(v) · dim) + T_sub · log T_sub)` where `T`
+    /// is the parent's total live size and `T_sub` the sub-instance's —
+    /// crucially *not* `O(id_space)`: the previous state is unwound through
+    /// `out`'s alive list, and epoch stamps survive reuse by construction.
+    ///
+    /// Observationally `out` ends up identical to `self.induced_by(marked)`
+    /// (the differential suites pin this); only the allocation behaviour and
+    /// the availability of the incidence fast path differ.
+    pub fn induced_by_into(&self, marked: &[bool], vs: &[VertexId], out: &mut ActiveHypergraph) {
+        // Unwind out's previous observable state. The alive list is exactly
+        // the set of V_ALIVE entries (engine invariant), so this is
+        // O(previous sub size), not O(id_space).
+        for &v in &out.alive_list {
+            out.status[v as usize] = V_DEAD;
+        }
+        out.alive_list.clear();
+        out.id_space = self.id_space;
+        out.status.resize(self.id_space, V_DEAD);
+        // Stale stamps are <= out's epoch and readers bump before stamping.
+        out.stamp.resize(self.id_space, 0);
+
+        // Alive set of the sub-instance: marked ∩ alive, ascending — derived
+        // from `vs` in O(|vs|) (O(|vs| log |vs|) if the caller passed it
+        // unsorted) instead of scanning the parent's whole alive list; for
+        // SBL's samples `|vs| ≪ n_alive`.
+        debug_assert!(
+            vs.iter().all(|&v| marked[v as usize]),
+            "vs must list exactly the marked vertices"
+        );
+        debug_assert_eq!(
+            vs.len(),
+            marked.iter().filter(|&&m| m).count(),
+            "vs must list exactly the marked vertices"
+        );
+        if vs.windows(2).all(|w| w[0] < w[1]) {
+            for &v in vs {
+                if self.status[v as usize] == V_ALIVE {
+                    out.status[v as usize] = V_ALIVE;
+                    out.alive_list.push(v);
+                }
+            }
+        } else {
+            let mut sorted = std::mem::take(&mut out.scratch.verts);
+            sorted.clear();
+            sorted.extend_from_slice(vs);
+            sorted.sort_unstable();
+            for &v in &sorted {
+                if self.status[v as usize] == V_ALIVE {
+                    out.status[v as usize] = V_ALIVE;
+                    out.alive_list.push(v);
+                }
+            }
+            out.scratch.verts = sorted;
+        }
+
+        // Start rebuilding out's edge arena; kept edges are appended in
+        // frontier order (identical to `induced_by`'s edge order).
+        out.edge_offsets.clear();
+        out.edge_offsets.push(0);
+        out.edge_vertices.clear();
+        out.live_len.clear();
+        // Incidence-directed derivation: collect the live edges incident to
+        // a marked vertex (the only candidates for full containment) in a
+        // single walk, bailing out to the full scan if the mark set's
+        // incident degree turns out to rival the instance size (same
+        // threshold as the trim/discard fast paths). Candidates are sorted
+        // ascending, which *is* frontier order.
+        let mut use_incidence = !matches!(self.incidence, IncidenceIndex::None);
+        if use_incidence {
+            let budget = self.total_live_size() / 4;
+            let mut cand = std::mem::take(&mut out.scratch.pairs);
+            cand.clear();
+            let mut walked = 0usize;
+            'walk: for &v in vs {
+                let incident = self.incidence.incident(v).expect("checked above");
+                walked += incident.len();
+                if walked > budget {
+                    use_incidence = false;
+                    break 'walk;
+                }
+                for &e in incident {
+                    if self.edge_status[e as usize] == EDGE_LIVE {
+                        cand.push(e as u64);
+                    }
+                }
+            }
+            if use_incidence {
+                cand.sort_unstable();
+                cand.dedup();
+                let status_ref: &[u8] = &out.status;
+                for &e in &cand {
+                    let seg = self.live_edge(e as EdgeId);
+                    if seg.iter().all(|&v| status_ref[v as usize] == V_ALIVE) {
+                        out.edge_vertices.extend_from_slice(seg);
+                        out.edge_offsets.push(out.edge_vertices.len() as u32);
+                        out.live_len.push(seg.len() as u32);
+                    }
+                }
+            }
+            out.scratch.pairs = cand;
+        }
+        if !use_incidence {
+            // Full scan: keep the live edges fully contained in the sub's
+            // alive set.
+            let mut keep = std::mem::take(&mut out.scratch.hit);
+            {
+                let status_ref: &[u8] = &out.status;
+                let offsets = &self.edge_offsets;
+                let verts = &self.edge_vertices;
+                let live_len = &self.live_len;
+                par_map_into(
+                    &self.live_edges,
+                    |&e| {
+                        let lo = offsets[e as usize] as usize;
+                        verts[lo..lo + live_len[e as usize] as usize]
+                            .iter()
+                            .all(|&v| status_ref[v as usize] == V_ALIVE)
+                    },
+                    None,
+                    &mut keep,
+                );
+            }
+            for (k, &e) in self.live_edges.iter().enumerate() {
+                if keep[k] {
+                    let seg = self.live_edge(e);
+                    out.edge_vertices.extend_from_slice(seg);
+                    out.edge_offsets.push(out.edge_vertices.len() as u32);
+                    out.live_len.push(seg.len() as u32);
+                }
+            }
+            out.scratch.hit = keep;
+        }
+        let m = out.live_len.len();
+        out.edge_status.clear();
+        out.edge_status.resize(m, EDGE_LIVE);
+        out.live_edges.clear();
+        out.live_edges.extend(0..m as EdgeId);
+
+        // Compact incidence over the kept edges: a (vertex, edge) pair sort,
+        // O(T_sub log T_sub), no dependence on the id space.
+        let mut pairs = std::mem::take(&mut out.scratch.pairs);
+        pairs.clear();
+        pairs.reserve(out.edge_vertices.len());
+        for e in 0..m {
+            let lo = out.edge_offsets[e] as usize;
+            let hi = out.edge_offsets[e + 1] as usize;
+            for &v in &out.edge_vertices[lo..hi] {
+                pairs.push(((v as u64) << 32) | e as u64);
+            }
+        }
+        pairs.sort_unstable();
+        let (mut keys, mut inc_offsets, mut incident) = out.incidence.take_buffers();
+        keys.clear();
+        inc_offsets.clear();
+        incident.clear();
+        for &pair in &pairs {
+            let v = (pair >> 32) as VertexId;
+            let e = (pair & u32::MAX as u64) as EdgeId;
+            if keys.last() != Some(&v) {
+                keys.push(v);
+                inc_offsets.push(incident.len() as u32);
+            }
+            incident.push(e);
+        }
+        inc_offsets.push(incident.len() as u32);
+        out.incidence = IncidenceIndex::Compact {
+            keys,
+            offsets: inc_offsets,
+            incident,
+        };
+        out.scratch.pairs = pairs;
+        out.debug_validate();
+    }
+
     /// The sub-hypergraph induced by the marked vertices, keeping only edges
     /// *fully contained* in the mark set (the `H' = (V', E')` of SBL line 7).
     ///
-    /// The returned engine shares the global id space.
+    /// The returned engine shares the global id space. This is the
+    /// allocating variant (and carries no incidence index); the run pipeline
+    /// uses [`induced_by_into`](Self::induced_by_into), and the differential
+    /// suites compare the two state-for-state.
     pub fn induced_by(&self, marked: &[bool]) -> ActiveHypergraph {
         let mut status = vec![V_DEAD; self.id_space];
         let mut alive_list = Vec::new();
@@ -896,6 +1317,15 @@ impl ActiveEngine for ActiveHypergraph {
         ActiveHypergraph::from_hypergraph(h)
     }
 
+    fn reset_from(&mut self, h: &Hypergraph) {
+        ActiveHypergraph::reset_from(self, h)
+    }
+
+    fn alive_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend_from_slice(self.alive_slice());
+    }
+
     fn total_live_size(&self) -> usize {
         ActiveHypergraph::total_live_size(self)
     }
@@ -922,6 +1352,10 @@ impl ActiveEngine for ActiveHypergraph {
 
     fn induced_by(&self, marked: &[bool]) -> Self {
         ActiveHypergraph::induced_by(self, marked)
+    }
+
+    fn induced_by_into(&self, marked: &[bool], vs: &[VertexId], out: &mut Self) {
+        ActiveHypergraph::induced_by_into(self, marked, vs, out)
     }
 
     fn contains_live_edge_within(&mut self, set: &[VertexId]) -> bool {
@@ -1438,6 +1872,110 @@ mod tests {
         assert_eq!(ah.n_alive(), 3);
         assert_eq!(ah.n_edges(), 2);
         assert_eq!(ah.alive_slice(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn reset_from_matches_fresh_construction() {
+        let h1 = hypergraph_from_edges(
+            6,
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 1, 2, 3]],
+        );
+        let h2 = hypergraph_from_edges(4, vec![vec![0, 3], vec![1, 2, 3]]);
+        // Dirty the engine thoroughly on h1, then reset to h2 and compare
+        // against a fresh engine — including behaviour, not just state.
+        let mut recycled = ActiveHypergraph::from_hypergraph(&h1);
+        recycled.remove_dominated_edges();
+        recycled.kill_vertices(&[0, 2]);
+        let mut set = vec![false; 6];
+        set[0] = true;
+        set[2] = true;
+        recycled.discard_edges_touching(&set, &[0, 2]);
+        assert!(recycled.contains_live_edge_within(&[3, 4, 5]));
+
+        recycled.reset_from(&h2);
+        let fresh = ActiveHypergraph::from_hypergraph(&h2);
+        assert_eq!(recycled.n_alive(), fresh.n_alive());
+        assert_eq!(recycled.alive_vertices(), fresh.alive_vertices());
+        assert_eq!(recycled.live_edges_owned(), fresh.live_edges_owned());
+        assert_eq!(recycled.id_space(), fresh.id_space());
+        recycled.debug_validate();
+        // Epoch-stamped queries must not leak pre-reset state.
+        assert!(recycled.contains_live_edge_within(&[0, 3]));
+        assert!(!recycled.contains_live_edge_within(&[0, 1, 2]));
+        // And the incidence fast path must be live again after reset.
+        let mut a = recycled.clone();
+        let mut b = fresh.clone();
+        let mut blue = vec![false; 4];
+        blue[3] = true;
+        a.kill_vertices(&[3]);
+        b.kill_vertices(&[3]);
+        assert_eq!(
+            a.shrink_edges_by(&blue, &[3]),
+            b.shrink_edges_by(&blue, &[3])
+        );
+        assert_eq!(a.live_edges_owned(), b.live_edges_owned());
+    }
+
+    #[test]
+    fn induced_by_into_matches_induced_by_on_dirty_reuse() {
+        let h = hypergraph_from_edges(
+            8,
+            vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![0, 1, 2, 3],
+                vec![5, 6, 7],
+            ],
+        );
+        let parent = ActiveHypergraph::from_hypergraph(&h);
+        // Reused target engine, deliberately dirty and over a different id
+        // space.
+        let mut out = ActiveHypergraph::from_parts(vec![true, true, false], vec![vec![0, 1]]);
+        for mark_set in [vec![0u32, 1, 2, 3], vec![2, 3, 4, 5], vec![], vec![5, 6, 7]] {
+            let mut marked = vec![false; 8];
+            for &v in &mark_set {
+                marked[v as usize] = true;
+            }
+            let expected = parent.induced_by(&marked);
+            parent.induced_by_into(&marked, &mark_set, &mut out);
+            assert_eq!(out.n_alive(), expected.n_alive(), "{mark_set:?}");
+            assert_eq!(out.alive_vertices(), expected.alive_vertices());
+            assert_eq!(out.live_edges_owned(), expected.live_edges_owned());
+            assert_eq!(out.id_space(), expected.id_space());
+            out.debug_validate();
+        }
+        // The compact incidence must direct updates to the same results as
+        // the expected (index-free) sub-engine.
+        let mut marked = vec![false; 8];
+        for v in [0, 1, 2, 3] {
+            marked[v] = true;
+        }
+        let mut expected = parent.induced_by(&marked);
+        parent.induced_by_into(&marked, &[0, 1, 2, 3], &mut out);
+        let killed_a = out.remove_singleton_edges();
+        let killed_b = expected.remove_singleton_edges();
+        assert_eq!(killed_a, killed_b);
+        let mut blue = vec![false; 8];
+        blue[1] = true;
+        out.kill_vertices(&[1]);
+        expected.kill_vertices(&[1]);
+        assert_eq!(
+            out.shrink_edges_by(&blue, &[1]),
+            expected.shrink_edges_by(&blue, &[1])
+        );
+        assert_eq!(out.live_edges_owned(), expected.live_edges_owned());
+    }
+
+    #[test]
+    fn induced_by_into_of_edgeless_mark_set() {
+        let ah = toy();
+        let mut out = ActiveHypergraph::from_parts(vec![true; 2], vec![vec![0, 1]]);
+        let marked = vec![false; 6];
+        ah.induced_by_into(&marked, &[], &mut out);
+        assert_eq!(out.n_alive(), 0);
+        assert_eq!(out.n_edges(), 0);
+        out.debug_validate();
     }
 
     #[cfg(feature = "reference-engine")]

@@ -156,6 +156,14 @@ impl Hypergraph {
         (&self.inc_offsets, &self.incident)
     }
 
+    /// The raw edge CSR (offsets of length `m + 1`, concatenated sorted
+    /// vertex lists), used by the active engine's in-place `reset_from` to
+    /// restore its arena with two straight memcpys.
+    #[inline]
+    pub(crate) fn edge_csr(&self) -> (&[u32], &[VertexId]) {
+        (&self.edge_offsets, &self.edge_vertices)
+    }
+
     /// The sorted list of edges incident to vertex `v`.
     ///
     /// # Panics

@@ -96,11 +96,31 @@ fn assert_same_state(flat: &ActiveHypergraph, reference: &ReferenceActiveHypergr
 /// Replays `ops` against both engines, checking state equality after every
 /// step. Ops reference arbitrary vertex ids; they are filtered to the id
 /// space on the fly.
+///
+/// The flat engine's invariants are additionally re-validated immediately
+/// after every mutating call (debug builds), *before* any state comparison,
+/// so invariant breakage localizes to the op that caused it instead of
+/// surfacing as a downstream observable mismatch.
+///
+/// `Induce` ops run through [`ActiveHypergraph::induced_by_into`] on a
+/// *reused* spare engine (swapped with the active one), so the dirty-reuse
+/// path — the one the SBL round loop exercises — is differentially tested
+/// against the reference engine's plain `induced_by` after every kind of
+/// preceding mutation.
 fn replay(h: &Hypergraph, ops: &[Op]) {
     let mut flat = ActiveHypergraph::from_hypergraph(h);
+    let mut spare = ActiveHypergraph::from_parts(Vec::new(), Vec::new());
     let mut reference = ReferenceActiveHypergraph::from_hypergraph(h);
     assert_same_state(&flat, &reference, "initial");
     let id_space = h.n_vertices();
+
+    #[cfg(debug_assertions)]
+    let validate = |flat: &ActiveHypergraph, ctx: &str| {
+        let _ = ctx;
+        flat.debug_validate();
+    };
+    #[cfg(not(debug_assertions))]
+    let validate = |_flat: &ActiveHypergraph, _ctx: &str| {};
 
     for (i, op) in ops.iter().enumerate() {
         let ctx = format!("op {i} = {op:?}");
@@ -112,6 +132,8 @@ fn replay(h: &Hypergraph, ops: &[Op]) {
                     .filter(|&v| (v as usize) < id_space)
                     .collect();
                 let f = flags(id_space, &vs);
+                // (No validation between the kill and the shrink: edges
+                // legitimately still mention the killed vertices there.)
                 flat.kill_vertices(&vs);
                 ActiveEngine::kill_vertices(&mut reference, &vs);
                 assert_eq!(
@@ -119,6 +141,7 @@ fn replay(h: &Hypergraph, ops: &[Op]) {
                     ActiveEngine::shrink_edges_by(&mut reference, &f, &vs),
                     "{ctx}: emptied count"
                 );
+                validate(&flat, &ctx);
             }
             Op::DecideRed(vs) => {
                 let vs: Vec<u32> = vs
@@ -132,7 +155,9 @@ fn replay(h: &Hypergraph, ops: &[Op]) {
                     ActiveEngine::discard_edges_touching(&mut reference, &f, &vs),
                     "{ctx}: discard count"
                 );
+                validate(&flat, &ctx);
                 flat.kill_vertices(&vs);
+                validate(&flat, &ctx);
                 ActiveEngine::kill_vertices(&mut reference, &vs);
             }
             Op::RemoveDominated => {
@@ -141,6 +166,7 @@ fn replay(h: &Hypergraph, ops: &[Op]) {
                     ActiveEngine::remove_dominated_edges(&mut reference),
                     "{ctx}: dominated count"
                 );
+                validate(&flat, &ctx);
             }
             Op::RemoveSingletons => {
                 assert_eq!(
@@ -148,6 +174,7 @@ fn replay(h: &Hypergraph, ops: &[Op]) {
                     ActiveEngine::remove_singleton_edges(&mut reference),
                     "{ctx}: killed vertices"
                 );
+                validate(&flat, &ctx);
             }
             Op::Oracle(vs) => {
                 let vs: Vec<u32> = vs
@@ -168,7 +195,22 @@ fn replay(h: &Hypergraph, ops: &[Op]) {
                     .filter(|&v| (v as usize) < id_space)
                     .collect();
                 let f = flags(id_space, &vs);
-                flat = flat.induced_by(&f);
+                // The allocating and the in-place derivations must agree
+                // with each other as well as with the reference.
+                let fresh = flat.induced_by(&f);
+                flat.induced_by_into(&f, &vs, &mut spare);
+                assert_eq!(
+                    fresh.live_edges_owned(),
+                    spare.live_edges_owned(),
+                    "{ctx}: induced_by vs induced_by_into edges"
+                );
+                assert_eq!(
+                    fresh.alive_vertices(),
+                    spare.alive_vertices(),
+                    "{ctx}: induced_by vs induced_by_into alive set"
+                );
+                std::mem::swap(&mut flat, &mut spare);
+                validate(&flat, &ctx);
                 reference = ActiveEngine::induced_by(&reference, &f);
             }
         }
@@ -291,6 +333,143 @@ fn handpicked_scripts() {
     );
 }
 
+/// `induced_by_into` (compact incidence, buffer reuse) vs `induced_by`
+/// (allocating full scan) vs the reference engine, across every generator
+/// family — including the *behaviour* of the derived sub-engines under a
+/// follow-up edit script, which is what exercises the compact incidence
+/// index the sub carries.
+#[test]
+fn induced_by_into_agrees_across_generator_families() {
+    let mut spare = ActiveHypergraph::from_parts(Vec::new(), Vec::new());
+    for seed in 0..4u64 {
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(0x1D0C + seed);
+        let families: Vec<Hypergraph> = vec![
+            generate::d_uniform(&mut gen_rng, 40, 80, 3),
+            generate::mixed_dimension(&mut gen_rng, 40, 70, &[2, 3, 4, 5]),
+            generate::linear(&mut gen_rng, 40, 30, 3),
+            generate::paper_regime(&mut gen_rng, 60, 20, 10),
+            generate::planted_independent(&mut gen_rng, 40, 80, 3, 12),
+            generate::special::sunflower(6, 4, 2),
+            generate::special::giant_edge_with_stars(12, 8),
+            generate::special::all_singletons(9),
+            generate::special::complete_graph(9),
+            hypergraph::builder::hypergraph_from_edges::<Vec<u32>>(7, vec![]),
+        ];
+        for h in families {
+            let flat = ActiveHypergraph::from_hypergraph(&h);
+            let reference = ReferenceActiveHypergraph::from_hypergraph(&h);
+            let mut rng = ChaCha8Rng::seed_from_u64(0xF00D + seed);
+            // Three mark densities: sparse (incidence-directed), dense
+            // (falls back to the scan), empty.
+            for density in [0.15f64, 0.9, 0.0] {
+                let mut vs = Vec::new();
+                for v in 0..h.n_vertices() as u32 {
+                    if rng.gen_bool(density) {
+                        vs.push(v);
+                    }
+                }
+                let f = flags(h.n_vertices(), &vs);
+                let scan_sub = flat.induced_by(&f);
+                flat.induced_by_into(&f, &vs, &mut spare);
+                let ref_sub = ActiveEngine::induced_by(&reference, &f);
+                assert_same_state(&spare, &ref_sub, "induced (into vs reference)");
+                assert_same_state(&scan_sub, &ref_sub, "induced (scan vs reference)");
+                // Drive all three subs through the same follow-up script;
+                // the compact-incidence sub must keep agreeing.
+                let mut a = scan_sub;
+                let mut b = std::mem::replace(
+                    &mut spare,
+                    ActiveHypergraph::from_parts(Vec::new(), Vec::new()),
+                );
+                let mut r = ref_sub;
+                let ops = random_script(&mut rng, h.n_vertices(), 6);
+                for (i, op) in ops.iter().enumerate() {
+                    let ctx = format!("sub op {i} = {op:?}");
+                    let mut r2 = r.clone();
+                    apply_op(&mut a, &mut r, op, h.n_vertices());
+                    apply_op(&mut b, &mut r2, op, h.n_vertices());
+                    assert_same_state(&a, &r, &ctx);
+                    assert_same_state(&b, &r, &ctx);
+                }
+                spare = b;
+            }
+        }
+    }
+}
+
+/// Applies one (non-induce) op to a flat + reference engine pair without
+/// asserting; used by the three-way induced-sub comparison.
+fn apply_op(
+    flat: &mut ActiveHypergraph,
+    reference: &mut ReferenceActiveHypergraph,
+    op: &Op,
+    id_space: usize,
+) {
+    match op {
+        Op::DecideBlue(vs) => {
+            let vs: Vec<u32> = vs
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < id_space)
+                .collect();
+            let f = flags(id_space, &vs);
+            flat.kill_vertices(&vs);
+            ActiveEngine::kill_vertices(reference, &vs);
+            assert_eq!(
+                flat.shrink_edges_by(&f, &vs),
+                ActiveEngine::shrink_edges_by(reference, &f, &vs)
+            );
+        }
+        Op::DecideRed(vs) => {
+            let vs: Vec<u32> = vs
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < id_space)
+                .collect();
+            let f = flags(id_space, &vs);
+            assert_eq!(
+                flat.discard_edges_touching(&f, &vs),
+                ActiveEngine::discard_edges_touching(reference, &f, &vs)
+            );
+            flat.kill_vertices(&vs);
+            ActiveEngine::kill_vertices(reference, &vs);
+        }
+        Op::RemoveDominated => {
+            assert_eq!(
+                flat.remove_dominated_edges(),
+                ActiveEngine::remove_dominated_edges(reference)
+            );
+        }
+        Op::RemoveSingletons => {
+            assert_eq!(
+                flat.remove_singleton_edges(),
+                ActiveEngine::remove_singleton_edges(reference)
+            );
+        }
+        Op::Oracle(vs) => {
+            let vs: Vec<u32> = vs
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < id_space)
+                .collect();
+            assert_eq!(
+                flat.contains_live_edge_within(&vs),
+                ActiveEngine::contains_live_edge_within(reference, &vs)
+            );
+        }
+        Op::Induce(vs) => {
+            let vs: Vec<u32> = vs
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < id_space)
+                .collect();
+            let f = flags(id_space, &vs);
+            *flat = flat.induced_by(&f);
+            *reference = ActiveEngine::induced_by(reference, &f);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -310,5 +489,34 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(script_seed);
         let ops = random_script(&mut rng, h.n_vertices(), script_len);
         replay(&h, &ops);
+    }
+
+    /// `induced_by_into` into a dirty reused engine matches `induced_by` and
+    /// the reference for arbitrary hypergraphs and arbitrary mark sets.
+    #[test]
+    fn induced_by_into_matches_on_arbitrary_instances(
+        edges in prop::collection::vec(
+            prop::collection::btree_set(0u32..24, 1..=5usize),
+            0..40,
+        ),
+        marks in prop::collection::btree_set(0u32..24, 0..=24usize),
+        dirty_marks in prop::collection::btree_set(0u32..24, 0..=12usize),
+    ) {
+        let edges: Vec<Vec<u32>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+        let h = hypergraph::builder::hypergraph_from_edges(24, edges);
+        let flat = ActiveHypergraph::from_hypergraph(&h);
+        let reference = ReferenceActiveHypergraph::from_hypergraph(&h);
+        // Dirty the reused engine with an unrelated derivation first.
+        let dirty: Vec<u32> = dirty_marks.into_iter().collect();
+        let mut out = ActiveHypergraph::from_parts(Vec::new(), Vec::new());
+        flat.induced_by_into(&flags(24, &dirty), &dirty, &mut out);
+        // Now derive the instance under test into the same engine.
+        let vs: Vec<u32> = marks.into_iter().collect();
+        let f = flags(24, &vs);
+        flat.induced_by_into(&f, &vs, &mut out);
+        let scan = flat.induced_by(&f);
+        let ref_sub = ActiveEngine::induced_by(&reference, &f);
+        assert_same_state(&out, &ref_sub, "into vs reference");
+        assert_same_state(&scan, &ref_sub, "scan vs reference");
     }
 }

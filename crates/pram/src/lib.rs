@@ -16,6 +16,11 @@
 //!   EREW discipline the paper assumes.
 //! * [`pool`] — helpers to run a computation on a dedicated rayon pool with a
 //!   fixed thread count (used by the threads-sweep experiment).
+//! * [`workspace`] — a reusable scratch arena ([`Workspace`]) for the
+//!   zero-reallocation run pipeline: per-purpose buffer pools threaded
+//!   through the `*_in`/`*_into` primitive variants and the `mis-core`
+//!   algorithm entry points, so a stream of solves reuses one set of
+//!   buffers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,15 +29,19 @@ pub mod cost;
 pub mod erew;
 pub mod pool;
 pub mod primitives;
+pub mod workspace;
 
 pub use cost::{Cost, CostTracker};
+pub use workspace::Workspace;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::cost::{Cost, CostTracker};
     pub use crate::pool::{available_parallelism, with_threads};
     pub use crate::primitives::{
-        exclusive_scan, par_compact_indices, par_count, par_map, par_max_by, par_sum_by,
+        exclusive_scan, exclusive_scan_into, par_compact_indices, par_compact_indices_in,
+        par_count, par_map, par_map_into, par_map_segments_into, par_max_by, par_sum_by,
         par_tabulate,
     };
+    pub use crate::workspace::Workspace;
 }

@@ -16,6 +16,7 @@
 use rayon::prelude::*;
 
 use crate::cost::{Cost, CostTracker};
+use crate::workspace::Workspace;
 
 /// Minimum slice length before the primitives bother spawning parallel tasks;
 /// below this a sequential loop is faster on every machine we tested and the
@@ -38,11 +39,31 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync + Send,
 {
+    let mut out = Vec::new();
+    par_map_into(input, f, tracker, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`par_map`]: the results replace the
+/// contents of `out`. Below the sequential cutoff no allocation happens at
+/// all once `out` has warmed up (capacity retained); above it the parallel
+/// execution materializes its result internally (inherent to the executor)
+/// and `out` adopts that buffer without an extra copy.
+pub fn par_map_into<T, U, F>(input: &[T], f: F, tracker: Option<&mut CostTracker>, out: &mut Vec<U>)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
     track(tracker, Cost::parallel_step(input.len() as u64));
+    out.clear();
     if input.len() < SEQUENTIAL_CUTOFF {
-        input.iter().map(f).collect()
+        out.extend(input.iter().map(f));
     } else {
-        input.par_iter().map(f).collect()
+        // Adopt the parallel collect's buffer instead of copying it into
+        // `out`: the collected vector already spans the full input, so it is
+        // at least as warm as the buffer it replaces.
+        *out = input.par_iter().map(f).collect();
     }
 }
 
@@ -95,19 +116,32 @@ where
 /// the block sums, then a per-block rescan with offsets. Work `O(n)`, depth
 /// `O(log n)`; this is the textbook EREW scan.
 pub fn exclusive_scan(input: &[u64], tracker: Option<&mut CostTracker>) -> (Vec<u64>, u64) {
+    let mut out = Vec::new();
+    let total = exclusive_scan_into(input, tracker, &mut out);
+    (out, total)
+}
+
+/// Allocation-reusing variant of [`exclusive_scan`]: the prefix sums replace
+/// the contents of `out` (capacity retained) and the total is returned.
+pub fn exclusive_scan_into(
+    input: &[u64],
+    tracker: Option<&mut CostTracker>,
+    out: &mut Vec<u64>,
+) -> u64 {
     let n = input.len();
     track(
         tracker,
         Cost::parallel_step(n as u64).then(Cost::parallel_step(n as u64)),
     );
+    out.clear();
     if n < SEQUENTIAL_CUTOFF {
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         let mut acc = 0u64;
         for &x in input {
             out.push(acc);
             acc += x;
         }
-        return (out, acc);
+        return acc;
     }
     let block = 8192usize;
     let n_blocks = n.div_ceil(block);
@@ -129,7 +163,7 @@ pub fn exclusive_scan(input: &[u64], tracker: Option<&mut CostTracker>) -> (Vec<
     }
     let total = acc;
     // Pass 2: rescan each block with its offset.
-    let mut out = vec![0u64; n];
+    out.resize(n, 0);
     out.par_chunks_mut(block)
         .enumerate()
         .for_each(|(b, chunk)| {
@@ -140,7 +174,7 @@ pub fn exclusive_scan(input: &[u64], tracker: Option<&mut CostTracker>) -> (Vec<
                 acc += input[lo + i];
             }
         });
-    (out, total)
+    total
 }
 
 /// Stream compaction: returns the (stable) indices of the elements satisfying
@@ -149,27 +183,55 @@ pub fn exclusive_scan(input: &[u64], tracker: Option<&mut CostTracker>) -> (Vec<
 pub fn par_compact_indices<T, F>(
     input: &[T],
     pred: F,
-    mut tracker: Option<&mut CostTracker>,
+    tracker: Option<&mut CostTracker>,
 ) -> Vec<usize>
 where
     T: Sync,
     F: Fn(&T) -> bool + Sync + Send,
 {
-    let flags: Vec<u64> = par_map(
+    let mut ws = Workspace::new();
+    let mut out = Vec::new();
+    par_compact_indices_in(input, pred, tracker, &mut ws, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`par_compact_indices`]: the flag and scan
+/// intermediates come from (and return to) `ws`, and the surviving indices
+/// replace the contents of `out`. A warmed-up workspace makes the whole
+/// flag–scan–scatter pipeline allocation-free below the sequential cutoff.
+///
+/// Note: the flat `ActiveHypergraph` engine compacts its live-edge frontier
+/// in place (`Vec::retain`) and no longer routes through this primitive; it
+/// is kept as the workspace-backed building block for PRAM-style callers
+/// (benches, property tests, future engines) rather than a current hot path.
+pub fn par_compact_indices_in<T, F>(
+    input: &[T],
+    pred: F,
+    mut tracker: Option<&mut CostTracker>,
+    ws: &mut Workspace,
+    out: &mut Vec<usize>,
+) where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    let mut flags = ws.take_u64("pram.compact.flags");
+    let mut offsets = ws.take_u64("pram.compact.offsets");
+    par_map_into(
         input,
         |x| if pred(x) { 1 } else { 0 },
         tracker.as_deref_mut(),
+        &mut flags,
     );
-    let (offsets, total) = exclusive_scan(&flags, tracker.as_deref_mut());
+    let total = exclusive_scan_into(&flags, tracker.as_deref_mut(), &mut offsets);
     track(tracker, Cost::parallel_step(input.len() as u64));
+    out.clear();
     if input.len() < SEQUENTIAL_CUTOFF {
-        let mut out = vec![0usize; total as usize];
+        out.resize(total as usize, 0);
         for (i, &f) in flags.iter().enumerate() {
             if f == 1 {
                 out[offsets[i] as usize] = i;
             }
         }
-        out
     } else {
         // Scatter by chunk: each chunk produces its survivors in order and the
         // chunk results are concatenated in chunk order, which preserves
@@ -188,12 +250,13 @@ where
                     .collect()
             })
             .collect();
-        let mut flat = Vec::with_capacity(total as usize);
+        out.reserve(total as usize);
         for p in pieces {
-            flat.extend(p);
+            out.extend(p);
         }
-        flat
     }
+    ws.put_u64("pram.compact.flags", flags);
+    ws.put_u64("pram.compact.offsets", offsets);
 }
 
 /// Applies `f` to every element of a jagged collection of *disjoint* mutable
@@ -215,12 +278,31 @@ where
     R: Send,
     F: Fn(&mut [T]) -> R + Sync + Send,
 {
+    let mut out = Vec::new();
+    par_map_segments_into(segments, f, tracker, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`par_map_segments`]: per-segment results
+/// replace the contents of `out`, retaining its capacity.
+pub fn par_map_segments_into<T, R, F>(
+    segments: Vec<&mut [T]>,
+    f: F,
+    tracker: Option<&mut CostTracker>,
+    out: &mut Vec<R>,
+) where
+    T: Send,
+    R: Send,
+    F: Fn(&mut [T]) -> R + Sync + Send,
+{
     let total: usize = segments.iter().map(|s| s.len()).sum();
     track(tracker, Cost::parallel_step(total as u64));
+    out.clear();
     if total < SEQUENTIAL_CUTOFF {
-        segments.into_iter().map(f).collect()
+        out.extend(segments.into_iter().map(f));
     } else {
-        segments.into_par_iter().map(f).collect()
+        // As in `par_map_into`: adopt the collected buffer, don't re-copy.
+        *out = segments.into_par_iter().map(f).collect();
     }
 }
 
@@ -319,6 +401,46 @@ mod tests {
         let out = par_tabulate(10_000, |i| i as u64 * i as u64, None);
         assert_eq!(out[77], 77 * 77);
         assert_eq!(out.len(), 10_000);
+    }
+
+    #[test]
+    fn into_variants_match_and_stop_allocating_when_warm() {
+        let mut ws = Workspace::new();
+        let v: Vec<u64> = (0..10_000).collect();
+        let mut mapped = Vec::new();
+        let mut scan = Vec::new();
+        let mut idx = Vec::new();
+        // Warm-up pass.
+        par_map_into(&v, |&x| x + 1, None, &mut mapped);
+        let total = exclusive_scan_into(&v, None, &mut scan);
+        par_compact_indices_in(&v, |&x| x % 3 == 0, None, &mut ws, &mut idx);
+        assert_eq!(mapped, par_map(&v, |&x| x + 1, None));
+        assert_eq!((scan.clone(), total), exclusive_scan(&v, None));
+        assert_eq!(idx, par_compact_indices(&v, |&x| x % 3 == 0, None));
+        // Warmed pass: the workspace serves the compact intermediates with
+        // zero fresh allocations.
+        let before = ws.fresh_allocations();
+        par_compact_indices_in(&v, |&x| x % 3 == 0, None, &mut ws, &mut idx);
+        assert_eq!(ws.fresh_allocations(), before);
+        assert_eq!(idx, par_compact_indices(&v, |&x| x % 3 == 0, None));
+    }
+
+    #[test]
+    fn map_segments_into_matches() {
+        let mut data = [0u64; 12];
+        let (a, b) = data.split_at_mut(5);
+        let mut out = Vec::new();
+        par_map_segments_into(
+            vec![a, b],
+            |seg| {
+                seg.iter_mut().for_each(|s| *s = 2);
+                seg.len() as u32
+            },
+            None,
+            &mut out,
+        );
+        assert_eq!(out, vec![5, 7]);
+        assert!(data.iter().all(|&x| x == 2));
     }
 
     #[test]

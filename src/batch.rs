@@ -1,0 +1,121 @@
+//! [`BatchRunner`]: amortize one scratch [`Workspace`] across a stream of
+//! MIS solves.
+//!
+//! Every algorithm entry point in [`mis_core`] comes in two flavours: the
+//! plain function (`sbl_mis`, `bl_mis`, …), which owns a fresh workspace per
+//! call — the *cold* path — and the `*_in` variant taking a caller-owned
+//! [`Workspace`], which reuses flag buffers, index lists and whole parked
+//! engines across calls — the *amortized* path. A [`BatchRunner`] is the
+//! thin stateful wrapper that owns that workspace for you:
+//!
+//! ```
+//! use hypergraph_mis::batch::BatchRunner;
+//! use hypergraph_mis::prelude::*;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut runner = BatchRunner::new();
+//! for seed in 0..4u64 {
+//!     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+//!     let h = generate::paper_regime(&mut rng, 120, 30, 8);
+//!     let out = runner.sbl(&h, &mut rng, &SblConfig::default());
+//!     assert!(verify_mis(&h, &out.independent_set).is_ok());
+//! }
+//! // After the first solve, same-shaped solves allocate nothing new.
+//! assert!(runner.workspace().fresh_allocations() > 0);
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Workspace reuse never influences results: for the same `(hypergraph,
+//! seed, config)`, a `BatchRunner` solve returns bit-identical outcomes
+//! (independent set, coloring, trace, `CostTracker` totals) to the cold
+//! entry point, at any thread count and regardless of what was solved
+//! before. `tests/batch.rs` pins this with pinned-seed streams.
+
+use hypergraph::Hypergraph;
+use mis_core::linear::{LinearError, LinearOutcome};
+use mis_core::permutation::PermutationOutcome;
+use mis_core::prelude::*;
+use pram::Workspace;
+use rand::Rng;
+
+/// Runs a stream of MIS solves over one reusable [`Workspace`]: buffers and
+/// engines warmed by one solve are recycled by the next. See the
+/// [module docs](self).
+#[derive(Default)]
+pub struct BatchRunner {
+    ws: Workspace,
+}
+
+impl BatchRunner {
+    /// Creates a runner with an empty workspace; the first solve of each
+    /// algorithm warms it up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// SBL (Algorithm 1) — amortized counterpart of
+    /// [`sbl_mis_with`](mis_core::sbl::sbl_mis_with).
+    pub fn sbl<R: Rng + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        rng: &mut R,
+        config: &SblConfig,
+    ) -> SblOutcome {
+        sbl_mis_in(h, rng, config, &mut self.ws)
+    }
+
+    /// Beame–Luby (Algorithm 2) — amortized counterpart of
+    /// [`bl_mis`](mis_core::bl::bl_mis).
+    pub fn bl<R: Rng + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        rng: &mut R,
+        config: &BlConfig,
+    ) -> BlOutcome {
+        bl_mis_in(h, rng, config, &mut self.ws)
+    }
+
+    /// KUW-style parallel search — amortized counterpart of
+    /// [`kuw_mis`](mis_core::kuw::kuw_mis).
+    pub fn kuw<R: Rng + ?Sized>(&mut self, h: &Hypergraph, rng: &mut R) -> KuwOutcome {
+        kuw_mis_in(h, rng, &mut self.ws)
+    }
+
+    /// Sequential greedy — amortized counterpart of
+    /// [`greedy_mis`](mis_core::greedy::greedy_mis).
+    pub fn greedy(&mut self, h: &Hypergraph, order: Option<&[u32]>) -> GreedyOutcome {
+        greedy_mis_in(h, order, &mut self.ws)
+    }
+
+    /// Random-permutation greedy — amortized counterpart of
+    /// [`permutation_mis`](mis_core::permutation::permutation_mis).
+    pub fn permutation<R: Rng + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        rng: &mut R,
+    ) -> PermutationOutcome {
+        permutation_mis_in(h, rng, &mut self.ws)
+    }
+
+    /// Linear-hypergraph MIS — amortized counterpart of
+    /// [`linear_mis`](mis_core::linear::linear_mis).
+    pub fn linear<R: Rng + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        rng: &mut R,
+    ) -> Result<LinearOutcome, LinearError> {
+        linear_mis_in(h, rng, &mut self.ws)
+    }
+
+    /// Read access to the underlying workspace (allocation statistics).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    /// Hands the workspace back for direct use with the `*_in` entry points.
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+}

@@ -38,14 +38,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
+
+pub use batch::BatchRunner;
 pub use concentration;
 pub use hypergraph;
 pub use mis_core;
 pub use pram;
 
 /// One-stop imports for applications: hypergraph construction and generation,
-/// every algorithm, verification, and the cost model.
+/// every algorithm, verification, the cost model, and the batch runner.
 pub mod prelude {
+    pub use crate::batch::BatchRunner;
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;
     pub use mis_core::prelude::*;

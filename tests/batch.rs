@@ -1,0 +1,175 @@
+//! Pinned-seed determinism of the zero-reallocation batch pipeline.
+//!
+//! The contract under test: workspace reuse is *invisible*. For the same
+//! `(hypergraph, seed, config)`, a [`BatchRunner`] solve — whether the
+//! runner is brand new or warmed by an arbitrary stream of earlier solves,
+//! and at any rayon thread count — returns outcomes bit-identical to the
+//! cold entry points and to the preserved pre-workspace rebuild pipeline.
+
+use hypergraph_mis::batch::BatchRunner;
+use hypergraph_mis::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn stream(n: usize, count: usize) -> Vec<Hypergraph> {
+    (0..count)
+        .map(|i| {
+            let mut r = rng(0xBA7C + i as u64);
+            match i % 3 {
+                0 => generate::paper_regime(&mut r, n, n / 8, 10),
+                1 => generate::mixed_dimension(&mut r, n, n, &[2, 3, 4, 5]),
+                _ => generate::d_uniform(&mut r, n, 2 * n, 3),
+            }
+        })
+        .collect()
+}
+
+type SblFingerprint = (Vec<u32>, Vec<u32>, Vec<u32>, String, u64, u64, u64);
+
+fn sbl_fingerprint(out: &SblOutcome) -> SblFingerprint {
+    (
+        out.independent_set.clone(),
+        out.coloring.blues(),
+        out.coloring.reds(),
+        format!("{:?}", out.trace),
+        out.cost.cost().work,
+        out.cost.cost().depth,
+        out.cost.rounds(),
+    )
+}
+
+/// Same seeds ⇒ identical sets, colorings, traces and cost totals, whether
+/// each instance is solved cold, amortized on a shared runner, or through
+/// the preserved rebuild pipeline.
+#[test]
+fn amortized_cold_and_rebuild_agree_instance_for_instance() {
+    let hs = stream(160, 9);
+    let cfg = SblConfig::default();
+    let mut runner = BatchRunner::new();
+    for (i, h) in hs.iter().enumerate() {
+        let seed = 0x5EED + i as u64;
+        let amortized = runner.sbl(h, &mut rng(seed), &cfg);
+        let cold = sbl_mis_with(h, &mut rng(seed), &cfg);
+        let rebuild = mis_core::sbl::sbl_mis_rebuild(h, &mut rng(seed), &cfg);
+        assert_eq!(
+            sbl_fingerprint(&amortized),
+            sbl_fingerprint(&cold),
+            "instance {i}: amortized vs cold"
+        );
+        assert_eq!(
+            sbl_fingerprint(&amortized),
+            sbl_fingerprint(&rebuild),
+            "instance {i}: amortized vs rebuild baseline"
+        );
+        assert_eq!(verify_mis(h, &amortized.independent_set), Ok(()));
+    }
+}
+
+/// A warmed runner keeps agreeing at every thread count (workspace reuse
+/// must not introduce any scheduling-dependent state).
+#[test]
+fn batch_outcomes_are_thread_count_invariant() {
+    let hs = stream(120, 4);
+    let cfg = SblConfig::default();
+    let baseline: Vec<SblFingerprint> = {
+        let mut runner = BatchRunner::new();
+        hs.iter()
+            .enumerate()
+            .map(|(i, h)| sbl_fingerprint(&runner.sbl(h, &mut rng(i as u64), &cfg)))
+            .collect()
+    };
+    for threads in [1usize, 2, 4] {
+        let hs = hs.clone();
+        let cfg = cfg.clone();
+        let got: Vec<SblFingerprint> = with_threads(threads, move || {
+            let mut runner = BatchRunner::new();
+            hs.iter()
+                .enumerate()
+                .map(|(i, h)| sbl_fingerprint(&runner.sbl(h, &mut rng(i as u64), &cfg)))
+                .collect()
+        });
+        assert_eq!(got, baseline, "threads={threads}");
+    }
+}
+
+/// Every algorithm the runner exposes matches its cold counterpart on a
+/// warmed workspace — including interleaved usage, so pooled buffers are
+/// provably clean across algorithms.
+#[test]
+fn all_runner_algorithms_match_cold_entry_points() {
+    let hs = stream(100, 6);
+    let mut runner = BatchRunner::new();
+    for (i, h) in hs.iter().enumerate() {
+        let seed = 0xA150 + i as u64;
+        let a = runner.bl(h, &mut rng(seed), &BlConfig::default());
+        let c = bl_mis(h, &mut rng(seed), &BlConfig::default());
+        assert_eq!(a.independent_set, c.independent_set, "bl {i}");
+        assert_eq!(a.trace, c.trace, "bl trace {i}");
+
+        let a = runner.kuw(h, &mut rng(seed ^ 1));
+        let c = kuw_mis(h, &mut rng(seed ^ 1));
+        assert_eq!(a.independent_set, c.independent_set, "kuw {i}");
+
+        let a = runner.greedy(h, None);
+        let c = greedy_mis(h, None);
+        assert_eq!(a.independent_set, c.independent_set, "greedy {i}");
+        assert_eq!(a.cost.cost().work, c.cost.cost().work, "greedy work {i}");
+
+        let a = runner.permutation(h, &mut rng(seed ^ 2));
+        let c = permutation_mis(h, &mut rng(seed ^ 2));
+        assert_eq!(a.independent_set, c.independent_set, "permutation {i}");
+        assert_eq!(a.permutation, c.permutation, "permutation order {i}");
+
+        if check_linear(h).is_ok() {
+            let a = runner.linear(h, &mut rng(seed ^ 3)).unwrap();
+            let c = linear_mis(h, &mut rng(seed ^ 3)).unwrap();
+            assert_eq!(a.independent_set, c.independent_set, "linear {i}");
+        }
+    }
+}
+
+/// The zero-reallocation property itself: after one warm-up solve, a stream
+/// of same-shaped solves performs no fresh pool allocations at all.
+#[test]
+fn warm_runner_stops_allocating() {
+    let h = {
+        let mut r = rng(77);
+        generate::paper_regime(&mut r, 300, 60, 10)
+    };
+    let cfg = SblConfig::default();
+    let mut runner = BatchRunner::new();
+    let _ = runner.sbl(&h, &mut rng(0), &cfg);
+    let _ = runner.sbl(&h, &mut rng(1), &cfg);
+    let warm = runner.workspace().fresh_allocations();
+    assert!(warm > 0, "warm-up must have populated the pools");
+    for seed in 2..12u64 {
+        let out = runner.sbl(&h, &mut rng(seed), &cfg);
+        assert_eq!(verify_mis(&h, &out.independent_set), Ok(()));
+    }
+    assert_eq!(
+        runner.workspace().fresh_allocations(),
+        warm,
+        "a warmed workspace must serve same-shaped solves allocation-free"
+    );
+}
+
+/// Streams of *different-shaped* instances still deterministically match
+/// cold solves (pools grow to the largest shape and stay correct).
+#[test]
+fn mixed_size_streams_stay_correct() {
+    let sizes = [40usize, 300, 12, 150, 80];
+    let cfg = SblConfig::default();
+    let mut runner = BatchRunner::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let mut r = rng(0x517E + i as u64);
+        let h = generate::paper_regime(&mut r, n, (n / 4).max(2), 8);
+        let seed = 0xD00D + i as u64;
+        let a = runner.sbl(&h, &mut rng(seed), &cfg);
+        let c = sbl_mis_with(&h, &mut rng(seed), &cfg);
+        assert_eq!(sbl_fingerprint(&a), sbl_fingerprint(&c), "size {n}");
+    }
+}

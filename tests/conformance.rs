@@ -146,6 +146,14 @@ fn special_classes_sweep() {
 /// Runs every algorithm on both the flat and the reference engine and checks
 /// that the engines agree exactly, on top of the usual `verify_mis` + greedy
 /// oracle checks (which run via [`check_all_algorithms`] on the flat engine).
+/// Without the `reference-engine` feature (the flat-engine-only production
+/// configuration), only the flat-engine checks run.
+#[cfg(not(feature = "reference-engine"))]
+fn check_all_algorithms_on_both_engines(h: &Hypergraph, seed: u64, family: &str) {
+    check_all_algorithms(h, seed, family);
+}
+
+#[cfg(feature = "reference-engine")]
 fn check_all_algorithms_on_both_engines(h: &Hypergraph, seed: u64, family: &str) {
     use hypergraph::{ActiveHypergraph, ReferenceActiveHypergraph};
 

@@ -87,79 +87,6 @@ proptest! {
         prop_assert_eq!(verify_mis(&h, &mapped), Ok(()));
     }
 
-    /// The flat engine and the reference engine make the *same decisions*:
-    /// every algorithm, driven by the same seed, returns the identical
-    /// independent set, coloring, trace and cost totals on both engines.
-    #[test]
-    fn engines_agree_on_every_algorithm((h, seed) in instance()) {
-        use hypergraph::{ActiveHypergraph, ReferenceActiveHypergraph};
-
-        let fingerprint = |set: &[u32], cost: &CostTracker| {
-            (set.to_vec(), cost.cost().work, cost.cost().depth, cost.rounds())
-        };
-
-        // SBL: set + coloring + full trace + cost.
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let flat = sbl_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng, &SblConfig::default());
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let reference =
-            sbl_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng, &SblConfig::default());
-        prop_assert_eq!(
-            fingerprint(&flat.independent_set, &flat.cost),
-            fingerprint(&reference.independent_set, &reference.cost)
-        );
-        prop_assert_eq!(flat.coloring.blues(), reference.coloring.blues());
-        prop_assert_eq!(flat.coloring.reds(), reference.coloring.reds());
-        prop_assert_eq!(format!("{:?}", flat.trace), format!("{:?}", reference.trace));
-        prop_assert_eq!(verify_mis(&h, &flat.independent_set), Ok(()));
-
-        // BL.
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
-        let flat = bl_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng, &BlConfig::default());
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
-        let reference =
-            bl_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng, &BlConfig::default());
-        prop_assert_eq!(
-            fingerprint(&flat.independent_set, &flat.cost),
-            fingerprint(&reference.independent_set, &reference.cost)
-        );
-        prop_assert_eq!(&flat.trace, &reference.trace);
-
-        // KUW.
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
-        let flat = kuw_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
-        let reference = kuw_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng);
-        prop_assert_eq!(
-            fingerprint(&flat.independent_set, &flat.cost),
-            fingerprint(&reference.independent_set, &reference.cost)
-        );
-
-        // Linear (where it applies).
-        if check_linear(&h).is_ok() {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11);
-            let flat = linear_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng).unwrap();
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11);
-            let reference =
-                linear_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng).unwrap();
-            prop_assert_eq!(
-                fingerprint(&flat.independent_set, &flat.cost),
-                fingerprint(&reference.independent_set, &reference.cost)
-            );
-        }
-
-        // Greedy over the active view.
-        let mut flat_cost = CostTracker::new();
-        let flat_added = greedy_on_active(&ActiveHypergraph::from_hypergraph(&h), &mut flat_cost);
-        let mut ref_cost = CostTracker::new();
-        let ref_added =
-            greedy_on_active(&ReferenceActiveHypergraph::from_hypergraph(&h), &mut ref_cost);
-        prop_assert_eq!(
-            fingerprint(&flat_added, &flat_cost),
-            fingerprint(&ref_added, &ref_cost)
-        );
-    }
-
     /// The Kim–Vu migration bound never exceeds Kelsen's, for degree profiles
     /// read off real hypergraphs (Section 4's claim, checked on data rather
     /// than synthetic Δ values).
@@ -175,6 +102,91 @@ proptest! {
             let kv = concentration::kimvu::kim_vu_migration_bound(n, j, &deltas);
             prop_assert!(kv <= kel + 1e-9,
                 "Kim-Vu bound {} exceeds Kelsen bound {} at j={}", kv, kel, j);
+        }
+    }
+}
+
+/// Flat-vs-reference engine agreement, compiled only with the
+/// `reference-engine` feature (on by default; the flat-engine-only
+/// production configuration skips it).
+#[cfg(feature = "reference-engine")]
+mod engine_agreement {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// The flat engine and the reference engine make the *same decisions*:
+        /// every algorithm, driven by the same seed, returns the identical
+        /// independent set, coloring, trace and cost totals on both engines.
+        #[test]
+        fn engines_agree_on_every_algorithm((h, seed) in instance()) {
+            use hypergraph::{ActiveHypergraph, ReferenceActiveHypergraph};
+
+            let fingerprint = |set: &[u32], cost: &CostTracker| {
+                (set.to_vec(), cost.cost().work, cost.cost().depth, cost.rounds())
+            };
+
+            // SBL: set + coloring + full trace + cost.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let flat = sbl_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng, &SblConfig::default());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let reference =
+                sbl_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng, &SblConfig::default());
+            prop_assert_eq!(
+                fingerprint(&flat.independent_set, &flat.cost),
+                fingerprint(&reference.independent_set, &reference.cost)
+            );
+            prop_assert_eq!(flat.coloring.blues(), reference.coloring.blues());
+            prop_assert_eq!(flat.coloring.reds(), reference.coloring.reds());
+            prop_assert_eq!(format!("{:?}", flat.trace), format!("{:?}", reference.trace));
+            prop_assert_eq!(verify_mis(&h, &flat.independent_set), Ok(()));
+
+            // BL.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
+            let flat = bl_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng, &BlConfig::default());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB1);
+            let reference =
+                bl_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng, &BlConfig::default());
+            prop_assert_eq!(
+                fingerprint(&flat.independent_set, &flat.cost),
+                fingerprint(&reference.independent_set, &reference.cost)
+            );
+            prop_assert_eq!(&flat.trace, &reference.trace);
+
+            // KUW.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
+            let flat = kuw_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2);
+            let reference = kuw_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng);
+            prop_assert_eq!(
+                fingerprint(&flat.independent_set, &flat.cost),
+                fingerprint(&reference.independent_set, &reference.cost)
+            );
+
+            // Linear (where it applies).
+            if check_linear(&h).is_ok() {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11);
+                let flat = linear_mis_with_engine::<ActiveHypergraph, _>(&h, &mut rng).unwrap();
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11);
+                let reference =
+                    linear_mis_with_engine::<ReferenceActiveHypergraph, _>(&h, &mut rng).unwrap();
+                prop_assert_eq!(
+                    fingerprint(&flat.independent_set, &flat.cost),
+                    fingerprint(&reference.independent_set, &reference.cost)
+                );
+            }
+
+            // Greedy over the active view.
+            let mut flat_cost = CostTracker::new();
+            let flat_added = greedy_on_active(&ActiveHypergraph::from_hypergraph(&h), &mut flat_cost);
+            let mut ref_cost = CostTracker::new();
+            let ref_added =
+                greedy_on_active(&ReferenceActiveHypergraph::from_hypergraph(&h), &mut ref_cost);
+            prop_assert_eq!(
+                fingerprint(&flat_added, &flat_cost),
+                fingerprint(&ref_added, &ref_cost)
+            );
         }
     }
 }

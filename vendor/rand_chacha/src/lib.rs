@@ -119,6 +119,7 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl RngCore for ChaCha8Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         if self.index >= 16 {
             self.refill();
@@ -128,7 +129,17 @@ impl RngCore for ChaCha8Rng {
         w
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
+        // Fast path: both words come from the current block, so one bounds
+        // check covers the pair. The consumed stream (lo word first) is
+        // bit-identical to the two-call formulation.
+        if self.index + 2 <= 16 {
+            let lo = self.block[self.index];
+            let hi = self.block[self.index + 1];
+            self.index += 2;
+            return u64::from(lo) | (u64::from(hi) << 32);
+        }
         let lo = self.next_u32();
         let hi = self.next_u32();
         u64::from(lo) | (u64::from(hi) << 32)
