@@ -76,6 +76,194 @@ fn main() {
     if want("batch") {
         batch_runner_experiment(quick);
     }
+    if want("serve") {
+        serve_experiment(quick);
+    }
+}
+
+/// The sharded-serving experiment: the PR-3 batch workloads (induced query
+/// streams against a resident graph, and independent full SBL solves), now
+/// pushed through the [`ShardedRunner`] at 1, 2, 4 and 8 shards and compared
+/// against the sequential `BatchRunner::solve` path (the 1-shard amortized
+/// baseline, no threads, no queues).
+///
+/// Per-request outcomes must be **byte-identical** across every shard count
+/// and the sequential path — asserted here on fingerprints (seed, set, cost
+/// totals, trace). Wall times and aggregate throughputs go to
+/// `BENCH_serve.json` (consumed by CI as an artifact; the scaling target is
+/// ≥ 2× aggregate throughput at 8 shards on the largest query workload,
+/// which needs ≥ a few real cores — the JSON records `host_parallelism` so a
+/// single-core host's ≈1× is interpretable, matching the E8 caveat).
+fn serve_experiment(quick: bool) {
+    use hypergraph_mis::serve::{
+        Algorithm, ResidentRegistry, ServeConfig, ShardedRunner, SolveFingerprint, SolveRequest,
+        Target,
+    };
+    use std::sync::Arc;
+
+    println!("\n## serve — sharded worker-pool serving vs the sequential BatchRunner path\n");
+    let instances = 100usize;
+    let iters = if quick { 3 } else { 5 };
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut largest: Option<(usize, f64)> = None;
+
+    // Workload builders mirror the batch experiment exactly; only the
+    // execution layer differs.
+    let mut workloads: Vec<(&str, usize, Arc<ResidentRegistry>, Vec<SolveRequest>)> = Vec::new();
+    for n in [16384usize, 65536, 262144] {
+        let mut registry = ResidentRegistry::new();
+        let resident = registry.register(uniform_workload(n, 3, 0xBA7C));
+        let qsize = 512;
+        let requests: Vec<SolveRequest> = (0..instances)
+            .map(|i| {
+                let mut rng = rng_for(0xBA7C_1000 + (n + i) as u64);
+                let mut q: Vec<u32> = (0..n as u32).collect();
+                for k in 0..qsize {
+                    let j = rand::Rng::gen_range(&mut rng, k..n);
+                    q.swap(k, j);
+                }
+                q.truncate(qsize);
+                q.sort_unstable();
+                SolveRequest {
+                    target: Target::Induced {
+                        graph: resident,
+                        vertices: Arc::new(q),
+                    },
+                    algorithm: Algorithm::Bl(BlConfig::default()),
+                    seed: 0xBA7C_2000 + (n * 131 + i) as u64,
+                }
+            })
+            .collect();
+        workloads.push(("query", n, Arc::new(registry), requests));
+    }
+    for n in [1024usize, 4096] {
+        let registry = Arc::new(ResidentRegistry::new());
+        let requests: Vec<SolveRequest> = (0..instances)
+            .map(|i| SolveRequest {
+                target: Target::Adhoc(Arc::new(paper_workload(n, 0xBA7C + i as u64))),
+                algorithm: Algorithm::Sbl(SblConfig::default()),
+                seed: 0xBA7C_0000 + (n * 1000 + i) as u64,
+            })
+            .collect();
+        workloads.push(("sbl_stream", n, registry, requests));
+    }
+
+    for (kind, n, registry, requests) in &workloads {
+        // Sequential baseline: one BatchRunner, no threads, no queues.
+        let mut best_seq = f64::INFINITY;
+        let mut reference: Vec<SolveFingerprint> = Vec::new();
+        for it in 0..iters {
+            let mut runner = BatchRunner::new();
+            let t0 = Instant::now();
+            let outs: Vec<SolveFingerprint> = requests
+                .iter()
+                .map(|r| runner.solve(registry, r).fingerprint())
+                .collect();
+            best_seq = best_seq.min(t0.elapsed().as_secs_f64() * 1e3);
+            if it == 0 {
+                reference = outs;
+            }
+        }
+
+        let mut shard_summaries = Vec::new();
+        let mut speedup8 = 0.0f64;
+        for &shards in &shard_counts {
+            let config = ServeConfig {
+                shards,
+                queue_depth: 64,
+                threads_per_shard: Some(1),
+            };
+            let mut best = f64::INFINITY;
+            for it in 0..iters {
+                let mut runner = ShardedRunner::new(Arc::clone(registry), &config);
+                let t0 = Instant::now();
+                let outs = runner.run_stream(requests.clone());
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                if it == 0 {
+                    assert_eq!(outs.len(), reference.len());
+                    for (i, out) in outs.iter().enumerate() {
+                        assert!(
+                            out.fingerprint() == reference[i],
+                            "serve {kind}: shards={shards} diverged from the sequential \
+                             BatchRunner path (n={n}, request {i})"
+                        );
+                    }
+                }
+            }
+            let speedup = best_seq / best;
+            if shards == 8 {
+                speedup8 = speedup;
+            }
+            let throughput = instances as f64 / (best / 1e3);
+            shard_summaries.push(format!(
+                "{{\"shards\": {shards}, \"ms\": {best:.4}, \"speedup_vs_sequential\": \
+                 {speedup:.3}, \"throughput_per_s\": {throughput:.1}}}"
+            ));
+            rows.push(vec![
+                kind.to_string(),
+                n.to_string(),
+                shards.to_string(),
+                format!("{best_seq:.2}"),
+                format!("{best:.2}"),
+                format!("{speedup:.2}x"),
+                format!("{throughput:.0}"),
+            ]);
+        }
+        if *kind == "query" {
+            largest = Some((*n, speedup8));
+        }
+        entries.push(format!(
+            concat!(
+                "    {{\"kind\": \"{}\", \"n\": {}, \"instances\": {}, ",
+                "\"sequential_ms\": {:.4}, \"outcomes_identical\": true, \"shards\": [{}]}}"
+            ),
+            kind,
+            n,
+            instances,
+            best_seq,
+            shard_summaries.join(", "),
+        ));
+    }
+
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "workload",
+                "n",
+                "shards",
+                "sequential ms",
+                "serve ms",
+                "speedup",
+                "req/s"
+            ],
+            &rows
+        )
+    );
+    let (largest_n, largest_speedup) = largest.expect("at least one query workload");
+    let host = pram::pool::available_parallelism();
+    let mut json = String::from("{\n  \"experiment\": \"serve_sharded_runner\",\n");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"sequential BatchRunner::solve over the request stream (single-shard \
+         amortized path: one workspace, no threads, no queues)\",\n  \
+         \"candidate\": \"ShardedRunner (N worker shards, per-shard WorkspacePool affinity, \
+         bounded queues, ordered collection)\",\n  \
+         \"iters\": {iters},\n  \"host_parallelism\": {host},\n  \
+         \"largest_workload\": {{\"kind\": \"query\", \"n\": {largest_n}, \
+         \"instances\": {instances}, \"shards\": 8, \
+         \"speedup_vs_1shard\": {largest_speedup:.3}}},\n  \
+         \"workloads\": ["
+    );
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!(
+        "wrote BENCH_serve.json (largest workload: query n={largest_n}, 8 shards: \
+         {largest_speedup:.2}x vs sequential; host parallelism {host})\n"
+    );
 }
 
 /// The batch-serving experiment: streams of 100 MIS solves answered

@@ -191,8 +191,18 @@ pub fn sbl_mis_with_engine_in<E: ActiveEngine + Send + 'static, R: Rng + ?Sized>
 /// Outcomes are identical to [`sbl_mis_with`] / [`sbl_mis_in`] for the same
 /// seed — the batch experiment and the determinism suite assert this — and
 /// the *only* difference is lifecycle: rebuild-from-scratch versus
-/// buffer-reuse. Like the reference engine, this function exists to stay
-/// simple and measurable; do not optimise it.
+/// buffer-reuse.
+///
+/// # Stability
+///
+/// This is the **frozen cold baseline** every amortization number
+/// (`BENCH_batch.json`, `BENCH_serve.json`) is measured against. It must not
+/// be optimised: no workspace, no parked engines, no incidence-equipped
+/// induction, no scratch reuse of any kind — any "improvement" here silently
+/// deflates every reported speedup. Accordingly its signature takes **no
+/// [`Workspace`]** (a test pins the workspace-free signature), and the body
+/// below must keep allocating per call. If you think you are fixing a
+/// performance bug in this function, you are breaking the baseline.
 pub fn sbl_mis_rebuild<R: Rng + ?Sized>(
     h: &Hypergraph,
     rng: &mut R,

@@ -131,6 +131,21 @@ pub const EDGE_SINGLETON: u8 = 4;
 /// influence results: a warmed-up engine/workspace and a cold one must make
 /// byte-identical decisions, which the pinned-seed batch determinism suite
 /// enforces.
+///
+/// # Concurrency (the serving seam)
+///
+/// Engines are plain owned data — [`ActiveHypergraph`] (and the reference
+/// engine) are `Send + Sync`, which the compile-time assertions in this
+/// module pin. The sharded serving layer relies on a sharper property than
+/// the auto-traits alone: the induce path reads the parent engine through
+/// `&self` only ([`induced_by`](Self::induced_by) /
+/// [`induced_by_into`](Self::induced_by_into) never touch hidden shared or
+/// interior-mutable state), so one *resident* engine can be shared read-only
+/// across N shard workers, each deriving sub-instances into its own
+/// shard-local `out` engine concurrently. All `&mut self` operations (trim,
+/// discard, reset) happen on those shard-local engines. Implementations of
+/// this trait must preserve that split: no interior mutability behind the
+/// `&self` methods used for induction.
 pub trait ActiveEngine: HypergraphView + Clone {
     /// Creates an active copy of a full hypergraph: every vertex alive, every
     /// edge present.
@@ -1683,6 +1698,20 @@ pub mod reference {
             self.debug_validate()
         }
     }
+}
+
+/// Compile-time audit of the Send/Sync bounds the sharded serving layer
+/// relies on: resident engines are shared read-only across shard worker
+/// threads (`Sync`) and shard-local engines move into long-lived workers
+/// (`Send`). If a future engine change introduces `Rc`/`RefCell`/raw-pointer
+/// state, this stops compiling instead of the serve layer subtly breaking.
+#[allow(dead_code)]
+fn assert_engines_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Hypergraph>();
+    assert_send_sync::<ActiveHypergraph>();
+    #[cfg(feature = "reference-engine")]
+    assert_send_sync::<reference::ReferenceActiveHypergraph>();
 }
 
 #[cfg(test)]

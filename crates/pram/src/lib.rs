@@ -15,12 +15,14 @@
 //!   tests to demonstrate that the primitives' access patterns respect the
 //!   EREW discipline the paper assumes.
 //! * [`pool`] — helpers to run a computation on a dedicated rayon pool with a
-//!   fixed thread count (used by the threads-sweep experiment).
+//!   fixed thread count (used by the threads-sweep experiment) and to spawn
+//!   the serving layer's long-lived per-shard worker threads.
 //! * [`workspace`] — a reusable scratch arena ([`Workspace`]) for the
 //!   zero-reallocation run pipeline: per-purpose buffer pools threaded
 //!   through the `*_in`/`*_into` primitive variants and the `mis-core`
 //!   algorithm entry points, so a stream of solves reuses one set of
-//!   buffers.
+//!   buffers — plus [`WorkspacePool`], the per-shard checkout/checkin layer
+//!   the facade's sharded serving subsystem is built on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,16 +34,16 @@ pub mod primitives;
 pub mod workspace;
 
 pub use cost::{Cost, CostTracker};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, WorkspacePool};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::cost::{Cost, CostTracker};
-    pub use crate::pool::{available_parallelism, with_threads};
+    pub use crate::pool::{available_parallelism, spawn_worker, with_threads};
     pub use crate::primitives::{
         exclusive_scan, exclusive_scan_into, par_compact_indices, par_compact_indices_in,
         par_count, par_map, par_map_into, par_map_segments_into, par_max_by, par_sum_by,
         par_tabulate,
     };
-    pub use crate::workspace::Workspace;
+    pub use crate::workspace::{Workspace, WorkspacePool};
 }

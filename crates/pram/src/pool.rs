@@ -1,10 +1,13 @@
-//! Thread-pool management for the threads-sweep experiment (E8).
+//! Thread-pool management: dedicated rayon pools for the threads-sweep
+//! experiment (E8) and the host for the serving layer's long-lived workers.
 //!
 //! Everything else in the workspace uses rayon's global pool; the experiment
 //! that measures wall-clock scaling versus thread count builds dedicated pools
-//! through [`with_threads`].
+//! through [`with_threads`], and the facade's sharded serving subsystem spawns
+//! its per-shard worker threads through [`spawn_worker`].
 
 use rayon::ThreadPool;
+use std::thread::JoinHandle;
 
 /// Builds a rayon [`ThreadPool`] with exactly `threads` worker threads.
 ///
@@ -29,6 +32,32 @@ pub fn available_parallelism() -> usize {
     rayon::current_num_threads()
 }
 
+/// Spawns a long-lived, named worker thread — the host for one shard of the
+/// facade's serving layer.
+///
+/// If `threads` is `Some(t)`, everything the worker runs executes under a
+/// dedicated rayon pool of `t` workers (so N serve shards can be capped at,
+/// say, one rayon thread each instead of N× the machine default, which would
+/// oversubscribe the host). `None` inherits the machine default. Either way
+/// the thread-count setting is scoped to this worker thread and — by the
+/// determinism contract — never changes any solve outcome, only wall time.
+///
+/// # Panics
+/// Panics if the OS refuses to spawn the thread.
+pub fn spawn_worker<R: Send + 'static>(
+    name: String,
+    threads: Option<usize>,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> JoinHandle<R> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || match threads {
+            Some(t) => build_pool(t).install(f),
+            None => f(),
+        })
+        .expect("failed to spawn worker thread")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +78,23 @@ mod tests {
     #[test]
     fn available_parallelism_is_positive() {
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn spawned_worker_runs_under_its_pool() {
+        let h = spawn_worker("test-worker".into(), Some(2), || {
+            (
+                rayon::current_num_threads(),
+                std::thread::current().name().map(String::from),
+            )
+        });
+        let (threads, name) = h.join().unwrap();
+        assert_eq!(threads, 2);
+        assert_eq!(name.as_deref(), Some("test-worker"));
+        // Without a cap, the worker inherits the machine default.
+        let h = spawn_worker("test-worker-2".into(), None, || {
+            rayon::current_num_threads() >= 1
+        });
+        assert!(h.join().unwrap());
     }
 }

@@ -308,6 +308,175 @@ impl Workspace {
     }
 }
 
+/// A per-shard pool of [`Workspace`]s: the serving layer's bridge between
+/// one-workspace-per-stream (the `BatchRunner` model) and N long-lived worker
+/// shards.
+///
+/// Each shard index owns at most one parked workspace. [`checkout`]
+/// (WorkspacePool::checkout) hands the shard *its own* workspace back —
+/// per-shard affinity, so engines and buffers parked by shard `i`'s previous
+/// serve generation are rewarmed by shard `i`'s next one and never migrate
+/// between shards. [`checkin`](WorkspacePool::checkin) parks it again and
+/// snapshots its allocation counters, so the pool can report the
+/// zero-reallocation property **per shard**
+/// ([`shard_fresh_allocations`](WorkspacePool::shard_fresh_allocations))
+/// and aggregated pool-wide
+/// ([`fresh_allocations`](WorkspacePool::fresh_allocations)).
+///
+/// # Exhaustion behaviour
+///
+/// Checking out a shard whose workspace is already out does not block and
+/// does not panic: the pool hands out a **fresh** workspace and counts the
+/// event ([`overflow_checkouts`](WorkspacePool::overflow_checkouts)). On
+/// checkin, a shard that already holds a parked workspace keeps it — the
+/// incoming one is dropped and counted
+/// ([`dropped_checkins`](WorkspacePool::dropped_checkins)) — so the
+/// shard-resident workspace (and its warmth) is stable under overflow.
+///
+/// # Determinism
+///
+/// Like [`Workspace`] itself, the pool never influences results: a checkout
+/// serving a warm workspace and one serving a fresh workspace lead to
+/// byte-identical solve outcomes (the facade's serve suite pins this across
+/// shard counts and pool generations).
+#[derive(Default, Debug)]
+pub struct WorkspacePool {
+    slots: Vec<PoolSlot>,
+    checkouts: u64,
+    overflow_checkouts: u64,
+    dropped_checkins: u64,
+}
+
+#[derive(Default, Debug)]
+struct PoolSlot {
+    parked: Option<Workspace>,
+    /// Whether this shard has ever handed out a workspace (distinguishes
+    /// first use from exhaustion overflow).
+    created: bool,
+    /// Counter snapshots from the last checkin (live values are read off the
+    /// parked workspace directly when present).
+    last_takes: u64,
+    last_fresh: u64,
+}
+
+impl WorkspacePool {
+    /// Creates a pool with `shards` empty slots; each shard's workspace is
+    /// created lazily on its first checkout.
+    pub fn new(shards: usize) -> Self {
+        let mut pool = WorkspacePool::default();
+        pool.ensure_shards(shards);
+        pool
+    }
+
+    /// Number of shard slots.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Grows the pool to at least `shards` slots (never shrinks, so parked
+    /// workspaces survive a reconfiguration to fewer shards).
+    pub fn ensure_shards(&mut self, shards: usize) {
+        while self.slots.len() < shards {
+            self.slots.push(PoolSlot::default());
+        }
+    }
+
+    /// Takes shard `shard`'s workspace (creating a fresh one on first use, or
+    /// when the shard's workspace is currently checked out — see the
+    /// [exhaustion behaviour](WorkspacePool#exhaustion-behaviour)).
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shards()`.
+    pub fn checkout(&mut self, shard: usize) -> Workspace {
+        self.checkouts += 1;
+        let slot = &mut self.slots[shard];
+        match slot.parked.take() {
+            Some(ws) => ws,
+            None => {
+                if slot.created {
+                    self.overflow_checkouts += 1;
+                }
+                slot.created = true;
+                Workspace::new()
+            }
+        }
+    }
+
+    /// Parks `ws` as shard `shard`'s workspace and snapshots its counters.
+    /// If the shard already holds a parked workspace the incoming one is
+    /// dropped (see the
+    /// [exhaustion behaviour](WorkspacePool#exhaustion-behaviour)).
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shards()`.
+    pub fn checkin(&mut self, shard: usize, ws: Workspace) {
+        let slot = &mut self.slots[shard];
+        if slot.parked.is_some() {
+            self.dropped_checkins += 1;
+            return;
+        }
+        slot.created = true;
+        slot.last_takes = ws.takes();
+        slot.last_fresh = ws.fresh_allocations();
+        slot.parked = Some(ws);
+    }
+
+    /// Number of workspaces currently parked.
+    pub fn parked(&self) -> usize {
+        self.slots.iter().filter(|s| s.parked.is_some()).count()
+    }
+
+    /// Total checkouts served since construction.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// Checkouts that found the shard's workspace already out and had to
+    /// create a fresh one (pool exhaustion events).
+    pub fn overflow_checkouts(&self) -> u64 {
+        self.overflow_checkouts
+    }
+
+    /// Checkins dropped because the shard already held a parked workspace.
+    pub fn dropped_checkins(&self) -> u64 {
+        self.dropped_checkins
+    }
+
+    /// [`Workspace::fresh_allocations`] of shard `shard`'s workspace: live if
+    /// parked, otherwise the snapshot from its last checkin. The per-shard
+    /// zero-reallocation report: for a shard serving a stream of same-shaped
+    /// solves, this number stops growing after the warm-up generation.
+    pub fn shard_fresh_allocations(&self, shard: usize) -> u64 {
+        let slot = &self.slots[shard];
+        slot.parked
+            .as_ref()
+            .map_or(slot.last_fresh, |ws| ws.fresh_allocations())
+    }
+
+    /// [`Workspace::takes`] of shard `shard`'s workspace (live if parked,
+    /// otherwise the last-checkin snapshot).
+    pub fn shard_takes(&self, shard: usize) -> u64 {
+        let slot = &self.slots[shard];
+        slot.parked
+            .as_ref()
+            .map_or(slot.last_takes, |ws| ws.takes())
+    }
+
+    /// Pool-wide aggregate of [`Workspace::fresh_allocations`] across all
+    /// shards (live values for parked workspaces, last-checkin snapshots for
+    /// checked-out ones).
+    pub fn fresh_allocations(&self) -> u64 {
+        (0..self.slots.len())
+            .map(|s| self.shard_fresh_allocations(s))
+            .sum()
+    }
+
+    /// Pool-wide aggregate of [`Workspace::takes`] across all shards.
+    pub fn takes(&self) -> u64 {
+        (0..self.slots.len()).map(|s| self.shard_takes(s)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +555,71 @@ mod tests {
         ws.put_u64("scan", Vec::new());
         assert!(ws.takes() >= 4);
         assert!(ws.pooled_buffers() >= 1);
+    }
+
+    #[test]
+    fn pool_checkout_has_shard_affinity() {
+        let mut pool = WorkspacePool::new(2);
+        let mut a = pool.checkout(0);
+        let mut v = a.take_u32("idx");
+        v.extend(0..100);
+        a.put_u32("idx", v);
+        pool.checkin(0, a);
+        let fresh_after_warm = pool.shard_fresh_allocations(0);
+        // Shard 0 gets its warm workspace back; the same usage allocates
+        // nothing new. Shard 1 is untouched.
+        let mut a = pool.checkout(0);
+        let v = a.take_u32("idx");
+        assert!(v.capacity() >= 100);
+        a.put_u32("idx", v);
+        pool.checkin(0, a);
+        assert_eq!(pool.shard_fresh_allocations(0), fresh_after_warm);
+        assert_eq!(pool.shard_fresh_allocations(1), 0);
+        assert_eq!(pool.fresh_allocations(), fresh_after_warm);
+    }
+
+    #[test]
+    fn pool_exhaustion_hands_out_fresh_and_counts() {
+        let mut pool = WorkspacePool::new(1);
+        let first = pool.checkout(0);
+        assert_eq!(pool.overflow_checkouts(), 0);
+        // Same shard again while checked out: fresh workspace, counted.
+        let overflow = pool.checkout(0);
+        assert_eq!(pool.overflow_checkouts(), 1);
+        assert_eq!(overflow.takes(), 0);
+        pool.checkin(0, first);
+        assert_eq!(pool.parked(), 1);
+        // The shard already holds its workspace: the overflow one is dropped.
+        pool.checkin(0, overflow);
+        assert_eq!(pool.dropped_checkins(), 1);
+        assert_eq!(pool.parked(), 1);
+        assert_eq!(pool.checkouts(), 2);
+    }
+
+    #[test]
+    fn pool_counters_survive_checkout() {
+        let mut pool = WorkspacePool::new(1);
+        let mut ws = pool.checkout(0);
+        let _ = ws.take_flags("f", 8);
+        pool.checkin(0, ws);
+        let takes = pool.shard_takes(0);
+        let fresh = pool.shard_fresh_allocations(0);
+        assert!(takes >= 1 && fresh >= 1);
+        // While checked out, the snapshots from the last checkin remain
+        // visible.
+        let ws = pool.checkout(0);
+        assert_eq!(pool.shard_takes(0), takes);
+        assert_eq!(pool.shard_fresh_allocations(0), fresh);
+        assert_eq!(pool.takes(), takes);
+        pool.checkin(0, ws);
+    }
+
+    #[test]
+    fn pool_grows_but_never_shrinks() {
+        let mut pool = WorkspacePool::new(2);
+        pool.ensure_shards(1);
+        assert_eq!(pool.shards(), 2);
+        pool.ensure_shards(4);
+        assert_eq!(pool.shards(), 4);
     }
 }

@@ -1,0 +1,110 @@
+//! Property tests for [`pram::WorkspacePool`]: any valid checkout/checkin
+//! interleaving preserves the per-shard zero-warm-allocation property.
+//!
+//! The model: each shard repeatedly runs the same "solve" (a fixed shape of
+//! flag/list/zeroed takes, like a same-shaped MIS stream). After one warm-up
+//! round per shard, no interleaving of checkouts and checkins across shards —
+//! including holding several shards' workspaces out simultaneously — may
+//! cause a single further fresh allocation on any shard: affinity means a
+//! shard always rewarms its own buffers.
+
+use pram::{Workspace, WorkspacePool};
+use proptest::prelude::*;
+
+/// One same-shaped "solve" against a workspace: a fixed purpose-keyed usage
+/// pattern whose buffer shapes depend only on `shard` (so each shard has its
+/// own shape, as each serve shard has its own resident tenants).
+fn simulated_solve(ws: &mut Workspace, shard: usize) {
+    let len = 64 + 32 * shard;
+    let flags = ws.take_flags("solve.flags", len);
+    let mut idx = ws.take_u32("solve.idx");
+    idx.extend(0..len as u32);
+    let mut scan = ws.take_u64("solve.scan");
+    scan.extend((0..len as u64).map(|x| x * x));
+    let zeroed = ws.take_u32_zeroed("solve.offsets", len + 1);
+    ws.put_flags("solve.flags", flags);
+    ws.put_u32("solve.idx", idx);
+    ws.put_u64("solve.scan", scan);
+    ws.put_u32("solve.offsets", zeroed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of {checkout shard, solve, checkin shard} with at
+    /// most one outstanding checkout per shard (the serve runner's usage):
+    /// after warm-up, per-shard fresh-allocation counters never move.
+    #[test]
+    fn interleavings_preserve_zero_warm_allocations(
+        shards in 1usize..5,
+        script in prop::collection::vec((0usize..5, 0usize..4), 1..60),
+    ) {
+        let mut pool = WorkspacePool::new(shards);
+        // Warm-up: one solve per shard.
+        for s in 0..shards {
+            let mut ws = pool.checkout(s);
+            simulated_solve(&mut ws, s);
+            pool.checkin(s, ws);
+        }
+        let warm: Vec<u64> = (0..shards).map(|s| pool.shard_fresh_allocations(s)).collect();
+        prop_assert!(warm.iter().all(|&f| f > 0));
+
+        // Interpret the script as an interleaving: the second coordinate
+        // decides how many solves happen while the shard's workspace is out,
+        // and checkins are deliberately delayed so several shards' workspaces
+        // are outstanding at once.
+        let mut out: Vec<Option<(usize, Workspace)>> = (0..shards).map(|_| None).collect();
+        for &(raw_shard, solves) in &script {
+            let s = raw_shard % shards;
+            match out[s].take() {
+                Some((shard, ws)) => pool.checkin(shard, ws),
+                None => {
+                    let mut ws = pool.checkout(s);
+                    for _ in 0..=solves {
+                        simulated_solve(&mut ws, s);
+                    }
+                    out[s] = Some((s, ws));
+                }
+            }
+        }
+        for (shard, ws) in out.into_iter().flatten() {
+            pool.checkin(shard, ws);
+        }
+
+        prop_assert_eq!(pool.overflow_checkouts(), 0);
+        for (s, &w) in warm.iter().enumerate() {
+            // A shard must not allocate after its warm-up.
+            prop_assert_eq!(pool.shard_fresh_allocations(s), w);
+        }
+        prop_assert_eq!(pool.fresh_allocations(), warm.iter().sum::<u64>());
+    }
+
+    /// Exhaustion overflow never poisons a shard's own counters: overflow
+    /// workspaces are fresh, and dropping them at checkin leaves the
+    /// shard-resident workspace (and its zero-warm-allocation property)
+    /// intact.
+    #[test]
+    fn overflow_checkouts_leave_shard_counters_intact(extra in 1usize..4) {
+        let mut pool = WorkspacePool::new(1);
+        let mut ws = pool.checkout(0);
+        simulated_solve(&mut ws, 0);
+        pool.checkin(0, ws);
+        let warm = pool.shard_fresh_allocations(0);
+
+        let resident = pool.checkout(0);
+        let mut overflows = Vec::new();
+        for _ in 0..extra {
+            let mut ws = pool.checkout(0);
+            simulated_solve(&mut ws, 0);
+            overflows.push(ws);
+        }
+        prop_assert_eq!(pool.overflow_checkouts(), extra as u64);
+        pool.checkin(0, resident);
+        for ws in overflows {
+            pool.checkin(0, ws);
+        }
+        prop_assert_eq!(pool.dropped_checkins(), extra as u64);
+        prop_assert_eq!(pool.shard_fresh_allocations(0), warm);
+        prop_assert_eq!(pool.parked(), 1);
+    }
+}

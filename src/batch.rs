@@ -32,7 +32,18 @@
 //! (independent set, coloring, trace, `CostTracker` totals) to the cold
 //! entry point, at any thread count and regardless of what was solved
 //! before. `tests/batch.rs` pins this with pinned-seed streams.
+//!
+//! # Relation to the serving layer
+//!
+//! A `BatchRunner` is the **single-shard special case** of the sharded
+//! serving subsystem: every worker shard of a
+//! [`ShardedRunner`](crate::serve::ShardedRunner) is exactly a `BatchRunner`
+//! looping over its queue, and [`solve`](BatchRunner::solve) is the request
+//! execution core both paths share. Run a stream through `BatchRunner::solve`
+//! to get the sequential reference the serve suites and benches compare
+//! against.
 
+use crate::serve::{ResidentRegistry, SolveOutcome, SolveRequest};
 use hypergraph::Hypergraph;
 use mis_core::linear::{LinearError, LinearOutcome};
 use mis_core::permutation::PermutationOutcome;
@@ -53,6 +64,27 @@ impl BatchRunner {
     /// algorithm warms it up.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps an existing workspace — e.g. one checked out of a
+    /// [`pram::WorkspacePool`] by a serve shard, so buffers and engines
+    /// warmed by a previous generation are reused.
+    pub fn from_workspace(ws: Workspace) -> Self {
+        Self { ws }
+    }
+
+    /// Unwraps the runner back into its workspace (for checkin into a
+    /// [`pram::WorkspacePool`]).
+    pub fn into_workspace(self) -> Workspace {
+        self.ws
+    }
+
+    /// Executes one serving-layer request — the single-shard solve core of
+    /// the [`serve`](crate::serve) subsystem. The outcome is a pure function
+    /// of `(target, algorithm, seed)`; `ticket`/`shard` are left at 0 for
+    /// the caller to fill in.
+    pub fn solve(&mut self, registry: &ResidentRegistry, request: &SolveRequest) -> SolveOutcome {
+        crate::serve::execute(registry, request, &mut self.ws)
     }
 
     /// SBL (Algorithm 1) — amortized counterpart of

@@ -5,12 +5,33 @@
 //! the **SBL** sampling algorithm for general hypergraphs, the Beame–Luby
 //! subroutine it is built on, the Karp–Upfal–Wigderson and greedy baselines,
 //! an EREW-PRAM-style cost model, and the full Kelsen / Kim–Vu analysis
-//! machinery (concentration bounds, potential functions, migration bounds).
+//! machinery (concentration bounds, potential functions, migration bounds) —
+//! grown into a serving system: resident graphs, amortized solve streams,
+//! and a sharded worker-pool serve layer.
 //!
-//! This crate is a thin facade over the workspace members:
+//! ## The serving story
+//!
+//! The top of the API is the [`serve`] subsystem. Register your graphs in a
+//! [`ResidentRegistry`](serve::ResidentRegistry), spawn a
+//! [`ShardedRunner`](serve::ShardedRunner) over N worker shards, and stream
+//! [`SolveRequest`](serve::SolveRequest)s at it — full solves of resident or
+//! ad-hoc instances, or induced queries against resident graphs, with any of
+//! the six algorithms. Each shard owns a warmed
+//! [`Workspace`](pram::Workspace) with parked engines (the zero-reallocation
+//! pipeline), and every outcome is a pure function of `(graph, algorithm,
+//! seed)`: shard count and scheduling change wall time, never a result.
+//! [`collect_ordered`](serve::ShardedRunner::collect_ordered) returns
+//! responses in submission order regardless of which shard finished first.
+//!
+//! For a single-tenant, single-thread stream, [`BatchRunner`] is the same
+//! machinery without the threads — the single-shard special case (see
+//! `examples/serving.rs` for the multi-tenant version).
+//!
+//! The crate remains a thin facade over the workspace members:
 //!
 //! * [`hypergraph`] — data structures, normalized degrees, generators, I/O;
-//! * [`pram`] — work–depth cost model and rayon-backed parallel primitives;
+//! * [`pram`] — work–depth cost model, rayon-backed parallel primitives,
+//!   workspaces and the per-shard [`WorkspacePool`](pram::WorkspacePool);
 //! * [`concentration`] — the analysis quantities of Sections 2.2, 3 and 4;
 //! * [`mis_core`] — the algorithms (SBL, BL, KUW, greedy, permutation,
 //!   linear-hypergraph), verification and instrumentation.
@@ -21,35 +42,58 @@
 //! use hypergraph_mis::prelude::*;
 //! use rand::SeedableRng;
 //! use rand_chacha::ChaCha8Rng;
+//! use std::sync::Arc;
 //!
 //! let mut rng = ChaCha8Rng::seed_from_u64(42);
-//! // A general hypergraph: 400 vertices, edges of size 2..=10.
-//! let h = generate::paper_regime(&mut rng, 400, 50, 10);
 //!
-//! // The paper's algorithm.
-//! let out = sbl_mis(&h, &mut rng);
-//! assert!(verify_mis(&h, &out.independent_set).is_ok());
+//! // Keep a hypergraph resident: 400 vertices, edges of size 2..=10.
+//! let mut registry = ResidentRegistry::new();
+//! let tenant = registry.register(generate::paper_regime(&mut rng, 400, 50, 10));
+//! let registry = Arc::new(registry);
 //!
-//! // Compare with the sequential greedy baseline.
-//! let baseline = greedy_mis(&h, None);
-//! assert!(verify_mis(&h, &baseline.independent_set).is_ok());
+//! // Serve a stream across 2 worker shards: a full SBL solve of the
+//! // resident graph, then an induced query solved with Beame–Luby.
+//! let config = ServeConfig { shards: 2, queue_depth: 16, threads_per_shard: Some(1) };
+//! let mut server = ShardedRunner::new(Arc::clone(&registry), &config);
+//! server.submit(SolveRequest {
+//!     target: Target::Resident(tenant),
+//!     algorithm: Algorithm::Sbl(SblConfig::default()),
+//!     seed: 7,
+//! });
+//! server.submit(SolveRequest {
+//!     target: Target::Induced { graph: tenant, vertices: Arc::new((0..128).collect()) },
+//!     algorithm: Algorithm::Bl(BlConfig::default()),
+//!     seed: 8,
+//! });
+//!
+//! // Responses come back in submission order, whatever the scheduling.
+//! let outcomes = server.collect_ordered(2);
+//! assert!(verify_mis(registry.graph(tenant), &outcomes[0].independent_set).is_ok());
+//! assert_eq!(outcomes[1].ticket, 1);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod serve;
 
 pub use batch::BatchRunner;
 pub use concentration;
 pub use hypergraph;
 pub use mis_core;
 pub use pram;
+pub use serve::{ResidentRegistry, ServeConfig, ShardedRunner};
 
 /// One-stop imports for applications: hypergraph construction and generation,
-/// every algorithm, verification, the cost model, and the batch runner.
+/// every algorithm, verification, the cost model, the batch runner and the
+/// sharded serving subsystem.
 pub mod prelude {
     pub use crate::batch::BatchRunner;
+    pub use crate::serve::{
+        Algorithm, GraphId, ResidentRegistry, ServeConfig, ShardedRunner, SolveOutcome,
+        SolveRequest, Target,
+    };
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;
     pub use mis_core::prelude::*;

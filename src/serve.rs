@@ -1,0 +1,814 @@
+//! The sharded serving subsystem: a worker-pool layer that fans a stream of
+//! MIS solve requests across N shards with deterministic stream semantics.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                    submit() ──► bounded queue ──► shard 0: BatchRunner(Workspace 0)─┐
+//! client (tickets)   submit() ──► bounded queue ──► shard 1: BatchRunner(Workspace 1)─┼─► collect_ordered()
+//!                    submit() ──► bounded queue ──► shard 2: BatchRunner(Workspace 2)─┘
+//!                                        ▲                        │ read-only
+//!                                        │                 Arc<ResidentRegistry>
+//! ```
+//!
+//! A [`ShardedRunner`] owns N long-lived worker threads (hosted by
+//! [`pram::pool::spawn_worker`]). Each worker is exactly a
+//! [`BatchRunner`](crate::batch::BatchRunner) in a loop — the single-shard
+//! special case *is* the batch runner — with its own
+//! [`Workspace`](pram::Workspace) checked out of a
+//! [`WorkspacePool`](pram::WorkspacePool) by shard index, so parked engines
+//! and warmed buffers stay **shard-local** across serve generations.
+//! Requests are distributed round-robin by ticket over per-shard **bounded**
+//! queues: [`ShardedRunner::submit`] blocks once the target shard's queue is
+//! full (backpressure), while results flow back over an unbounded channel so
+//! workers never block.
+//!
+//! Resident graphs live in a [`ResidentRegistry`], frozen behind an `Arc`
+//! when the runner spawns: workers only ever read it (`&self` induction —
+//! see the concurrency section of [`hypergraph::ActiveEngine`]), deriving
+//! per-query sub-instances into their own shard-local engines.
+//!
+//! # Determinism contract
+//!
+//! Every request's outcome is a **pure function of `(graph, algorithm,
+//! seed)`**: the per-request RNG is derived from [`SolveRequest::seed`], the
+//! workspace never influences results (the PR-3 contract), and the resident
+//! registry is immutable. Shard count, queue depth, scheduling and thread
+//! count may change wall time but never a single independent set, trace or
+//! cost total — `tests/serve.rs` pins outcomes across 1/2/4/8 shards against
+//! the sequential [`BatchRunner::solve`](crate::batch::BatchRunner::solve)
+//! path. [`ShardedRunner::collect_ordered`] additionally guarantees
+//! *delivery* in submission-ticket order regardless of which shard finished
+//! first.
+//!
+//! ```
+//! use hypergraph_mis::serve::{
+//!     Algorithm, ResidentRegistry, ServeConfig, ShardedRunner, SolveRequest, Target,
+//! };
+//! use hypergraph_mis::prelude::*;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let mut registry = ResidentRegistry::new();
+//! let resident = registry.register(generate::paper_regime(&mut rng, 200, 40, 8));
+//! let registry = Arc::new(registry);
+//!
+//! let mut runner = ShardedRunner::new(
+//!     Arc::clone(&registry),
+//!     &ServeConfig { shards: 2, queue_depth: 16, threads_per_shard: Some(1) },
+//! );
+//! for seed in 0..6u64 {
+//!     runner.submit(SolveRequest {
+//!         target: Target::Resident(resident),
+//!         algorithm: Algorithm::Sbl(SblConfig::default()),
+//!         seed,
+//!     });
+//! }
+//! let outcomes = runner.collect_ordered(6);
+//! assert_eq!(outcomes.len(), 6);
+//! for (i, out) in outcomes.iter().enumerate() {
+//!     assert_eq!(out.ticket, i as u64);
+//!     assert!(verify_mis(registry.graph(resident), &out.independent_set).is_ok());
+//! }
+//! ```
+
+use crate::batch::BatchRunner;
+use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
+use mis_core::linear::LinearError;
+use mis_core::prelude::*;
+use pram::cost::CostTracker;
+use pram::{Workspace, WorkspacePool};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Handle to a graph registered in a [`ResidentRegistry`]. The handle
+/// remembers *which* registry minted it (a process-unique tag), so an id
+/// from one registry can never silently resolve against another — a foreign
+/// id is [`SolveError::UnknownGraph`] on the request path and a panic on the
+/// direct accessors, never another tenant's graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphId {
+    registry: u64,
+    index: usize,
+}
+
+/// The resident-graph registry: graphs that stay loaded across a serve
+/// session, each paired with a prebuilt [`ActiveHypergraph`] engine that
+/// induced queries derive their sub-instances from.
+///
+/// Register every tenant **before** wrapping the registry in an `Arc` and
+/// spawning a [`ShardedRunner`] — once serving starts the registry is shared
+/// read-only across shards (that immutability is what makes concurrent
+/// `&self` induction sound; see the module docs).
+#[derive(Debug)]
+pub struct ResidentRegistry {
+    tag: u64,
+    entries: Vec<ResidentGraph>,
+}
+
+impl Default for ResidentRegistry {
+    fn default() -> Self {
+        // Process-unique registry tag; the counter value never influences
+        // solve outcomes, only id↔registry matching.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_REGISTRY_TAG: AtomicU64 = AtomicU64::new(0);
+        ResidentRegistry {
+            tag: NEXT_REGISTRY_TAG.fetch_add(1, Ordering::Relaxed),
+            entries: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ResidentGraph {
+    graph: Hypergraph,
+    engine: ActiveHypergraph,
+}
+
+impl ResidentRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `graph` as a resident tenant, building its induction engine
+    /// eagerly, and returns its handle.
+    pub fn register(&mut self, graph: Hypergraph) -> GraphId {
+        let engine = ActiveHypergraph::from_hypergraph(&graph);
+        self.entries.push(ResidentGraph { graph, engine });
+        GraphId {
+            registry: self.tag,
+            index: self.entries.len() - 1,
+        }
+    }
+
+    /// The registered hypergraph behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry.
+    pub fn graph(&self, id: GraphId) -> &Hypergraph {
+        &self
+            .get(id)
+            .expect("GraphId from a different registry")
+            .graph
+    }
+
+    /// The prebuilt induction engine behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry.
+    pub fn engine(&self, id: GraphId) -> &ActiveHypergraph {
+        &self
+            .get(id)
+            .expect("GraphId from a different registry")
+            .engine
+    }
+
+    fn get(&self, id: GraphId) -> Option<&ResidentGraph> {
+        if id.registry != self.tag {
+            return None;
+        }
+        self.entries.get(id.index)
+    }
+
+    /// Number of resident graphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no graph has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Which algorithm a [`SolveRequest`] runs (all six are servable, both as
+/// full solves and as induced queries).
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// SBL (Algorithm 1, the paper's contribution).
+    Sbl(SblConfig),
+    /// Beame–Luby (Algorithm 2) — the induced-query headliner.
+    Bl(BlConfig),
+    /// Karp–Upfal–Wigderson style parallel search.
+    Kuw,
+    /// Sequential greedy (deterministic; the request seed is unused).
+    Greedy,
+    /// Random-permutation greedy.
+    Permutation,
+    /// Łuczak–Szymańska-style linear-hypergraph MIS (errors on non-linear
+    /// instances instead of panicking — see [`SolveError::NotLinear`]).
+    Linear,
+}
+
+impl Algorithm {
+    /// Short stable name (used in traces, logs and bench tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Sbl(_) => "sbl",
+            Algorithm::Bl(_) => "bl",
+            Algorithm::Kuw => "kuw",
+            Algorithm::Greedy => "greedy",
+            Algorithm::Permutation => "permutation",
+            Algorithm::Linear => "linear",
+        }
+    }
+}
+
+/// What a [`SolveRequest`] solves.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// A one-off instance shipped with the request (shared, not copied, per
+    /// shard).
+    Adhoc(Arc<Hypergraph>),
+    /// A full solve of a resident graph.
+    Resident(GraphId),
+    /// The sub-hypergraph of a resident graph induced by `vertices` (keeping
+    /// edges fully inside the set — SBL's `H'` semantics). Vertex ids must be
+    /// valid for the graph and duplicate-free; violations come back as
+    /// [`SolveError::InvalidQuery`], not panics.
+    Induced {
+        /// The resident graph queried.
+        graph: GraphId,
+        /// The inducing vertex set (any order, duplicate-free).
+        vertices: Arc<Vec<VertexId>>,
+    },
+}
+
+/// One unit of work for the serving layer. Outcomes are a pure function of
+/// `(target, algorithm, seed)` — see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// What to solve.
+    pub target: Target,
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Per-request RNG seed (`ChaCha8Rng::seed_from_u64`).
+    pub seed: u64,
+}
+
+/// Per-algorithm instrumentation carried by a [`SolveOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveTrace {
+    /// SBL per-round trace.
+    Sbl(SblTrace),
+    /// Beame–Luby per-stage trace.
+    Bl(BlTrace),
+    /// KUW per-round trace.
+    Kuw(KuwTrace),
+    /// Greedy has no trace beyond its cost totals.
+    Greedy,
+    /// The sampled permutation (processing order, original vertex ids).
+    Permutation(Vec<VertexId>),
+    /// Linear-hypergraph per-stage trace (BL-shaped).
+    Linear(BlTrace),
+    /// The request failed before producing a trace (see
+    /// [`SolveOutcome::error`]).
+    Failed,
+}
+
+/// A request-level failure, reported as data instead of panicking a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// [`Algorithm::Linear`] on a non-linear instance.
+    NotLinear(LinearError),
+    /// The request referenced a [`GraphId`] not present in the registry.
+    UnknownGraph(GraphId),
+    /// An induced query listed an out-of-range or duplicate vertex id.
+    InvalidQuery {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// `true` if the id was listed twice, `false` if out of range.
+        duplicate: bool,
+    },
+}
+
+/// The response to one [`SolveRequest`].
+///
+/// `ticket` and `shard` describe *scheduling* (which submission this answers
+/// and who computed it); everything else is the deterministic payload. Use
+/// [`fingerprint`](Self::fingerprint) to compare outcomes across shard
+/// counts or against the sequential path — it excludes the shard.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Submission ticket this outcome answers (assigned by
+    /// [`ShardedRunner::submit`]; 0 for direct
+    /// [`BatchRunner::solve`](crate::batch::BatchRunner::solve) calls).
+    pub ticket: u64,
+    /// Shard that computed it (0 for the sequential path). Diagnostic only —
+    /// deliberately excluded from [`fingerprint`](Self::fingerprint).
+    pub shard: usize,
+    /// The request's RNG seed, echoed back.
+    pub seed: u64,
+    /// The maximal independent set (sorted, original vertex ids; empty on
+    /// error).
+    pub independent_set: Vec<VertexId>,
+    /// Total work charged by the cost model.
+    pub work: u64,
+    /// Total depth charged by the cost model.
+    pub depth: u64,
+    /// Rounds (global synchronisation barriers) charged by the cost model.
+    pub rounds: u64,
+    /// Per-algorithm instrumentation.
+    pub trace: SolveTrace,
+    /// `Some` if the request failed (the deterministic payload fields are
+    /// then empty/zero).
+    pub error: Option<SolveError>,
+}
+
+/// The deterministic part of a [`SolveOutcome`] (everything but the shard
+/// and ticket): equal across shard counts, scheduling and pool generations.
+pub type SolveFingerprint = (
+    u64,
+    Vec<VertexId>,
+    u64,
+    u64,
+    u64,
+    SolveTrace,
+    Option<SolveError>,
+);
+
+impl SolveOutcome {
+    /// Extracts the scheduling-independent payload: `(seed, independent set,
+    /// work, depth, rounds, trace, error)`.
+    pub fn fingerprint(&self) -> SolveFingerprint {
+        (
+            self.seed,
+            self.independent_set.clone(),
+            self.work,
+            self.depth,
+            self.rounds,
+            self.trace.clone(),
+            self.error.clone(),
+        )
+    }
+}
+
+/// Executes one request against a workspace — the single-shard solve core
+/// shared by [`BatchRunner::solve`](crate::batch::BatchRunner::solve) and
+/// every [`ShardedRunner`] worker, which is what makes the sequential path
+/// and all shard counts agree structurally, not just by test.
+pub(crate) fn execute(
+    registry: &ResidentRegistry,
+    req: &SolveRequest,
+    ws: &mut Workspace,
+) -> SolveOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
+    match &req.target {
+        Target::Adhoc(h) => solve_full(h, &req.algorithm, req.seed, &mut rng, ws),
+        Target::Resident(id) => match registry.get(*id) {
+            Some(r) => solve_full(&r.graph, &req.algorithm, req.seed, &mut rng, ws),
+            None => failed(req.seed, SolveError::UnknownGraph(*id)),
+        },
+        Target::Induced { graph, vertices } => match registry.get(*graph) {
+            Some(r) => solve_induced(&r.engine, vertices, &req.algorithm, req.seed, &mut rng, ws),
+            None => failed(req.seed, SolveError::UnknownGraph(*graph)),
+        },
+    }
+}
+
+fn failed(seed: u64, error: SolveError) -> SolveOutcome {
+    SolveOutcome {
+        ticket: 0,
+        shard: 0,
+        seed,
+        independent_set: Vec::new(),
+        work: 0,
+        depth: 0,
+        rounds: 0,
+        trace: SolveTrace::Failed,
+        error: Some(error),
+    }
+}
+
+fn outcome(
+    seed: u64,
+    independent_set: Vec<VertexId>,
+    trace: SolveTrace,
+    cost: &CostTracker,
+) -> SolveOutcome {
+    let c = cost.cost();
+    SolveOutcome {
+        ticket: 0,
+        shard: 0,
+        seed,
+        independent_set,
+        work: c.work,
+        depth: c.depth,
+        rounds: cost.rounds(),
+        trace,
+        error: None,
+    }
+}
+
+/// A full solve: the plain `*_in` entry points over the request's hypergraph.
+fn solve_full(
+    h: &Hypergraph,
+    algorithm: &Algorithm,
+    seed: u64,
+    rng: &mut ChaCha8Rng,
+    ws: &mut Workspace,
+) -> SolveOutcome {
+    match algorithm {
+        Algorithm::Sbl(cfg) => {
+            let o = sbl_mis_in(h, rng, cfg, ws);
+            outcome(seed, o.independent_set, SolveTrace::Sbl(o.trace), &o.cost)
+        }
+        Algorithm::Bl(cfg) => {
+            let o = bl_mis_in(h, rng, cfg, ws);
+            outcome(seed, o.independent_set, SolveTrace::Bl(o.trace), &o.cost)
+        }
+        Algorithm::Kuw => {
+            let o = kuw_mis_in(h, rng, ws);
+            outcome(seed, o.independent_set, SolveTrace::Kuw(o.trace), &o.cost)
+        }
+        Algorithm::Greedy => {
+            let o = greedy_mis_in(h, None, ws);
+            outcome(seed, o.independent_set, SolveTrace::Greedy, &o.cost)
+        }
+        Algorithm::Permutation => {
+            let o = permutation_mis_in(h, rng, ws);
+            outcome(
+                seed,
+                o.independent_set,
+                SolveTrace::Permutation(o.permutation),
+                &o.cost,
+            )
+        }
+        Algorithm::Linear => match linear_mis_in(h, rng, ws) {
+            Ok(o) => outcome(
+                seed,
+                o.independent_set,
+                SolveTrace::Linear(o.trace),
+                &o.cost,
+            ),
+            Err(e) => failed(seed, SolveError::NotLinear(e)),
+        },
+    }
+}
+
+/// An induced query: derive the sub-instance through the resident engine's
+/// incidence into a shard-local engine slot, then solve it.
+///
+/// BL/KUW/greedy run directly on the sub-engine (their `*_on_active_in`
+/// paths). SBL/permutation/linear have no on-engine entry point, so the
+/// sub-instance is compacted to a standalone hypergraph and the answer is
+/// mapped back to original ids — deterministic either way.
+fn solve_induced(
+    parent: &ActiveHypergraph,
+    vertices: &[VertexId],
+    algorithm: &Algorithm,
+    seed: u64,
+    rng: &mut ChaCha8Rng,
+    ws: &mut Workspace,
+) -> SolveOutcome {
+    let id_space = parent.id_space();
+    // Mark the query set, validating as we go; the buffer is pooled under a
+    // trusted-clean key, so the unwind below must cover every bit we set.
+    let mut marked = ws.take_flags_clean("serve.marked", id_space);
+    let mut invalid: Option<SolveError> = None;
+    let mut set_upto = 0usize;
+    for (i, &v) in vertices.iter().enumerate() {
+        if (v as usize) >= id_space {
+            invalid = Some(SolveError::InvalidQuery {
+                vertex: v,
+                duplicate: false,
+            });
+            set_upto = i;
+            break;
+        }
+        if marked[v as usize] {
+            invalid = Some(SolveError::InvalidQuery {
+                vertex: v,
+                duplicate: true,
+            });
+            set_upto = i;
+            break;
+        }
+        marked[v as usize] = true;
+    }
+    if let Some(error) = invalid {
+        for &v in &vertices[..set_upto] {
+            marked[v as usize] = false;
+        }
+        ws.put_flags("serve.marked", marked);
+        return failed(seed, error);
+    }
+
+    let mut sub: ActiveHypergraph = ws
+        .take_any::<ActiveHypergraph>("serve.sub")
+        .unwrap_or_else(|| ActiveHypergraph::from_parts(Vec::new(), Vec::new()));
+    parent.induced_by_into(&marked, vertices, &mut sub);
+    for &v in vertices {
+        marked[v as usize] = false;
+    }
+    ws.put_flags("serve.marked", marked);
+
+    let mut cost = CostTracker::new();
+    let out = match algorithm {
+        Algorithm::Bl(cfg) => {
+            let (set, trace) = mis_core::bl::bl_on_active_in(&mut sub, rng, cfg, &mut cost, ws);
+            outcome(seed, set, SolveTrace::Bl(trace), &cost)
+        }
+        Algorithm::Kuw => {
+            let (set, trace) = mis_core::kuw::kuw_on_active_in(&mut sub, rng, &mut cost, ws);
+            outcome(seed, set, SolveTrace::Kuw(trace), &cost)
+        }
+        Algorithm::Greedy => {
+            let set = greedy_on_active_in(&sub, &mut cost, ws);
+            outcome(seed, set, SolveTrace::Greedy, &cost)
+        }
+        Algorithm::Sbl(cfg) => {
+            let (hc, map) = sub.compact();
+            let o = sbl_mis_in(&hc, rng, cfg, ws);
+            outcome(
+                seed,
+                map_back(&o.independent_set, &map),
+                SolveTrace::Sbl(o.trace),
+                &o.cost,
+            )
+        }
+        Algorithm::Permutation => {
+            let (hc, map) = sub.compact();
+            let o = permutation_mis_in(&hc, rng, ws);
+            let permutation = o.permutation.iter().map(|&v| map[v as usize]).collect();
+            outcome(
+                seed,
+                map_back(&o.independent_set, &map),
+                SolveTrace::Permutation(permutation),
+                &o.cost,
+            )
+        }
+        Algorithm::Linear => {
+            let (hc, map) = sub.compact();
+            match linear_mis_in(&hc, rng, ws) {
+                Ok(o) => outcome(
+                    seed,
+                    map_back(&o.independent_set, &map),
+                    SolveTrace::Linear(o.trace),
+                    &o.cost,
+                ),
+                Err(e) => failed(seed, SolveError::NotLinear(e)),
+            }
+        }
+    };
+    ws.put_any("serve.sub", sub);
+    out
+}
+
+/// Maps a sorted compact-id set back to original ids. `map` (new → old) is
+/// ascending by construction of `compact`, so order is preserved.
+fn map_back(set: &[VertexId], map: &[VertexId]) -> Vec<VertexId> {
+    let mapped: Vec<VertexId> = set.iter().map(|&v| map[v as usize]).collect();
+    debug_assert!(mapped.windows(2).all(|w| w[0] < w[1]));
+    mapped
+}
+
+/// Configuration of a [`ShardedRunner`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker shards (clamped to at least 1).
+    pub shards: usize,
+    /// Per-shard submission-queue depth; [`ShardedRunner::submit`] blocks
+    /// when the target shard has this many requests waiting (backpressure).
+    pub queue_depth: usize,
+    /// Rayon parallelism granted to each shard's solves (`None` = machine
+    /// default). With many shards on a small host, `Some(1)` avoids
+    /// oversubscription; by the determinism contract this setting never
+    /// changes outcomes, only wall time.
+    pub threads_per_shard: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: pram::pool::available_parallelism(),
+            queue_depth: 64,
+            threads_per_shard: None,
+        }
+    }
+}
+
+struct Job {
+    ticket: u64,
+    request: SolveRequest,
+}
+
+/// The sharded serving runner. See the [module docs](self) for the
+/// architecture and the determinism contract.
+///
+/// Dropping the runner shuts the workers down; prefer
+/// [`shutdown`](Self::shutdown) to get the [`WorkspacePool`] (with every
+/// shard's warmed workspace checked back in) for the next serve generation.
+pub struct ShardedRunner {
+    senders: Vec<SyncSender<Job>>,
+    results: Receiver<SolveOutcome>,
+    workers: Vec<(usize, JoinHandle<Workspace>)>,
+    pool: WorkspacePool,
+    // Raised at shutdown so workers drain their remaining queue without
+    // solving it (still-queued work is discarded, not computed).
+    cancel: Arc<std::sync::atomic::AtomicBool>,
+    next_ticket: u64,
+    next_deliver: u64,
+    pending: BTreeMap<u64, SolveOutcome>,
+}
+
+impl ShardedRunner {
+    /// Spawns `config.shards` workers over a fresh [`WorkspacePool`].
+    pub fn new(registry: Arc<ResidentRegistry>, config: &ServeConfig) -> Self {
+        Self::with_pool(registry, config, WorkspacePool::new(config.shards.max(1)))
+    }
+
+    /// Spawns workers over an existing pool (grown to `config.shards` slots
+    /// if needed), so workspaces warmed by a previous serve generation are
+    /// rewarmed shard-by-shard instead of rebuilt.
+    pub fn with_pool(
+        registry: Arc<ResidentRegistry>,
+        config: &ServeConfig,
+        mut pool: WorkspacePool,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        pool.ensure_shards(shards);
+        let (result_tx, results) = channel();
+        let cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+            let ws = pool.checkout(shard);
+            let registry = Arc::clone(&registry);
+            let result_tx = result_tx.clone();
+            let cancel = Arc::clone(&cancel);
+            let handle = pram::pool::spawn_worker(
+                format!("serve-shard-{shard}"),
+                config.threads_per_shard,
+                move || {
+                    let mut runner = BatchRunner::from_workspace(ws);
+                    while let Ok(Job { ticket, request }) = rx.recv() {
+                        // Shutdown: drain the queue without solving it.
+                        if cancel.load(std::sync::atomic::Ordering::Acquire) {
+                            continue;
+                        }
+                        let mut out = runner.solve(&registry, &request);
+                        out.ticket = ticket;
+                        out.shard = shard;
+                        if result_tx.send(out).is_err() {
+                            break;
+                        }
+                    }
+                    runner.into_workspace()
+                },
+            );
+            senders.push(tx);
+            workers.push((shard, handle));
+        }
+        ShardedRunner {
+            senders,
+            results,
+            workers,
+            pool,
+            cancel,
+            next_ticket: 0,
+            next_deliver: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Submits a request and returns its ticket. Requests are routed
+    /// round-robin (`ticket % shards`) — a deterministic assignment, so a
+    /// replayed stream lands on the same shards. Blocks while the target
+    /// shard's bounded queue is full.
+    pub fn submit(&mut self, request: SolveRequest) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let shard = (ticket % self.senders.len() as u64) as usize;
+        self.senders[shard]
+            .send(Job { ticket, request })
+            .expect("serve: worker shard disconnected (a worker thread panicked)");
+        ticket
+    }
+
+    /// Number of submitted requests not yet delivered by
+    /// [`collect_ordered`](Self::collect_ordered).
+    pub fn outstanding(&self) -> u64 {
+        self.next_ticket - self.next_deliver
+    }
+
+    /// Collects the next `count` outcomes **in submission-ticket order**,
+    /// regardless of which shard finished first: out-of-order arrivals are
+    /// buffered until their predecessors land.
+    ///
+    /// # Panics
+    /// Panics if `count` exceeds [`outstanding`](Self::outstanding) (the
+    /// extra outcomes could never arrive), or if a worker died.
+    pub fn collect_ordered(&mut self, count: usize) -> Vec<SolveOutcome> {
+        assert!(
+            count as u64 <= self.outstanding(),
+            "serve: asked for {count} outcomes with only {} outstanding",
+            self.outstanding()
+        );
+        let mut delivered = Vec::with_capacity(count);
+        while delivered.len() < count {
+            if let Some(out) = self.pending.remove(&self.next_deliver) {
+                self.next_deliver += 1;
+                delivered.push(out);
+                continue;
+            }
+            // A plain blocking recv would hang forever if *one* worker of
+            // several died (the survivors keep the channel open but the dead
+            // shard's tickets never arrive), so wait in slices and check
+            // worker liveness on every timeout — during serving no worker
+            // thread finishes except by panicking.
+            let out = loop {
+                match self
+                    .results
+                    .recv_timeout(std::time::Duration::from_millis(50))
+                {
+                    Ok(out) => break out,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        if let Some((shard, _)) = self.workers.iter().find(|(_, h)| h.is_finished())
+                        {
+                            panic!(
+                                "serve: worker shard {shard} died with {} outcomes outstanding",
+                                self.outstanding()
+                            );
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        panic!("serve: all workers disconnected with outcomes outstanding")
+                    }
+                }
+            };
+            if out.ticket == self.next_deliver {
+                self.next_deliver += 1;
+                delivered.push(out);
+            } else {
+                self.pending.insert(out.ticket, out);
+            }
+        }
+        delivered
+    }
+
+    /// Collects everything still outstanding, in ticket order.
+    pub fn collect_outstanding(&mut self) -> Vec<SolveOutcome> {
+        self.collect_ordered(self.outstanding() as usize)
+    }
+
+    /// Submits a whole stream and returns its outcomes in submission order —
+    /// requests pipeline through the shards while earlier results are still
+    /// being computed.
+    pub fn run_stream(&mut self, requests: Vec<SolveRequest>) -> Vec<SolveOutcome> {
+        let n = requests.len();
+        for request in requests {
+            self.submit(request);
+        }
+        self.collect_ordered(n)
+    }
+
+    /// Shuts the workers down and returns the [`WorkspacePool`] with every
+    /// shard's workspace checked back in (warm for the next generation).
+    /// Undelivered outcomes are discarded, and still-**queued** requests are
+    /// drained without being solved — shutdown waits only for each shard's
+    /// in-flight solve, not its backlog.
+    pub fn shutdown(mut self) -> WorkspacePool {
+        self.shutdown_workers();
+        std::mem::take(&mut self.pool)
+    }
+
+    /// Aggregate allocation statistics across the shards' workspaces (only
+    /// meaningful after [`shutdown`](Self::shutdown) checked them in; during
+    /// serving this reports the last-checkin snapshots).
+    pub fn pool(&self) -> &WorkspacePool {
+        &self.pool
+    }
+
+    fn shutdown_workers(&mut self) {
+        // Tell workers to drain instead of solve, then end their recv loops
+        // by dropping the senders.
+        self.cancel
+            .store(true, std::sync::atomic::Ordering::Release);
+        self.senders.clear();
+        for (shard, handle) in self.workers.drain(..) {
+            if let Ok(ws) = handle.join() {
+                self.pool.checkin(shard, ws);
+            }
+        }
+    }
+}
+
+impl Drop for ShardedRunner {
+    fn drop(&mut self) {
+        self.shutdown_workers();
+    }
+}

@@ -157,6 +157,25 @@ fn warm_runner_stops_allocating() {
     );
 }
 
+/// `sbl_mis_rebuild` is the frozen cold baseline (see its `# Stability`
+/// rustdoc): it must keep a **workspace-free** signature so no caller can
+/// ever thread buffer reuse into it. The function-pointer binding stops
+/// compiling if a `Workspace` parameter sneaks in.
+#[test]
+fn rebuild_baseline_takes_no_workspace() {
+    let pinned: fn(&Hypergraph, &mut ChaCha8Rng, &SblConfig) -> SblOutcome =
+        mis_core::sbl::sbl_mis_rebuild::<ChaCha8Rng>;
+    let h = {
+        let mut r = rng(3);
+        generate::paper_regime(&mut r, 80, 20, 8)
+    };
+    let out = pinned(&h, &mut rng(5), &SblConfig::default());
+    assert_eq!(
+        sbl_fingerprint(&out),
+        sbl_fingerprint(&sbl_mis_with(&h, &mut rng(5), &SblConfig::default()))
+    );
+}
+
 /// Streams of *different-shaped* instances still deterministically match
 /// cold solves (pools grow to the largest shape and stay correct).
 #[test]

@@ -1,0 +1,396 @@
+//! Deterministic stream semantics of the sharded serving subsystem.
+//!
+//! The contract under test: a request's outcome is a pure function of
+//! `(graph, algorithm, seed)`. Shard count, queue depth, scheduling and pool
+//! generation may change wall time but never an independent set, trace or
+//! cost total — every configuration must agree outcome-for-outcome with the
+//! sequential [`BatchRunner::solve`] path, and `collect_ordered` must
+//! deliver in submission order regardless of completion order. Runs in both
+//! the default and `--no-default-features` configurations (it only touches
+//! the flat engine).
+
+use hypergraph_mis::prelude::*;
+use hypergraph_mis::serve::{SolveError, SolveFingerprint, SolveOutcome};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Two resident tenants of different shapes plus their ids.
+fn registry() -> (Arc<ResidentRegistry>, GraphId, GraphId) {
+    let mut registry = ResidentRegistry::new();
+    let a = registry.register(generate::paper_regime(&mut rng(11), 240, 60, 10));
+    let b = registry.register(generate::d_uniform(&mut rng(12), 150, 300, 3));
+    (Arc::new(registry), a, b)
+}
+
+/// A deterministic pseudo-random query set against a graph with `n` ids.
+fn query(n: usize, size: usize, seed: u64) -> Arc<Vec<u32>> {
+    let mut r = rng(0xC0FFEE ^ seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for k in 0..size.min(n) {
+        let j = rand::Rng::gen_range(&mut r, k..n);
+        ids.swap(k, j);
+    }
+    ids.truncate(size.min(n));
+    ids.sort_unstable();
+    Arc::new(ids)
+}
+
+/// An interleaved multi-tenant stream exercising every request shape: full
+/// solves (resident and ad-hoc) and induced queries, across all six
+/// algorithms, against both tenants.
+fn mixed_stream(a: GraphId, b: GraphId, count: usize) -> Vec<SolveRequest> {
+    let adhoc = Arc::new(generate::mixed_dimension(
+        &mut rng(13),
+        120,
+        150,
+        &[2, 3, 4],
+    ));
+    let linear_graph = Arc::new(generate::linear(&mut rng(14), 120, 80, 3));
+    (0..count)
+        .map(|i| {
+            let seed = 0x5EED_0000 + i as u64;
+            let (target, algorithm) = match i % 9 {
+                0 => (
+                    Target::Induced {
+                        graph: a,
+                        vertices: query(240, 64, seed),
+                    },
+                    Algorithm::Bl(BlConfig::default()),
+                ),
+                1 => (Target::Resident(b), Algorithm::Sbl(SblConfig::default())),
+                2 => (
+                    Target::Induced {
+                        graph: b,
+                        vertices: query(150, 40, seed),
+                    },
+                    Algorithm::Greedy,
+                ),
+                3 => (Target::Adhoc(Arc::clone(&adhoc)), Algorithm::Kuw),
+                4 => (
+                    Target::Induced {
+                        graph: a,
+                        vertices: query(240, 48, seed),
+                    },
+                    Algorithm::Sbl(SblConfig::default()),
+                ),
+                5 => (Target::Resident(a), Algorithm::Permutation),
+                6 => (Target::Adhoc(Arc::clone(&linear_graph)), Algorithm::Linear),
+                7 => (
+                    Target::Induced {
+                        graph: b,
+                        vertices: query(150, 32, seed),
+                    },
+                    Algorithm::Kuw,
+                ),
+                _ => (
+                    Target::Induced {
+                        graph: a,
+                        vertices: query(240, 36, seed),
+                    },
+                    Algorithm::Permutation,
+                ),
+            };
+            SolveRequest {
+                target,
+                algorithm,
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// The sequential reference: the same requests through a plain
+/// [`BatchRunner`] — the single-shard special case, no threads, no queues.
+fn sequential(registry: &ResidentRegistry, requests: &[SolveRequest]) -> Vec<SolveFingerprint> {
+    let mut runner = BatchRunner::new();
+    requests
+        .iter()
+        .map(|r| runner.solve(registry, r).fingerprint())
+        .collect()
+}
+
+fn config(shards: usize, queue_depth: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        queue_depth,
+        threads_per_shard: Some(1),
+    }
+}
+
+/// The headline invariance: for every request, the independent set, trace
+/// and cost totals are identical across 1/2/4/8 shards and identical to the
+/// sequential `BatchRunner` path, and tickets come back in submission order.
+#[test]
+fn outcomes_are_shard_count_invariant() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 36);
+    let reference = sequential(&registry, &requests);
+    for shards in [1usize, 2, 4, 8] {
+        let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(shards, 8));
+        let outcomes = runner.run_stream(requests.clone());
+        assert_eq!(outcomes.len(), reference.len());
+        for (i, out) in outcomes.iter().enumerate() {
+            assert_eq!(out.ticket, i as u64, "shards={shards}: delivery order");
+            assert!(out.shard < shards);
+            assert_eq!(
+                out.fingerprint(),
+                reference[i],
+                "shards={shards}, request {i}: outcome diverged from the sequential path"
+            );
+        }
+    }
+}
+
+/// Checks an induced answer against an independently derived sub-instance.
+fn verify_induced(registry: &ResidentRegistry, id: GraphId, q: &[u32], set: &[u32]) {
+    let engine = registry.engine(id);
+    let mut marked = vec![false; engine.id_space()];
+    for &v in q {
+        marked[v as usize] = true;
+    }
+    let sub = engine.induced_by(&marked);
+    let (hc, map) = sub.compact();
+    let cset: Vec<u32> = set
+        .iter()
+        .map(|&v| map.binary_search(&v).expect("answer outside query set") as u32)
+        .collect();
+    verify_mis(&hc, &cset).expect("induced answer is not a maximal independent set");
+}
+
+/// Interleaved multi-tenant streams: answers are genuine MIS's of the right
+/// instance (full solves against their graph, induced answers against an
+/// independently derived sub-instance).
+#[test]
+fn interleaved_multi_tenant_answers_are_valid() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 27);
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(3, 4));
+    let outcomes = runner.run_stream(requests.clone());
+    for (req, out) in requests.iter().zip(&outcomes) {
+        assert_eq!(out.seed, req.seed);
+        match (&req.target, &out.error) {
+            (Target::Resident(id), None) => {
+                verify_mis(registry.graph(*id), &out.independent_set).unwrap()
+            }
+            (Target::Adhoc(h), None) => verify_mis(h, &out.independent_set).unwrap(),
+            (Target::Induced { graph, vertices }, None) => {
+                verify_induced(&registry, *graph, vertices, &out.independent_set)
+            }
+            (_, Some(e)) => panic!("unexpected request failure: {e:?}"),
+        }
+    }
+}
+
+/// Backpressure: with queue depth 1 the submitter repeatedly blocks on full
+/// shard queues; the stream still completes, in order, with outcomes
+/// identical to the sequential path.
+#[test]
+fn depth_one_queues_backpressure_without_reordering() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 24);
+    let reference = sequential(&registry, &requests);
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 1));
+    let outcomes = runner.run_stream(requests);
+    let got: Vec<SolveFingerprint> = outcomes.iter().map(SolveOutcome::fingerprint).collect();
+    assert_eq!(got, reference);
+}
+
+/// Pool generations: shutting a runner down checks every shard's workspace
+/// back in; a second runner over the same pool replays the same stream with
+/// identical outcomes and **zero** new allocations — per-shard affinity
+/// means every shard rewarms exactly its own buffers.
+#[test]
+fn pool_generations_rewarm_shard_locally() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 18);
+    let cfg = config(3, 8);
+
+    let mut gen1 = ShardedRunner::new(Arc::clone(&registry), &cfg);
+    let first = gen1.run_stream(requests.clone());
+    let pool = gen1.shutdown();
+    assert_eq!(pool.parked(), 3);
+    let warm = pool.fresh_allocations();
+    assert!(warm > 0, "generation 1 must have populated the pools");
+
+    let mut gen2 = ShardedRunner::with_pool(Arc::clone(&registry), &cfg, pool);
+    let second = gen2.run_stream(requests);
+    let pool = gen2.shutdown();
+    assert_eq!(
+        pool.fresh_allocations(),
+        warm,
+        "an identical warm generation must not allocate on any shard"
+    );
+    assert_eq!(pool.overflow_checkouts(), 0);
+    for (x, y) in first.iter().zip(&second) {
+        assert_eq!(x.fingerprint(), y.fingerprint());
+    }
+}
+
+/// Request-level failures are data, not shard panics — and they are
+/// deterministic like any other outcome.
+#[test]
+fn failures_come_back_as_outcomes() {
+    let (registry, _a, b) = registry();
+    // A second registry with enough tenants that `b`'s *index* would be in
+    // range here too: only the GraphId's registry tag can reject it.
+    let foreign = {
+        let mut f = ResidentRegistry::new();
+        f.register(generate::d_uniform(&mut rng(21), 40, 60, 3));
+        f.register(generate::d_uniform(&mut rng(22), 40, 60, 3));
+        Arc::new(f)
+    };
+
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 4));
+    // Linear on a non-linear tenant (d-uniform with shared pairs).
+    runner.submit(SolveRequest {
+        target: Target::Resident(b),
+        algorithm: Algorithm::Linear,
+        seed: 1,
+    });
+    // Out-of-range and duplicate induced queries.
+    runner.submit(SolveRequest {
+        target: Target::Induced {
+            graph: b,
+            vertices: Arc::new(vec![1, 2, 100_000]),
+        },
+        algorithm: Algorithm::Bl(BlConfig::default()),
+        seed: 2,
+    });
+    runner.submit(SolveRequest {
+        target: Target::Induced {
+            graph: b,
+            vertices: Arc::new(vec![5, 9, 5]),
+        },
+        algorithm: Algorithm::Greedy,
+        seed: 3,
+    });
+    let outcomes = runner.collect_ordered(3);
+    assert!(matches!(outcomes[0].error, Some(SolveError::NotLinear(_))));
+    assert!(matches!(
+        outcomes[1].error,
+        Some(SolveError::InvalidQuery {
+            vertex: 100_000,
+            duplicate: false
+        })
+    ));
+    assert!(matches!(
+        outcomes[2].error,
+        Some(SolveError::InvalidQuery {
+            vertex: 5,
+            duplicate: true
+        })
+    ));
+    for out in &outcomes {
+        assert!(out.independent_set.is_empty());
+    }
+    drop(runner);
+
+    // A foreign GraphId: `b`'s index exists in the foreign registry, but the
+    // id's registry tag doesn't match — it must never resolve to another
+    // tenant's graph.
+    let mut runner = ShardedRunner::new(Arc::clone(&foreign), &config(1, 4));
+    runner.submit(SolveRequest {
+        target: Target::Resident(b),
+        algorithm: Algorithm::Greedy,
+        seed: 4,
+    });
+    let out = runner.collect_ordered(1);
+    assert!(matches!(out[0].error, Some(SolveError::UnknownGraph(_))));
+
+    // An invalid query never corrupts shard state: a single shard serves a
+    // poison request and then a well-formed one on the *same* workspace
+    // (exercising the error-path unwind of the trusted-clean mark buffer on
+    // reuse), still matching the sequential path.
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(1, 4));
+    let req = SolveRequest {
+        target: Target::Induced {
+            graph: b,
+            vertices: query(150, 30, 99),
+        },
+        algorithm: Algorithm::Bl(BlConfig::default()),
+        seed: 5,
+    };
+    // Warm the shard's induced-query scratch, poison it with a duplicate
+    // (partial-mark unwind), then solve the real request.
+    runner.submit(req.clone());
+    runner.submit(SolveRequest {
+        target: Target::Induced {
+            graph: b,
+            vertices: Arc::new(vec![0, 7, 0]),
+        },
+        algorithm: Algorithm::Bl(BlConfig::default()),
+        seed: 6,
+    });
+    runner.submit(req.clone());
+    let outcomes = runner.collect_ordered(3);
+    assert!(matches!(
+        outcomes[1].error,
+        Some(SolveError::InvalidQuery {
+            vertex: 0,
+            duplicate: true
+        })
+    ));
+    let mut reference = BatchRunner::new();
+    let expected = reference.solve(&registry, &req).fingerprint();
+    assert_eq!(outcomes[0].fingerprint(), expected);
+    assert_eq!(outcomes[2].fingerprint(), expected);
+}
+
+/// Partial collection: interleaved submit/collect phases still deliver
+/// strictly ticket-ordered outcomes.
+#[test]
+fn partial_collects_preserve_submission_order() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 15);
+    let reference = sequential(&registry, &requests);
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(4, 4));
+    let mut iter = requests.into_iter();
+    for req in iter.by_ref().take(10) {
+        runner.submit(req);
+    }
+    let mut outcomes = runner.collect_ordered(3);
+    assert_eq!(runner.outstanding(), 7);
+    for req in iter {
+        runner.submit(req);
+    }
+    outcomes.extend(runner.collect_outstanding());
+    assert_eq!(runner.outstanding(), 0);
+    let got: Vec<SolveFingerprint> = outcomes.iter().map(SolveOutcome::fingerprint).collect();
+    assert_eq!(got, reference);
+}
+
+/// Asking for more outcomes than are outstanding is a caller bug, reported
+/// loudly instead of deadlocking.
+#[test]
+#[should_panic(expected = "outstanding")]
+fn overcollecting_panics_instead_of_deadlocking() {
+    let (registry, _a, _b) = registry();
+    let mut runner = ShardedRunner::new(registry, &config(1, 2));
+    let _ = runner.collect_ordered(1);
+}
+
+/// A dying worker shard (here: BL's documented panic on dimension > 20) must
+/// surface as a collector panic naming the shard — even while *other* shards
+/// are still alive and keeping the result channel open — never as a hang.
+#[test]
+#[should_panic(expected = "died")]
+fn dead_worker_panics_the_collector_instead_of_hanging() {
+    let (registry, _a, _b) = registry();
+    // One edge of size 24 > MAX_ENUMERABLE_DIMENSION: bl_mis panics.
+    let oversized = Arc::new(hypergraph::builder::hypergraph_from_edges(
+        30,
+        vec![(0u32..24).collect::<Vec<_>>()],
+    ));
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 4));
+    runner.submit(SolveRequest {
+        target: Target::Adhoc(oversized),
+        algorithm: Algorithm::Bl(BlConfig::default()),
+        seed: 1,
+    });
+    let _ = runner.collect_ordered(1);
+}
