@@ -8,6 +8,12 @@
 //! cargo run --release -p bench --bin experiments            # all experiments
 //! cargo run --release -p bench --bin experiments -- e1 e5   # a subset
 //! cargo run --release -p bench --bin experiments -- --quick # smaller sweeps
+//!
+//! # The CI bench-regression gate: compare freshly emitted BENCH_*.json in
+//! # the working directory against committed baselines (default tolerance
+//! # band 0.5; exits non-zero on any regression or fingerprint mismatch).
+//! cargo run --release -p bench --bin experiments -- \
+//!     --check-against bench/baselines [--tolerance 0.5] [activeset batch serve]
 //! ```
 
 use bench::{linear_workload, markdown_table, paper_workload, rng_for, uniform_workload};
@@ -26,14 +32,35 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut quick = false;
+    let mut check_against: Option<String> = None;
+    let mut tolerance = 0.5f64;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check-against" => {
+                check_against = Some(it.next().expect("--check-against needs a directory"));
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance needs a number");
+            }
+            a if a.starts_with("--") => panic!("unknown flag {a}"),
+            _ => selected.push(arg),
+        }
+    }
     let want =
         |tag: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(tag));
+
+    if let Some(dir) = check_against {
+        run_bench_regression_gate(&dir, tolerance, &want);
+        return;
+    }
 
     if want("e1") {
         e1_sbl_scaling(quick);
@@ -81,9 +108,51 @@ fn main() {
     }
 }
 
+/// The CI bench-regression gate (`--check-against <dir>`): compares each
+/// freshly emitted `BENCH_*.json` in the working directory against the
+/// committed copy in `<dir>`, with a tolerance band on wall times and
+/// speedups and exact matching on deterministic fields (see
+/// [`bench::baseline`]). Exits non-zero on the first artifact set with
+/// failures, so CI fails on wall-time regressions or fingerprint mismatches.
+fn run_bench_regression_gate(dir: &str, tolerance: f64, want: &impl Fn(&str) -> bool) {
+    println!("## bench-regression gate: fresh BENCH_*.json vs {dir} (tolerance {tolerance})\n");
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for tag in ["activeset", "batch", "serve"] {
+        if !want(tag) {
+            continue;
+        }
+        let file = format!("BENCH_{tag}.json");
+        let baseline_path = std::path::Path::new(dir).join(&file);
+        let fresh = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+            panic!("missing fresh artifact {file} (run the guards first): {e}")
+        });
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("missing baseline {}: {e}", baseline_path.display()));
+        let report = bench::baseline::check_against(&fresh, &baseline, tolerance)
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        println!(
+            "{file}: {} values gated, {} failure(s)",
+            report.compared,
+            report.failures.len()
+        );
+        compared += report.compared;
+        failures.extend(report.failures.into_iter().map(|f| format!("{file} {f}")));
+    }
+    if !failures.is_empty() {
+        eprintln!("\nbench-regression gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench-regression gate passed ({compared} values within policy)");
+}
+
 /// The sharded-serving experiment: the PR-3 batch workloads (induced query
 /// streams against a resident graph, and independent full SBL solves), now
-/// pushed through the [`ShardedRunner`] at 1, 2, 4 and 8 shards and compared
+/// pushed through the [`ShardedRunner`](hypergraph_mis::serve::ShardedRunner)
+/// at 1, 2, 4 and 8 shards and compared
 /// against the sequential `BatchRunner::solve` path (the 1-shard amortized
 /// baseline, no threads, no queues).
 ///
@@ -96,8 +165,8 @@ fn main() {
 /// single-core host's ≈1× is interpretable, matching the E8 caveat).
 fn serve_experiment(quick: bool) {
     use hypergraph_mis::serve::{
-        Algorithm, ResidentRegistry, ServeConfig, ShardedRunner, SolveFingerprint, SolveRequest,
-        Target,
+        AdmissionConfig, Algorithm, ResidentRegistry, RoutePolicy, ServeConfig, ShardedRunner,
+        SolveError, SolveFingerprint, SolveRequest, Target, TenantId, TenantQuota,
     };
     use std::sync::Arc;
 
@@ -127,6 +196,7 @@ fn serve_experiment(quick: bool) {
                 q.truncate(qsize);
                 q.sort_unstable();
                 SolveRequest {
+                    tenant: TenantId(i as u64 % 4),
                     target: Target::Induced {
                         graph: resident,
                         vertices: Arc::new(q),
@@ -142,6 +212,7 @@ fn serve_experiment(quick: bool) {
         let registry = Arc::new(ResidentRegistry::new());
         let requests: Vec<SolveRequest> = (0..instances)
             .map(|i| SolveRequest {
+                tenant: TenantId(i as u64 % 4),
                 target: Target::Adhoc(Arc::new(paper_workload(n, 0xBA7C + i as u64))),
                 algorithm: Algorithm::Sbl(SblConfig::default()),
                 seed: 0xBA7C_0000 + (n * 1000 + i) as u64,
@@ -168,12 +239,13 @@ fn serve_experiment(quick: bool) {
         }
 
         let mut shard_summaries = Vec::new();
-        let mut speedup8 = 0.0f64;
+        let mut ms_by_shards: Vec<(usize, f64)> = Vec::new();
         for &shards in &shard_counts {
             let config = ServeConfig {
                 shards,
                 queue_depth: 64,
                 threads_per_shard: Some(1),
+                ..ServeConfig::default()
             };
             let mut best = f64::INFINITY;
             for it in 0..iters {
@@ -192,10 +264,8 @@ fn serve_experiment(quick: bool) {
                     }
                 }
             }
+            ms_by_shards.push((shards, best));
             let speedup = best_seq / best;
-            if shards == 8 {
-                speedup8 = speedup;
-            }
             let throughput = instances as f64 / (best / 1e3);
             shard_summaries.push(format!(
                 "{{\"shards\": {shards}, \"ms\": {best:.4}, \"speedup_vs_sequential\": \
@@ -211,21 +281,298 @@ fn serve_experiment(quick: bool) {
                 format!("{throughput:.0}"),
             ]);
         }
+        // Aggregate-throughput scaling of the shard sweep itself: 8 shards
+        // vs 1 shard (both through the serve layer, so queueing overhead is
+        // on both sides of the ratio).
+        let ms1 = ms_by_shards
+            .iter()
+            .find(|&&(s, _)| s == 1)
+            .expect("1-shard run")
+            .1;
+        let ms8 = ms_by_shards
+            .iter()
+            .find(|&&(s, _)| s == 8)
+            .expect("8-shard run")
+            .1;
         if *kind == "query" {
-            largest = Some((*n, speedup8));
+            largest = Some((*n, ms1 / ms8));
         }
         entries.push(format!(
             concat!(
                 "    {{\"kind\": \"{}\", \"n\": {}, \"instances\": {}, ",
-                "\"sequential_ms\": {:.4}, \"outcomes_identical\": true, \"shards\": [{}]}}"
+                "\"sequential_ms\": {:.4}, \"outcomes_identical\": true, ",
+                "\"outcome_fingerprint\": \"{}\", \"speedup_8v1\": {:.3}, \"shards\": [{}]}}"
             ),
             kind,
             n,
             instances,
             best_seq,
+            fingerprint_hex(&reference),
+            ms1 / ms8,
             shard_summaries.join(", "),
         ));
     }
+
+    // --- Tenant mix: an interleaved tenant-tagged query stream at 4 shards
+    // under each routing policy. Outcomes must be byte-identical across
+    // policies (and to the sequential path); the per-tenant rewarm report
+    // makes the affinity win observable rather than asserted. ---
+    // 6 tenants over 4 shards: the tenant count is deliberately not a
+    // multiple of the shard count, so round-robin genuinely scatters each
+    // tenant (ticket stride 6 mod 4 cycles) while affinity pins it.
+    let mix_tenants = 6u64;
+    let mix_total = 96usize;
+    let mix_n = 65536usize;
+    let (mix_registry, mix_requests) = {
+        let mut registry = ResidentRegistry::new();
+        let resident = registry.register(uniform_workload(mix_n, 3, 0x7E4A));
+        let requests: Vec<SolveRequest> = (0..mix_total)
+            .map(|i| {
+                let mut rng = rng_for(0x7E4A_1000 + i as u64);
+                let qsize = 512;
+                let mut q: Vec<u32> = (0..mix_n as u32).collect();
+                for k in 0..qsize {
+                    let j = rand::Rng::gen_range(&mut rng, k..mix_n);
+                    q.swap(k, j);
+                }
+                q.truncate(qsize);
+                q.sort_unstable();
+                SolveRequest {
+                    tenant: TenantId(i as u64 % mix_tenants),
+                    target: Target::Induced {
+                        graph: resident,
+                        vertices: Arc::new(q),
+                    },
+                    algorithm: Algorithm::Bl(BlConfig::default()),
+                    seed: 0x7E4A_2000 + i as u64,
+                }
+            })
+            .collect();
+        (Arc::new(registry), requests)
+    };
+    let mut seq_runner = BatchRunner::new();
+    let mix_reference: Vec<SolveFingerprint> = mix_requests
+        .iter()
+        .map(|r| seq_runner.solve(&mix_registry, r).fingerprint())
+        .collect();
+    let per_tenant_delivered = mix_total as u64 / mix_tenants;
+    let mut policy_rows = Vec::new();
+    let mut policy_summaries = Vec::new();
+    for policy in [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::TenantAffinity,
+        RoutePolicy::LeastQueued,
+    ] {
+        let config = ServeConfig {
+            shards: 4,
+            queue_depth: 64,
+            threads_per_shard: Some(1),
+            route: policy,
+            ..ServeConfig::default()
+        };
+        let mut best = f64::INFINITY;
+        let mut rewarms: Vec<(u64, u64, u64)> = Vec::new();
+        for it in 0..iters {
+            let mut runner = ShardedRunner::new(Arc::clone(&mix_registry), &config);
+            let t0 = Instant::now();
+            let outs = if policy == RoutePolicy::TenantAffinity && it == 0 {
+                // Exercise streaming collection inside the guard: it must
+                // yield a permutation with identical per-ticket payloads.
+                for r in mix_requests.iter().cloned() {
+                    runner.submit(r);
+                }
+                let mut outs: Vec<_> = runner.collect_streaming(mix_requests.len()).collect();
+                outs.sort_by_key(|o| o.ticket);
+                outs
+            } else {
+                runner.run_stream(mix_requests.clone())
+            };
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            if it == 0 {
+                for (i, out) in outs.iter().enumerate() {
+                    assert!(
+                        out.fingerprint() == mix_reference[i],
+                        "serve tenant_mix: {} diverged from the sequential path (request {i})",
+                        policy.name()
+                    );
+                }
+            }
+            // One generation's rewarm ledger (deterministic for the
+            // deterministic routing policies).
+            let pool = runner.shutdown();
+            rewarms = pool.tenant_rewarms();
+        }
+        let (hits, misses) = rewarms
+            .iter()
+            .fold((0u64, 0u64), |(h, m), e| (h + e.1, m + e.2));
+        policy_rows.push(vec![
+            policy.name().to_string(),
+            format!("{best:.2}"),
+            format!("{:.0}", mix_total as f64 / (best / 1e3)),
+            hits.to_string(),
+            misses.to_string(),
+        ]);
+        // LeastQueued placement is scheduling-dependent, so its rewarm split
+        // is telemetry we deliberately keep out of the committed artifact.
+        let rewarm_fields = if policy == RoutePolicy::LeastQueued {
+            String::new()
+        } else {
+            let per_tenant = rewarms
+                .iter()
+                .map(|&(tenant, h, m)| {
+                    format!(
+                        "{{\"tenant\": {tenant}, \"delivered\": {per_tenant_delivered}, \
+                         \"throughput_per_s\": {:.1}, \"rewarm_hits\": {h}, \
+                         \"rewarm_misses\": {m}}}",
+                        per_tenant_delivered as f64 / (best / 1e3)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                ", \"rewarm_hits\": {hits}, \"rewarm_misses\": {misses}, \
+                 \"per_tenant\": [{per_tenant}]"
+            )
+        };
+        policy_summaries.push(format!(
+            "{{\"policy\": \"{}\", \"ms\": {best:.4}{rewarm_fields}}}",
+            policy.name()
+        ));
+    }
+    entries.push(format!(
+        concat!(
+            "    {{\"kind\": \"tenant_mix\", \"n\": {}, \"tenants\": {}, \"instances\": {}, ",
+            "\"outcomes_identical\": true, \"outcome_fingerprint\": \"{}\", ",
+            "\"policies\": [{}]}}"
+        ),
+        mix_n,
+        mix_tenants,
+        mix_total,
+        fingerprint_hex(&mix_reference),
+        policy_summaries.join(", "),
+    ));
+    println!("### tenant mix — {mix_tenants} tenants, 4 shards, routing policies\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["policy", "ms", "req/s", "rewarm hits", "rewarm misses"],
+            &policy_rows
+        )
+    );
+
+    // --- Admission: rejection-as-data under deterministic per-tenant
+    // quotas; the decisions must replay identically. ---
+    let adm_total = 60usize;
+    let (adm_registry, adm_requests) = {
+        let mut registry = ResidentRegistry::new();
+        let resident = registry.register(uniform_workload(4096, 3, 0xADA1));
+        let requests: Vec<SolveRequest> = (0..adm_total)
+            .map(|i| {
+                let mut rng = rng_for(0xADA1_1000 + i as u64);
+                let qsize = 128;
+                let mut q: Vec<u32> = (0..4096u32).collect();
+                for k in 0..qsize {
+                    let j = rand::Rng::gen_range(&mut rng, k..4096);
+                    q.swap(k, j);
+                }
+                q.truncate(qsize);
+                q.sort_unstable();
+                SolveRequest {
+                    tenant: TenantId(i as u64 % 3),
+                    target: Target::Induced {
+                        graph: resident,
+                        vertices: Arc::new(q),
+                    },
+                    algorithm: Algorithm::Greedy,
+                    seed: 0xADA1_2000 + i as u64,
+                }
+            })
+            .collect();
+        (Arc::new(registry), requests)
+    };
+    let adm_config = ServeConfig {
+        shards: 4,
+        queue_depth: 64,
+        threads_per_shard: Some(1),
+        route: RoutePolicy::RoundRobin,
+        admission: AdmissionConfig {
+            default_quota: None,
+            per_tenant: vec![
+                // Tenant 0: a refilling token bucket. Tenant 1: an in-flight
+                // cap (submit-all-then-collect keeps it saturated). Tenant 2
+                // stays unquoted.
+                (
+                    TenantId(0),
+                    TenantQuota {
+                        burst: 6,
+                        refill_every: 5,
+                        max_in_flight: None,
+                    },
+                ),
+                (
+                    TenantId(1),
+                    TenantQuota {
+                        burst: u64::MAX,
+                        refill_every: 0,
+                        max_in_flight: Some(2),
+                    },
+                ),
+            ],
+        },
+    };
+    let mut adm_replays = Vec::new();
+    for _ in 0..2 {
+        let mut runner = ShardedRunner::new(Arc::clone(&adm_registry), &adm_config);
+        let outs = runner.run_stream(adm_requests.clone());
+        for out in &outs {
+            match &out.error {
+                None => {}
+                Some(SolveError::AdmissionDenied { .. }) => {}
+                Some(e) => panic!("serve admission: unexpected failure {e:?}"),
+            }
+        }
+        let fps: Vec<SolveFingerprint> = outs.iter().map(|o| o.fingerprint()).collect();
+        adm_replays.push((fps, runner.stats()));
+    }
+    assert!(
+        adm_replays[0].0 == adm_replays[1].0,
+        "serve admission: decisions did not replay deterministically"
+    );
+    let adm_stats = &adm_replays[0].1;
+    let adm_per_tenant = adm_stats
+        .per_tenant
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\": {}, \"submitted\": {}, \"admitted\": {}, \
+                 \"denied_quota\": {}, \"denied_in_flight\": {}, \"delivered\": {}}}",
+                t.tenant.0,
+                t.submitted,
+                t.admitted,
+                t.denied_quota,
+                t.denied_in_flight,
+                t.delivered
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    entries.push(format!(
+        concat!(
+            "    {{\"kind\": \"admission\", \"requests\": {}, \"deterministic_replay\": true, ",
+            "\"outcome_fingerprint\": \"{}\", \"admitted\": {}, \"denied\": {}, ",
+            "\"per_tenant\": [{}]}}"
+        ),
+        adm_total,
+        fingerprint_hex(&adm_replays[0].0),
+        adm_stats.admitted,
+        adm_stats.denied,
+        adm_per_tenant,
+    ));
+    println!(
+        "### admission — {adm_total} requests, 3 tenants: {} admitted, {} denied \
+         (replay-deterministic)\n",
+        adm_stats.admitted, adm_stats.denied
+    );
 
     println!(
         "{}",
@@ -242,16 +589,37 @@ fn serve_experiment(quick: bool) {
             &rows
         )
     );
+
+    // --- The shard-scaling assertion (CI satellite): with real cores, the
+    // serve layer must deliver aggregate throughput at 8 shards ≥ 1.5× the
+    // 1-shard path on the largest query workload. Single-core hosts record
+    // the ratio without asserting (the E8 caveat). ---
     let (largest_n, largest_speedup) = largest.expect("at least one query workload");
     let host = pram::pool::available_parallelism();
+    let scaling_assertion = if host >= 4 {
+        assert!(
+            largest_speedup >= 1.5,
+            "serve: aggregate throughput at 8 shards is only {largest_speedup:.2}x the 1-shard \
+             path on a {host}-way host (query n={largest_n}; target >= 1.5x)"
+        );
+        format!("asserted (host_parallelism={host}: {largest_speedup:.2}x >= 1.5x)")
+    } else {
+        println!(
+            "warning: shard-scaling assertion skipped — host_parallelism={host} < 4 (the E8 \
+             caveat); recording {largest_speedup:.2}x for the CI artifact"
+        );
+        format!("record-only (host_parallelism={host} < 4)")
+    };
+
     let mut json = String::from("{\n  \"experiment\": \"serve_sharded_runner\",\n");
     let _ = writeln!(
         json,
         "  \"baseline\": \"sequential BatchRunner::solve over the request stream (single-shard \
          amortized path: one workspace, no threads, no queues)\",\n  \
          \"candidate\": \"ShardedRunner (N worker shards, per-shard WorkspacePool affinity, \
-         bounded queues, ordered collection)\",\n  \
+         tenant routing + admission, bounded queues, ordered/streaming collection)\",\n  \
          \"iters\": {iters},\n  \"host_parallelism\": {host},\n  \
+         \"scaling_assertion\": \"{scaling_assertion}\",\n  \
          \"largest_workload\": {{\"kind\": \"query\", \"n\": {largest_n}, \
          \"instances\": {instances}, \"shards\": 8, \
          \"speedup_vs_1shard\": {largest_speedup:.3}}},\n  \
@@ -262,8 +630,25 @@ fn serve_experiment(quick: bool) {
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
         "wrote BENCH_serve.json (largest workload: query n={largest_n}, 8 shards: \
-         {largest_speedup:.2}x vs sequential; host parallelism {host})\n"
+         {largest_speedup:.2}x vs 1 shard; host parallelism {host})\n"
     );
+}
+
+/// A stable hex fingerprint over a sequence of per-request outcomes (FNV-1a
+/// chained over their debug encodings) — the exact-match determinism field
+/// the bench-regression gate compares across runs and hosts. One chain for
+/// every artifact, so the scheme can never silently diverge between them.
+fn fingerprint_hex<T: std::fmt::Debug>(items: &[T]) -> String {
+    use bench::baseline::fnv1a;
+    let mut acc = 0u64;
+    for item in items {
+        let h = fnv1a(format!("{item:?}").as_bytes());
+        let mut chain = [0u8; 16];
+        chain[..8].copy_from_slice(&acc.to_le_bytes());
+        chain[8..].copy_from_slice(&h.to_le_bytes());
+        acc = fnv1a(&chain);
+    }
+    format!("0x{acc:016x}")
 }
 
 /// The batch-serving experiment: streams of 100 MIS solves answered
@@ -441,6 +826,7 @@ fn batch_runner_experiment(quick: bool) {
             warm_allocations,
             sets_identical,
             costs_identical,
+            &fingerprint_hex(&cold_outcomes),
         );
     }
 
@@ -518,6 +904,7 @@ fn batch_runner_experiment(quick: bool) {
             warm_allocations,
             sets_identical,
             costs_identical,
+            &fingerprint_hex(&cold_outcomes),
         );
     }
 
@@ -579,6 +966,7 @@ fn push_batch_row(
     warm_allocations: u64,
     sets_identical: bool,
     costs_identical: bool,
+    fingerprint: &str,
 ) {
     let speedup = cold_ms / amortized_ms;
     rows.push(vec![
@@ -594,7 +982,7 @@ fn push_batch_row(
         concat!(
             "    {{\"kind\": \"{}\", \"n\": {}, \"instances\": {}, \"cold_ms\": {:.4}, ",
             "\"amortized_ms\": {:.4}, \"speedup\": {:.3}, ",
-            "\"warm_fresh_allocations\": {}, ",
+            "\"warm_fresh_allocations\": {}, \"outcome_fingerprint\": \"{}\", ",
             "\"sets_identical\": {}, \"costs_identical\": {}}}"
         ),
         kind,
@@ -604,6 +992,7 @@ fn push_batch_row(
         amortized_ms,
         speedup,
         warm_allocations,
+        fingerprint,
         sets_identical,
         costs_identical,
     ));
@@ -680,7 +1069,8 @@ fn activeset_engine_guard(quick: bool) {
                 "    {{\"n\": {}, \"m\": {}, \"reference_ms\": {:.4}, \"flat_ms\": {:.4}, ",
                 "\"speedup\": {:.3}, \"rounds\": {}, \"work\": {}, \"depth\": {}, ",
                 "\"reference_ms_per_round\": {:.5}, \"flat_ms_per_round\": {:.5}, ",
-                "\"work_per_round\": {}, \"sets_identical\": true, \"costs_identical\": true}}"
+                "\"work_per_round\": {}, \"set_fingerprint\": \"0x{:016x}\", ",
+                "\"sets_identical\": true, \"costs_identical\": true}}"
             ),
             n,
             h.n_edges(),
@@ -693,6 +1083,7 @@ fn activeset_engine_guard(quick: bool) {
             best_ref / rounds as f64,
             best_flat / rounds as f64,
             fc.work / rounds,
+            bench::baseline::fnv1a(format!("{:?}", flat.independent_set).as_bytes()),
         ));
     }
     println!(

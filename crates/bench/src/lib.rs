@@ -5,6 +5,8 @@
 //! functions here, so the criterion benches and the harness binary measure
 //! exactly the same instances.
 
+pub mod baseline;
+
 use hypergraph::{generate, Hypergraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -1,5 +1,5 @@
-//! The permutation-based Beame–Luby algorithm (the second algorithm of [2],
-//! analysed further by Shachnai–Srinivasan [9]), conjectured to be RNC for
+//! The permutation-based Beame–Luby algorithm (the second algorithm of \[2\],
+//! analysed further by Shachnai–Srinivasan \[9\]), conjectured to be RNC for
 //! general hypergraphs.
 //!
 //! The algorithm draws a uniformly random permutation `π` of the vertices and

@@ -647,7 +647,7 @@ impl ActiveHypergraph {
     /// the SBL/BL rounds), each trimmed vertex walks its original incidence
     /// list and splices itself out of the affected segments; otherwise every
     /// live segment is compacted in place through the parallel
-    /// [`par_map_segments`] primitive.
+    /// [`par_map_segments`](pram::primitives::par_map_segments) primitive.
     pub fn shrink_edges_by(&mut self, set: &[bool], vs: &[VertexId]) -> usize {
         if let Some(work) = self.incidence_work(vs) {
             if work.saturating_mul(4) < self.total_live_size() {

@@ -1,5 +1,5 @@
 //! The [`HypergraphView`] trait: a read-only interface shared by the immutable
-//! [`Hypergraph`](crate::Hypergraph) arena and the mutable
+//! [`Hypergraph`] arena and the mutable
 //! [`ActiveHypergraph`](crate::ActiveHypergraph) working copy, so that the
 //! degree machinery, statistics and verification code can be written once.
 

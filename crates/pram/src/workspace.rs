@@ -108,6 +108,13 @@ pub struct Workspace {
     takes: u64,
     creations: u64,
     grows: u64,
+    // Per-tenant rewarm ledger: `(tenant, hits, misses)` ascending by tenant.
+    // A "hit" is a solve by a tenant this workspace has served before (its
+    // parked engines/buffers are warm for that tenant's shapes); the first
+    // solve by a tenant is the "miss" that warms it. Pure observability —
+    // never consulted by any take/put path and excluded from
+    // [`fresh_allocations`](Workspace::fresh_allocations).
+    tenant_ledger: Vec<(u64, u64, u64)>,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -221,7 +228,7 @@ impl Workspace {
     /// round-scratch invariant), this removes the `O(len)` memset per take.
     /// The contract is debug-asserted; only entries grown beyond the previous
     /// length are written. Never share a key between this and plain
-    /// [`take_flags`] users that put buffers back dirty.
+    /// [`take_flags`](Self::take_flags) users that put buffers back dirty.
     pub fn take_flags_clean(&mut self, key: &'static str, len: usize) -> Vec<bool> {
         self.takes += 1;
         let mut v = match self.flags.remove(key) {
@@ -306,14 +313,79 @@ impl Workspace {
     pub fn pooled_buffers(&self) -> usize {
         self.flags.len() + self.u32s.len() + self.u64s.len() + self.usizes.len()
     }
+
+    /// Hard cap on distinct tenants tracked per workspace ledger. Tenant ids
+    /// are caller-chosen (possibly per-user), so a long-lived shard must not
+    /// grow telemetry without bound; tenants beyond the cap are aggregated
+    /// under [`TENANT_LEDGER_OVERFLOW`](Self::TENANT_LEDGER_OVERFLOW)
+    /// instead of getting their own row.
+    pub const TENANT_LEDGER_CAP: usize = 1024;
+
+    /// The pseudo-tenant id that absorbs ledger entries past
+    /// [`TENANT_LEDGER_CAP`](Self::TENANT_LEDGER_CAP).
+    pub const TENANT_LEDGER_OVERFLOW: u64 = u64::MAX;
+
+    /// Records that `tenant` is about to use this workspace and returns
+    /// whether that is a rewarm **hit** (`true`: this workspace has served
+    /// the tenant before) or the first-touch **miss** that warms it.
+    ///
+    /// The serving layer calls this once per executed request, which makes
+    /// shard-affinity routing *observable*: under tenant-affinity routing a
+    /// tenant first-touches exactly one shard's workspace, while round-robin
+    /// scatters its first touches across every shard. The ledger is pure
+    /// bookkeeping — it never influences solve outcomes or the
+    /// [`fresh_allocations`](Self::fresh_allocations) counter — and is
+    /// bounded: once [`TENANT_LEDGER_CAP`](Self::TENANT_LEDGER_CAP) distinct
+    /// tenants are tracked, further tenants share the
+    /// [`TENANT_LEDGER_OVERFLOW`](Self::TENANT_LEDGER_OVERFLOW) row (every
+    /// such touch counts as a miss, since per-tenant warmth can no longer be
+    /// distinguished).
+    pub fn note_tenant(&mut self, tenant: u64) -> bool {
+        match self.tenant_ledger.binary_search_by_key(&tenant, |e| e.0) {
+            Ok(i) => {
+                self.tenant_ledger[i].1 += 1;
+                true
+            }
+            Err(i) if self.tenant_ledger.len() < Self::TENANT_LEDGER_CAP => {
+                self.tenant_ledger.insert(i, (tenant, 0, 1));
+                false
+            }
+            Err(_) => {
+                // Ledger full: fold into the overflow row (created here if
+                // the cap was reached entirely by real tenants). u64::MAX
+                // sorts last, so the push keeps the ledger ordered.
+                match self.tenant_ledger.last_mut() {
+                    Some(last) if last.0 == Self::TENANT_LEDGER_OVERFLOW => last.2 += 1,
+                    _ => self
+                        .tenant_ledger
+                        .push((Self::TENANT_LEDGER_OVERFLOW, 0, 1)),
+                }
+                false
+            }
+        }
+    }
+
+    /// The per-tenant rewarm ledger: `(tenant, hits, misses)`, ascending by
+    /// tenant id. See [`note_tenant`](Self::note_tenant).
+    pub fn tenant_rewarms(&self) -> &[(u64, u64, u64)] {
+        &self.tenant_ledger
+    }
+
+    /// Ledger totals: `(hits, misses)` summed over every tenant this
+    /// workspace has served.
+    pub fn tenant_rewarm_totals(&self) -> (u64, u64) {
+        self.tenant_ledger
+            .iter()
+            .fold((0, 0), |(h, m), e| (h + e.1, m + e.2))
+    }
 }
 
 /// A per-shard pool of [`Workspace`]s: the serving layer's bridge between
 /// one-workspace-per-stream (the `BatchRunner` model) and N long-lived worker
 /// shards.
 ///
-/// Each shard index owns at most one parked workspace. [`checkout`]
-/// (WorkspacePool::checkout) hands the shard *its own* workspace back —
+/// Each shard index owns at most one parked workspace.
+/// [`checkout`](WorkspacePool::checkout) hands the shard *its own* workspace back —
 /// per-shard affinity, so engines and buffers parked by shard `i`'s previous
 /// serve generation are rewarmed by shard `i`'s next one and never migrate
 /// between shards. [`checkin`](WorkspacePool::checkin) parks it again and
@@ -357,6 +429,7 @@ struct PoolSlot {
     /// parked workspace directly when present).
     last_takes: u64,
     last_fresh: u64,
+    last_tenant_rewarms: Vec<(u64, u64, u64)>,
 }
 
 impl WorkspacePool {
@@ -418,6 +491,7 @@ impl WorkspacePool {
         slot.created = true;
         slot.last_takes = ws.takes();
         slot.last_fresh = ws.fresh_allocations();
+        slot.last_tenant_rewarms = ws.tenant_rewarms().to_vec();
         slot.parked = Some(ws);
     }
 
@@ -474,6 +548,47 @@ impl WorkspacePool {
     /// Pool-wide aggregate of [`Workspace::takes`] across all shards.
     pub fn takes(&self) -> u64 {
         (0..self.slots.len()).map(|s| self.shard_takes(s)).sum()
+    }
+
+    /// Shard `shard`'s per-tenant rewarm ledger, `(tenant, hits, misses)`
+    /// ascending by tenant (live if the workspace is parked, otherwise the
+    /// last-checkin snapshot). See [`Workspace::note_tenant`].
+    pub fn shard_tenant_rewarms(&self, shard: usize) -> Vec<(u64, u64, u64)> {
+        let slot = &self.slots[shard];
+        slot.parked.as_ref().map_or_else(
+            || slot.last_tenant_rewarms.clone(),
+            |ws| ws.tenant_rewarms().to_vec(),
+        )
+    }
+
+    /// The pool-wide per-tenant rewarm report: shard ledgers merged by
+    /// tenant, `(tenant, hits, misses)` ascending by tenant id. Under
+    /// tenant-affinity routing a tenant's misses stay at 1 (one first-touch
+    /// on its home shard); under shard-scattering policies they approach the
+    /// shard count — which is exactly the affinity win this report makes
+    /// observable.
+    pub fn tenant_rewarms(&self) -> Vec<(u64, u64, u64)> {
+        let mut merged: Vec<(u64, u64, u64)> = Vec::new();
+        for shard in 0..self.slots.len() {
+            for (tenant, hits, misses) in self.shard_tenant_rewarms(shard) {
+                match merged.binary_search_by_key(&tenant, |e| e.0) {
+                    Ok(i) => {
+                        merged[i].1 += hits;
+                        merged[i].2 += misses;
+                    }
+                    Err(i) => merged.insert(i, (tenant, hits, misses)),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Pool-wide rewarm totals: `(hits, misses)` summed over every tenant
+    /// and shard.
+    pub fn tenant_rewarm_totals(&self) -> (u64, u64) {
+        self.tenant_rewarms()
+            .iter()
+            .fold((0, 0), |(h, m), e| (h + e.1, m + e.2))
     }
 }
 
@@ -612,6 +727,53 @@ mod tests {
         assert_eq!(pool.shard_fresh_allocations(0), fresh);
         assert_eq!(pool.takes(), takes);
         pool.checkin(0, ws);
+    }
+
+    #[test]
+    fn tenant_rewarm_ledger_counts_hits_and_misses() {
+        let mut ws = Workspace::new();
+        let fresh_before = ws.fresh_allocations();
+        assert!(!ws.note_tenant(7), "first touch is a miss");
+        assert!(ws.note_tenant(7), "second touch is a hit");
+        assert!(!ws.note_tenant(3));
+        assert_eq!(ws.tenant_rewarms(), &[(3, 0, 1), (7, 1, 1)]);
+        assert_eq!(ws.tenant_rewarm_totals(), (1, 2));
+        assert_eq!(
+            ws.fresh_allocations(),
+            fresh_before,
+            "the ledger is observability, not an allocation event"
+        );
+
+        // Pool: snapshots survive checkin/checkout and merge across shards.
+        let mut pool = WorkspacePool::new(2);
+        pool.checkin(0, ws);
+        let mut other = pool.checkout(1);
+        other.note_tenant(7);
+        pool.checkin(1, other);
+        assert_eq!(pool.shard_tenant_rewarms(0), vec![(3, 0, 1), (7, 1, 1)]);
+        assert_eq!(pool.tenant_rewarms(), vec![(3, 0, 1), (7, 1, 2)]);
+        assert_eq!(pool.tenant_rewarm_totals(), (1, 3));
+        // While checked out, the last-checkin snapshot stays visible.
+        let ws0 = pool.checkout(0);
+        assert_eq!(pool.shard_tenant_rewarms(0), vec![(3, 0, 1), (7, 1, 1)]);
+        pool.checkin(0, ws0);
+    }
+
+    #[test]
+    fn tenant_ledger_is_bounded() {
+        let mut ws = Workspace::new();
+        for t in 0..Workspace::TENANT_LEDGER_CAP as u64 + 500 {
+            ws.note_tenant(t);
+        }
+        // Cap rows plus the single overflow row.
+        assert_eq!(ws.tenant_rewarms().len(), Workspace::TENANT_LEDGER_CAP + 1);
+        let last = *ws.tenant_rewarms().last().unwrap();
+        assert_eq!(last.0, Workspace::TENANT_LEDGER_OVERFLOW);
+        assert_eq!(last.2, 500, "overflow tenants aggregate as misses");
+        // Tracked tenants keep counting hits; every touch stays accounted.
+        assert!(ws.note_tenant(3));
+        let (hits, misses) = ws.tenant_rewarm_totals();
+        assert_eq!(hits + misses, Workspace::TENANT_LEDGER_CAP as u64 + 501);
     }
 
     #[test]

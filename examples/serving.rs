@@ -1,5 +1,5 @@
-//! Multi-tenant serving: two resident graphs, mixed algorithms, ordered
-//! collection across 4 worker shards.
+//! Tenant-aware serving: affinity routing, per-tenant admission control and
+//! streaming collection across 4 worker shards.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -9,13 +9,23 @@
 //! hypergraph ("jobs") and a register-interference hypergraph ("registers")
 //! — and answers an interleaved request stream: full solves, plus induced
 //! queries ("which of *these* jobs can run together?") answered against the
-//! resident graphs without rebuilding them. Responses are collected in
-//! submission order, and every outcome is reproducible from its seed alone.
+//! resident graphs without rebuilding them. Each tenant is pinned to a home
+//! shard by `RoutePolicy::TenantAffinity`, so its queries rewarm the same
+//! shard-local parked engines; a third "free-tier" tenant runs under a
+//! token-bucket quota and sees its over-quota requests come back as
+//! `AdmissionDenied` *outcomes*, not errors. The first responses are
+//! streamed out as they complete; the rest are collected in submission
+//! order. Every admitted outcome is reproducible from its seed alone.
 
 use hypergraph_mis::prelude::*;
+use hypergraph_mis::serve::{affinity_shard, SolveError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
+
+const JOBS: TenantId = TenantId(0);
+const REGISTERS: TenantId = TenantId(1);
+const FREE_TIER: TenantId = TenantId(2);
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(2014);
@@ -33,30 +43,54 @@ fn main() {
         registry.graph(registers).n_edges(),
     );
 
-    // --- The serving layer: 4 shards, bounded queues. ---
+    // --- The serving layer: 4 shards, affinity routing, a free-tier quota. ---
     let config = ServeConfig {
         shards: 4,
         queue_depth: 16,
         threads_per_shard: Some(1),
+        route: RoutePolicy::TenantAffinity,
+        admission: AdmissionConfig {
+            default_quota: None, // paying tenants are unquoted
+            per_tenant: vec![(
+                FREE_TIER,
+                TenantQuota {
+                    burst: 3,
+                    refill_every: 8, // one token back per 8 submissions
+                    max_in_flight: None,
+                },
+            )],
+        },
     };
+    for (name, tenant) in [
+        ("jobs", JOBS),
+        ("registers", REGISTERS),
+        ("free", FREE_TIER),
+    ] {
+        println!(
+            "  {name:>9} tenant → home shard {}",
+            affinity_shard(tenant, 4)
+        );
+    }
     let mut server = ShardedRunner::new(Arc::clone(&registry), &config);
 
-    // --- An interleaved request stream: both tenants, mixed algorithms. ---
-    let mut expectations: Vec<(&str, GraphId)> = Vec::new();
+    // --- An interleaved request stream: all three tenants. ---
+    let mut labels: Vec<&str> = Vec::new();
     for batch in 0..6u64 {
         // A full SBL solve of the jobs tenant under a fresh seed.
         server.submit(SolveRequest {
+            tenant: JOBS,
             target: Target::Resident(jobs),
             algorithm: Algorithm::Sbl(SblConfig::default()),
             seed: 100 + batch,
         });
-        expectations.push(("jobs/full sbl", jobs));
+        labels.push("jobs/full sbl");
 
         // "Can this subset of jobs run together?" — induced BL query.
         let subset: Vec<u32> = (0..2_000u32)
             .filter(|v| (v * 7 + batch as u32).is_multiple_of(13))
             .collect();
         server.submit(SolveRequest {
+            tenant: JOBS,
             target: Target::Induced {
                 graph: jobs,
                 vertices: Arc::new(subset),
@@ -64,11 +98,12 @@ fn main() {
             algorithm: Algorithm::Bl(BlConfig::default()),
             seed: 200 + batch,
         });
-        expectations.push(("jobs/induced bl", jobs));
+        labels.push("jobs/induced bl");
 
         // A greedy sweep over a window of the registers tenant.
         let window: Vec<u32> = (batch as u32 * 150..batch as u32 * 150 + 300).collect();
         server.submit(SolveRequest {
+            tenant: REGISTERS,
             target: Target::Induced {
                 graph: registers,
                 vertices: Arc::new(window),
@@ -76,20 +111,50 @@ fn main() {
             algorithm: Algorithm::Greedy,
             seed: 300 + batch,
         });
-        expectations.push(("registers/induced greedy", registers));
+        labels.push("registers/induced greedy");
+
+        // The free tier hammers the server: one query per batch, but only a
+        // bucket of 3 (+1 per 8 submissions) is admitted.
+        server.submit(SolveRequest {
+            tenant: FREE_TIER,
+            target: Target::Induced {
+                graph: registers,
+                vertices: Arc::new((0..64 + batch as u32).collect()),
+            },
+            algorithm: Algorithm::Kuw,
+            seed: 400 + batch,
+        });
+        labels.push("free/induced kuw");
     }
 
-    // --- Ordered collection: responses in submission order, whatever the
+    // --- Streaming collection: the first 8 outcomes as they complete
+    // (out of ticket order; admission denials complete instantly). ---
+    println!("\nstreaming the first 8 completions (arrival order):");
+    let mut collected: Vec<SolveOutcome> = Vec::new();
+    for out in server.collect_streaming(8) {
+        let verdict = match &out.error {
+            Some(SolveError::AdmissionDenied { reason, .. }) => format!("DENIED ({reason:?})"),
+            Some(e) => format!("failed ({e:?})"),
+            None => format!("|MIS| = {}", out.independent_set.len()),
+        };
+        println!(
+            "  ticket {:>2} ({:<24}) on shard {}: {}",
+            out.ticket, labels[out.ticket as usize], out.shard, verdict
+        );
+        collected.push(out);
+    }
+
+    // --- Ordered collection for the rest: submission order, whatever the
     // shard scheduling did. ---
-    let outcomes = server.collect_outstanding();
+    let rest = server.collect_outstanding();
     println!(
         "\n{:<26} {:>6} {:>5} {:>8} {:>10} {:>6}",
-        "request", "ticket", "shard", "|MIS|", "work", "rounds"
+        "request (ordered tail)", "ticket", "shard", "|MIS|", "work", "rounds"
     );
-    for (out, (label, _)) in outcomes.iter().zip(&expectations) {
+    for out in &rest {
         println!(
             "{:<26} {:>6} {:>5} {:>8} {:>10} {:>6}",
-            label,
+            labels[out.ticket as usize],
             out.ticket,
             out.shard,
             out.independent_set.len(),
@@ -97,33 +162,72 @@ fn main() {
             out.rounds,
         );
     }
+    collected.extend(rest);
+    collected.sort_by_key(|o| o.ticket);
 
-    // Full solves are verifiable directly against the resident graph.
-    for (out, (label, graph)) in outcomes.iter().zip(&expectations) {
-        assert!(out.error.is_none(), "{label} failed");
-        if matches!(label, s if s.contains("full")) {
-            verify_mis(registry.graph(*graph), &out.independent_set)
-                .expect("served answer is not a maximal independent set");
+    // Full solves are verifiable directly against the resident graph;
+    // admitted requests never fail, denied ones are data.
+    let mut denied = 0;
+    for (out, label) in collected.iter().zip(&labels) {
+        match &out.error {
+            None => {
+                assert_eq!(
+                    out.shard,
+                    affinity_shard(out.tenant, 4),
+                    "affinity violated"
+                );
+                if label.contains("full") {
+                    verify_mis(registry.graph(jobs), &out.independent_set)
+                        .expect("served answer is not a maximal independent set");
+                }
+            }
+            Some(SolveError::AdmissionDenied { tenant, .. }) => {
+                assert_eq!(*tenant, FREE_TIER);
+                denied += 1;
+            }
+            Some(e) => panic!("{label} failed: {e:?}"),
         }
     }
+
+    // --- Accounting: per-tenant admission and per-shard routing. ---
+    let stats = server.stats();
+    println!("\nper-tenant accounting ({}):", stats.policy.name());
+    for t in &stats.per_tenant {
+        println!(
+            "  tenant {:?}: {} submitted, {} admitted, {} denied, home shards {:?}",
+            t.tenant.0,
+            t.submitted,
+            t.admitted,
+            t.denied(),
+            t.shards
+        );
+    }
+    assert_eq!(denied as u64, stats.denied);
 
     // Determinism: replaying a request's (graph, algorithm, seed) on a cold
     // sequential runner reproduces the served answer bit-for-bit.
     let replay = BatchRunner::new().solve(
         &registry,
         &SolveRequest {
+            tenant: JOBS,
             target: Target::Resident(jobs),
             algorithm: Algorithm::Sbl(SblConfig::default()),
             seed: 100,
         },
     );
-    assert_eq!(replay.fingerprint(), outcomes[0].fingerprint());
+    assert_eq!(replay.fingerprint(), collected[0].fingerprint());
     println!("\nreplayed ticket 0 sequentially: identical outcome (determinism contract holds)");
 
+    // The rewarm report: with affinity routing each tenant first-touches
+    // exactly one shard's workspace and every later request is a hit.
     let pool = server.shutdown();
     println!(
         "shutdown: {} workspaces parked, {} fresh allocations across the session",
         pool.parked(),
         pool.fresh_allocations()
     );
+    for (tenant, hits, misses) in pool.tenant_rewarms() {
+        println!("  tenant {tenant}: {hits} rewarm hits, {misses} first-touch misses");
+        assert_eq!(misses, 1, "affinity keeps every tenant on one warm shard");
+    }
 }

@@ -88,7 +88,7 @@ impl BatchRunner {
     }
 
     /// SBL (Algorithm 1) — amortized counterpart of
-    /// [`sbl_mis_with`](mis_core::sbl::sbl_mis_with).
+    /// [`sbl_mis_with`].
     pub fn sbl<R: Rng + ?Sized>(
         &mut self,
         h: &Hypergraph,
@@ -99,7 +99,7 @@ impl BatchRunner {
     }
 
     /// Beame–Luby (Algorithm 2) — amortized counterpart of
-    /// [`bl_mis`](mis_core::bl::bl_mis).
+    /// [`bl_mis`].
     pub fn bl<R: Rng + ?Sized>(
         &mut self,
         h: &Hypergraph,
@@ -110,19 +110,19 @@ impl BatchRunner {
     }
 
     /// KUW-style parallel search — amortized counterpart of
-    /// [`kuw_mis`](mis_core::kuw::kuw_mis).
+    /// [`kuw_mis`].
     pub fn kuw<R: Rng + ?Sized>(&mut self, h: &Hypergraph, rng: &mut R) -> KuwOutcome {
         kuw_mis_in(h, rng, &mut self.ws)
     }
 
     /// Sequential greedy — amortized counterpart of
-    /// [`greedy_mis`](mis_core::greedy::greedy_mis).
+    /// [`greedy_mis`].
     pub fn greedy(&mut self, h: &Hypergraph, order: Option<&[u32]>) -> GreedyOutcome {
         greedy_mis_in(h, order, &mut self.ws)
     }
 
     /// Random-permutation greedy — amortized counterpart of
-    /// [`permutation_mis`](mis_core::permutation::permutation_mis).
+    /// [`permutation_mis`].
     pub fn permutation<R: Rng + ?Sized>(
         &mut self,
         h: &Hypergraph,
@@ -132,7 +132,7 @@ impl BatchRunner {
     }
 
     /// Linear-hypergraph MIS — amortized counterpart of
-    /// [`linear_mis`](mis_core::linear::linear_mis).
+    /// [`linear_mis`].
     pub fn linear<R: Rng + ?Sized>(
         &mut self,
         h: &Hypergraph,

@@ -11,17 +11,39 @@
 //!
 //! ## The serving story
 //!
-//! The top of the API is the [`serve`] subsystem. Register your graphs in a
-//! [`ResidentRegistry`](serve::ResidentRegistry), spawn a
-//! [`ShardedRunner`](serve::ShardedRunner) over N worker shards, and stream
-//! [`SolveRequest`](serve::SolveRequest)s at it — full solves of resident or
-//! ad-hoc instances, or induced queries against resident graphs, with any of
-//! the six algorithms. Each shard owns a warmed
-//! [`Workspace`](pram::Workspace) with parked engines (the zero-reallocation
-//! pipeline), and every outcome is a pure function of `(graph, algorithm,
-//! seed)`: shard count and scheduling change wall time, never a result.
-//! [`collect_ordered`](serve::ShardedRunner::collect_ordered) returns
-//! responses in submission order regardless of which shard finished first.
+//! The top of the API is the [`serve`] subsystem — a genuinely multi-tenant
+//! service over the deterministic parallel-MIS engines. Register your graphs
+//! in a [`ResidentRegistry`], spawn a
+//! [`ShardedRunner`] over N worker shards, and stream
+//! tenant-tagged [`SolveRequest`](serve::SolveRequest)s at it — full solves
+//! of resident or ad-hoc instances, or induced queries against resident
+//! graphs, with any of the six algorithms. Three per-tenant levers sit on
+//! top of the shard fan-out:
+//!
+//! * **Routing** ([`RoutePolicy`](serve::RoutePolicy)) — round-robin,
+//!   least-queued, or *tenant affinity*: a stable hash pins each tenant to
+//!   one shard so its queries rewarm the same shard-local parked engines
+//!   (observable via
+//!   [`WorkspacePool::tenant_rewarms`](pram::WorkspacePool::tenant_rewarms)).
+//! * **Admission control** ([`AdmissionConfig`](serve::AdmissionConfig)) —
+//!   per-tenant token buckets over logical time plus in-flight caps on the
+//!   bounded queues. Over-quota requests come back as
+//!   [`AdmissionDenied`](serve::SolveError::AdmissionDenied) *outcomes* —
+//!   rejection as data, never a panic or a dropped ticket.
+//! * **Collection** — ordered
+//!   ([`collect_ordered`](serve::ShardedRunner::collect_ordered): responses
+//!   in submission order regardless of which shard finished first) or
+//!   streaming
+//!   ([`collect_streaming`](serve::ShardedRunner::collect_streaming): an
+//!   iterator yielding outcomes as they complete, ticketed and out of
+//!   order); the two interoperate on one runner.
+//!
+//! Each shard owns a warmed [`Workspace`](pram::Workspace) with parked
+//! engines (the zero-reallocation pipeline), and every admitted request's
+//! outcome is a pure function of `(graph, algorithm, seed)`: routing policy,
+//! shard count, scheduling and collection mode change wall time and
+//! completion order, never a result. [`ServeStats`](serve::ServeStats)
+//! reports the per-tenant/per-shard accounting.
 //!
 //! For a single-tenant, single-thread stream, [`BatchRunner`] is the same
 //! machinery without the threads — the single-shard special case (see
@@ -51,16 +73,25 @@
 //! let tenant = registry.register(generate::paper_regime(&mut rng, 400, 50, 10));
 //! let registry = Arc::new(registry);
 //!
-//! // Serve a stream across 2 worker shards: a full SBL solve of the
-//! // resident graph, then an induced query solved with Beame–Luby.
-//! let config = ServeConfig { shards: 2, queue_depth: 16, threads_per_shard: Some(1) };
+//! // Serve a stream across 2 worker shards with tenant-affinity routing: a
+//! // full SBL solve of the resident graph, then an induced query solved
+//! // with Beame–Luby.
+//! let config = ServeConfig {
+//!     shards: 2,
+//!     queue_depth: 16,
+//!     threads_per_shard: Some(1),
+//!     route: RoutePolicy::TenantAffinity,
+//!     ..ServeConfig::default()
+//! };
 //! let mut server = ShardedRunner::new(Arc::clone(&registry), &config);
 //! server.submit(SolveRequest {
+//!     tenant: TenantId(1),
 //!     target: Target::Resident(tenant),
 //!     algorithm: Algorithm::Sbl(SblConfig::default()),
 //!     seed: 7,
 //! });
 //! server.submit(SolveRequest {
+//!     tenant: TenantId(1),
 //!     target: Target::Induced { graph: tenant, vertices: Arc::new((0..128).collect()) },
 //!     algorithm: Algorithm::Bl(BlConfig::default()),
 //!     seed: 8,
@@ -91,8 +122,8 @@ pub use serve::{ResidentRegistry, ServeConfig, ShardedRunner};
 pub mod prelude {
     pub use crate::batch::BatchRunner;
     pub use crate::serve::{
-        Algorithm, GraphId, ResidentRegistry, ServeConfig, ShardedRunner, SolveOutcome,
-        SolveRequest, Target,
+        AdmissionConfig, Algorithm, GraphId, ResidentRegistry, RoutePolicy, ServeConfig,
+        ServeStats, ShardedRunner, SolveOutcome, SolveRequest, Target, TenantId, TenantQuota,
     };
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;

@@ -1,49 +1,88 @@
-//! The sharded serving subsystem: a worker-pool layer that fans a stream of
-//! MIS solve requests across N shards with deterministic stream semantics.
+//! The tenant-aware sharded serving subsystem: a worker-pool layer that fans
+//! a stream of MIS solve requests across N shards with deterministic stream
+//! semantics, shard routing by tenant, per-tenant admission control and a
+//! choice of ordered or streaming collection.
 //!
 //! # Architecture
 //!
 //! ```text
-//!                    submit() ──► bounded queue ──► shard 0: BatchRunner(Workspace 0)─┐
-//! client (tickets)   submit() ──► bounded queue ──► shard 1: BatchRunner(Workspace 1)─┼─► collect_ordered()
-//!                    submit() ──► bounded queue ──► shard 2: BatchRunner(Workspace 2)─┘
-//!                                        ▲                        │ read-only
-//!                                        │                 Arc<ResidentRegistry>
+//!          admission (token bucket + in-flight caps, per tenant)
+//!                    │ admitted            route (RoundRobin / TenantAffinity / LeastQueued)
+//! client (tickets) ──┤          submit() ──► bounded queue ──► shard 0: BatchRunner(Workspace 0)─┐ collect_ordered()
+//!                    │          submit() ──► bounded queue ──► shard 1: BatchRunner(Workspace 1)─┼─►      or
+//!                    │ denied   submit() ──► bounded queue ──► shard 2: BatchRunner(Workspace 2)─┘ collect_streaming()
+//!                    ▼                                ▲                        │ read-only
+//!            AdmissionDenied outcome                  │                 Arc<ResidentRegistry>
 //! ```
 //!
 //! A [`ShardedRunner`] owns N long-lived worker threads (hosted by
 //! [`pram::pool::spawn_worker`]). Each worker is exactly a
-//! [`BatchRunner`](crate::batch::BatchRunner) in a loop — the single-shard
+//! [`BatchRunner`] in a loop — the single-shard
 //! special case *is* the batch runner — with its own
-//! [`Workspace`](pram::Workspace) checked out of a
-//! [`WorkspacePool`](pram::WorkspacePool) by shard index, so parked engines
+//! [`Workspace`] checked out of a
+//! [`WorkspacePool`] by shard index, so parked engines
 //! and warmed buffers stay **shard-local** across serve generations.
-//! Requests are distributed round-robin by ticket over per-shard **bounded**
-//! queues: [`ShardedRunner::submit`] blocks once the target shard's queue is
-//! full (backpressure), while results flow back over an unbounded channel so
-//! workers never block.
+//! Admitted requests are distributed over per-shard **bounded** queues by the
+//! configured [`RoutePolicy`]: [`ShardedRunner::submit`] blocks once the
+//! target shard's queue is full (backpressure), while results flow back over
+//! an unbounded channel so workers never block.
 //!
 //! Resident graphs live in a [`ResidentRegistry`], frozen behind an `Arc`
 //! when the runner spawns: workers only ever read it (`&self` induction —
 //! see the concurrency section of [`hypergraph::ActiveEngine`]), deriving
 //! per-query sub-instances into their own shard-local engines.
 //!
+//! # Tenancy
+//!
+//! Every [`SolveRequest`] carries a [`TenantId`]. Three things key off it:
+//!
+//! * **Routing** — [`RoutePolicy::TenantAffinity`] sends a tenant's whole
+//!   stream to one stable shard (a platform-independent hash of the id), so
+//!   its resident/induced queries rewarm the *same* shard-local parked
+//!   engines generation after generation. The win is observable through the
+//!   pool's per-tenant rewarm report ([`WorkspacePool::tenant_rewarms`]).
+//! * **Admission** — [`AdmissionConfig`] layers per-tenant token buckets and
+//!   in-flight caps on top of the bounded queues. A request over quota is
+//!   *not* an error path: it consumes a ticket and comes back through the
+//!   normal collection machinery as an outcome with
+//!   [`SolveError::AdmissionDenied`] — rejection as data, never a panic and
+//!   never a silently dropped ticket.
+//! * **Accounting** — [`ShardedRunner::stats`] reports submissions,
+//!   admissions, denials and deliveries per tenant and routing per shard in
+//!   a [`ServeStats`].
+//!
+//! # Collection modes
+//!
+//! [`ShardedRunner::collect_ordered`] delivers in submission-ticket order
+//! regardless of which shard finished first (buffering out-of-order
+//! arrivals). [`ShardedRunner::collect_streaming`] is the latency-optimal
+//! dual: an iterator yielding outcomes **as they complete**, out of order,
+//! each still carrying its ticket. The two modes interoperate on one runner
+//! — a later ordered collect skips tickets already streamed.
+//!
 //! # Determinism contract
 //!
-//! Every request's outcome is a **pure function of `(graph, algorithm,
-//! seed)`**: the per-request RNG is derived from [`SolveRequest::seed`], the
-//! workspace never influences results (the PR-3 contract), and the resident
-//! registry is immutable. Shard count, queue depth, scheduling and thread
-//! count may change wall time but never a single independent set, trace or
-//! cost total — `tests/serve.rs` pins outcomes across 1/2/4/8 shards against
-//! the sequential [`BatchRunner::solve`](crate::batch::BatchRunner::solve)
-//! path. [`ShardedRunner::collect_ordered`] additionally guarantees
-//! *delivery* in submission-ticket order regardless of which shard finished
-//! first.
+//! Every **admitted** request's outcome is a **pure function of `(graph,
+//! algorithm, seed)`**: the per-request RNG is derived from
+//! [`SolveRequest::seed`], the workspace never influences results (the PR-3
+//! contract), and the resident registry is immutable. Routing policy, shard
+//! count, queue depth, scheduling, thread count and collection mode may
+//! change wall time and *completion order* but never a single independent
+//! set, trace or cost total — `tests/serve.rs` pins outcomes across all
+//! three policies × 1/2/4/8 shards × both collection modes against the
+//! sequential [`BatchRunner::solve`](crate::batch::BatchRunner::solve) path.
+//!
+//! Admission decisions are themselves deterministic for a fixed
+//! submit/collect call sequence under `RoundRobin` and `TenantAffinity`
+//! (token buckets refill on *logical* time — submission attempts — and
+//! in-flight counts change only at submit and delivery, both caller-driven).
+//! `LeastQueued` routes by observed queue depth and is therefore
+//! scheduling-dependent in *placement* (outcomes are still invariant).
 //!
 //! ```
 //! use hypergraph_mis::serve::{
-//!     Algorithm, ResidentRegistry, ServeConfig, ShardedRunner, SolveRequest, Target,
+//!     Algorithm, ResidentRegistry, RoutePolicy, ServeConfig, ShardedRunner, SolveRequest,
+//!     Target, TenantId,
 //! };
 //! use hypergraph_mis::prelude::*;
 //! use rand::SeedableRng;
@@ -57,10 +96,17 @@
 //!
 //! let mut runner = ShardedRunner::new(
 //!     Arc::clone(&registry),
-//!     &ServeConfig { shards: 2, queue_depth: 16, threads_per_shard: Some(1) },
+//!     &ServeConfig {
+//!         shards: 2,
+//!         queue_depth: 16,
+//!         threads_per_shard: Some(1),
+//!         route: RoutePolicy::TenantAffinity,
+//!         ..ServeConfig::default()
+//!     },
 //! );
 //! for seed in 0..6u64 {
 //!     runner.submit(SolveRequest {
+//!         tenant: TenantId(seed % 2),
 //!         target: Target::Resident(resident),
 //!         algorithm: Algorithm::Sbl(SblConfig::default()),
 //!         seed,
@@ -72,6 +118,9 @@
 //!     assert_eq!(out.ticket, i as u64);
 //!     assert!(verify_mis(registry.graph(resident), &out.independent_set).is_ok());
 //! }
+//! let stats = runner.stats();
+//! assert_eq!(stats.per_tenant.len(), 2);
+//! assert!(stats.per_tenant.iter().all(|t| t.denied() == 0));
 //! ```
 
 use crate::batch::BatchRunner;
@@ -82,10 +131,130 @@ use pram::cost::CostTracker;
 use pram::{Workspace, WorkspacePool};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Identifies the tenant a [`SolveRequest`] belongs to.
+///
+/// The id is caller-chosen and opaque to the serving layer; it drives
+/// affinity routing ([`RoutePolicy::TenantAffinity`]), admission control
+/// ([`AdmissionConfig`]) and per-tenant accounting ([`ServeStats`],
+/// [`WorkspacePool::tenant_rewarms`]). It never influences a solve's result
+/// — outcomes stay pure functions of `(graph, algorithm, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u64);
+
+/// How a [`ShardedRunner`] assigns admitted requests to worker shards.
+///
+/// Routing never changes an outcome — only *which shard* computes it and
+/// therefore wall time and completion order. See the
+/// [determinism contract](self#determinism-contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// `ticket % shards` — the PR-4 behavior and the default. Deterministic
+    /// for a fixed stream.
+    #[default]
+    RoundRobin,
+    /// A stable, platform-independent hash of the [`TenantId`] picks the
+    /// tenant's home shard: all of a tenant's requests land on one shard, so
+    /// its queries rewarm the same shard-local parked engines in the
+    /// [`WorkspacePool`]. Deterministic for a fixed stream.
+    TenantAffinity,
+    /// Each request goes to the shard with the fewest requests currently
+    /// queued or executing (ties break to the lowest shard index). Placement
+    /// is scheduling-dependent — outcomes still are not.
+    LeastQueued,
+}
+
+impl RoutePolicy {
+    /// Short stable name (used in stats, logs and bench tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "round_robin",
+            RoutePolicy::TenantAffinity => "tenant_affinity",
+            RoutePolicy::LeastQueued => "least_queued",
+        }
+    }
+}
+
+/// The stable tenant → shard map behind [`RoutePolicy::TenantAffinity`]:
+/// SplitMix64 on the tenant id, reduced mod the shard count. Pure integer
+/// arithmetic — identical on every platform and every run, so a replayed
+/// stream lands on the same shards.
+pub fn affinity_shard(tenant: TenantId, shards: usize) -> usize {
+    let mut z = tenant.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+/// A per-tenant admission quota: a token bucket over *logical* time plus an
+/// optional in-flight cap. See [`AdmissionConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Token-bucket capacity; also the initial fill when the runner first
+    /// sees the tenant. Every admitted request consumes one token.
+    pub burst: u64,
+    /// One token refills per this many [`submit`](ShardedRunner::submit)
+    /// calls observed by the runner (*any* tenant's — logical time, so
+    /// admission stays replay-deterministic; wall clocks never participate).
+    /// `0` disables refill: the tenant gets exactly `burst` admissions.
+    pub refill_every: u64,
+    /// Maximum admitted-but-not-yet-collected requests. A submit over the
+    /// cap is denied with [`DenyReason::InFlightCap`]. `None` = uncapped.
+    pub max_in_flight: Option<u64>,
+}
+
+impl TenantQuota {
+    /// An unlimited quota (admits everything) — useful as an explicit
+    /// override when [`AdmissionConfig::default_quota`] restricts tenants.
+    pub fn unlimited() -> Self {
+        TenantQuota {
+            burst: u64::MAX,
+            refill_every: 0,
+            max_in_flight: None,
+        }
+    }
+}
+
+/// Per-tenant admission control for a [`ShardedRunner`].
+///
+/// The default admits everything (no quotas — PR-4 behavior). A tenant's
+/// effective quota is its [`per_tenant`](Self::per_tenant) entry if present,
+/// else [`default_quota`](Self::default_quota), else unlimited. Denials are
+/// outcomes, not errors: see [`SolveError::AdmissionDenied`].
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionConfig {
+    /// Quota applied to tenants without a [`per_tenant`](Self::per_tenant)
+    /// entry. `None` = unlimited.
+    pub default_quota: Option<TenantQuota>,
+    /// Explicit per-tenant quotas (first match wins).
+    pub per_tenant: Vec<(TenantId, TenantQuota)>,
+}
+
+impl AdmissionConfig {
+    /// The effective quota for `tenant` (`None` = unlimited).
+    pub fn quota_for(&self, tenant: TenantId) -> Option<TenantQuota> {
+        self.per_tenant
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|&(_, q)| q)
+            .or(self.default_quota)
+    }
+}
+
+/// Why an admission-controlled request was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// The tenant's token bucket was empty.
+    QuotaExhausted,
+    /// The tenant was at its in-flight cap
+    /// ([`TenantQuota::max_in_flight`]).
+    InFlightCap,
+}
 
 /// Handle to a graph registered in a [`ResidentRegistry`]. The handle
 /// remembers *which* registry minted it (a process-unique tag), so an id
@@ -242,9 +411,13 @@ pub enum Target {
 }
 
 /// One unit of work for the serving layer. Outcomes are a pure function of
-/// `(target, algorithm, seed)` — see the [module docs](self).
+/// `(target, algorithm, seed)` — see the [module docs](self); the tenant
+/// only drives routing, admission and accounting.
 #[derive(Debug, Clone)]
 pub struct SolveRequest {
+    /// The tenant this request belongs to ([`TenantId::default`] for
+    /// single-tenant use).
+    pub tenant: TenantId,
     /// What to solve.
     pub target: Target,
     /// Which algorithm to run.
@@ -287,6 +460,18 @@ pub enum SolveError {
         /// `true` if the id was listed twice, `false` if out of range.
         duplicate: bool,
     },
+    /// Admission control rejected the request before it reached a shard —
+    /// rejection as data: the ticket is consumed and the outcome flows
+    /// through [`collect_ordered`](ShardedRunner::collect_ordered) /
+    /// [`collect_streaming`](ShardedRunner::collect_streaming) like any
+    /// other. Deterministic for a fixed submit/collect sequence under
+    /// `RoundRobin`/`TenantAffinity` routing.
+    AdmissionDenied {
+        /// The tenant whose quota rejected the request.
+        tenant: TenantId,
+        /// Which limit was hit.
+        reason: DenyReason,
+    },
 }
 
 /// The response to one [`SolveRequest`].
@@ -301,9 +486,13 @@ pub struct SolveOutcome {
     /// [`ShardedRunner::submit`]; 0 for direct
     /// [`BatchRunner::solve`](crate::batch::BatchRunner::solve) calls).
     pub ticket: u64,
-    /// Shard that computed it (0 for the sequential path). Diagnostic only —
-    /// deliberately excluded from [`fingerprint`](Self::fingerprint).
+    /// Shard that computed it (0 for the sequential path, and meaningless
+    /// for admission-denied outcomes, which never reach a shard). Diagnostic
+    /// only — deliberately excluded from [`fingerprint`](Self::fingerprint).
     pub shard: usize,
+    /// The request's tenant, echoed back (scheduling metadata like `ticket`
+    /// and `shard`; excluded from [`fingerprint`](Self::fingerprint)).
+    pub tenant: TenantId,
     /// The request's RNG seed, echoed back.
     pub seed: u64,
     /// The maximal independent set (sorted, original vertex ids; empty on
@@ -359,8 +548,11 @@ pub(crate) fn execute(
     req: &SolveRequest,
     ws: &mut Workspace,
 ) -> SolveOutcome {
+    // Observability only: record the tenant→workspace touch so affinity wins
+    // show up in the pool's rewarm report. Never influences the solve.
+    ws.note_tenant(req.tenant.0);
     let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
-    match &req.target {
+    let mut out = match &req.target {
         Target::Adhoc(h) => solve_full(h, &req.algorithm, req.seed, &mut rng, ws),
         Target::Resident(id) => match registry.get(*id) {
             Some(r) => solve_full(&r.graph, &req.algorithm, req.seed, &mut rng, ws),
@@ -370,13 +562,16 @@ pub(crate) fn execute(
             Some(r) => solve_induced(&r.engine, vertices, &req.algorithm, req.seed, &mut rng, ws),
             None => failed(req.seed, SolveError::UnknownGraph(*graph)),
         },
-    }
+    };
+    out.tenant = req.tenant;
+    out
 }
 
 fn failed(seed: u64, error: SolveError) -> SolveOutcome {
     SolveOutcome {
         ticket: 0,
         shard: 0,
+        tenant: TenantId::default(),
         seed,
         independent_set: Vec::new(),
         work: 0,
@@ -397,6 +592,7 @@ fn outcome(
     SolveOutcome {
         ticket: 0,
         shard: 0,
+        tenant: TenantId::default(),
         seed,
         independent_set,
         work: c.work,
@@ -583,6 +779,11 @@ pub struct ServeConfig {
     /// oversubscription; by the determinism contract this setting never
     /// changes outcomes, only wall time.
     pub threads_per_shard: Option<usize>,
+    /// How admitted requests are assigned to shards (default:
+    /// [`RoutePolicy::RoundRobin`]).
+    pub route: RoutePolicy,
+    /// Per-tenant admission control (default: admit everything).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -591,8 +792,75 @@ impl Default for ServeConfig {
             shards: pram::pool::available_parallelism(),
             queue_depth: 64,
             threads_per_shard: None,
+            route: RoutePolicy::default(),
+            admission: AdmissionConfig::default(),
         }
     }
+}
+
+/// Per-shard scheduling counters in a [`ServeStats`] report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Admitted requests routed to this shard so far.
+    pub routed: u64,
+    /// Requests currently queued on or executing in this shard, as observed
+    /// by the collector (decremented when a result *arrives*, so this lags
+    /// actual completion by channel latency).
+    pub in_queue: u64,
+}
+
+/// Per-tenant admission and delivery counters in a [`ServeStats`] report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant these counters describe.
+    pub tenant: TenantId,
+    /// Total [`submit`](ShardedRunner::submit) calls for this tenant.
+    pub submitted: u64,
+    /// Requests admitted (routed to a shard).
+    pub admitted: u64,
+    /// Requests denied with [`DenyReason::QuotaExhausted`].
+    pub denied_quota: u64,
+    /// Requests denied with [`DenyReason::InFlightCap`].
+    pub denied_in_flight: u64,
+    /// Outcomes handed to the caller (either collection mode; includes
+    /// denial outcomes).
+    pub delivered: u64,
+    /// Shards this tenant's admitted requests were routed to, ascending.
+    /// Under [`RoutePolicy::TenantAffinity`] this has at most one entry.
+    pub shards: Vec<usize>,
+}
+
+impl TenantStats {
+    /// Total denials, either reason.
+    pub fn denied(&self) -> u64 {
+        self.denied_quota + self.denied_in_flight
+    }
+}
+
+/// A point-in-time report of a [`ShardedRunner`]'s scheduling and admission
+/// counters — see [`ShardedRunner::stats`].
+///
+/// Per-tenant *rewarm* counters live one layer down, on the workspaces:
+/// read them from the [`WorkspacePool`] ([`WorkspacePool::tenant_rewarms`])
+/// — live per-shard during serving via the pool's last-checkin snapshots,
+/// complete after [`shutdown`](ShardedRunner::shutdown) checks every shard's
+/// workspace back in.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// The runner's routing policy.
+    pub policy: RoutePolicy,
+    /// Total submissions (admitted + denied).
+    pub submitted: u64,
+    /// Total admitted requests.
+    pub admitted: u64,
+    /// Total denied requests (both reasons).
+    pub denied: u64,
+    /// Total outcomes delivered to the caller.
+    pub delivered: u64,
+    /// Per-shard scheduling counters, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+    /// Per-tenant counters, ascending by [`TenantId`].
+    pub per_tenant: Vec<TenantStats>,
 }
 
 struct Job {
@@ -600,8 +868,24 @@ struct Job {
     request: SolveRequest,
 }
 
-/// The sharded serving runner. See the [module docs](self) for the
-/// architecture and the determinism contract.
+/// Per-tenant admission bookkeeping (see [`AdmissionConfig`]).
+#[derive(Default)]
+struct TenantState {
+    tokens: u64,
+    bucket_initialized: bool,
+    last_refill_at: u64,
+    in_flight: u64,
+    submitted: u64,
+    admitted: u64,
+    denied_quota: u64,
+    denied_in_flight: u64,
+    delivered: u64,
+    shards: Vec<usize>,
+}
+
+/// The tenant-aware sharded serving runner. See the [module docs](self) for
+/// the architecture, the routing/admission semantics and the determinism
+/// contract.
 ///
 /// Dropping the runner shuts the workers down; prefer
 /// [`shutdown`](Self::shutdown) to get the [`WorkspacePool`] (with every
@@ -614,9 +898,19 @@ pub struct ShardedRunner {
     // Raised at shutdown so workers drain their remaining queue without
     // solving it (still-queued work is discarded, not computed).
     cancel: Arc<std::sync::atomic::AtomicBool>,
+    route: RoutePolicy,
+    admission: AdmissionConfig,
     next_ticket: u64,
     next_deliver: u64,
+    delivered_total: u64,
+    // Arrived (or locally synthesized) outcomes not yet handed out.
     pending: BTreeMap<u64, SolveOutcome>,
+    // Tickets delivered by collect_streaming ahead of the ordered cursor.
+    streamed: BTreeSet<u64>,
+    // Per-shard scheduling counters (indexed by shard).
+    routed: Vec<u64>,
+    in_queue: Vec<u64>,
+    tenants: BTreeMap<TenantId, TenantState>,
 }
 
 impl ShardedRunner {
@@ -674,9 +968,16 @@ impl ShardedRunner {
             workers,
             pool,
             cancel,
+            route: config.route,
+            admission: config.admission.clone(),
             next_ticket: 0,
             next_deliver: 0,
+            delivered_total: 0,
             pending: BTreeMap::new(),
+            streamed: BTreeSet::new(),
+            routed: vec![0; shards],
+            in_queue: vec![0; shards],
+            tenants: BTreeMap::new(),
         }
     }
 
@@ -685,29 +986,153 @@ impl ShardedRunner {
         self.senders.len()
     }
 
-    /// Submits a request and returns its ticket. Requests are routed
-    /// round-robin (`ticket % shards`) — a deterministic assignment, so a
-    /// replayed stream lands on the same shards. Blocks while the target
-    /// shard's bounded queue is full.
+    /// The runner's routing policy.
+    pub fn policy(&self) -> RoutePolicy {
+        self.route
+    }
+
+    /// Submits a request and returns its ticket.
+    ///
+    /// The request first passes the tenant's admission check (see
+    /// [`AdmissionConfig`]); a denied request still consumes its ticket and
+    /// is answered with a [`SolveError::AdmissionDenied`] outcome through
+    /// the normal collection machinery — rejection as data. Admitted
+    /// requests are routed to a shard by the configured [`RoutePolicy`];
+    /// this call blocks while the target shard's bounded queue is full
+    /// (backpressure).
     pub fn submit(&mut self, request: SolveRequest) -> u64 {
+        // `next_ticket` doubles as the logical clock admission refill runs
+        // on: it advances exactly once per submit call, so a replayed
+        // submit/collect sequence sees identical bucket states.
+        let now = self.next_ticket;
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        let shard = (ticket % self.senders.len() as u64) as usize;
+        let tenant = request.tenant;
+        let quota = self.admission.quota_for(tenant);
+        let st = self.tenants.entry(tenant).or_default();
+        st.submitted += 1;
+        if let Some(q) = quota {
+            if !st.bucket_initialized {
+                st.bucket_initialized = true;
+                st.tokens = q.burst;
+                st.last_refill_at = now;
+            } else if let Some(add @ 1..) = (now - st.last_refill_at).checked_div(q.refill_every) {
+                // `refill_every == 0` divides to `None`: refill disabled.
+                st.tokens = st.tokens.saturating_add(add).min(q.burst);
+                st.last_refill_at += add * q.refill_every;
+            }
+            // The in-flight cap is checked first and does not consume a
+            // token: a capped burst should not also drain the bucket.
+            let reason = if q.max_in_flight.is_some_and(|cap| st.in_flight >= cap) {
+                st.denied_in_flight += 1;
+                Some(DenyReason::InFlightCap)
+            } else if st.tokens == 0 {
+                st.denied_quota += 1;
+                Some(DenyReason::QuotaExhausted)
+            } else {
+                st.tokens -= 1;
+                None
+            };
+            if let Some(reason) = reason {
+                let mut out = failed(request.seed, SolveError::AdmissionDenied { tenant, reason });
+                out.ticket = ticket;
+                out.tenant = tenant;
+                self.pending.insert(ticket, out);
+                return ticket;
+            }
+        }
+        let shard = match self.route {
+            RoutePolicy::RoundRobin => (ticket % self.senders.len() as u64) as usize,
+            RoutePolicy::TenantAffinity => affinity_shard(tenant, self.senders.len()),
+            RoutePolicy::LeastQueued => self
+                .in_queue
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &q)| q)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        let st = self
+            .tenants
+            .get_mut(&tenant)
+            .expect("tenant state just created");
+        st.admitted += 1;
+        st.in_flight += 1;
+        if let Err(i) = st.shards.binary_search(&shard) {
+            st.shards.insert(i, shard);
+        }
+        self.routed[shard] += 1;
+        self.in_queue[shard] += 1;
         self.senders[shard]
             .send(Job { ticket, request })
             .expect("serve: worker shard disconnected (a worker thread panicked)");
         ticket
     }
 
-    /// Number of submitted requests not yet delivered by
-    /// [`collect_ordered`](Self::collect_ordered).
+    /// Number of submitted requests not yet delivered by either collection
+    /// mode.
     pub fn outstanding(&self) -> u64 {
-        self.next_ticket - self.next_deliver
+        self.next_ticket - self.delivered_total
+    }
+
+    /// Blocks for the next arrival from any shard, with worker-liveness
+    /// checks: a plain blocking recv would hang forever if *one* worker of
+    /// several died (the survivors keep the channel open but the dead
+    /// shard's tickets never arrive), so wait in slices and check worker
+    /// liveness on every timeout — during serving no worker thread finishes
+    /// except by panicking.
+    fn recv_one(&mut self) -> SolveOutcome {
+        let out = loop {
+            match self
+                .results
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Ok(out) => break out,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some((shard, _)) = self.workers.iter().find(|(_, h)| h.is_finished()) {
+                        panic!(
+                            "serve: worker shard {shard} died with {} outcomes outstanding",
+                            self.outstanding()
+                        );
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("serve: all workers disconnected with outcomes outstanding")
+                }
+            }
+        };
+        self.in_queue[out.shard] = self.in_queue[out.shard].saturating_sub(1);
+        out
+    }
+
+    /// Per-delivery bookkeeping shared by both collection modes.
+    fn note_delivery(&mut self, out: &SolveOutcome) {
+        self.delivered_total += 1;
+        let st = self.tenants.entry(out.tenant).or_default();
+        st.delivered += 1;
+        if !matches!(out.error, Some(SolveError::AdmissionDenied { .. })) {
+            // Only admitted requests counted toward the in-flight cap.
+            st.in_flight = st.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Records a ticket delivered out of order by streaming collection, so
+    /// the ordered cursor skips it later.
+    fn mark_streamed(&mut self, ticket: u64) {
+        if ticket == self.next_deliver {
+            self.next_deliver += 1;
+            while self.streamed.remove(&self.next_deliver) {
+                self.next_deliver += 1;
+            }
+        } else {
+            self.streamed.insert(ticket);
+        }
     }
 
     /// Collects the next `count` outcomes **in submission-ticket order**,
     /// regardless of which shard finished first: out-of-order arrivals are
-    /// buffered until their predecessors land.
+    /// buffered until their predecessors land. Tickets already delivered by
+    /// [`collect_streaming`](Self::collect_streaming) are skipped.
     ///
     /// # Panics
     /// Panics if `count` exceeds [`outstanding`](Self::outstanding) (the
@@ -720,44 +1145,58 @@ impl ShardedRunner {
         );
         let mut delivered = Vec::with_capacity(count);
         while delivered.len() < count {
+            while self.streamed.remove(&self.next_deliver) {
+                self.next_deliver += 1;
+            }
             if let Some(out) = self.pending.remove(&self.next_deliver) {
                 self.next_deliver += 1;
+                self.note_delivery(&out);
                 delivered.push(out);
                 continue;
             }
-            // A plain blocking recv would hang forever if *one* worker of
-            // several died (the survivors keep the channel open but the dead
-            // shard's tickets never arrive), so wait in slices and check
-            // worker liveness on every timeout — during serving no worker
-            // thread finishes except by panicking.
-            let out = loop {
-                match self
-                    .results
-                    .recv_timeout(std::time::Duration::from_millis(50))
-                {
-                    Ok(out) => break out,
-                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                        if let Some((shard, _)) = self.workers.iter().find(|(_, h)| h.is_finished())
-                        {
-                            panic!(
-                                "serve: worker shard {shard} died with {} outcomes outstanding",
-                                self.outstanding()
-                            );
-                        }
-                    }
-                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                        panic!("serve: all workers disconnected with outcomes outstanding")
-                    }
-                }
-            };
+            let out = self.recv_one();
             if out.ticket == self.next_deliver {
                 self.next_deliver += 1;
+                self.note_delivery(&out);
                 delivered.push(out);
             } else {
                 self.pending.insert(out.ticket, out);
             }
         }
         delivered
+    }
+
+    /// Streaming collection: an iterator over the next `count` outcomes **as
+    /// they complete** — out of (ticket) order, minimizing latency to first
+    /// result. Each outcome still carries its ticket, so callers can
+    /// re-associate responses with submissions; already-buffered outcomes
+    /// (including admission denials, which complete instantly) are yielded
+    /// first.
+    ///
+    /// Streaming and ordered collection interoperate on one runner: a later
+    /// [`collect_ordered`](Self::collect_ordered) skips tickets this
+    /// iterator already delivered. Dropping the iterator early simply leaves
+    /// the remaining outcomes outstanding.
+    ///
+    /// The yielded multiset of outcomes is a **permutation** of what ordered
+    /// collection would deliver, with byte-identical per-ticket payloads —
+    /// the [determinism contract](self#determinism-contract) pins results,
+    /// and only delivery order differs.
+    ///
+    /// # Panics
+    /// Panics at creation if `count` exceeds
+    /// [`outstanding`](Self::outstanding); during iteration if a worker
+    /// died.
+    pub fn collect_streaming(&mut self, count: usize) -> StreamingCollect<'_> {
+        assert!(
+            count as u64 <= self.outstanding(),
+            "serve: asked to stream {count} outcomes with only {} outstanding",
+            self.outstanding()
+        );
+        StreamingCollect {
+            runner: self,
+            remaining: count,
+        }
     }
 
     /// Collects everything still outstanding, in ticket order.
@@ -793,6 +1232,42 @@ impl ShardedRunner {
         &self.pool
     }
 
+    /// A point-in-time [`ServeStats`] report: total and per-tenant
+    /// submissions, admissions, denials and deliveries, plus per-shard
+    /// routing counters. Under `RoundRobin`/`TenantAffinity` routing the
+    /// report is a pure function of the submit/collect call sequence, so it
+    /// is replay-deterministic like the outcomes themselves.
+    pub fn stats(&self) -> ServeStats {
+        let per_shard = (0..self.senders.len())
+            .map(|s| ShardStats {
+                routed: self.routed[s],
+                in_queue: self.in_queue[s],
+            })
+            .collect();
+        let per_tenant: Vec<TenantStats> = self
+            .tenants
+            .iter()
+            .map(|(&tenant, st)| TenantStats {
+                tenant,
+                submitted: st.submitted,
+                admitted: st.admitted,
+                denied_quota: st.denied_quota,
+                denied_in_flight: st.denied_in_flight,
+                delivered: st.delivered,
+                shards: st.shards.clone(),
+            })
+            .collect();
+        ServeStats {
+            policy: self.route,
+            submitted: self.next_ticket,
+            admitted: per_tenant.iter().map(|t| t.admitted).sum(),
+            denied: per_tenant.iter().map(|t| t.denied()).sum(),
+            delivered: self.delivered_total,
+            per_shard,
+            per_tenant,
+        }
+    }
+
     fn shutdown_workers(&mut self) {
         // Tell workers to drain instead of solve, then end their recv loops
         // by dropping the senders.
@@ -812,3 +1287,37 @@ impl Drop for ShardedRunner {
         self.shutdown_workers();
     }
 }
+
+/// The iterator returned by
+/// [`ShardedRunner::collect_streaming`]: yields outcomes in completion
+/// order, each carrying its submission ticket.
+pub struct StreamingCollect<'a> {
+    runner: &'a mut ShardedRunner,
+    remaining: usize,
+}
+
+impl Iterator for StreamingCollect<'_> {
+    type Item = SolveOutcome;
+
+    fn next(&mut self) -> Option<SolveOutcome> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Buffered outcomes first (lowest ticket first): admission denials
+        // and anything an earlier collect already pulled off the channel.
+        let out = match self.runner.pending.pop_first() {
+            Some((_, out)) => out,
+            None => self.runner.recv_one(),
+        };
+        self.runner.mark_streamed(out.ticket);
+        self.runner.note_delivery(&out);
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for StreamingCollect<'_> {}

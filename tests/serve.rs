@@ -10,9 +10,13 @@
 //! the flat engine).
 
 use hypergraph_mis::prelude::*;
-use hypergraph_mis::serve::{SolveError, SolveFingerprint, SolveOutcome};
+use hypergraph_mis::serve::{
+    affinity_shard, DenyReason, SolveError, SolveFingerprint, SolveOutcome, TenantStats,
+};
+use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 fn rng(seed: u64) -> ChaCha8Rng {
@@ -96,6 +100,9 @@ fn mixed_stream(a: GraphId, b: GraphId, count: usize) -> Vec<SolveRequest> {
                 ),
             };
             SolveRequest {
+                // Several interleaved tenants, so every suite exercises the
+                // tenant bookkeeping alongside the original semantics.
+                tenant: TenantId(i as u64 % 5),
                 target,
                 algorithm,
                 seed,
@@ -119,6 +126,7 @@ fn config(shards: usize, queue_depth: usize) -> ServeConfig {
         shards,
         queue_depth,
         threads_per_shard: Some(1),
+        ..ServeConfig::default()
     }
 }
 
@@ -248,12 +256,14 @@ fn failures_come_back_as_outcomes() {
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 4));
     // Linear on a non-linear tenant (d-uniform with shared pairs).
     runner.submit(SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Resident(b),
         algorithm: Algorithm::Linear,
         seed: 1,
     });
     // Out-of-range and duplicate induced queries.
     runner.submit(SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Induced {
             graph: b,
             vertices: Arc::new(vec![1, 2, 100_000]),
@@ -262,6 +272,7 @@ fn failures_come_back_as_outcomes() {
         seed: 2,
     });
     runner.submit(SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Induced {
             graph: b,
             vertices: Arc::new(vec![5, 9, 5]),
@@ -295,6 +306,7 @@ fn failures_come_back_as_outcomes() {
     // tenant's graph.
     let mut runner = ShardedRunner::new(Arc::clone(&foreign), &config(1, 4));
     runner.submit(SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Resident(b),
         algorithm: Algorithm::Greedy,
         seed: 4,
@@ -308,6 +320,7 @@ fn failures_come_back_as_outcomes() {
     // reuse), still matching the sequential path.
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(1, 4));
     let req = SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Induced {
             graph: b,
             vertices: query(150, 30, 99),
@@ -319,6 +332,7 @@ fn failures_come_back_as_outcomes() {
     // (partial-mark unwind), then solve the real request.
     runner.submit(req.clone());
     runner.submit(SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Induced {
             graph: b,
             vertices: Arc::new(vec![0, 7, 0]),
@@ -388,9 +402,426 @@ fn dead_worker_panics_the_collector_instead_of_hanging() {
     ));
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 4));
     runner.submit(SolveRequest {
+        tenant: TenantId::default(),
         target: Target::Adhoc(oversized),
         algorithm: Algorithm::Bl(BlConfig::default()),
         seed: 1,
     });
     let _ = runner.collect_ordered(1);
+}
+
+/// The PR-5 headline pin: per-request outcomes are byte-identical across
+/// `RoundRobin`/`TenantAffinity`/`LeastQueued` × 1/2/4/8 shards × ordered/
+/// streaming collection, all against the sequential `BatchRunner` path.
+/// Streaming may permute delivery, never a payload.
+#[test]
+fn outcomes_invariant_across_policies_shards_and_collection_modes() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 18);
+    let reference = sequential(&registry, &requests);
+    for policy in [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::TenantAffinity,
+        RoutePolicy::LeastQueued,
+    ] {
+        for shards in [1usize, 2, 4, 8] {
+            for streaming in [false, true] {
+                let mut cfg = config(shards, 8);
+                cfg.route = policy;
+                let mut runner = ShardedRunner::new(Arc::clone(&registry), &cfg);
+                for r in requests.iter().cloned() {
+                    runner.submit(r);
+                }
+                let mut outcomes: Vec<SolveOutcome> = if streaming {
+                    runner.collect_streaming(requests.len()).collect()
+                } else {
+                    runner.collect_ordered(requests.len())
+                };
+                outcomes.sort_by_key(|o| o.ticket);
+                assert_eq!(outcomes.len(), reference.len());
+                for (i, out) in outcomes.iter().enumerate() {
+                    assert_eq!(
+                        out.ticket, i as u64,
+                        "{policy:?} shards={shards} streaming={streaming}: ticket set"
+                    );
+                    assert!(out.shard < shards);
+                    assert_eq!(
+                        out.fingerprint(),
+                        reference[i],
+                        "{policy:?} shards={shards} streaming={streaming}, request {i}: \
+                         outcome diverged from the sequential path"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Streaming and ordered collection interoperate on one runner: an ordered
+/// collect after a partial streaming collect delivers exactly the
+/// not-yet-streamed tickets, in ticket order, with unchanged payloads.
+#[test]
+fn streaming_interoperates_with_ordered_collection() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 15);
+    let reference = sequential(&registry, &requests);
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(3, 8));
+    for r in requests {
+        runner.submit(r);
+    }
+    let streamed: Vec<SolveOutcome> = runner.collect_streaming(6).collect();
+    assert_eq!(streamed.len(), 6);
+    assert_eq!(runner.outstanding(), 9);
+    let streamed_tickets: BTreeSet<u64> = streamed.iter().map(|o| o.ticket).collect();
+    assert_eq!(
+        streamed_tickets.len(),
+        6,
+        "streaming never duplicates a ticket"
+    );
+
+    let rest = runner.collect_outstanding();
+    assert_eq!(runner.outstanding(), 0);
+    let rest_tickets: Vec<u64> = rest.iter().map(|o| o.ticket).collect();
+    let mut sorted = rest_tickets.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        rest_tickets, sorted,
+        "ordered collection stays ticket-ordered"
+    );
+    assert!(rest_tickets.iter().all(|t| !streamed_tickets.contains(t)));
+
+    let mut all: Vec<&SolveOutcome> = streamed.iter().chain(&rest).collect();
+    all.sort_by_key(|o| o.ticket);
+    assert_eq!(all.len(), 15);
+    for (i, out) in all.iter().enumerate() {
+        assert_eq!(out.ticket, i as u64);
+        assert_eq!(out.fingerprint(), reference[i]);
+    }
+}
+
+/// Admission control: token-bucket denials are outcomes (never panics, never
+/// dropped tickets), deterministic on replay, refilled on logical time; the
+/// in-flight cap frees as outcomes are collected. `ServeStats` accounts for
+/// every decision.
+#[test]
+fn admission_denials_are_data_and_deterministic() {
+    let (registry, _a, b) = registry();
+    // Tenant 0: bucket of 2, one token back every 4 submissions. Tenant 1
+    // is unquoted (admit everything).
+    let mut cfg = config(2, 8);
+    cfg.admission = AdmissionConfig {
+        default_quota: None,
+        per_tenant: vec![(
+            TenantId(0),
+            TenantQuota {
+                burst: 2,
+                refill_every: 4,
+                max_in_flight: None,
+            },
+        )],
+    };
+    let run = |cfg: &ServeConfig| {
+        let mut runner = ShardedRunner::new(Arc::clone(&registry), cfg);
+        for i in 0..12u64 {
+            runner.submit(SolveRequest {
+                tenant: TenantId(i % 2),
+                target: Target::Induced {
+                    graph: b,
+                    vertices: query(150, 20, i),
+                },
+                algorithm: Algorithm::Greedy,
+                seed: i,
+            });
+        }
+        let outs = runner.collect_ordered(12);
+        let stats = runner.stats();
+        (outs, stats)
+    };
+    let (outs, stats) = run(&cfg);
+
+    // Tenant 0 submits at tickets 0,2,4,..: tokens 2 up front, +1 at ticket
+    // 4 and 8 — so exactly tickets 6 and 10 are over quota.
+    for (i, out) in outs.iter().enumerate() {
+        let expect_denied = i == 6 || i == 10;
+        assert_eq!(out.ticket, i as u64);
+        if expect_denied {
+            assert_eq!(
+                out.error,
+                Some(SolveError::AdmissionDenied {
+                    tenant: TenantId(0),
+                    reason: DenyReason::QuotaExhausted,
+                }),
+                "ticket {i} should be over quota"
+            );
+            assert!(out.independent_set.is_empty());
+        } else {
+            assert!(out.error.is_none(), "ticket {i} unexpectedly failed");
+            verify_induced(
+                &registry,
+                b,
+                &query(150, 20, i as u64),
+                &out.independent_set,
+            );
+        }
+    }
+    assert_eq!(stats.submitted, 12);
+    assert_eq!(stats.admitted, 10);
+    assert_eq!(stats.denied, 2);
+    assert_eq!(stats.delivered, 12);
+    let t0 = &stats.per_tenant[0];
+    assert_eq!(
+        (
+            t0.tenant,
+            t0.submitted,
+            t0.admitted,
+            t0.denied_quota,
+            t0.denied_in_flight,
+            t0.delivered
+        ),
+        (TenantId(0), 6, 4, 2, 0, 6)
+    );
+    let t1 = &stats.per_tenant[1];
+    assert_eq!((t1.submitted, t1.admitted, t1.denied()), (6, 6, 0));
+
+    // Replay determinism: an identical submit/collect sequence makes
+    // identical admission decisions and identical outcomes.
+    let (outs2, stats2) = run(&cfg);
+    assert_eq!(outs.len(), outs2.len());
+    for (x, y) in outs.iter().zip(&outs2) {
+        assert_eq!(x.fingerprint(), y.fingerprint());
+    }
+    assert_eq!(stats.per_tenant, stats2.per_tenant);
+
+    // In-flight cap: capacity frees only as outcomes are delivered.
+    let mut cfg = config(1, 4);
+    cfg.admission = AdmissionConfig {
+        default_quota: Some(TenantQuota {
+            burst: u64::MAX,
+            refill_every: 0,
+            max_in_flight: Some(1),
+        }),
+        per_tenant: Vec::new(),
+    };
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &cfg);
+    let req = |seed: u64| SolveRequest {
+        tenant: TenantId(9),
+        target: Target::Resident(b),
+        algorithm: Algorithm::Permutation,
+        seed,
+    };
+    runner.submit(req(1));
+    runner.submit(req(2)); // over the cap while ticket 0 is in flight
+    let outs = runner.collect_ordered(2);
+    assert!(outs[0].error.is_none());
+    assert_eq!(
+        outs[1].error,
+        Some(SolveError::AdmissionDenied {
+            tenant: TenantId(9),
+            reason: DenyReason::InFlightCap,
+        })
+    );
+    runner.submit(req(3)); // delivered outcomes freed the cap
+    let outs = runner.collect_ordered(1);
+    assert!(outs[0].error.is_none());
+    let stats = runner.stats();
+    assert_eq!(stats.per_tenant[0].denied_in_flight, 1);
+    assert_eq!(stats.per_tenant[0].admitted, 2);
+}
+
+/// Tenant affinity pins every tenant to its stable hash shard, and the
+/// pool's per-tenant rewarm report makes the win observable: one first-touch
+/// miss per tenant under affinity vs scatter across shards under
+/// round-robin.
+#[test]
+fn tenant_affinity_pins_tenants_and_rewarms_shard_locally() {
+    let (registry, a, b) = registry();
+    let requests = mixed_stream(a, b, 30); // tenants 0..5, 6 requests each
+    let mut cfg = config(4, 8);
+    cfg.route = RoutePolicy::TenantAffinity;
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &cfg);
+    let outs = runner.run_stream(requests.clone());
+    for out in &outs {
+        assert_eq!(
+            out.shard,
+            affinity_shard(out.tenant, 4),
+            "tenant {:?} strayed from its home shard",
+            out.tenant
+        );
+    }
+    let stats = runner.stats();
+    assert_eq!(stats.policy, RoutePolicy::TenantAffinity);
+    assert_eq!(stats.per_tenant.len(), 5);
+    for t in &stats.per_tenant {
+        assert_eq!(
+            t.shards,
+            vec![affinity_shard(t.tenant, 4)],
+            "tenant {:?} routed to more than one shard",
+            t.tenant
+        );
+    }
+    let pool = runner.shutdown();
+    let (hits_aff, misses_aff) = pool.tenant_rewarm_totals();
+    assert_eq!(
+        misses_aff, 5,
+        "under affinity each tenant first-touches exactly one workspace"
+    );
+    assert_eq!(hits_aff, 25, "every later request rewarms its home shard");
+    for &(tenant, hits, misses) in &pool.tenant_rewarms() {
+        assert_eq!((misses, hits), (1, 5), "tenant {tenant}: affinity ledger");
+    }
+
+    // Round-robin scatters the same stream: tenant i (tickets i, i+5, ...)
+    // first-touches all 4 shards.
+    let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(4, 8));
+    let _ = runner.run_stream(requests);
+    let pool = runner.shutdown();
+    let (hits_rr, misses_rr) = pool.tenant_rewarm_totals();
+    assert_eq!(
+        misses_rr, 20,
+        "round-robin: 5 tenants × 4 shards first touches"
+    );
+    assert_eq!(hits_rr + misses_rr, 30);
+    assert!(misses_aff < misses_rr);
+}
+
+/// Strategy for the tenant-stream properties: a stream of (tenant, shape,
+/// seed) triples plus a shard count, over cheap request shapes.
+fn tenant_stream() -> impl Strategy<Value = (Vec<(u64, u8, u64)>, usize)> {
+    (
+        prop::collection::vec((0u64..4, 0u8..4, any::<u64>()), 1..25),
+        1usize..=5,
+    )
+}
+
+/// Materializes a stream spec against the shared two-tenant registry.
+fn materialize(
+    registry: &(Arc<ResidentRegistry>, GraphId, GraphId),
+    spec: &[(u64, u8, u64)],
+) -> Vec<SolveRequest> {
+    let (_, a, b) = registry;
+    spec.iter()
+        .map(|&(tenant, shape, seed)| {
+            let (target, algorithm) = match shape % 4 {
+                0 => (Target::Resident(*b), Algorithm::Greedy),
+                1 => (
+                    Target::Induced {
+                        graph: *b,
+                        vertices: query(150, 24, seed),
+                    },
+                    Algorithm::Kuw,
+                ),
+                2 => (Target::Resident(*a), Algorithm::Permutation),
+                _ => (
+                    Target::Induced {
+                        graph: *a,
+                        vertices: query(240, 32, seed),
+                    },
+                    Algorithm::Bl(BlConfig::default()),
+                ),
+            };
+            SolveRequest {
+                tenant: TenantId(tenant),
+                target,
+                algorithm,
+                seed,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// (a) `TenantAffinity` maps each tenant of a random tenant-tagged
+    /// stream to exactly one shard — its stable hash shard.
+    #[test]
+    fn prop_affinity_maps_each_tenant_to_one_shard((spec, shards) in tenant_stream()) {
+        let reg = registry();
+        let requests = materialize(&reg, &spec);
+        let mut cfg = config(shards, 8);
+        cfg.route = RoutePolicy::TenantAffinity;
+        let mut runner = ShardedRunner::new(Arc::clone(&reg.0), &cfg);
+        let outs = runner.run_stream(requests);
+        for out in &outs {
+            prop_assert_eq!(out.shard, affinity_shard(out.tenant, shards));
+        }
+        for t in &runner.stats().per_tenant {
+            prop_assert!(t.shards.len() <= 1);
+        }
+    }
+
+    /// (b) Admission decisions are replay-deterministic: the same stream
+    /// through the same quota config twice yields identical per-ticket
+    /// admission decisions and outcomes.
+    #[test]
+    fn prop_admission_is_replay_deterministic(
+        (spec, shards) in tenant_stream(),
+        burst in 0u64..4,
+        refill in 0u64..5,
+        cap in 0u64..3,
+        affinity in 0u8..2,
+    ) {
+        let reg = registry();
+        let requests = materialize(&reg, &spec);
+        let mut cfg = config(shards, 8);
+        cfg.route = if affinity == 1 {
+            RoutePolicy::TenantAffinity
+        } else {
+            RoutePolicy::RoundRobin
+        };
+        cfg.admission = AdmissionConfig {
+            default_quota: Some(TenantQuota {
+                burst,
+                refill_every: refill,
+                max_in_flight: if cap == 0 { None } else { Some(cap) },
+            }),
+            // Tenant 3 stays unquoted for contrast.
+            per_tenant: vec![(TenantId(3), TenantQuota::unlimited())],
+        };
+        let mut first: Option<(Vec<SolveFingerprint>, Vec<TenantStats>)> = None;
+        for _ in 0..2 {
+            let mut runner = ShardedRunner::new(Arc::clone(&reg.0), &cfg);
+            let outs = runner.run_stream(requests.clone());
+            let fps: Vec<SolveFingerprint> = outs.iter().map(SolveOutcome::fingerprint).collect();
+            let tenants = runner.stats().per_tenant;
+            // Unquoted tenant is never denied.
+            for t in &tenants {
+                if t.tenant == TenantId(3) {
+                    prop_assert_eq!(t.denied(), 0);
+                }
+            }
+            match &first {
+                None => first = Some((fps, tenants)),
+                Some((f, s)) => {
+                    prop_assert_eq!(f, &fps);
+                    prop_assert_eq!(s, &tenants);
+                }
+            }
+        }
+    }
+
+    /// (c) `collect_streaming` yields a permutation of `collect_ordered`
+    /// with identical per-ticket outcomes, for arbitrary tenant streams and
+    /// shard counts.
+    #[test]
+    fn prop_streaming_is_a_permutation_of_ordered((spec, shards) in tenant_stream()) {
+        let reg = registry();
+        let requests = materialize(&reg, &spec);
+        let n = requests.len();
+
+        let mut ordered_runner = ShardedRunner::new(Arc::clone(&reg.0), &config(shards, 8));
+        let ordered = ordered_runner.run_stream(requests.clone());
+
+        let mut streaming_runner = ShardedRunner::new(Arc::clone(&reg.0), &config(shards, 8));
+        for r in requests {
+            streaming_runner.submit(r);
+        }
+        let mut streamed: Vec<SolveOutcome> = streaming_runner.collect_streaming(n).collect();
+        streamed.sort_by_key(|o| o.ticket);
+        prop_assert_eq!(streamed.len(), ordered.len());
+        for (s, o) in streamed.iter().zip(&ordered) {
+            prop_assert_eq!(s.ticket, o.ticket);
+            prop_assert_eq!(s.fingerprint(), o.fingerprint());
+        }
+    }
 }
