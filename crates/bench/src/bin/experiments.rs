@@ -165,8 +165,8 @@ fn run_bench_regression_gate(dir: &str, tolerance: f64, want: &impl Fn(&str) -> 
 /// single-core host's ≈1× is interpretable, matching the E8 caveat).
 fn serve_experiment(quick: bool) {
     use hypergraph_mis::serve::{
-        AdmissionConfig, Algorithm, ResidentRegistry, RoutePolicy, ServeConfig, ShardedRunner,
-        SolveError, SolveFingerprint, SolveRequest, Target, TenantId, TenantQuota,
+        AdmissionConfig, Algorithm, EpochPin, ResidentRegistry, RoutePolicy, ServeConfig,
+        ShardedRunner, SolveError, SolveFingerprint, SolveRequest, Target, TenantId, TenantQuota,
     };
     use std::sync::Arc;
 
@@ -203,6 +203,7 @@ fn serve_experiment(quick: bool) {
                     },
                     algorithm: Algorithm::Bl(BlConfig::default()),
                     seed: 0xBA7C_2000 + (n * 131 + i) as u64,
+                    pin: EpochPin::Latest,
                 }
             })
             .collect();
@@ -216,6 +217,7 @@ fn serve_experiment(quick: bool) {
                 target: Target::Adhoc(Arc::new(paper_workload(n, 0xBA7C + i as u64))),
                 algorithm: Algorithm::Sbl(SblConfig::default()),
                 seed: 0xBA7C_0000 + (n * 1000 + i) as u64,
+                pin: EpochPin::Latest,
             })
             .collect();
         workloads.push(("sbl_stream", n, registry, requests));
@@ -345,6 +347,7 @@ fn serve_experiment(quick: bool) {
                     },
                     algorithm: Algorithm::Bl(BlConfig::default()),
                     seed: 0x7E4A_2000 + i as u64,
+                    pin: EpochPin::Latest,
                 }
             })
             .collect();
@@ -485,6 +488,7 @@ fn serve_experiment(quick: bool) {
                     },
                     algorithm: Algorithm::Greedy,
                     seed: 0xADA1_2000 + i as u64,
+                    pin: EpochPin::Latest,
                 }
             })
             .collect();
@@ -572,6 +576,238 @@ fn serve_experiment(quick: bool) {
         "### admission — {adm_total} requests, 3 tenants: {} admitted, {} denied \
          (replay-deterministic)\n",
         adm_stats.admitted, adm_stats.denied
+    );
+
+    // --- Mutation: the epoch-versioned registry's copy-on-write path vs the
+    // pre-PR-6 alternative (tear everything down and re-register per graph
+    // version). Both arms answer the same query waves against the same graph
+    // versions; the mutate arm `apply`s mid-stream on one long-lived runner
+    // (warm pools, pinned in-flight requests), the rebuild arm replays the
+    // edit-log prefix into a fresh registry + fresh cold runner per epoch.
+    // Replay determinism is asserted, not assumed: the mutate arm's
+    // fingerprints must agree across shard counts, collection modes and the
+    // sequential path, and the rebuild arm must reproduce every payload. ---
+    use hypergraph::edit::{apply_edits, GraphEdit};
+    use hypergraph_mis::serve::Epoch;
+    let mut_n = 8192usize;
+    let mut_waves = 5usize; // epochs 0..=4
+    let mut_queries = if quick { 24 } else { 48 };
+    let mut_base = uniform_workload(mut_n, 3, 0x0ED1);
+    // Deterministic edit batches: each removes two current edges, adds two
+    // fresh 4-vertex edges (the base is 3-uniform, so they are never
+    // duplicates), and one batch grows the id space.
+    let mut_batches: Vec<Vec<GraphEdit>> = {
+        let mut batches = Vec::new();
+        let mut cur = mut_base.clone();
+        for k in 0..mut_waves - 1 {
+            let i1 = (k * 131 + 7) % cur.n_edges();
+            let mut i2 = (k * 257 + 3) % cur.n_edges();
+            if i2 == i1 {
+                i2 = (i2 + 1) % cur.n_edges();
+            }
+            let mut batch = vec![
+                GraphEdit::RemoveEdge(cur.edge(i1 as u32).to_vec()),
+                GraphEdit::RemoveEdge(cur.edge(i2 as u32).to_vec()),
+                GraphEdit::AddEdge((0..4).map(|j| (400 * k + j) as u32).collect()),
+                GraphEdit::AddEdge((0..4).map(|j| (400 * k + 200 + j) as u32).collect()),
+            ];
+            if k == 1 {
+                batch.push(GraphEdit::GrowVertices(64));
+            }
+            cur = apply_edits(&cur, &batch).expect("mutation bench edit script is valid");
+            batches.push(batch);
+        }
+        batches
+    };
+    // Query waves: induced BL queries over the *base* vertex range, valid at
+    // every epoch; wave w is pinned (via Latest-at-submit) to epoch w.
+    let mut_requests: Vec<Vec<(u64, Vec<u32>)>> = (0..mut_waves)
+        .map(|w| {
+            (0..mut_queries)
+                .map(|i| {
+                    let mut rng = rng_for(0x0ED1_1000 + (w * 1000 + i) as u64);
+                    let qsize = 256;
+                    let mut q: Vec<u32> = (0..mut_n as u32).collect();
+                    for k in 0..qsize {
+                        let j = rand::Rng::gen_range(&mut rng, k..mut_n);
+                        q.swap(k, j);
+                    }
+                    q.truncate(qsize);
+                    q.sort_unstable();
+                    (0x0ED1_2000 + (w * 1000 + i) as u64, q)
+                })
+                .collect()
+        })
+        .collect();
+    let mut_request = |resident, seed: u64, q: &Vec<u32>| SolveRequest {
+        tenant: TenantId(seed % 3),
+        target: Target::Induced {
+            graph: resident,
+            vertices: Arc::new(q.clone()),
+        },
+        algorithm: Algorithm::Bl(BlConfig::default()),
+        seed,
+        pin: EpochPin::Latest,
+    };
+
+    // Mutate arm: one registry, one runner, `apply` between waves.
+    let mut mutate_ms = f64::INFINITY;
+    let mut mut_reference: Vec<SolveFingerprint> = Vec::new();
+    for (it, &(shards, streaming)) in [(4usize, false), (1, false), (4, true)]
+        .iter()
+        .cycle()
+        .take(iters.max(3))
+        .enumerate()
+    {
+        let t0 = Instant::now();
+        let mut registry = ResidentRegistry::new();
+        let resident = registry.register(mut_base.clone());
+        let registry = Arc::new(registry);
+        let config = ServeConfig {
+            shards,
+            queue_depth: 64,
+            threads_per_shard: Some(1),
+            ..ServeConfig::default()
+        };
+        let mut runner = ShardedRunner::new(Arc::clone(&registry), &config);
+        for (w, wave) in mut_requests.iter().enumerate() {
+            for (seed, q) in wave {
+                runner.submit(mut_request(resident, *seed, q));
+            }
+            // Mutate while this wave is still in flight: its requests were
+            // pinned at submit, so the bump can never retarget them.
+            if let Some(batch) = mut_batches.get(w) {
+                let bumped = registry.apply(resident, batch).expect("valid edit batch");
+                assert_eq!(bumped, Epoch(w as u64 + 1));
+            }
+        }
+        let total = mut_waves * mut_queries;
+        let outs = if streaming {
+            let mut outs: Vec<_> = runner.collect_streaming(total).collect();
+            outs.sort_by_key(|o| o.ticket);
+            outs
+        } else {
+            runner.collect_ordered(total)
+        };
+        mutate_ms = mutate_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let fps: Vec<SolveFingerprint> = outs.iter().map(|o| o.fingerprint()).collect();
+        for (w, wave_fps) in fps.chunks(mut_queries).enumerate() {
+            for fp in wave_fps {
+                assert_eq!(fp.1, Some(Epoch(w as u64)), "wave {w} mispinned");
+            }
+        }
+        if it == 0 {
+            mut_reference = fps;
+        } else {
+            assert!(
+                fps == mut_reference,
+                "serve mutation: shards={shards} streaming={streaming} diverged from the \
+                 first mutate-arm run"
+            );
+        }
+    }
+    // Sequential reference: the same submit/apply sequence through a
+    // BatchRunner (Latest resolves at execution time, which on this path is
+    // submission time), so the mutate arm is pinned against the single-shard
+    // special case too.
+    {
+        let mut registry = ResidentRegistry::new();
+        let resident = registry.register(mut_base.clone());
+        let registry = Arc::new(registry);
+        let mut runner = BatchRunner::new();
+        let mut fps: Vec<SolveFingerprint> = Vec::new();
+        for (w, wave) in mut_requests.iter().enumerate() {
+            for (seed, q) in wave {
+                fps.push(
+                    runner
+                        .solve(&registry, &mut_request(resident, *seed, q))
+                        .fingerprint(),
+                );
+            }
+            if let Some(batch) = mut_batches.get(w) {
+                registry.apply(resident, batch).expect("valid edit batch");
+            }
+        }
+        assert!(
+            fps == mut_reference,
+            "serve mutation: sequential BatchRunner path diverged from the mutate arm"
+        );
+    }
+
+    // Rebuild arm: per epoch, replay the log prefix from scratch into a
+    // fresh registry and a fresh (cold) runner — what serving a mutable
+    // graph costs without the epoch-versioned registry.
+    let mut rebuild_ms = f64::INFINITY;
+    for it in 0..iters {
+        let t0 = Instant::now();
+        let mut log: Vec<GraphEdit> = Vec::new();
+        let mut fps: Vec<SolveFingerprint> = Vec::new();
+        for (w, wave) in mut_requests.iter().enumerate() {
+            let graph = apply_edits(&mut_base, &log).expect("valid edit log prefix");
+            let mut registry = ResidentRegistry::new();
+            let resident = registry.register(graph);
+            let registry = Arc::new(registry);
+            let config = ServeConfig {
+                shards: 4,
+                queue_depth: 64,
+                threads_per_shard: Some(1),
+                ..ServeConfig::default()
+            };
+            let mut runner = ShardedRunner::new(Arc::clone(&registry), &config);
+            for (seed, q) in wave {
+                runner.submit(mut_request(resident, *seed, q));
+            }
+            fps.extend(
+                runner
+                    .collect_ordered(wave.len())
+                    .iter()
+                    .map(|o| o.fingerprint()),
+            );
+            if let Some(batch) = mut_batches.get(w) {
+                log.extend(batch.iter().cloned());
+            }
+        }
+        rebuild_ms = rebuild_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        if it == 0 {
+            // Replay determinism: identical payloads, epoch field aside (the
+            // rebuilt registries are always at epoch 0).
+            assert_eq!(fps.len(), mut_reference.len());
+            for (fresh, reference) in fps.iter().zip(&mut_reference) {
+                let payload_matches = fresh.0 == reference.0
+                    && fresh.2 == reference.2
+                    && fresh.3 == reference.3
+                    && fresh.4 == reference.4
+                    && fresh.5 == reference.5
+                    && fresh.6 == reference.6
+                    && fresh.7 == reference.7;
+                assert!(
+                    payload_matches,
+                    "serve mutation: rebuilt-from-log outcome diverged (seed {})",
+                    reference.0
+                );
+            }
+        }
+    }
+    let mutate_speedup = rebuild_ms / mutate_ms;
+    entries.push(format!(
+        concat!(
+            "    {{\"kind\": \"mutation\", \"n\": {}, \"epochs\": {}, ",
+            "\"queries_per_epoch\": {}, \"mutate_ms\": {:.4}, \"rebuild_ms\": {:.4}, ",
+            "\"mutate_vs_rebuild_speedup\": {:.3}, \"replay_identical\": true, ",
+            "\"outcome_fingerprint\": \"{}\"}}"
+        ),
+        mut_n,
+        mut_waves,
+        mut_queries,
+        mutate_ms,
+        rebuild_ms,
+        mutate_speedup,
+        fingerprint_hex(&mut_reference),
+    ));
+    println!(
+        "### mutation — {mut_waves} epochs x {mut_queries} induced queries (n={mut_n}): \
+         mutate {mutate_ms:.2} ms vs rebuild {rebuild_ms:.2} ms ({mutate_speedup:.2}x; \
+         replay-identical)\n"
     );
 
     println!(

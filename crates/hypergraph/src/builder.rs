@@ -47,6 +47,32 @@ impl HypergraphBuilder {
         }
     }
 
+    /// Reopens an existing hypergraph for further construction: the builder
+    /// starts with `h`'s vertex count and edge list (already normalized and
+    /// duplicate-free), preserving edge order. `h` itself is untouched —
+    /// hypergraphs stay immutable; this is how a *new* graph is derived from
+    /// an old one. Scripted derivation with strict replay semantics lives in
+    /// [`edit::apply_edits`](crate::edit::apply_edits).
+    pub fn from_hypergraph(h: &Hypergraph) -> Self {
+        HypergraphBuilder {
+            n: h.n_vertices() as u32,
+            edges: h.edges_owned(),
+        }
+    }
+
+    /// Extends the vertex id space by `extra` fresh, initially isolated
+    /// vertices (usable by subsequent [`add_edge`](Self::add_edge) calls).
+    ///
+    /// # Panics
+    /// Panics if the id space would exceed `u32`.
+    pub fn grow_vertices(&mut self, extra: u32) -> &mut Self {
+        self.n = self
+            .n
+            .checked_add(extra)
+            .expect("vertex id space exceeds u32");
+        self
+    }
+
     /// Number of vertices the final hypergraph will have.
     pub fn n_vertices(&self) -> usize {
         self.n as usize
@@ -159,6 +185,21 @@ mod tests {
         assert_eq!(h.n_vertices(), 4);
         assert_eq!(h.n_edges(), 2);
         assert_eq!(h.dimension(), 3);
+    }
+
+    #[test]
+    fn from_hypergraph_reopens_for_derivation() {
+        let h = hypergraph_from_edges(3, vec![vec![0, 1], vec![1, 2]]);
+        let mut b = HypergraphBuilder::from_hypergraph(&h);
+        b.grow_vertices(2).add_edge([3, 4]);
+        let h2 = b.build();
+        assert_eq!(h2.n_vertices(), 5);
+        assert_eq!(h2.n_edges(), 3);
+        assert_eq!(h2.edge(0), &[0, 1]);
+        assert_eq!(h2.edge(2), &[3, 4]);
+        // The source graph is untouched.
+        assert_eq!(h.n_vertices(), 3);
+        assert_eq!(h.n_edges(), 2);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Graph-level edit scripts: the mutation vocabulary behind the serving
+//! layer's epoch-versioned resident registry.
+//!
+//! A [`GraphEdit`] describes one structural change to a [`Hypergraph`] —
+//! add an edge, remove an edge, or extend the vertex id space — and
+//! [`apply_edits`] replays a script of them against an existing graph,
+//! producing a fresh immutable [`Hypergraph`]. The semantics are chosen so
+//! that edit logs are **exactly replayable**:
+//!
+//! * Edges are normalized exactly like [`HypergraphBuilder::add_edge`]
+//!   (sorted, vertex repetitions collapsed), so `AddEdge([2, 1])` and
+//!   `AddEdge([1, 2, 2])` denote the same edit.
+//! * Application is **strict**: adding an edge that is already present,
+//!   removing one that is not, normalizing to an empty edge, or referencing
+//!   an out-of-range vertex is an [`EditError`], never a silent no-op. A
+//!   script either applies in full or reports the first offending edit, so
+//!   two replays of the same log can never diverge on "how the ambiguity was
+//!   resolved".
+//! * Application **composes**: for any split of a script `s` into `a ++ b`,
+//!   `apply_edits(&apply_edits(h, a)?, b)` equals `apply_edits(h, s)` —
+//!   edge insertion order is preserved across intermediate rebuilds. This is
+//!   what lets the registry replay any log *prefix* from any intermediate
+//!   snapshot and land on the identical graph (pinned by `tests/registry.rs`
+//!   in the facade crate and by the unit tests below).
+//!
+//! [`HypergraphBuilder::add_edge`]: crate::builder::HypergraphBuilder::add_edge
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::graph::{Hypergraph, VertexId};
+
+/// One structural change to a [`Hypergraph`] — the unit the serving layer's
+/// resident edit logs are made of. See the [module docs](self) for the
+/// replay semantics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GraphEdit {
+    /// Add an edge over the listed vertices (any order, repetitions
+    /// collapse). Errors if the normalized edge is empty, references a
+    /// vertex outside the current id space, or is already present.
+    AddEdge(Vec<VertexId>),
+    /// Remove the edge over the listed vertices (normalized the same way).
+    /// Errors if no such edge exists.
+    RemoveEdge(Vec<VertexId>),
+    /// Extend the vertex id space by this many fresh, initially isolated
+    /// vertices (they join edges through later `AddEdge`s).
+    GrowVertices(u32),
+}
+
+/// Why an edit script could not be applied. The graph is never partially
+/// modified: [`apply_edits`] validates as it goes and returns the input
+/// graph's state untouched on the first offending edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// An edge referenced a vertex at or beyond the current id space.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The vertex count at the point the edit was applied.
+        n: u32,
+    },
+    /// An `AddEdge`/`RemoveEdge` normalized to the empty edge (a hypergraph
+    /// with an empty edge has no independent set at all — see
+    /// [`HypergraphBuilder::add_edge`](crate::builder::HypergraphBuilder::add_edge)).
+    EmptyEdge,
+    /// `AddEdge` of an edge that is already present (payload: the
+    /// normalized edge).
+    DuplicateEdge(Vec<VertexId>),
+    /// `RemoveEdge` of an edge that is not present (payload: the normalized
+    /// edge).
+    NoSuchEdge(Vec<VertexId>),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edit references vertex {vertex} outside id space 0..{n}")
+            }
+            EditError::EmptyEdge => write!(f, "edit normalizes to an empty edge"),
+            EditError::DuplicateEdge(e) => write!(f, "edge {e:?} is already present"),
+            EditError::NoSuchEdge(e) => write!(f, "no edge {e:?} to remove"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Normalizes an edge exactly like the builder does (sorted, repetitions
+/// collapsed) and validates it against the current id space.
+fn normalize(vertices: &[VertexId], n: u32) -> Result<Vec<VertexId>, EditError> {
+    let set: BTreeSet<VertexId> = vertices.iter().copied().collect();
+    if set.is_empty() {
+        return Err(EditError::EmptyEdge);
+    }
+    if let Some(&v) = set.last() {
+        if v >= n {
+            return Err(EditError::VertexOutOfRange { vertex: v, n });
+        }
+    }
+    Ok(set.into_iter().collect())
+}
+
+/// Replays an edit script against `h`, producing a fresh [`Hypergraph`].
+///
+/// Surviving edges keep their relative order and added edges append, so
+/// application composes across intermediate rebuilds (see the
+/// [module docs](self)); `h` itself is never modified.
+///
+/// # Errors
+/// Returns the first [`EditError`] in script order; on error nothing is
+/// applied.
+///
+/// # Example
+/// ```
+/// use hypergraph::builder::hypergraph_from_edges;
+/// use hypergraph::edit::{apply_edits, GraphEdit};
+///
+/// let h = hypergraph_from_edges(4, vec![vec![0, 1], vec![1, 2, 3]]);
+/// let h2 = apply_edits(
+///     &h,
+///     &[
+///         GraphEdit::RemoveEdge(vec![1, 0]), // normalized: removes {0, 1}
+///         GraphEdit::GrowVertices(2),
+///         GraphEdit::AddEdge(vec![4, 5]),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(h2.n_vertices(), 6);
+/// assert_eq!(h2.n_edges(), 2);
+/// assert_eq!(h2.edge(0), &[1, 2, 3]);
+/// assert_eq!(h2.edge(1), &[4, 5]);
+/// ```
+pub fn apply_edits(h: &Hypergraph, edits: &[GraphEdit]) -> Result<Hypergraph, EditError> {
+    let mut n = h.n_vertices() as u32;
+    let mut edges = h.edges_owned();
+    let mut present: BTreeSet<Vec<VertexId>> = edges.iter().cloned().collect();
+    for edit in edits {
+        match edit {
+            GraphEdit::AddEdge(vs) => {
+                let e = normalize(vs, n)?;
+                if !present.insert(e.clone()) {
+                    return Err(EditError::DuplicateEdge(e));
+                }
+                edges.push(e);
+            }
+            GraphEdit::RemoveEdge(vs) => {
+                let e = normalize(vs, n)?;
+                if !present.remove(&e) {
+                    return Err(EditError::NoSuchEdge(e));
+                }
+                let i = edges
+                    .iter()
+                    .position(|x| *x == e)
+                    .expect("membership set and edge list agree");
+                edges.remove(i);
+            }
+            GraphEdit::GrowVertices(extra) => {
+                n = n
+                    .checked_add(*extra)
+                    .expect("edit grows the vertex id space beyond u32");
+            }
+        }
+    }
+    Ok(Hypergraph::from_sorted_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_edges;
+
+    fn base() -> Hypergraph {
+        hypergraph_from_edges(5, vec![vec![0, 1], vec![1, 2, 3], vec![2, 4]])
+    }
+
+    #[test]
+    fn add_remove_grow_round_trip() {
+        let h = apply_edits(
+            &base(),
+            &[
+                GraphEdit::AddEdge(vec![3, 4]),
+                GraphEdit::RemoveEdge(vec![1, 0]),
+                GraphEdit::GrowVertices(3),
+                GraphEdit::AddEdge(vec![5, 6, 7]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(h.n_vertices(), 8);
+        assert_eq!(h.n_edges(), 4);
+        // Survivors keep their order; additions append.
+        assert_eq!(h.edge(0), &[1, 2, 3]);
+        assert_eq!(h.edge(1), &[2, 4]);
+        assert_eq!(h.edge(2), &[3, 4]);
+        assert_eq!(h.edge(3), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn application_composes_across_splits() {
+        let script = vec![
+            GraphEdit::AddEdge(vec![0, 4]),
+            GraphEdit::RemoveEdge(vec![2, 4]),
+            GraphEdit::GrowVertices(1),
+            GraphEdit::AddEdge(vec![5, 0]),
+            GraphEdit::RemoveEdge(vec![0, 1]),
+            GraphEdit::AddEdge(vec![1, 4]),
+        ];
+        let all = apply_edits(&base(), &script).unwrap();
+        for split in 0..=script.len() {
+            let (a, b) = script.split_at(split);
+            let mid = apply_edits(&base(), a).unwrap();
+            let two_step = apply_edits(&mid, b).unwrap();
+            assert!(two_step == all, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn strict_errors_and_no_partial_application() {
+        let h = base();
+        let err = apply_edits(
+            &h,
+            &[
+                GraphEdit::AddEdge(vec![0, 2]), // fine
+                GraphEdit::AddEdge(vec![1, 0]), // duplicate of {0, 1}
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, EditError::DuplicateEdge(vec![0, 1]));
+        // `h` is untouched by the failed script (apply never mutates input).
+        assert_eq!(h.n_edges(), 3);
+
+        assert_eq!(
+            apply_edits(&h, &[GraphEdit::RemoveEdge(vec![0, 3])]).unwrap_err(),
+            EditError::NoSuchEdge(vec![0, 3])
+        );
+        assert_eq!(
+            apply_edits(&h, &[GraphEdit::AddEdge(vec![9])]).unwrap_err(),
+            EditError::VertexOutOfRange { vertex: 9, n: 5 }
+        );
+        assert_eq!(
+            apply_edits(&h, &[GraphEdit::AddEdge(vec![])]).unwrap_err(),
+            EditError::EmptyEdge
+        );
+    }
+
+    #[test]
+    fn normalization_matches_builder_semantics() {
+        // {2, 1, 1} and {1, 2} are the same edge to both add and remove.
+        let h = apply_edits(&base(), &[GraphEdit::AddEdge(vec![3, 3, 0])]).unwrap();
+        assert_eq!(h.edge(3), &[0, 3]);
+        let h2 = apply_edits(&h, &[GraphEdit::RemoveEdge(vec![0, 0, 3])]).unwrap();
+        assert!(h2 == base());
+    }
+
+    #[test]
+    fn empty_script_is_identity() {
+        assert!(apply_edits(&base(), &[]).unwrap() == base());
+    }
+
+    #[test]
+    fn grown_vertices_start_isolated() {
+        let h = apply_edits(&base(), &[GraphEdit::GrowVertices(2)]).unwrap();
+        assert_eq!(h.n_vertices(), 7);
+        assert_eq!(h.n_edges(), 3);
+        assert!(h.incident_edges(5).is_empty());
+        assert!(h.incident_edges(6).is_empty());
+    }
+}

@@ -16,6 +16,9 @@
 //!   `active::reference::ReferenceActiveHypergraph` behind the
 //!   `reference-engine` feature (on by default) and anchors the differential
 //!   test suites.
+//! * [`edit`] — graph-level edit scripts ([`GraphEdit`]): the strictly
+//!   replayable mutation vocabulary behind the serving layer's
+//!   epoch-versioned resident registry.
 //! * [`degree`] — the normalized-degree machinery of Kelsen's analysis:
 //!   `N_j(x,H)`, `d_j(x,H)`, `Δ_i(H)` and `Δ(H)` (Section 3 of the paper).
 //! * [`generate`] — seeded random hypergraph generators for every workload the
@@ -42,6 +45,7 @@
 pub mod active;
 pub mod builder;
 pub mod degree;
+pub mod edit;
 pub mod generate;
 pub mod graph;
 pub mod io;
@@ -53,6 +57,7 @@ pub mod view;
 pub use active::reference::ReferenceActiveHypergraph;
 pub use active::{ActiveEngine, ActiveHypergraph};
 pub use builder::HypergraphBuilder;
+pub use edit::{apply_edits, EditError, GraphEdit};
 pub use graph::{EdgeId, Hypergraph, VertexId};
 pub use stats::HypergraphStats;
 pub use view::HypergraphView;
@@ -64,6 +69,7 @@ pub mod prelude {
     pub use crate::active::{ActiveEngine, ActiveHypergraph};
     pub use crate::builder::HypergraphBuilder;
     pub use crate::degree;
+    pub use crate::edit::{apply_edits, EditError, GraphEdit};
     pub use crate::generate;
     pub use crate::graph::{EdgeId, Hypergraph, VertexId};
     pub use crate::params;

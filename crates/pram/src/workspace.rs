@@ -115,6 +115,13 @@ pub struct Workspace {
     // never consulted by any take/put path and excluded from
     // [`fresh_allocations`](Workspace::fresh_allocations).
     tenant_ledger: Vec<(u64, u64, u64)>,
+    // Per-resident-graph epoch ledger: `(graph, epoch, hits, rewarms)`
+    // ascending by graph key. Tracks the epoch of the snapshot this
+    // workspace last served per resident graph, so the serving layer's
+    // mutation path is observable: a solve against the epoch the workspace
+    // already holds warm state for is a "hit"; a first touch or an epoch
+    // change is a "rewarm". Pure observability, like the tenant ledger.
+    epoch_ledger: Vec<(u64, u64, u64, u64)>,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -378,6 +385,68 @@ impl Workspace {
             .iter()
             .fold((0, 0), |(h, m), e| (h + e.1, m + e.2))
     }
+
+    /// Records that this workspace is about to serve resident graph `graph`
+    /// at snapshot epoch `epoch`, and returns whether that is a warm **hit**
+    /// (`true`: the last solve against this graph used the same epoch, so
+    /// shard-local derived state matches the snapshot) or a **rewarm**
+    /// (`false`: first touch of the graph, or the graph was mutated to a new
+    /// epoch since this workspace last served it).
+    ///
+    /// The serving layer calls this once per resident/induced solve, which
+    /// makes the epoch-versioned registry's mutation cost *observable*: a
+    /// mutate-heavy stream shows one rewarm per (shard, epoch) transition,
+    /// while the old registry-rebuild path would rewarm everything. Pure
+    /// bookkeeping like [`note_tenant`](Self::note_tenant) — never
+    /// influences solve outcomes — and bounded by
+    /// [`TENANT_LEDGER_CAP`](Self::TENANT_LEDGER_CAP): graphs past the cap
+    /// share the [`TENANT_LEDGER_OVERFLOW`](Self::TENANT_LEDGER_OVERFLOW)
+    /// row, where every touch counts as a rewarm.
+    pub fn note_graph_epoch(&mut self, graph: u64, epoch: u64) -> bool {
+        match self.epoch_ledger.binary_search_by_key(&graph, |e| e.0) {
+            Ok(i) => {
+                let row = &mut self.epoch_ledger[i];
+                if row.1 == epoch {
+                    row.2 += 1;
+                    true
+                } else {
+                    row.1 = epoch;
+                    row.3 += 1;
+                    false
+                }
+            }
+            Err(i) if self.epoch_ledger.len() < Self::TENANT_LEDGER_CAP => {
+                self.epoch_ledger.insert(i, (graph, epoch, 0, 1));
+                false
+            }
+            Err(_) => {
+                // Ledger full: fold into the overflow row (u64::MAX sorts
+                // last, so the push keeps the ledger ordered).
+                match self.epoch_ledger.last_mut() {
+                    Some(last) if last.0 == Self::TENANT_LEDGER_OVERFLOW => last.3 += 1,
+                    _ => self
+                        .epoch_ledger
+                        .push((Self::TENANT_LEDGER_OVERFLOW, 0, 0, 1)),
+                }
+                false
+            }
+        }
+    }
+
+    /// The per-graph epoch ledger: `(graph, epoch last served, hits,
+    /// rewarms)`, ascending by graph key. See
+    /// [`note_graph_epoch`](Self::note_graph_epoch).
+    pub fn graph_epoch_rewarms(&self) -> &[(u64, u64, u64, u64)] {
+        &self.epoch_ledger
+    }
+
+    /// Epoch-ledger totals: `(hits, rewarms)` summed over every resident
+    /// graph this workspace has served.
+    pub fn graph_epoch_totals(&self) -> (u64, u64) {
+        self.epoch_ledger
+            .iter()
+            .fold((0, 0), |(h, r), e| (h + e.2, r + e.3))
+    }
 }
 
 /// A per-shard pool of [`Workspace`]s: the serving layer's bridge between
@@ -430,6 +499,7 @@ struct PoolSlot {
     last_takes: u64,
     last_fresh: u64,
     last_tenant_rewarms: Vec<(u64, u64, u64)>,
+    last_epoch_rewarms: Vec<(u64, u64, u64, u64)>,
 }
 
 impl WorkspacePool {
@@ -492,6 +562,7 @@ impl WorkspacePool {
         slot.last_takes = ws.takes();
         slot.last_fresh = ws.fresh_allocations();
         slot.last_tenant_rewarms = ws.tenant_rewarms().to_vec();
+        slot.last_epoch_rewarms = ws.graph_epoch_rewarms().to_vec();
         slot.parked = Some(ws);
     }
 
@@ -581,6 +652,29 @@ impl WorkspacePool {
             }
         }
         merged
+    }
+
+    /// Shard `shard`'s per-graph epoch ledger, `(graph, epoch last served,
+    /// hits, rewarms)` ascending by graph key (live if the workspace is
+    /// parked, otherwise the last-checkin snapshot). See
+    /// [`Workspace::note_graph_epoch`].
+    pub fn shard_graph_epoch_rewarms(&self, shard: usize) -> Vec<(u64, u64, u64, u64)> {
+        let slot = &self.slots[shard];
+        slot.parked.as_ref().map_or_else(
+            || slot.last_epoch_rewarms.clone(),
+            |ws| ws.graph_epoch_rewarms().to_vec(),
+        )
+    }
+
+    /// Pool-wide epoch-rewarm totals: `(hits, rewarms)` summed over every
+    /// resident graph and shard. Each registry mutation costs at most one
+    /// rewarm per shard that goes on to serve the new epoch — the
+    /// copy-on-write win over re-registering (which would cold-start every
+    /// shard) that this report makes observable.
+    pub fn graph_epoch_totals(&self) -> (u64, u64) {
+        (0..self.slots.len())
+            .flat_map(|s| self.shard_graph_epoch_rewarms(s))
+            .fold((0, 0), |(h, r), e| (h + e.2, r + e.3))
     }
 
     /// Pool-wide rewarm totals: `(hits, misses)` summed over every tenant

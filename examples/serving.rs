@@ -13,9 +13,15 @@
 //! shard by `RoutePolicy::TenantAffinity`, so its queries rewarm the same
 //! shard-local parked engines; a third "free-tier" tenant runs under a
 //! token-bucket quota and sees its over-quota requests come back as
-//! `AdmissionDenied` *outcomes*, not errors. The first responses are
-//! streamed out as they complete; the rest are collected in submission
-//! order. Every admitted outcome is reproducible from its seed alone.
+//! `AdmissionDenied` *outcomes*, not errors. Mid-stream, a **live mutation**
+//! lands on the jobs tenant (a new job with fresh conflicts): requests
+//! already submitted stay pinned to epoch 0 and later ones run against
+//! epoch 1 — the epoch-versioned registry publishes the new snapshot
+//! copy-on-write, with no re-registering and no stalled queries. The first
+//! responses are streamed out as they complete; the rest are collected in
+//! submission order. Every admitted outcome is reproducible from its
+//! `(snapshot, algorithm, seed)` alone — including pinned replays of
+//! pre-mutation outcomes after the graph has moved on.
 
 use hypergraph_mis::prelude::*;
 use hypergraph_mis::serve::{affinity_shard, SolveError};
@@ -37,10 +43,10 @@ fn main() {
     let registry = Arc::new(registry);
     println!(
         "tenants: jobs ({} vertices, {} conflicts), registers ({} vertices, {} clashes)",
-        registry.graph(jobs).n_vertices(),
-        registry.graph(jobs).n_edges(),
-        registry.graph(registers).n_vertices(),
-        registry.graph(registers).n_edges(),
+        registry.latest(jobs).graph().n_vertices(),
+        registry.latest(jobs).graph().n_edges(),
+        registry.latest(registers).graph().n_vertices(),
+        registry.latest(registers).graph().n_edges(),
     );
 
     // --- The serving layer: 4 shards, affinity routing, a free-tier quota. ---
@@ -82,6 +88,7 @@ fn main() {
             target: Target::Resident(jobs),
             algorithm: Algorithm::Sbl(SblConfig::default()),
             seed: 100 + batch,
+            pin: EpochPin::Latest,
         });
         labels.push("jobs/full sbl");
 
@@ -97,6 +104,7 @@ fn main() {
             },
             algorithm: Algorithm::Bl(BlConfig::default()),
             seed: 200 + batch,
+            pin: EpochPin::Latest,
         });
         labels.push("jobs/induced bl");
 
@@ -110,6 +118,7 @@ fn main() {
             },
             algorithm: Algorithm::Greedy,
             seed: 300 + batch,
+            pin: EpochPin::Latest,
         });
         labels.push("registers/induced greedy");
 
@@ -123,9 +132,53 @@ fn main() {
             },
             algorithm: Algorithm::Kuw,
             seed: 400 + batch,
+            pin: EpochPin::Latest,
         });
         labels.push("free/induced kuw");
     }
+
+    // --- A live mutation, mid-stream: a new job arrives, conflicting with
+    // two existing ones. The 24 in-flight requests were pinned to epoch 0 at
+    // submission, so the bump can never retarget them; requests submitted
+    // *after* it run against epoch 1. No re-registering, no rebuild for the
+    // pinned queries — the registry publishes the next snapshot
+    // copy-on-write. ---
+    let new_job = registry.latest(jobs).graph().n_vertices() as u32;
+    let bumped = registry
+        .apply(
+            jobs,
+            &[
+                GraphEdit::GrowVertices(1),
+                GraphEdit::AddEdge(vec![new_job, 17, 42]),
+            ],
+        )
+        .expect("valid live edit");
+    println!(
+        "\nlive mutation: job {new_job} registered with conflicts {{17, 42}} → jobs tenant now \
+         at epoch {} ({} vertices, {} conflicts); 24 in-flight requests stay pinned to epoch 0",
+        bumped.0,
+        registry.latest(jobs).graph().n_vertices(),
+        registry.latest(jobs).graph().n_edges(),
+    );
+    server.submit(SolveRequest {
+        tenant: JOBS,
+        target: Target::Resident(jobs),
+        algorithm: Algorithm::Sbl(SblConfig::default()),
+        seed: 100, // same seed as ticket 0 — but a different snapshot now
+        pin: EpochPin::Latest,
+    });
+    labels.push("jobs/full sbl @e1");
+    server.submit(SolveRequest {
+        tenant: JOBS,
+        target: Target::Induced {
+            graph: jobs,
+            vertices: Arc::new(vec![new_job, 17, 42, 99]),
+        },
+        algorithm: Algorithm::Bl(BlConfig::default()),
+        seed: 201,
+        pin: EpochPin::Latest,
+    });
+    labels.push("jobs/induced bl @e1");
 
     // --- Streaming collection: the first 8 outcomes as they complete
     // (out of ticket order; admission denials complete instantly). ---
@@ -169,6 +222,13 @@ fn main() {
     // admitted requests never fail, denied ones are data.
     let mut denied = 0;
     for (out, label) in collected.iter().zip(&labels) {
+        // Epoch pinning: everything submitted before the live mutation ran
+        // against epoch 0, everything after against epoch 1 — regardless of
+        // when each shard got to it.
+        if out.error.is_none() {
+            let expected = if out.ticket < 24 { Epoch(0) } else { Epoch(1) };
+            assert_eq!(out.epoch, Some(expected), "{label}: wrong epoch");
+        }
         match &out.error {
             None => {
                 assert_eq!(
@@ -177,7 +237,10 @@ fn main() {
                     "affinity violated"
                 );
                 if label.contains("full") {
-                    verify_mis(registry.graph(jobs), &out.independent_set)
+                    let snap = registry
+                        .snapshot_at(jobs, out.epoch.expect("resident solves carry their epoch"))
+                        .expect("every epoch's snapshot stays addressable");
+                    verify_mis(snap.graph(), &out.independent_set)
                         .expect("served answer is not a maximal independent set");
                 }
             }
@@ -204,8 +267,10 @@ fn main() {
     }
     assert_eq!(denied as u64, stats.denied);
 
-    // Determinism: replaying a request's (graph, algorithm, seed) on a cold
-    // sequential runner reproduces the served answer bit-for-bit.
+    // Determinism: replaying a request's (snapshot, algorithm, seed) on a
+    // cold sequential runner reproduces the served answer bit-for-bit. The
+    // registry has moved on to epoch 1, so the replay *pins* epoch 0 — old
+    // epochs stay answerable as long as their snapshots are retained.
     let replay = BatchRunner::new().solve(
         &registry,
         &SolveRequest {
@@ -213,10 +278,17 @@ fn main() {
             target: Target::Resident(jobs),
             algorithm: Algorithm::Sbl(SblConfig::default()),
             seed: 100,
+            pin: EpochPin::At(Epoch(0)),
         },
     );
     assert_eq!(replay.fingerprint(), collected[0].fingerprint());
-    println!("\nreplayed ticket 0 sequentially: identical outcome (determinism contract holds)");
+    println!(
+        "\nreplayed ticket 0 sequentially, pinned at epoch 0: identical outcome \
+         (determinism contract holds across the mutation)"
+    );
+    // Same seed, different snapshot: ticket 24 answered epoch 1, so its
+    // fingerprint legitimately differs from ticket 0's.
+    assert_ne!(collected[24].fingerprint(), collected[0].fingerprint());
 
     // The rewarm report: with affinity routing each tenant first-touches
     // exactly one shard's workspace and every later request is a hit.
@@ -230,4 +302,11 @@ fn main() {
         println!("  tenant {tenant}: {hits} rewarm hits, {misses} first-touch misses");
         assert_eq!(misses, 1, "affinity keeps every tenant on one warm shard");
     }
+    // The per-graph epoch ledger makes the mutation visible on the shards:
+    // the jobs home shard saw exactly one epoch change (0 → 1).
+    let (epoch_hits, epoch_rewarms) = pool.graph_epoch_totals();
+    println!(
+        "  resident graphs: {epoch_hits} same-epoch touches, {epoch_rewarms} epoch \
+         changes/first touches observed by the shards"
+    );
 }

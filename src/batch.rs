@@ -28,7 +28,8 @@
 //! # Determinism contract
 //!
 //! Workspace reuse never influences results: for the same `(hypergraph,
-//! seed, config)`, a `BatchRunner` solve returns bit-identical outcomes
+//! seed, config)` — for serving-layer requests, the same `(snapshot,
+//! algorithm, seed)` — a `BatchRunner` solve returns bit-identical outcomes
 //! (independent set, coloring, trace, `CostTracker` totals) to the cold
 //! entry point, at any thread count and regardless of what was solved
 //! before. `tests/batch.rs` pins this with pinned-seed streams.
@@ -81,8 +82,10 @@ impl BatchRunner {
 
     /// Executes one serving-layer request — the single-shard solve core of
     /// the [`serve`](crate::serve) subsystem. The outcome is a pure function
-    /// of `(target, algorithm, seed)`; `ticket`/`shard` are left at 0 for
-    /// the caller to fill in.
+    /// of `(snapshot, algorithm, seed)`; `ticket`/`shard` are left at 0 for
+    /// the caller to fill in. On this sequential path
+    /// [`EpochPin::Latest`](crate::serve::EpochPin) resolves *here* — the
+    /// call executes immediately, so execution time *is* submission time.
     pub fn solve(&mut self, registry: &ResidentRegistry, request: &SolveRequest) -> SolveOutcome {
         crate::serve::execute(registry, request, &mut self.ws)
     }

@@ -38,9 +38,20 @@
 //!   iterator yielding outcomes as they complete, ticketed and out of
 //!   order); the two interoperate on one runner.
 //!
+//! Resident graphs are **mutable mid-stream**: each one is epoch-versioned
+//! behind an append-only [`GraphEdit`](hypergraph::GraphEdit) log, and
+//! [`ResidentRegistry::apply`](serve::ResidentRegistry::apply) publishes the
+//! next immutable [`ResidentSnapshot`](serve::ResidentSnapshot)
+//! copy-on-write — no re-registering, no engine rebuild for readers, no
+//! stalled queries. Every request pins the epoch it was submitted against
+//! ([`EpochPin`](serve::EpochPin)), so in-flight queries on older epochs
+//! keep returning byte-identical outcomes while the log grows, and replaying
+//! any log prefix from any snapshot reproduces every outcome exactly.
+//!
 //! Each shard owns a warmed [`Workspace`](pram::Workspace) with parked
 //! engines (the zero-reallocation pipeline), and every admitted request's
-//! outcome is a pure function of `(graph, algorithm, seed)`: routing policy,
+//! outcome is a pure function of `(snapshot, algorithm, seed)` — equivalently
+//! `(snapshot, log-prefix, algorithm, seed)` — : routing policy,
 //! shard count, scheduling and collection mode change wall time and
 //! completion order, never a result. [`ServeStats`](serve::ServeStats)
 //! reports the per-tenant/per-shard accounting.
@@ -89,17 +100,20 @@
 //!     target: Target::Resident(tenant),
 //!     algorithm: Algorithm::Sbl(SblConfig::default()),
 //!     seed: 7,
+//!     pin: EpochPin::Latest,
 //! });
 //! server.submit(SolveRequest {
 //!     tenant: TenantId(1),
 //!     target: Target::Induced { graph: tenant, vertices: Arc::new((0..128).collect()) },
 //!     algorithm: Algorithm::Bl(BlConfig::default()),
 //!     seed: 8,
+//!     pin: EpochPin::Latest,
 //! });
 //!
 //! // Responses come back in submission order, whatever the scheduling.
 //! let outcomes = server.collect_ordered(2);
-//! assert!(verify_mis(registry.graph(tenant), &outcomes[0].independent_set).is_ok());
+//! let snap = registry.latest(tenant);
+//! assert!(verify_mis(snap.graph(), &outcomes[0].independent_set).is_ok());
 //! assert_eq!(outcomes[1].ticket, 1);
 //! ```
 
@@ -122,8 +136,9 @@ pub use serve::{ResidentRegistry, ServeConfig, ShardedRunner};
 pub mod prelude {
     pub use crate::batch::BatchRunner;
     pub use crate::serve::{
-        AdmissionConfig, Algorithm, GraphId, ResidentRegistry, RoutePolicy, ServeConfig,
-        ServeStats, ShardedRunner, SolveOutcome, SolveRequest, Target, TenantId, TenantQuota,
+        AdmissionConfig, Algorithm, Epoch, EpochPin, GraphId, ResidentRegistry, ResidentSnapshot,
+        RoutePolicy, ServeConfig, ServeStats, ShardedRunner, SolveOutcome, SolveRequest, Target,
+        TenantId, TenantQuota,
     };
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;

@@ -27,10 +27,14 @@
 //! target shard's queue is full (backpressure), while results flow back over
 //! an unbounded channel so workers never block.
 //!
-//! Resident graphs live in a [`ResidentRegistry`], frozen behind an `Arc`
-//! when the runner spawns: workers only ever read it (`&self` induction —
-//! see the concurrency section of [`hypergraph::ActiveEngine`]), deriving
-//! per-query sub-instances into their own shard-local engines.
+//! Resident graphs live in a [`ResidentRegistry`] — **epoch-versioned and
+//! mutable mid-stream**. Each resident graph carries an append-only
+//! [`GraphEdit`] log; [`ResidentRegistry::apply`] bumps the graph's
+//! [`Epoch`] and publishes the next immutable [`ResidentSnapshot`]
+//! (copy-on-write: older snapshots are shared untouched, so mutation never
+//! blocks or invalidates readers). Workers only ever read snapshots (`&self`
+//! induction — see the concurrency section of [`hypergraph::ActiveEngine`]),
+//! deriving per-query sub-instances into their own shard-local engines.
 //!
 //! # Tenancy
 //!
@@ -62,15 +66,30 @@
 //!
 //! # Determinism contract
 //!
-//! Every **admitted** request's outcome is a **pure function of `(graph,
+//! Every **admitted** request's outcome is a **pure function of `(snapshot,
 //! algorithm, seed)`**: the per-request RNG is derived from
 //! [`SolveRequest::seed`], the workspace never influences results (the PR-3
-//! contract), and the resident registry is immutable. Routing policy, shard
-//! count, queue depth, scheduling, thread count and collection mode may
-//! change wall time and *completion order* but never a single independent
-//! set, trace or cost total — `tests/serve.rs` pins outcomes across all
-//! three policies × 1/2/4/8 shards × both collection modes against the
-//! sequential [`BatchRunner::solve`](crate::batch::BatchRunner::solve) path.
+//! contract), and the snapshot a request runs against is fixed at
+//! submission time — [`SolveRequest::pin`] defaults to [`EpochPin::Latest`],
+//! which [`ShardedRunner::submit`] resolves to a concrete [`Epoch`] before
+//! the request is enqueued, so a mutation landing while the request waits in
+//! a shard queue can never retarget it. The resolved epoch is echoed in
+//! [`SolveOutcome::epoch`] and participates in the fingerprint. Routing
+//! policy, shard count, queue depth, scheduling, thread count and collection
+//! mode may change wall time and *completion order* but never a single
+//! independent set, trace or cost total — `tests/serve.rs` and
+//! `tests/registry.rs` pin outcomes (including interleaved mutate/query
+//! streams) across all three policies × 1/2/4/8 shards × both collection
+//! modes against the sequential
+//! [`BatchRunner::solve`](crate::batch::BatchRunner::solve) path.
+//!
+//! Because snapshots are reproducible from the edit log — epoch `k` is
+//! exactly epoch `0` plus the log prefix of length
+//! [`ResidentSnapshot::log_len`], and [`hypergraph::edit::apply_edits`]
+//! composes across any prefix split — the full contract is: outcomes are a
+//! pure function of **`(snapshot, log-prefix, algorithm, seed)`**, and
+//! replaying any prefix of a resident's edit log from any earlier snapshot
+//! reproduces every pinned outcome byte-for-byte.
 //!
 //! Admission decisions are themselves deterministic for a fixed
 //! submit/collect call sequence under `RoundRobin` and `TenantAffinity`
@@ -81,8 +100,8 @@
 //!
 //! ```
 //! use hypergraph_mis::serve::{
-//!     Algorithm, ResidentRegistry, RoutePolicy, ServeConfig, ShardedRunner, SolveRequest,
-//!     Target, TenantId,
+//!     Algorithm, Epoch, EpochPin, ResidentRegistry, RoutePolicy, ServeConfig, ShardedRunner,
+//!     SolveRequest, Target, TenantId,
 //! };
 //! use hypergraph_mis::prelude::*;
 //! use rand::SeedableRng;
@@ -110,13 +129,21 @@
 //!         target: Target::Resident(resident),
 //!         algorithm: Algorithm::Sbl(SblConfig::default()),
 //!         seed,
+//!         pin: EpochPin::Latest, // resolved to a concrete epoch at submit
 //!     });
 //! }
+//! // Mutate mid-stream: the six in-flight requests stay pinned to epoch 0.
+//! let bumped = registry
+//!     .apply(resident, &[GraphEdit::GrowVertices(8)])
+//!     .unwrap();
+//! assert_eq!(bumped, Epoch(1));
 //! let outcomes = runner.collect_ordered(6);
 //! assert_eq!(outcomes.len(), 6);
+//! let pinned = registry.snapshot_at(resident, Epoch(0)).unwrap();
 //! for (i, out) in outcomes.iter().enumerate() {
 //!     assert_eq!(out.ticket, i as u64);
-//!     assert!(verify_mis(registry.graph(resident), &out.independent_set).is_ok());
+//!     assert_eq!(out.epoch, Some(Epoch(0)));
+//!     assert!(verify_mis(pinned.graph(), &out.independent_set).is_ok());
 //! }
 //! let stats = runner.stats();
 //! assert_eq!(stats.per_tenant.len(), 2);
@@ -124,6 +151,7 @@
 //! ```
 
 use crate::batch::BatchRunner;
+use hypergraph::edit::{apply_edits, EditError, GraphEdit};
 use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
 use mis_core::linear::LinearError;
 use mis_core::prelude::*;
@@ -133,7 +161,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
 /// Identifies the tenant a [`SolveRequest`] belongs to.
@@ -267,18 +295,91 @@ pub struct GraphId {
     index: usize,
 }
 
-/// The resident-graph registry: graphs that stay loaded across a serve
-/// session, each paired with a prebuilt [`ActiveHypergraph`] engine that
-/// induced queries derive their sub-instances from.
+/// A resident graph's version number: epoch 0 is the graph as registered,
+/// and every successful [`ResidentRegistry::apply`] bumps it by one. Epoch
+/// `k` corresponds to the prefix of the graph's edit log that produced it
+/// (see [`ResidentSnapshot::log_len`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+/// Which epoch of a resident graph a [`SolveRequest`] runs against.
 ///
-/// Register every tenant **before** wrapping the registry in an `Arc` and
-/// spawning a [`ShardedRunner`] — once serving starts the registry is shared
-/// read-only across shards (that immutability is what makes concurrent
-/// `&self` induction sound; see the module docs).
+/// `Latest` is resolved to a concrete epoch **at submission time** — by
+/// [`ShardedRunner::submit`] before the request is enqueued, or by
+/// [`BatchRunner::solve`](crate::batch::BatchRunner::solve) as it executes —
+/// so an in-flight request is never retargeted by a mutation that lands
+/// while it waits in a shard queue. The resolved epoch is echoed back in
+/// [`SolveOutcome::epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpochPin {
+    /// The graph's current epoch at the moment the request is submitted.
+    #[default]
+    Latest,
+    /// A specific epoch; a value the graph has never reached comes back as
+    /// [`SolveError::UnknownEpoch`].
+    At(Epoch),
+}
+
+/// One immutable version of a resident graph: the [`Hypergraph`] at a given
+/// [`Epoch`] plus the prebuilt induction engine derived from it. Snapshots
+/// are shared (`Arc`) between the registry, in-flight requests and callers,
+/// so a mutation can never invalidate a pinned query — old epochs stay
+/// answerable as long as anything references them.
+#[derive(Debug)]
+pub struct ResidentSnapshot {
+    epoch: Epoch,
+    log_len: usize,
+    graph: Hypergraph,
+    engine: ActiveHypergraph,
+}
+
+impl ResidentSnapshot {
+    /// The epoch this snapshot materializes.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Length of the edit-log prefix that produced this snapshot: replaying
+    /// `log[..log_len]` from epoch 0 (or `log[a.log_len..b.log_len]` from
+    /// any earlier snapshot `a`) reproduces this graph exactly.
+    pub fn log_len(&self) -> usize {
+        self.log_len
+    }
+
+    /// The hypergraph at this epoch.
+    pub fn graph(&self) -> &Hypergraph {
+        &self.graph
+    }
+
+    /// The prebuilt induction engine for this epoch (what induced queries
+    /// derive their sub-instances from).
+    pub fn engine(&self) -> &ActiveHypergraph {
+        &self.engine
+    }
+}
+
+/// The resident-graph registry: graphs that stay loaded across a serve
+/// session, each **epoch-versioned** — an append-only [`GraphEdit`] log plus
+/// one immutable [`ResidentSnapshot`] per epoch (copy-on-write: mutations
+/// build the next snapshot; existing snapshots are shared untouched).
+///
+/// Register every tenant before wrapping the registry in an `Arc` and
+/// spawning a [`ShardedRunner`]; after that, *mutate through the `Arc`*:
+/// [`apply`](Self::apply) takes `&self` (each graph's version chain sits
+/// behind its own lock), appends the edits to the log and publishes the next
+/// epoch's snapshot. Workers only ever read snapshots (`&self` induction —
+/// see the concurrency section of [`hypergraph::ActiveEngine`]), and every
+/// request pins the epoch it was submitted against, so in-flight queries on
+/// older epochs keep returning byte-identical outcomes while the log grows.
+///
+/// All snapshots are retained: any `(snapshot, log-prefix)` pair remains
+/// addressable for replay, which is the determinism contract's time-travel
+/// half. The price is memory proportional to the version chain — re-register
+/// a graph to truncate its history.
 #[derive(Debug)]
 pub struct ResidentRegistry {
     tag: u64,
-    entries: Vec<ResidentGraph>,
+    entries: Vec<RwLock<ResidentState>>,
 }
 
 impl Default for ResidentRegistry {
@@ -294,11 +395,15 @@ impl Default for ResidentRegistry {
     }
 }
 
+/// One resident graph's version chain: the full edit log and every epoch's
+/// snapshot (`snapshots[k]` is epoch `k`).
 #[derive(Debug)]
-struct ResidentGraph {
-    graph: Hypergraph,
-    engine: ActiveHypergraph,
+struct ResidentState {
+    log: Vec<GraphEdit>,
+    snapshots: Vec<Arc<ResidentSnapshot>>,
 }
+
+const LOCK_POISONED: &str = "resident registry lock poisoned (a mutating thread panicked)";
 
 impl ResidentRegistry {
     /// Creates an empty registry.
@@ -306,44 +411,159 @@ impl ResidentRegistry {
         Self::default()
     }
 
-    /// Registers `graph` as a resident tenant, building its induction engine
-    /// eagerly, and returns its handle.
+    /// Registers `graph` as a resident tenant at epoch 0 (empty edit log),
+    /// building its induction engine eagerly, and returns its handle.
     pub fn register(&mut self, graph: Hypergraph) -> GraphId {
         let engine = ActiveHypergraph::from_hypergraph(&graph);
-        self.entries.push(ResidentGraph { graph, engine });
+        self.entries.push(RwLock::new(ResidentState {
+            log: Vec::new(),
+            snapshots: vec![Arc::new(ResidentSnapshot {
+                epoch: Epoch(0),
+                log_len: 0,
+                graph,
+                engine,
+            })],
+        }));
         GraphId {
             registry: self.tag,
             index: self.entries.len() - 1,
         }
     }
 
-    /// The registered hypergraph behind `id`.
+    /// Applies an edit script to the resident graph behind `id`: validates
+    /// and applies the whole batch atomically (on error nothing changes),
+    /// appends it to the graph's edit log, builds the next epoch's snapshot
+    /// and returns the new [`Epoch`]. An empty batch is free: it returns the
+    /// current epoch without bumping it (the shared-structure fast path —
+    /// no rebuild, no new snapshot).
+    ///
+    /// Works through a shared reference, so a registry already wrapped in an
+    /// `Arc` and being served can be mutated mid-stream; requests submitted
+    /// before the call keep their pinned epoch, requests submitted after see
+    /// the new one.
+    ///
+    /// # Errors
+    /// The first [`EditError`] in script order, leaving log and snapshots
+    /// untouched.
     ///
     /// # Panics
-    /// Panics if `id` did not come from this registry.
-    pub fn graph(&self, id: GraphId) -> &Hypergraph {
-        &self
-            .get(id)
-            .expect("GraphId from a different registry")
-            .graph
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn apply(&self, id: GraphId, edits: &[GraphEdit]) -> Result<Epoch, EditError> {
+        let mut st = self.locate(id).write().expect(LOCK_POISONED);
+        let current = st.snapshots.last().expect("every graph has epoch 0");
+        if edits.is_empty() {
+            return Ok(current.epoch);
+        }
+        let graph = apply_edits(&current.graph, edits)?;
+        let engine = ActiveHypergraph::from_hypergraph(&graph);
+        let epoch = Epoch(st.snapshots.len() as u64);
+        st.log.extend(edits.iter().cloned());
+        let log_len = st.log.len();
+        st.snapshots.push(Arc::new(ResidentSnapshot {
+            epoch,
+            log_len,
+            graph,
+            engine,
+        }));
+        Ok(epoch)
     }
 
-    /// The prebuilt induction engine behind `id`.
+    /// The current (most recent) snapshot of the graph behind `id`.
     ///
     /// # Panics
-    /// Panics if `id` did not come from this registry.
-    pub fn engine(&self, id: GraphId) -> &ActiveHypergraph {
-        &self
-            .get(id)
-            .expect("GraphId from a different registry")
-            .engine
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn latest(&self, id: GraphId) -> Arc<ResidentSnapshot> {
+        let st = self.locate(id).read().expect(LOCK_POISONED);
+        Arc::clone(st.snapshots.last().expect("every graph has epoch 0"))
     }
 
-    fn get(&self, id: GraphId) -> Option<&ResidentGraph> {
+    /// The snapshot of the graph behind `id` at a specific epoch, or `None`
+    /// if the graph has never reached that epoch.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn snapshot_at(&self, id: GraphId, epoch: Epoch) -> Option<Arc<ResidentSnapshot>> {
+        let st = self.locate(id).read().expect(LOCK_POISONED);
+        st.snapshots.get(epoch.0 as usize).map(Arc::clone)
+    }
+
+    /// The current epoch of the graph behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn current_epoch(&self, id: GraphId) -> Epoch {
+        self.latest(id).epoch
+    }
+
+    /// A copy of the full edit log of the graph behind `id` (epoch `k`'s
+    /// snapshot was produced by the prefix `log[..snapshot.log_len()]`).
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn edit_log(&self, id: GraphId) -> Vec<GraphEdit> {
+        self.locate(id).read().expect(LOCK_POISONED).log.clone()
+    }
+
+    /// Direct-accessor lookup with distinguished diagnostics: a foreign id
+    /// and a same-registry id with an out-of-range index are different
+    /// caller bugs and get different panic messages.
+    fn locate(&self, id: GraphId) -> &RwLock<ResidentState> {
+        assert!(
+            id.registry == self.tag,
+            "GraphId was minted by a different ResidentRegistry (id tag {}, this registry's tag {})",
+            id.registry,
+            self.tag
+        );
+        self.entries.get(id.index).unwrap_or_else(|| {
+            panic!(
+                "GraphId index {} out of range: this registry holds {} graph(s)",
+                id.index,
+                self.entries.len()
+            )
+        })
+    }
+
+    /// Request-path lookup (errors as data, never panics): resolves `id` at
+    /// `pin` to a snapshot.
+    pub(crate) fn lookup(
+        &self,
+        id: GraphId,
+        pin: EpochPin,
+    ) -> Result<Arc<ResidentSnapshot>, SolveError> {
+        if id.registry != self.tag {
+            return Err(SolveError::UnknownGraph(id));
+        }
+        let Some(entry) = self.entries.get(id.index) else {
+            return Err(SolveError::UnknownGraph(id));
+        };
+        let st = entry.read().expect(LOCK_POISONED);
+        match pin {
+            EpochPin::Latest => Ok(Arc::clone(
+                st.snapshots.last().expect("every graph has epoch 0"),
+            )),
+            EpochPin::At(epoch) => st
+                .snapshots
+                .get(epoch.0 as usize)
+                .map(Arc::clone)
+                .ok_or(SolveError::UnknownEpoch { graph: id, epoch }),
+        }
+    }
+
+    /// The current epoch of `id`, or `None` for a foreign/out-of-range id —
+    /// the non-panicking form `submit` uses to resolve [`EpochPin::Latest`]
+    /// (an unknown id must flow through as an [`SolveError::UnknownGraph`]
+    /// outcome, not a panic).
+    pub(crate) fn try_current_epoch(&self, id: GraphId) -> Option<Epoch> {
         if id.registry != self.tag {
             return None;
         }
-        self.entries.get(id.index)
+        let st = self.entries.get(id.index)?.read().expect(LOCK_POISONED);
+        Some(st.snapshots.last().expect("every graph has epoch 0").epoch)
     }
 
     /// Number of resident graphs.
@@ -410,8 +630,19 @@ pub enum Target {
     },
 }
 
+impl Target {
+    /// The resident graph this target addresses, if any.
+    fn graph_id(&self) -> Option<GraphId> {
+        match self {
+            Target::Adhoc(_) => None,
+            Target::Resident(id) => Some(*id),
+            Target::Induced { graph, .. } => Some(*graph),
+        }
+    }
+}
+
 /// One unit of work for the serving layer. Outcomes are a pure function of
-/// `(target, algorithm, seed)` — see the [module docs](self); the tenant
+/// `(snapshot, algorithm, seed)` — see the [module docs](self); the tenant
 /// only drives routing, admission and accounting.
 #[derive(Debug, Clone)]
 pub struct SolveRequest {
@@ -424,6 +655,10 @@ pub struct SolveRequest {
     pub algorithm: Algorithm,
     /// Per-request RNG seed (`ChaCha8Rng::seed_from_u64`).
     pub seed: u64,
+    /// Which epoch of a resident target to solve (ignored for
+    /// [`Target::Adhoc`]). The default, [`EpochPin::Latest`], is resolved to
+    /// a concrete epoch at submission time — see [`EpochPin`].
+    pub pin: EpochPin,
 }
 
 /// Per-algorithm instrumentation carried by a [`SolveOutcome`].
@@ -453,6 +688,14 @@ pub enum SolveError {
     NotLinear(LinearError),
     /// The request referenced a [`GraphId`] not present in the registry.
     UnknownGraph(GraphId),
+    /// The request pinned an [`Epoch`] the resident graph has never reached
+    /// (pins address existing history, not the future).
+    UnknownEpoch {
+        /// The resident graph queried.
+        graph: GraphId,
+        /// The epoch the request pinned.
+        epoch: Epoch,
+    },
     /// An induced query listed an out-of-range or duplicate vertex id.
     InvalidQuery {
         /// The offending vertex id.
@@ -495,6 +738,14 @@ pub struct SolveOutcome {
     pub tenant: TenantId,
     /// The request's RNG seed, echoed back.
     pub seed: u64,
+    /// The resident-graph epoch this outcome was computed against (the
+    /// submission-time resolution of [`SolveRequest::pin`]); `None` for
+    /// ad-hoc targets and for requests that failed before reaching a
+    /// snapshot (admission denials, unknown graphs/epochs). Part of the
+    /// deterministic payload: it is a pure function of the submit/mutate
+    /// call sequence, so it participates in
+    /// [`fingerprint`](Self::fingerprint).
+    pub epoch: Option<Epoch>,
     /// The maximal independent set (sorted, original vertex ids; empty on
     /// error).
     pub independent_set: Vec<VertexId>,
@@ -515,6 +766,7 @@ pub struct SolveOutcome {
 /// and ticket): equal across shard counts, scheduling and pool generations.
 pub type SolveFingerprint = (
     u64,
+    Option<Epoch>,
     Vec<VertexId>,
     u64,
     u64,
@@ -524,11 +776,12 @@ pub type SolveFingerprint = (
 );
 
 impl SolveOutcome {
-    /// Extracts the scheduling-independent payload: `(seed, independent set,
-    /// work, depth, rounds, trace, error)`.
+    /// Extracts the scheduling-independent payload: `(seed, epoch,
+    /// independent set, work, depth, rounds, trace, error)`.
     pub fn fingerprint(&self) -> SolveFingerprint {
         (
             self.seed,
+            self.epoch,
             self.independent_set.clone(),
             self.work,
             self.depth,
@@ -554,13 +807,34 @@ pub(crate) fn execute(
     let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
     let mut out = match &req.target {
         Target::Adhoc(h) => solve_full(h, &req.algorithm, req.seed, &mut rng, ws),
-        Target::Resident(id) => match registry.get(*id) {
-            Some(r) => solve_full(&r.graph, &req.algorithm, req.seed, &mut rng, ws),
-            None => failed(req.seed, SolveError::UnknownGraph(*id)),
+        Target::Resident(id) => match registry.lookup(*id, req.pin) {
+            Ok(snap) => {
+                // Observability only: per-graph epoch touches show the
+                // copy-on-write win over re-registering in the pool report.
+                ws.note_graph_epoch(id.index as u64, snap.epoch().0);
+                let mut out = solve_full(snap.graph(), &req.algorithm, req.seed, &mut rng, ws);
+                out.epoch = Some(snap.epoch());
+                out
+            }
+            Err(e) => failed(req.seed, e),
         },
-        Target::Induced { graph, vertices } => match registry.get(*graph) {
-            Some(r) => solve_induced(&r.engine, vertices, &req.algorithm, req.seed, &mut rng, ws),
-            None => failed(req.seed, SolveError::UnknownGraph(*graph)),
+        Target::Induced { graph, vertices } => match registry.lookup(*graph, req.pin) {
+            Ok(snap) => {
+                ws.note_graph_epoch(graph.index as u64, snap.epoch().0);
+                let mut out = solve_induced(
+                    snap.engine(),
+                    vertices,
+                    &req.algorithm,
+                    req.seed,
+                    &mut rng,
+                    ws,
+                );
+                if out.error.is_none() {
+                    out.epoch = Some(snap.epoch());
+                }
+                out
+            }
+            Err(e) => failed(req.seed, e),
         },
     };
     out.tenant = req.tenant;
@@ -573,6 +847,7 @@ fn failed(seed: u64, error: SolveError) -> SolveOutcome {
         shard: 0,
         tenant: TenantId::default(),
         seed,
+        epoch: None,
         independent_set: Vec::new(),
         work: 0,
         depth: 0,
@@ -594,6 +869,7 @@ fn outcome(
         shard: 0,
         tenant: TenantId::default(),
         seed,
+        epoch: None,
         independent_set,
         work: c.work,
         depth: c.depth,
@@ -891,6 +1167,9 @@ struct TenantState {
 /// [`shutdown`](Self::shutdown) to get the [`WorkspacePool`] (with every
 /// shard's warmed workspace checked back in) for the next serve generation.
 pub struct ShardedRunner {
+    // Held for submission-time EpochPin::Latest resolution; workers carry
+    // their own clones of the same Arc.
+    registry: Arc<ResidentRegistry>,
     senders: Vec<SyncSender<Job>>,
     results: Receiver<SolveOutcome>,
     workers: Vec<(usize, JoinHandle<Workspace>)>,
@@ -963,6 +1242,7 @@ impl ShardedRunner {
             workers.push((shard, handle));
         }
         ShardedRunner {
+            registry,
             senders,
             results,
             workers,
@@ -1000,7 +1280,7 @@ impl ShardedRunner {
     /// requests are routed to a shard by the configured [`RoutePolicy`];
     /// this call blocks while the target shard's bounded queue is full
     /// (backpressure).
-    pub fn submit(&mut self, request: SolveRequest) -> u64 {
+    pub fn submit(&mut self, mut request: SolveRequest) -> u64 {
         // `next_ticket` doubles as the logical clock admission refill runs
         // on: it advances exactly once per submit call, so a replayed
         // submit/collect sequence sees identical bucket states.
@@ -1018,8 +1298,15 @@ impl ShardedRunner {
                 st.last_refill_at = now;
             } else if let Some(add @ 1..) = (now - st.last_refill_at).checked_div(q.refill_every) {
                 // `refill_every == 0` divides to `None`: refill disabled.
+                // Saturating arithmetic throughout: with `refill_every` near
+                // `u64::MAX`, `add * refill_every` overflows even though
+                // `add ≥ 1` — clamping to the logical clock's ceiling keeps
+                // the bucket sane instead of wrapping `last_refill_at`
+                // backwards (which would mint tokens out of thin air).
                 st.tokens = st.tokens.saturating_add(add).min(q.burst);
-                st.last_refill_at += add * q.refill_every;
+                st.last_refill_at = st
+                    .last_refill_at
+                    .saturating_add(add.saturating_mul(q.refill_every));
             }
             // The in-flight cap is checked first and does not consume a
             // token: a capped burst should not also drain the bucket.
@@ -1039,6 +1326,19 @@ impl ShardedRunner {
                 out.tenant = tenant;
                 self.pending.insert(ticket, out);
                 return ticket;
+            }
+        }
+        // Resolve `EpochPin::Latest` *now*, on the caller thread: the logical
+        // submission order decides which epoch a request sees, never the race
+        // between a shard dequeue and a concurrent `ResidentRegistry::apply`.
+        // Unknown ids stay `Latest` and come back as `UnknownGraph` outcomes.
+        if matches!(request.pin, EpochPin::Latest) {
+            if let Some(epoch) = request
+                .target
+                .graph_id()
+                .and_then(|id| self.registry.try_current_epoch(id))
+            {
+                request.pin = EpochPin::At(epoch);
             }
         }
         let shard = match self.route {
@@ -1321,3 +1621,66 @@ impl Iterator for StreamingCollect<'_> {
 }
 
 impl ExactSizeIterator for StreamingCollect<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::builder::hypergraph_from_edges;
+
+    fn tiny() -> Hypergraph {
+        hypergraph_from_edges(4, vec![vec![0, 1], vec![2, 3]])
+    }
+
+    // The two `locate` failure modes are different caller bugs and must be
+    // distinguishable from the panic message alone.
+    #[test]
+    #[should_panic(expected = "minted by a different ResidentRegistry")]
+    fn foreign_id_panics_with_registry_mismatch_message() {
+        let mut a = ResidentRegistry::new();
+        let id = a.register(tiny());
+        let b = ResidentRegistry::new();
+        let _ = b.latest(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "index 7 out of range: this registry holds 1 graph(s)")]
+    fn out_of_range_index_panics_with_bounds_message() {
+        let mut a = ResidentRegistry::new();
+        let id = a.register(tiny());
+        let bad = GraphId {
+            registry: id.registry,
+            index: 7,
+        };
+        let _ = a.latest(bad);
+    }
+
+    // The request path must never panic on the same inputs: errors as data.
+    #[test]
+    fn lookup_reports_foreign_and_out_of_range_ids_as_errors() {
+        let mut a = ResidentRegistry::new();
+        let id = a.register(tiny());
+        let b = ResidentRegistry::new();
+        assert_eq!(
+            b.lookup(id, EpochPin::Latest).unwrap_err(),
+            SolveError::UnknownGraph(id)
+        );
+        let bad = GraphId {
+            registry: id.registry,
+            index: 7,
+        };
+        assert_eq!(
+            a.lookup(bad, EpochPin::Latest).unwrap_err(),
+            SolveError::UnknownGraph(bad)
+        );
+        assert_eq!(
+            a.lookup(id, EpochPin::At(Epoch(3))).unwrap_err(),
+            SolveError::UnknownEpoch {
+                graph: id,
+                epoch: Epoch(3)
+            }
+        );
+        assert!(b.try_current_epoch(id).is_none());
+        assert!(a.try_current_epoch(bad).is_none());
+        assert_eq!(a.try_current_epoch(id), Some(Epoch(0)));
+    }
+}

@@ -1,7 +1,7 @@
 //! Deterministic stream semantics of the sharded serving subsystem.
 //!
 //! The contract under test: a request's outcome is a pure function of
-//! `(graph, algorithm, seed)`. Shard count, queue depth, scheduling and pool
+//! `(snapshot, algorithm, seed)`. Shard count, queue depth, scheduling and pool
 //! generation may change wall time but never an independent set, trace or
 //! cost total — every configuration must agree outcome-for-outcome with the
 //! sequential [`BatchRunner::solve`] path, and `collect_ordered` must
@@ -106,6 +106,7 @@ fn mixed_stream(a: GraphId, b: GraphId, count: usize) -> Vec<SolveRequest> {
                 target,
                 algorithm,
                 seed,
+                pin: EpochPin::Latest,
             }
         })
         .collect()
@@ -156,7 +157,8 @@ fn outcomes_are_shard_count_invariant() {
 
 /// Checks an induced answer against an independently derived sub-instance.
 fn verify_induced(registry: &ResidentRegistry, id: GraphId, q: &[u32], set: &[u32]) {
-    let engine = registry.engine(id);
+    let snap = registry.latest(id);
+    let engine = snap.engine();
     let mut marked = vec![false; engine.id_space()];
     for &v in q {
         marked[v as usize] = true;
@@ -183,7 +185,7 @@ fn interleaved_multi_tenant_answers_are_valid() {
         assert_eq!(out.seed, req.seed);
         match (&req.target, &out.error) {
             (Target::Resident(id), None) => {
-                verify_mis(registry.graph(*id), &out.independent_set).unwrap()
+                verify_mis(registry.latest(*id).graph(), &out.independent_set).unwrap()
             }
             (Target::Adhoc(h), None) => verify_mis(h, &out.independent_set).unwrap(),
             (Target::Induced { graph, vertices }, None) => {
@@ -260,6 +262,7 @@ fn failures_come_back_as_outcomes() {
         target: Target::Resident(b),
         algorithm: Algorithm::Linear,
         seed: 1,
+        pin: EpochPin::Latest,
     });
     // Out-of-range and duplicate induced queries.
     runner.submit(SolveRequest {
@@ -270,6 +273,7 @@ fn failures_come_back_as_outcomes() {
         },
         algorithm: Algorithm::Bl(BlConfig::default()),
         seed: 2,
+        pin: EpochPin::Latest,
     });
     runner.submit(SolveRequest {
         tenant: TenantId::default(),
@@ -279,6 +283,7 @@ fn failures_come_back_as_outcomes() {
         },
         algorithm: Algorithm::Greedy,
         seed: 3,
+        pin: EpochPin::Latest,
     });
     let outcomes = runner.collect_ordered(3);
     assert!(matches!(outcomes[0].error, Some(SolveError::NotLinear(_))));
@@ -310,6 +315,7 @@ fn failures_come_back_as_outcomes() {
         target: Target::Resident(b),
         algorithm: Algorithm::Greedy,
         seed: 4,
+        pin: EpochPin::Latest,
     });
     let out = runner.collect_ordered(1);
     assert!(matches!(out[0].error, Some(SolveError::UnknownGraph(_))));
@@ -327,6 +333,7 @@ fn failures_come_back_as_outcomes() {
         },
         algorithm: Algorithm::Bl(BlConfig::default()),
         seed: 5,
+        pin: EpochPin::Latest,
     };
     // Warm the shard's induced-query scratch, poison it with a duplicate
     // (partial-mark unwind), then solve the real request.
@@ -339,6 +346,7 @@ fn failures_come_back_as_outcomes() {
         },
         algorithm: Algorithm::Bl(BlConfig::default()),
         seed: 6,
+        pin: EpochPin::Latest,
     });
     runner.submit(req.clone());
     let outcomes = runner.collect_ordered(3);
@@ -406,6 +414,7 @@ fn dead_worker_panics_the_collector_instead_of_hanging() {
         target: Target::Adhoc(oversized),
         algorithm: Algorithm::Bl(BlConfig::default()),
         seed: 1,
+        pin: EpochPin::Latest,
     });
     let _ = runner.collect_ordered(1);
 }
@@ -531,6 +540,7 @@ fn admission_denials_are_data_and_deterministic() {
                 },
                 algorithm: Algorithm::Greedy,
                 seed: i,
+                pin: EpochPin::Latest,
             });
         }
         let outs = runner.collect_ordered(12);
@@ -608,6 +618,7 @@ fn admission_denials_are_data_and_deterministic() {
         target: Target::Resident(b),
         algorithm: Algorithm::Permutation,
         seed,
+        pin: EpochPin::Latest,
     };
     runner.submit(req(1));
     runner.submit(req(2)); // over the cap while ticket 0 is in flight
@@ -626,6 +637,53 @@ fn admission_denials_are_data_and_deterministic() {
     let stats = runner.stats();
     assert_eq!(stats.per_tenant[0].denied_in_flight, 1);
     assert_eq!(stats.per_tenant[0].admitted, 2);
+}
+
+/// Token-bucket refill arithmetic must survive quotas with `refill_every`
+/// near `u64::MAX`: the refill step multiplies `add * refill_every` onto
+/// `last_refill_at`, which saturates instead of wrapping (a wrap would jump
+/// `last_refill_at` backwards and mint tokens out of thin air). The denial
+/// pattern stays sane: `burst` admissions, then every submission denied —
+/// a refill period that long never elapses on the logical clock.
+#[test]
+fn token_refill_survives_refill_periods_near_u64_max() {
+    let (registry, _a, b) = registry();
+    for refill_every in [u64::MAX, u64::MAX - 1, u64::MAX / 2] {
+        let mut cfg = config(1, 8);
+        cfg.admission = AdmissionConfig {
+            default_quota: Some(TenantQuota {
+                burst: 1,
+                refill_every,
+                max_in_flight: None,
+            }),
+            per_tenant: Vec::new(),
+        };
+        let mut runner = ShardedRunner::new(Arc::clone(&registry), &cfg);
+        for i in 0..8u64 {
+            runner.submit(SolveRequest {
+                tenant: TenantId(0),
+                target: Target::Resident(b),
+                algorithm: Algorithm::Greedy,
+                seed: i,
+                pin: EpochPin::Latest,
+            });
+        }
+        let outs = runner.collect_ordered(8);
+        assert!(
+            outs[0].error.is_none(),
+            "refill_every={refill_every}: the burst token admits the first request"
+        );
+        for out in &outs[1..] {
+            assert_eq!(
+                out.error,
+                Some(SolveError::AdmissionDenied {
+                    tenant: TenantId(0),
+                    reason: DenyReason::QuotaExhausted,
+                }),
+                "refill_every={refill_every}: the bucket must never refill on this horizon"
+            );
+        }
+    }
 }
 
 /// Tenant affinity pins every tenant to its stable hash shard, and the
@@ -724,6 +782,7 @@ fn materialize(
                 target,
                 algorithm,
                 seed,
+                pin: EpochPin::Latest,
             }
         })
         .collect()
@@ -798,6 +857,49 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// (d) Streaming under **mutation**: with registry mutations interleaved
+    /// at arbitrary submit positions, `collect_streaming` still yields a
+    /// payload-identical permutation of `collect_ordered` — run against
+    /// identically constructed registries mutated at identical stream
+    /// positions (submit-time pinning makes the epoch assignment a pure
+    /// function of the call sequence, so both runs see the same epochs).
+    #[test]
+    fn prop_streaming_with_mutations_matches_ordered(
+        (spec, shards) in tenant_stream(),
+        mut_positions in prop::collection::btree_set(0usize..25, 0..3),
+    ) {
+        let run = |streaming: bool| -> Vec<(u64, SolveFingerprint)> {
+            let reg = registry();
+            let requests = materialize(&reg, &spec);
+            let n = requests.len();
+            let mut runner = ShardedRunner::new(Arc::clone(&reg.0), &config(shards, 8));
+            for (i, r) in requests.into_iter().enumerate() {
+                if mut_positions.contains(&i) {
+                    // A structural change that is valid at every epoch: two
+                    // fresh vertices joined by a fresh edge.
+                    let base = reg.0.latest(reg.1).graph().n_vertices() as u32;
+                    reg.0
+                        .apply(reg.1, &[
+                            GraphEdit::GrowVertices(2),
+                            GraphEdit::AddEdge(vec![base, base + 1]),
+                        ])
+                        .expect("valid mid-stream edit");
+                }
+                runner.submit(r);
+            }
+            let mut outs: Vec<SolveOutcome> = if streaming {
+                runner.collect_streaming(n).collect()
+            } else {
+                runner.collect_ordered(n)
+            };
+            outs.sort_by_key(|o| o.ticket);
+            outs.iter().map(|o| (o.ticket, o.fingerprint())).collect()
+        };
+        let ordered = run(false);
+        let streamed = run(true);
+        prop_assert_eq!(ordered, streamed);
     }
 
     /// (c) `collect_streaming` yields a permutation of `collect_ordered`
