@@ -280,9 +280,17 @@ fn rule_for(key: &str) -> Rule {
         // Workload identity: a mismatch means the entries are misaligned.
         "experiment" | "kind" | "n" | "m" | "instances" | "requests" | "tenant" | "tenants"
         | "policy" | "shards" => Rule::Exact,
-        "sets_identical" | "costs_identical" | "outcomes_identical" | "deterministic_replay" => {
-            Rule::DeterminismFlag
-        }
+        // Retention accounting in the mutation entry is deterministic: the
+        // same edit stream against the same `keep_last` yields the same
+        // bound and eviction count.
+        "retention_keep_last" | "retention_snapshots_max" | "retention_evictions" => Rule::Exact,
+        "sets_identical"
+        | "costs_identical"
+        | "outcomes_identical"
+        | "deterministic_replay"
+        | "replay_identical"
+        | "wal_replay_identical"
+        | "retention_latest_identical" => Rule::DeterminismFlag,
         k if k.ends_with("_ms") || k == "ms" => Rule::WallTimeCeiling,
         k if k.starts_with("speedup") => Rule::SpeedupFloor,
         _ => Rule::Ignore,
@@ -485,6 +493,43 @@ mod tests {
                 .failures
                 .iter()
                 .any(|f| f.contains("determinism flag")),
+            "failures: {:?}",
+            report.failures
+        );
+    }
+
+    /// The PR-7 gate: `wal_replay_identical` (and its retention siblings)
+    /// are determinism flags — `false` trips even when baseline agrees, and
+    /// the retention accounting gates exactly.
+    #[test]
+    fn wal_replay_and_retention_fields_gate() {
+        let fresh = FRESH.replace(
+            "\"outcomes_identical\": true,",
+            "\"outcomes_identical\": true, \"wal_replay_identical\": true, \
+             \"retention_latest_identical\": true, \"retention_keep_last\": 1, \
+             \"retention_snapshots_max\": 2, \"retention_evictions\": 3,",
+        );
+        assert!(check_against(&fresh, &fresh, 0.0).unwrap().passed());
+        let broken = fresh.replace(
+            "\"wal_replay_identical\": true",
+            "\"wal_replay_identical\": false",
+        );
+        let report = check_against(&broken, &broken, 10.0).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("determinism flag") && f.contains("wal_replay_identical")),
+            "failures: {:?}",
+            report.failures
+        );
+        let drifted = fresh.replace("\"retention_evictions\": 3", "\"retention_evictions\": 7");
+        let report = check_against(&fresh, &drifted, 10.0).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("retention_evictions")),
             "failures: {:?}",
             report.failures
         );

@@ -165,8 +165,9 @@ fn run_bench_regression_gate(dir: &str, tolerance: f64, want: &impl Fn(&str) -> 
 /// single-core host's ≈1× is interpretable, matching the E8 caveat).
 fn serve_experiment(quick: bool) {
     use hypergraph_mis::serve::{
-        AdmissionConfig, Algorithm, EpochPin, ResidentRegistry, RoutePolicy, ServeConfig,
-        ShardedRunner, SolveError, SolveFingerprint, SolveRequest, Target, TenantId, TenantQuota,
+        AdmissionConfig, Algorithm, EpochPin, ResidentRegistry, RetentionPolicy, RoutePolicy,
+        ServeConfig, ShardedRunner, SolveError, SolveFingerprint, SolveRequest, Target, TenantId,
+        TenantQuota,
     };
     use std::sync::Arc;
 
@@ -788,13 +789,105 @@ fn serve_experiment(quick: bool) {
             }
         }
     }
+    // --- Restart-replay: the WAL is the cross-process determinism oracle.
+    // Persist the registry mid-workload (epoch 2) and at the end of the
+    // mutation stream, restore each WAL into a fresh in-process registry,
+    // and re-answer every query wave the persisted prefix covers, pinned to
+    // its epoch. Restore preserves epoch numbers, so the fingerprints must
+    // match the mutate arm's bit for bit — the `wal_replay_identical` gate
+    // consumed by `--check-against`. ---
+    let wal_replay_identical = {
+        let mut registry = ResidentRegistry::new();
+        let resident = registry.register(mut_base.clone());
+        let pid = std::process::id();
+        let mid_path = std::env::temp_dir().join(format!("bench-serve-mid-{pid}.wal"));
+        let end_path = std::env::temp_dir().join(format!("bench-serve-end-{pid}.wal"));
+        for (w, batch) in mut_batches.iter().enumerate() {
+            registry.apply(resident, batch).expect("valid edit batch");
+            if w + 1 == 2 {
+                registry
+                    .persist(resident, &mid_path)
+                    .expect("persist mid-workload WAL");
+            }
+        }
+        registry
+            .persist(resident, &end_path)
+            .expect("persist end-of-workload WAL");
+        let mut identical = true;
+        for path in [&mid_path, &end_path] {
+            let mut restored = ResidentRegistry::new();
+            let rid = restored.restore(path).expect("restore WAL");
+            std::fs::remove_file(path).ok();
+            let epochs = restored.current_epoch(rid).0 as usize + 1;
+            let mut runner = BatchRunner::new();
+            for (w, wave) in mut_requests.iter().take(epochs).enumerate() {
+                for ((seed, q), reference) in wave.iter().zip(&mut_reference[w * mut_queries..]) {
+                    let mut req = mut_request(rid, *seed, q);
+                    req.pin = EpochPin::At(Epoch(w as u64));
+                    identical &= runner.solve(&restored, &req).fingerprint() == *reference;
+                }
+            }
+        }
+        assert!(
+            identical,
+            "serve mutation: restored-from-WAL outcomes diverged from the live registry"
+        );
+        identical
+    };
+
+    // --- Retention: the same mutate workload under `keep_last = 1` must
+    // answer identically — in-flight requests hold their snapshot Arcs and
+    // Latest pins only ever resolve to live epochs — while the snapshot
+    // count stays bounded at keep_last + 2 (base + latest always retained). ---
+    let retention_keep_last = 1u64;
+    let (retention_snapshots_max, retention_evictions, retention_latest_identical) = {
+        let mut registry =
+            ResidentRegistry::with_retention(RetentionPolicy::keep_last(retention_keep_last));
+        let resident = registry.register(mut_base.clone());
+        let registry = Arc::new(registry);
+        let config = ServeConfig {
+            shards: 4,
+            queue_depth: 64,
+            threads_per_shard: Some(1),
+            ..ServeConfig::default()
+        };
+        let mut runner = ShardedRunner::new(Arc::clone(&registry), &config);
+        let mut snapshots_max = registry.retained_snapshots(resident);
+        for (w, wave) in mut_requests.iter().enumerate() {
+            for (seed, q) in wave {
+                runner.submit(mut_request(resident, *seed, q));
+            }
+            if let Some(batch) = mut_batches.get(w) {
+                registry.apply(resident, batch).expect("valid edit batch");
+            }
+            snapshots_max = snapshots_max.max(registry.retained_snapshots(resident));
+        }
+        let fps: Vec<SolveFingerprint> = runner
+            .collect_ordered(mut_waves * mut_queries)
+            .iter()
+            .map(|o| o.fingerprint())
+            .collect();
+        assert!(
+            snapshots_max <= retention_keep_last as usize + 2,
+            "serve mutation: keep_last={retention_keep_last} retained {snapshots_max} snapshots"
+        );
+        let identical = fps == mut_reference;
+        assert!(
+            identical,
+            "serve mutation: keep_last retention perturbed live outcomes"
+        );
+        (snapshots_max, registry.evictions(resident), identical)
+    };
+
     let mutate_speedup = rebuild_ms / mutate_ms;
     entries.push(format!(
         concat!(
             "    {{\"kind\": \"mutation\", \"n\": {}, \"epochs\": {}, ",
             "\"queries_per_epoch\": {}, \"mutate_ms\": {:.4}, \"rebuild_ms\": {:.4}, ",
             "\"mutate_vs_rebuild_speedup\": {:.3}, \"replay_identical\": true, ",
-            "\"outcome_fingerprint\": \"{}\"}}"
+            "\"wal_replay_identical\": {}, \"retention_keep_last\": {}, ",
+            "\"retention_snapshots_max\": {}, \"retention_evictions\": {}, ",
+            "\"retention_latest_identical\": {}, \"outcome_fingerprint\": \"{}\"}}"
         ),
         mut_n,
         mut_waves,
@@ -802,12 +895,18 @@ fn serve_experiment(quick: bool) {
         mutate_ms,
         rebuild_ms,
         mutate_speedup,
+        wal_replay_identical,
+        retention_keep_last,
+        retention_snapshots_max,
+        retention_evictions,
+        retention_latest_identical,
         fingerprint_hex(&mut_reference),
     ));
     println!(
         "### mutation — {mut_waves} epochs x {mut_queries} induced queries (n={mut_n}): \
          mutate {mutate_ms:.2} ms vs rebuild {rebuild_ms:.2} ms ({mutate_speedup:.2}x; \
-         replay-identical)\n"
+         replay-identical, WAL-replay-identical, keep_last={retention_keep_last} retention \
+         bounded at {retention_snapshots_max} snapshots / {retention_evictions} evictions)\n"
     );
 
     println!(

@@ -47,6 +47,79 @@ pub enum GraphEdit {
     GrowVertices(u32),
 }
 
+impl GraphEdit {
+    /// Appends this edit's one-line WAL encoding to `out` (including the
+    /// trailing newline) — the record body format of
+    /// [`crate::io::write_wal`]:
+    ///
+    /// ```text
+    /// add 0 4 7        <- AddEdge([0, 4, 7])
+    /// remove 2 3       <- RemoveEdge([2, 3])
+    /// grow 64          <- GrowVertices(64)
+    /// ```
+    ///
+    /// The vertex list is written exactly as stored (un-normalized), so
+    /// [`decode_line`](Self::decode_line) round-trips the edit *variant*
+    /// byte-for-byte; normalization still happens at [`apply_edits`] time,
+    /// identically on both sides of a persist/restore cycle.
+    pub fn encode_line(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            GraphEdit::AddEdge(vs) => {
+                out.push_str("add");
+                for v in vs {
+                    let _ = write!(out, " {v}");
+                }
+            }
+            GraphEdit::RemoveEdge(vs) => {
+                out.push_str("remove");
+                for v in vs {
+                    let _ = write!(out, " {v}");
+                }
+            }
+            GraphEdit::GrowVertices(extra) => {
+                let _ = write!(out, "grow {extra}");
+            }
+        }
+        out.push('\n');
+    }
+
+    /// Parses one [`encode_line`](Self::encode_line) line (without the
+    /// newline). Returns `None` for anything outside the grammar — unknown
+    /// verbs, signed or non-decimal numbers, ids beyond `u32` — never
+    /// panics. Empty vertex lists are accepted (they are representable as
+    /// edits and rejected by [`apply_edits`] like any other invalid edit).
+    pub fn decode_line(line: &str) -> Option<GraphEdit> {
+        let parse_u32 = |t: &str| -> Option<u32> {
+            // Strict digits only, matching the text-format parser: no signs,
+            // no leading `+`, no stray characters.
+            if t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            t.parse().ok()
+        };
+        let mut it = line.split_whitespace();
+        match it.next()? {
+            "add" => it
+                .map(parse_u32)
+                .collect::<Option<_>>()
+                .map(GraphEdit::AddEdge),
+            "remove" => it
+                .map(parse_u32)
+                .collect::<Option<_>>()
+                .map(GraphEdit::RemoveEdge),
+            "grow" => {
+                let extra = parse_u32(it.next()?)?;
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(GraphEdit::GrowVertices(extra))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Why an edit script could not be applied. The graph is never partially
 /// modified: [`apply_edits`] validates as it goes and returns the input
 /// graph's state untouched on the first offending edit.
@@ -255,6 +328,45 @@ mod tests {
     #[test]
     fn empty_script_is_identity() {
         assert!(apply_edits(&base(), &[]).unwrap() == base());
+    }
+
+    #[test]
+    fn line_codec_round_trips_every_variant() {
+        let edits = [
+            GraphEdit::AddEdge(vec![0, 4, 7]),
+            GraphEdit::AddEdge(vec![3, 1, 1]), // un-normalized survives as-is
+            GraphEdit::RemoveEdge(vec![2, 3]),
+            GraphEdit::GrowVertices(64),
+            GraphEdit::AddEdge(vec![]), // representable though unapplicable
+        ];
+        for edit in &edits {
+            let mut line = String::new();
+            edit.encode_line(&mut line);
+            assert!(line.ends_with('\n'));
+            assert_eq!(
+                GraphEdit::decode_line(line.trim_end()).as_ref(),
+                Some(edit),
+                "{line:?} did not round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_line_rejects_out_of_grammar_input() {
+        for line in [
+            "",
+            "shrink 3",
+            "grow",
+            "grow 1 2",
+            "grow -1",
+            "grow +1",
+            "grow 4294967296",
+            "add 1 zebra",
+            "remove 0x10",
+            "ADD 1 2",
+        ] {
+            assert_eq!(GraphEdit::decode_line(line), None, "{line:?} parsed");
+        }
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Plain-text serialization of hypergraphs.
+//! Plain-text serialization of hypergraphs, and the write-ahead-log format
+//! behind the serving layer's durable resident graphs.
+//!
+//! # Graph text format
 //!
 //! The format is line-oriented and human-editable:
 //!
@@ -11,6 +14,40 @@
 //!
 //! The header records the vertex count `n` and the edge count `m`; the edge
 //! count is validated on read. Writing always emits edges sorted as stored.
+//!
+//! # WAL format
+//!
+//! [`write_wal`] / [`read_wal`] persist a `(base snapshot, edit log)` pair —
+//! exactly the state an epoch-versioned registry needs to reproduce every
+//! epoch of a mutable resident graph. The file is line-oriented ASCII:
+//!
+//! ```text
+//! HGWAL 1 base_epoch n m log_len batches checksum     <- header
+//! R base payload_len checksum                          <- base snapshot frame
+//! <graph text format, payload_len bytes>
+//! R batch edit_count payload_len checksum              <- one frame per batch
+//! <one GraphEdit line per edit, payload_len bytes>
+//! …
+//! ```
+//!
+//! One record per **edit batch** (one applied mutation = one epoch bump), so
+//! the file encodes epoch boundaries, not just the flat log: replaying the
+//! first `k` batch records reproduces epoch `base_epoch + k` *and* its
+//! `log_len` watermark. Every frame line carries an FNV-1a checksum of its
+//! payload (the header's covers the header fields themselves), so a torn
+//! tail — a crash mid-append leaving a partial final record — is **detected
+//! and truncated at the last whole record** ([`Wal::batches_lost`]), never
+//! parsed into garbage. Corruption *before* the tail (a bad header or base
+//! record, a checksummed record whose body fails validation) is a
+//! [`ParseError`]: there is no prefix worth salvaging, or the file is lying
+//! about its own structure.
+//!
+//! All file writes here ([`write_file`], [`write_wal`]) are
+//! write-temp-then-rename: readers and crash recovery only ever observe the
+//! old file or the complete new one, never an in-place partial write (which
+//! for the text format could silently re-parse as a *smaller valid graph* —
+//! e.g. `3 2\n0 1\n0 2 1\n` truncated after `0 2` drops vertex 1 from the
+//! second edge).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -18,6 +55,7 @@ use std::io;
 use std::path::Path;
 
 use crate::builder::HypergraphBuilder;
+use crate::edit::GraphEdit;
 use crate::graph::Hypergraph;
 
 /// Largest vertex count [`from_str`] accepts. Building the arena allocates
@@ -55,6 +93,21 @@ pub enum ParseError {
         /// Edge lines actually present.
         found: usize,
     },
+    /// The WAL header line is missing, malformed, fails its checksum, or
+    /// announces an unsupported format version. Nothing after a bad header
+    /// is trusted — there is no recoverable prefix.
+    BadWalHeader(String),
+    /// A WAL record is irrecoverably corrupt: the base snapshot record is
+    /// torn or invalid (record 0), a record whose checksum *passed* fails
+    /// content validation (the file is internally inconsistent, not torn),
+    /// or whole records disagree with the header's totals.
+    CorruptWalRecord {
+        /// 0 for the base snapshot record, `k ≥ 1` for batch record `k`,
+        /// `batches + 1` for trailing bytes after the last announced record.
+        record: usize,
+        /// What failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -70,11 +123,70 @@ impl std::fmt::Display for ParseError {
             ParseError::EdgeCountMismatch { expected, found } => {
                 write!(f, "header announced {expected} edges but found {found}")
             }
+            ParseError::BadWalHeader(h) => write!(f, "bad WAL header: {h}"),
+            ParseError::CorruptWalRecord { record, detail } => {
+                write!(f, "corrupt WAL record {record}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// Errors from reading a graph or WAL file: the I/O failure and the parse
+/// failure stay distinguishable (a missing file is not a corrupt file — the
+/// registry restore path branches on exactly that).
+///
+/// The `From` impls keep the change non-breaking: `?` still converts into
+/// `std::io::Error` for callers that flatten, while [`ParseError`]'s
+/// structured context (line numbers, offending tokens, record indices)
+/// survives for callers that match.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The file was read but its contents are not a valid graph/WAL.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+            ReadError::Parse(e) => write!(f, "parse failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<ParseError> for ReadError {
+    fn from(e: ParseError) -> Self {
+        ReadError::Parse(e)
+    }
+}
+
+impl From<ReadError> for io::Error {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(e) => e,
+            ReadError::Parse(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        }
+    }
+}
 
 /// Serializes a hypergraph into the text format.
 pub fn to_string(h: &Hypergraph) -> String {
@@ -176,15 +288,319 @@ pub fn from_str(s: &str) -> Result<Hypergraph, ParseError> {
     Ok(builder.build())
 }
 
-/// Writes a hypergraph to a file in the text format.
+/// Writes `contents` to `path` atomically: the bytes land in a fresh
+/// temporary sibling first, then a `rename` (atomic on POSIX filesystems
+/// within one directory) publishes them. A crash at any point leaves either
+/// the old file or the complete new one — never a truncated prefix, which
+/// for the text format could re-parse as a smaller valid graph.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cannot write to {}: no file name", path.display()),
+        )
+    })?;
+    // Unique per process *and* per call, so concurrent writers targeting the
+    // same destination never stomp each other's temporary.
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        NEXT_TMP.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+/// Writes a hypergraph to a file in the text format, atomically
+/// (write-temp-then-rename — a crash mid-write can never leave a truncated
+/// file behind).
 pub fn write_file<P: AsRef<Path>>(h: &Hypergraph, path: P) -> io::Result<()> {
-    fs::write(path, to_string(h))
+    write_atomic(path.as_ref(), &to_string(h))
 }
 
 /// Reads a hypergraph from a file in the text format.
-pub fn read_file<P: AsRef<Path>>(path: P) -> io::Result<Hypergraph> {
+///
+/// # Errors
+/// [`ReadError::Io`] if the file cannot be read (missing, permissions, …);
+/// [`ReadError::Parse`] with the parser's full structured context if it can
+/// be read but is not a valid graph. Callers that want a plain
+/// [`io::Error`] can still use `?` — `From<ReadError> for io::Error` keeps
+/// the old flattening available without destroying the distinction here.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Hypergraph, ReadError> {
     let s = fs::read_to_string(path)?;
-    from_str(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    Ok(from_str(&s)?)
+}
+
+/// Magic + version of the WAL format emitted by [`write_wal`].
+pub const WAL_VERSION: u32 = 1;
+
+const WAL_MAGIC: &str = "HGWAL";
+
+/// FNV-1a over the payload bytes — the per-record checksum of the WAL
+/// format. Not cryptographic: it detects torn tails and bit rot, which is
+/// the threat model for a local WAL (a hostile writer can forge whatever it
+/// likes anyway, including the graph itself).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A parsed write-ahead log: everything needed to reproduce an
+/// epoch-versioned resident graph — the base snapshot, its epoch number, and
+/// the edit batches (one per epoch bump) in application order.
+#[derive(Debug)]
+pub struct Wal {
+    /// Epoch number of the base snapshot (0 for a never-compacted graph;
+    /// compaction re-bases the log on a later epoch).
+    pub base_epoch: u64,
+    /// The graph at `base_epoch`.
+    pub base: Hypergraph,
+    /// The recovered edit batches: applying `batches[..k]` to `base`
+    /// reproduces epoch `base_epoch + k`.
+    pub batches: Vec<Vec<GraphEdit>>,
+    /// Batches the header announced but that were lost to a torn tail (the
+    /// file ended mid-record). 0 for a cleanly written file; a non-zero
+    /// value means `batches` is the longest whole-record prefix.
+    pub batches_lost: usize,
+}
+
+/// Serializes a WAL (see the [module docs](self#wal-format)) to a string.
+/// `batches[k]` is the edit batch that produced epoch `base_epoch + k + 1`.
+pub fn wal_to_string(base_epoch: u64, base: &Hypergraph, batches: &[&[GraphEdit]]) -> String {
+    let log_len: usize = batches.iter().map(|b| b.len()).sum();
+    let header = format!(
+        "{WAL_MAGIC} {WAL_VERSION} {base_epoch} {} {} {log_len} {}",
+        base.n_vertices(),
+        base.n_edges(),
+        batches.len(),
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{header} {:016x}", fnv1a(header.as_bytes()));
+    let body = to_string(base);
+    let _ = writeln!(out, "R base {} {:016x}", body.len(), fnv1a(body.as_bytes()));
+    out.push_str(&body);
+    let mut body = body;
+    for batch in batches {
+        body.clear();
+        for edit in *batch {
+            edit.encode_line(&mut body);
+        }
+        let _ = writeln!(
+            out,
+            "R batch {} {} {:016x}",
+            batch.len(),
+            body.len(),
+            fnv1a(body.as_bytes())
+        );
+        out.push_str(&body);
+    }
+    out
+}
+
+/// Writes a WAL to a file, atomically (same write-temp-then-rename path as
+/// [`write_file`]).
+pub fn write_wal<P: AsRef<Path>>(
+    path: P,
+    base_epoch: u64,
+    base: &Hypergraph,
+    batches: &[&[GraphEdit]],
+) -> io::Result<()> {
+    write_atomic(path.as_ref(), &wal_to_string(base_epoch, base, batches))
+}
+
+/// Parses WAL bytes (see the [module docs](self#wal-format)).
+///
+/// The parser is total and recovery-oriented: a torn tail — the file ends
+/// mid-record, whether inside a frame line, a payload, or on a checksum
+/// mismatch of the **final** bytes — truncates the log at the last whole
+/// record ([`Wal::batches_lost`] counts the loss). A bad header, a torn or
+/// invalid *base* record, a checksummed record whose body fails validation,
+/// or whole records disagreeing with the header's totals are
+/// [`ParseError`]s: such a file is corrupt, not merely torn, and no prefix
+/// is trustworthy.
+pub fn wal_from_bytes(bytes: &[u8]) -> Result<Wal, ParseError> {
+    // Reads the line starting at `pos` (returning it without the newline and
+    // advancing past it), or `None` if no complete line remains.
+    fn take_line<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a str> {
+        let rest = &bytes[*pos..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let line = std::str::from_utf8(&rest[..nl]).ok()?;
+        *pos += nl + 1;
+        Some(line)
+    }
+    fn parse_dec(t: &str) -> Option<u64> {
+        if t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        t.parse().ok()
+    }
+    // Reads one record frame + payload. `Ok(None)` = torn at this record
+    // (the caller decides whether that is recoverable); `Ok(Some(..))` hands
+    // back the frame fields and the checksum-verified payload.
+    fn take_record<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<(Vec<&'a str>, &'a [u8])> {
+        let mark = *pos;
+        let frame = match take_line(bytes, pos) {
+            Some(f) => f,
+            None => {
+                *pos = mark;
+                return None;
+            }
+        };
+        let fields: Vec<&str> = frame.split_whitespace().collect();
+        let (Some(&"R"), Some(len), Some(sum)) = (
+            fields.first(),
+            fields
+                .get(fields.len().wrapping_sub(2))
+                .and_then(|t| parse_dec(t)),
+            fields.last().and_then(|t| u64::from_str_radix(t, 16).ok()),
+        ) else {
+            *pos = mark;
+            return None;
+        };
+        // A hostile length must not overflow the slice arithmetic: anything
+        // beyond the remaining bytes is a torn (or lying) record either way.
+        if len > (bytes.len() - *pos) as u64 {
+            *pos = mark;
+            return None;
+        }
+        let payload = &bytes[*pos..*pos + len as usize];
+        if fnv1a(payload) != sum {
+            *pos = mark;
+            return None;
+        }
+        *pos += len as usize;
+        Some((fields, payload))
+    }
+
+    let mut pos = 0usize;
+    let header = take_line(bytes, &mut pos)
+        .ok_or_else(|| ParseError::BadWalHeader("missing header line".into()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 8 || fields[0] != WAL_MAGIC {
+        return Err(ParseError::BadWalHeader(header.to_string()));
+    }
+    if parse_dec(fields[1]) != Some(WAL_VERSION as u64) {
+        return Err(ParseError::BadWalHeader(format!(
+            "unsupported WAL version {:?} (this reader understands {WAL_VERSION})",
+            fields[1]
+        )));
+    }
+    let [base_epoch, n, m, log_len, n_batches] = [2, 3, 4, 5, 6].map(|i| parse_dec(fields[i]));
+    let (Some(base_epoch), Some(n), Some(m), Some(log_len), Some(n_batches)) =
+        (base_epoch, n, m, log_len, n_batches)
+    else {
+        return Err(ParseError::BadWalHeader(header.to_string()));
+    };
+    let announced = u64::from_str_radix(fields[7], 16)
+        .map_err(|_| ParseError::BadWalHeader(header.to_string()))?;
+    let canonical = format!("{WAL_MAGIC} {WAL_VERSION} {base_epoch} {n} {m} {log_len} {n_batches}");
+    if fnv1a(canonical.as_bytes()) != announced {
+        return Err(ParseError::BadWalHeader(format!(
+            "header checksum mismatch: {header}"
+        )));
+    }
+
+    let corrupt = |record: usize, detail: String| ParseError::CorruptWalRecord { record, detail };
+    let (fields, payload) = take_record(bytes, &mut pos)
+        .ok_or_else(|| corrupt(0, "torn or missing base snapshot record".into()))?;
+    if fields.len() != 4 || fields[1] != "base" {
+        return Err(corrupt(0, format!("expected a base frame, got {fields:?}")));
+    }
+    let body = std::str::from_utf8(payload)
+        .map_err(|_| corrupt(0, "base snapshot payload is not UTF-8".into()))?;
+    let base = from_str(body).map_err(|e| corrupt(0, e.to_string()))?;
+    if (base.n_vertices() as u64, base.n_edges() as u64) != (n, m) {
+        return Err(corrupt(
+            0,
+            format!(
+                "header announced a {n}-vertex {m}-edge base, payload has {} and {}",
+                base.n_vertices(),
+                base.n_edges()
+            ),
+        ));
+    }
+
+    let mut batches: Vec<Vec<GraphEdit>> = Vec::new();
+    let mut recovered_len = 0u64;
+    while (batches.len() as u64) < n_batches {
+        let record = batches.len() + 1;
+        let Some((fields, payload)) = take_record(bytes, &mut pos) else {
+            // Torn tail: the file ends mid-record. Everything before this
+            // record checksummed clean — recover that prefix.
+            return Ok(Wal {
+                base_epoch,
+                base,
+                batches_lost: n_batches as usize - batches.len(),
+                batches,
+            });
+        };
+        // From here on the record's checksum has passed: any mismatch means
+        // the file is inconsistent with itself, which truncation cannot
+        // explain — corrupt, not torn.
+        if fields.len() != 5 || fields[1] != "batch" {
+            return Err(corrupt(
+                record,
+                format!("expected a batch frame, got {fields:?}"),
+            ));
+        }
+        let count = parse_dec(fields[2])
+            .ok_or_else(|| corrupt(record, format!("bad edit count {:?}", fields[2])))?;
+        let body = std::str::from_utf8(payload)
+            .map_err(|_| corrupt(record, "batch payload is not UTF-8".into()))?;
+        let batch = body
+            .lines()
+            .map(|line| {
+                GraphEdit::decode_line(line)
+                    .ok_or_else(|| corrupt(record, format!("bad edit line {line:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if batch.len() as u64 != count {
+            return Err(corrupt(
+                record,
+                format!("frame announced {count} edits, payload has {}", batch.len()),
+            ));
+        }
+        recovered_len += count;
+        batches.push(batch);
+    }
+    if recovered_len != log_len {
+        return Err(corrupt(
+            n_batches as usize,
+            format!("header announced log length {log_len}, records sum to {recovered_len}"),
+        ));
+    }
+    if pos != bytes.len() {
+        return Err(corrupt(
+            n_batches as usize + 1,
+            format!(
+                "{} trailing bytes after the last announced record",
+                bytes.len() - pos
+            ),
+        ));
+    }
+    Ok(Wal {
+        base_epoch,
+        base,
+        batches,
+        batches_lost: 0,
+    })
+}
+
+/// Reads a WAL from a file — [`wal_from_bytes`] over the file contents, with
+/// the I/O/parse distinction of [`ReadError`] (a missing WAL and a corrupt
+/// WAL are different recovery situations).
+pub fn read_wal<P: AsRef<Path>>(path: P) -> Result<Wal, ReadError> {
+    let bytes = fs::read(path)?;
+    Ok(wal_from_bytes(&bytes)?)
 }
 
 #[cfg(test)]
@@ -360,5 +776,222 @@ mod tests {
         let back = read_file(&path).unwrap();
         assert_eq!(h, back);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_file_distinguishes_missing_from_corrupt() {
+        let dir = std::env::temp_dir().join("hypergraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("no-such-file.hg");
+        assert!(matches!(read_file(&missing), Err(ReadError::Io(_))));
+        let corrupt = dir.join("corrupt.hg");
+        std::fs::write(&corrupt, "not a graph\n").unwrap();
+        match read_file(&corrupt) {
+            Err(ReadError::Parse(ParseError::BadHeader(_))) => {}
+            other => panic!("expected a structured parse error, got {other:?}"),
+        }
+        // The flattening escape hatch still works and keeps the kinds apart.
+        let as_io: io::Error = read_file(&corrupt).unwrap_err().into();
+        assert_eq!(as_io.kind(), io::ErrorKind::InvalidData);
+        let as_io: io::Error = read_file(&missing).unwrap_err().into();
+        assert_eq!(as_io.kind(), io::ErrorKind::NotFound);
+        let _ = std::fs::remove_file(&corrupt);
+    }
+
+    // The in-place-write hazard this module's atomic writes exist to prevent:
+    // a prefix of a valid file can itself be a valid, *smaller* graph.
+    #[test]
+    fn truncated_text_can_parse_as_a_smaller_valid_graph() {
+        let full = "3 2\n0 1\n0 2 1\n";
+        let torn = &full[..full.len() - 3]; // "3 2\n0 1\n0 2"
+        let h = from_str(torn).expect("the torn prefix is a well-formed file");
+        assert_eq!(h.n_edges(), 2);
+        assert_eq!(h.edge(1), &[0, 2]); // silently lost vertex 1
+    }
+
+    #[test]
+    fn write_file_replaces_atomically_and_leaves_no_temp_behind() {
+        let dir = std::env::temp_dir().join("hypergraph_io_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.hg");
+        let old = hypergraph_from_edges(3, vec![vec![0, 1]]);
+        let new = hypergraph_from_edges(5, vec![vec![0, 1], vec![2, 3, 4]]);
+        write_file(&old, &path).unwrap();
+        write_file(&new, &path).unwrap();
+        assert_eq!(read_file(&path).unwrap(), new);
+        // No temporary siblings survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // A simulated crash mid-write: the temporary holds the partial bytes, the
+    // destination is untouched until the rename — so a reader never observes
+    // the silently-smaller graph from the test above.
+    #[test]
+    fn partial_write_never_surfaces_as_a_smaller_graph() {
+        let dir = std::env::temp_dir().join("hypergraph_io_crash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crash.hg");
+        let committed = hypergraph_from_edges(3, vec![vec![0, 1], vec![0, 1, 2]]);
+        write_file(&committed, &path).unwrap();
+        // Crash simulation: the partial contents of a larger replacement land
+        // in a temp sibling (as write_atomic would stage them) and the
+        // process dies before the rename.
+        let replacement = to_string(&hypergraph_from_edges(3, vec![vec![0, 1], vec![0, 2, 1]]));
+        for cut in 0..replacement.len() {
+            std::fs::write(dir.join(".crash.hg.tmp.dead.0"), &replacement[..cut]).unwrap();
+            // The destination still reads as the committed graph, whatever
+            // the torn temp contains.
+            assert_eq!(read_file(&path).unwrap(), committed);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn demo_batches() -> Vec<Vec<GraphEdit>> {
+        vec![
+            vec![
+                GraphEdit::AddEdge(vec![0, 3]),
+                GraphEdit::GrowVertices(2),
+                GraphEdit::AddEdge(vec![4, 5]),
+            ],
+            vec![GraphEdit::RemoveEdge(vec![0, 1])],
+            vec![
+                GraphEdit::AddEdge(vec![1, 2, 3]),
+                GraphEdit::RemoveEdge(vec![4, 5]),
+            ],
+        ]
+    }
+
+    #[test]
+    fn wal_round_trip() {
+        let base = hypergraph_from_edges(4, vec![vec![0, 1], vec![1, 2, 3]]);
+        let batches = demo_batches();
+        let refs: Vec<&[GraphEdit]> = batches.iter().map(|b| b.as_slice()).collect();
+        let s = wal_to_string(7, &base, &refs);
+        let wal = wal_from_bytes(s.as_bytes()).unwrap();
+        assert_eq!(wal.base_epoch, 7);
+        assert_eq!(wal.base, base);
+        assert_eq!(wal.batches, batches);
+        assert_eq!(wal.batches_lost, 0);
+        // And through a file, atomically.
+        let dir = std::env::temp_dir().join("hypergraph_io_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round.wal");
+        write_wal(&path, 7, &base, &refs).unwrap();
+        let wal = read_wal(&path).unwrap();
+        assert_eq!((wal.base_epoch, wal.batches), (7, batches));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_with_no_batches_round_trips() {
+        let base = hypergraph_from_edges(2, vec![vec![0, 1]]);
+        let s = wal_to_string(0, &base, &[]);
+        let wal = wal_from_bytes(s.as_bytes()).unwrap();
+        assert_eq!(wal.base, base);
+        assert!(wal.batches.is_empty());
+        assert_eq!(wal.batches_lost, 0);
+    }
+
+    // Truncation at *every* byte boundary: the parser must recover the
+    // longest whole-record prefix (torn tail) or report a ParseError (torn
+    // header/base) — never panic, and never mis-parse a partial record as a
+    // shorter-but-valid one.
+    #[test]
+    fn wal_truncated_at_every_byte_recovers_a_whole_record_prefix() {
+        let base = hypergraph_from_edges(4, vec![vec![0, 1], vec![1, 2, 3]]);
+        let batches = demo_batches();
+        let refs: Vec<&[GraphEdit]> = batches.iter().map(|b| b.as_slice()).collect();
+        let s = wal_to_string(0, &base, &refs);
+        let bytes = s.as_bytes();
+        let mut recovered_counts = std::collections::BTreeSet::new();
+        for cut in 0..bytes.len() {
+            match wal_from_bytes(&bytes[..cut]) {
+                Ok(wal) => {
+                    // Whatever survived must be an exact prefix of the
+                    // original batches — recovery never invents edits.
+                    assert!(wal.batches.len() < batches.len(), "cut {cut}");
+                    assert_eq!(wal.batches_lost, batches.len() - wal.batches.len());
+                    assert_eq!(wal.batches[..], batches[..wal.batches.len()], "cut {cut}");
+                    assert_eq!(wal.base, base, "cut {cut}");
+                    recovered_counts.insert(wal.batches.len());
+                }
+                Err(_) => {
+                    // Acceptable only while the header/base region is torn —
+                    // i.e. before the first batch record is whole.
+                }
+            }
+        }
+        // Every proper prefix length was reachable by some cut.
+        assert_eq!(
+            recovered_counts.into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "some whole-record prefix was never recovered"
+        );
+        // The untruncated file still parses in full.
+        assert_eq!(wal_from_bytes(bytes).unwrap().batches, batches);
+    }
+
+    #[test]
+    fn wal_corruption_is_an_error_not_a_truncation() {
+        let base = hypergraph_from_edges(4, vec![vec![0, 1], vec![1, 2, 3]]);
+        let batches = demo_batches();
+        let refs: Vec<&[GraphEdit]> = batches.iter().map(|b| b.as_slice()).collect();
+        let good = wal_to_string(3, &base, &refs);
+
+        // Bad magic / version / header checksum.
+        assert!(matches!(
+            wal_from_bytes(b"NOTWAL 1 0 0 0 0 0 0\n"),
+            Err(ParseError::BadWalHeader(_))
+        ));
+        assert!(matches!(
+            wal_from_bytes(good.replacen("HGWAL 1", "HGWAL 2", 1).as_bytes()),
+            Err(ParseError::BadWalHeader(_))
+        ));
+        assert!(matches!(
+            wal_from_bytes(good.replacen(" 3 ", " 4 ", 1).as_bytes()),
+            Err(ParseError::BadWalHeader(_)) // checksum no longer matches
+        ));
+
+        // Trailing garbage after the announced records.
+        let mut trailing = good.clone();
+        trailing.push_str("R batch 0 0 0\n");
+        assert!(matches!(
+            wal_from_bytes(trailing.as_bytes()),
+            Err(ParseError::CorruptWalRecord { .. })
+        ));
+
+        // A checksummed record whose body fails validation: corrupt the edit
+        // count while fixing the frame so the checksum still passes.
+        let broken = good.replacen("R batch 1 ", "R batch 2 ", 1);
+        assert!(matches!(
+            wal_from_bytes(broken.as_bytes()),
+            Err(ParseError::CorruptWalRecord { record: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn wal_bit_flips_never_panic() {
+        let base = hypergraph_from_edges(4, vec![vec![0, 1], vec![1, 2, 3]]);
+        let batches = demo_batches();
+        let refs: Vec<&[GraphEdit]> = batches.iter().map(|b| b.as_slice()).collect();
+        let good = wal_to_string(0, &base, &refs);
+        for i in 0..good.len() {
+            let mut bytes = good.clone().into_bytes();
+            bytes[i] ^= 0x20;
+            // Any outcome is fine except a panic or invented edits: whatever
+            // still parses must be an exact prefix of the true batches (a
+            // flipped record fails its checksum, so it can only be dropped,
+            // never altered — barring an FNV collision, which a single-bit
+            // flip cannot produce here).
+            if let Ok(wal) = wal_from_bytes(&bytes) {
+                assert_eq!(wal.batches[..], batches[..wal.batches.len()], "flip at {i}");
+            }
+        }
     }
 }

@@ -27,7 +27,10 @@
 //! * [`params`] — the paper's parameter formulas (`α`, `β`, the dimension
 //!   bound `d(n)`, the sampling probability `p(n)`), with the iterated-log
 //!   helpers they are built from.
-//! * [`io`] — a small text format for persisting hypergraphs.
+//! * [`io`] — a small text format for persisting hypergraphs, plus the
+//!   checksummed write-ahead-log format (`write_wal`/`read_wal`) behind the
+//!   serving layer's durable resident graphs; all file writes are atomic
+//!   (write-temp-then-rename).
 //! * [`stats`] — summary statistics used by examples and the experiment
 //!   harness.
 //!

@@ -122,6 +122,12 @@ pub struct Workspace {
     // already holds warm state for is a "hit"; a first touch or an epoch
     // change is a "rewarm". Pure observability, like the tenant ledger.
     epoch_ledger: Vec<(u64, u64, u64, u64)>,
+    // Per-resident-graph eviction ledger: `(graph, evicted-pin touches)`
+    // ascending by graph key. Counts solves that arrived pinned to an epoch
+    // the registry's retention policy had already dropped — retention
+    // pressure as seen by the serving layer, per graph. Pure observability,
+    // like the tenant and epoch ledgers.
+    eviction_ledger: Vec<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -447,6 +453,44 @@ impl Workspace {
             .iter()
             .fold((0, 0), |(h, r), e| (h + e.2, r + e.3))
     }
+
+    /// Records that a solve arrived pinned to an epoch of resident graph
+    /// `graph` that the registry's retention policy had already evicted (the
+    /// request was answered with `EpochEvicted` outcome data). Pure
+    /// bookkeeping like [`note_tenant`](Self::note_tenant) — never influences
+    /// solve outcomes — and bounded by
+    /// [`TENANT_LEDGER_CAP`](Self::TENANT_LEDGER_CAP): graphs past the cap
+    /// share the [`TENANT_LEDGER_OVERFLOW`](Self::TENANT_LEDGER_OVERFLOW)
+    /// row.
+    pub fn note_graph_evicted(&mut self, graph: u64) {
+        match self.eviction_ledger.binary_search_by_key(&graph, |e| e.0) {
+            Ok(i) => self.eviction_ledger[i].1 += 1,
+            Err(i) if self.eviction_ledger.len() < Self::TENANT_LEDGER_CAP => {
+                self.eviction_ledger.insert(i, (graph, 1));
+            }
+            Err(_) => {
+                // Ledger full: fold into the overflow row (u64::MAX sorts
+                // last, so the push keeps the ledger ordered).
+                match self.eviction_ledger.last_mut() {
+                    Some(last) if last.0 == Self::TENANT_LEDGER_OVERFLOW => last.1 += 1,
+                    _ => self.eviction_ledger.push((Self::TENANT_LEDGER_OVERFLOW, 1)),
+                }
+            }
+        }
+    }
+
+    /// The per-graph eviction ledger: `(graph, evicted-pin touches)`,
+    /// ascending by graph key. See
+    /// [`note_graph_evicted`](Self::note_graph_evicted).
+    pub fn graph_evictions(&self) -> &[(u64, u64)] {
+        &self.eviction_ledger
+    }
+
+    /// Eviction-ledger total: evicted-pin touches summed over every resident
+    /// graph this workspace has served.
+    pub fn graph_eviction_total(&self) -> u64 {
+        self.eviction_ledger.iter().map(|e| e.1).sum()
+    }
 }
 
 /// A per-shard pool of [`Workspace`]s: the serving layer's bridge between
@@ -500,6 +544,7 @@ struct PoolSlot {
     last_fresh: u64,
     last_tenant_rewarms: Vec<(u64, u64, u64)>,
     last_epoch_rewarms: Vec<(u64, u64, u64, u64)>,
+    last_evictions: Vec<(u64, u64)>,
 }
 
 impl WorkspacePool {
@@ -563,6 +608,7 @@ impl WorkspacePool {
         slot.last_fresh = ws.fresh_allocations();
         slot.last_tenant_rewarms = ws.tenant_rewarms().to_vec();
         slot.last_epoch_rewarms = ws.graph_epoch_rewarms().to_vec();
+        slot.last_evictions = ws.graph_evictions().to_vec();
         slot.parked = Some(ws);
     }
 
@@ -675,6 +721,29 @@ impl WorkspacePool {
         (0..self.slots.len())
             .flat_map(|s| self.shard_graph_epoch_rewarms(s))
             .fold((0, 0), |(h, r), e| (h + e.2, r + e.3))
+    }
+
+    /// Shard `shard`'s per-graph eviction ledger, `(graph, evicted-pin
+    /// touches)` ascending by graph key (live if the workspace is parked,
+    /// otherwise the last-checkin snapshot). See
+    /// [`Workspace::note_graph_evicted`].
+    pub fn shard_graph_evictions(&self, shard: usize) -> Vec<(u64, u64)> {
+        let slot = &self.slots[shard];
+        slot.parked.as_ref().map_or_else(
+            || slot.last_evictions.clone(),
+            |ws| ws.graph_evictions().to_vec(),
+        )
+    }
+
+    /// Pool-wide eviction total: evicted-pin touches summed over every
+    /// resident graph and shard. A non-zero value means tenants are pinning
+    /// epochs below the registry's retention floor — the signal to raise
+    /// `keep_last` (or stop compacting) for those graphs.
+    pub fn graph_eviction_total(&self) -> u64 {
+        (0..self.slots.len())
+            .flat_map(|s| self.shard_graph_evictions(s))
+            .map(|e| e.1)
+            .sum()
     }
 
     /// Pool-wide rewarm totals: `(hits, misses)` summed over every tenant
@@ -868,6 +937,44 @@ mod tests {
         assert!(ws.note_tenant(3));
         let (hits, misses) = ws.tenant_rewarm_totals();
         assert_eq!(hits + misses, Workspace::TENANT_LEDGER_CAP as u64 + 501);
+    }
+
+    #[test]
+    fn eviction_ledger_counts_per_graph_and_is_bounded() {
+        let mut ws = Workspace::new();
+        ws.note_graph_evicted(7);
+        ws.note_graph_evicted(3);
+        ws.note_graph_evicted(7);
+        assert_eq!(ws.graph_evictions(), &[(3, 1), (7, 2)]);
+        assert_eq!(ws.graph_eviction_total(), 3);
+        for g in 0..Workspace::TENANT_LEDGER_CAP as u64 + 500 {
+            ws.note_graph_evicted(g);
+        }
+        // Cap rows plus the single overflow row; every touch stays counted.
+        assert_eq!(ws.graph_evictions().len(), Workspace::TENANT_LEDGER_CAP + 1);
+        let last = *ws.graph_evictions().last().unwrap();
+        assert_eq!(last.0, Workspace::TENANT_LEDGER_OVERFLOW);
+        assert_eq!(
+            ws.graph_eviction_total(),
+            Workspace::TENANT_LEDGER_CAP as u64 + 503
+        );
+    }
+
+    #[test]
+    fn pool_reports_evictions_for_parked_and_checked_out_shards() {
+        let mut pool = WorkspacePool::new(2);
+        let mut ws = pool.checkout(0);
+        ws.note_graph_evicted(5);
+        ws.note_graph_evicted(5);
+        pool.checkin(0, ws);
+        // Parked: live ledger.
+        assert_eq!(pool.shard_graph_evictions(0), vec![(5, 2)]);
+        assert_eq!(pool.graph_eviction_total(), 2);
+        // Checked out again: the last-checkin snapshot answers.
+        let ws = pool.checkout(0);
+        assert_eq!(pool.shard_graph_evictions(0), vec![(5, 2)]);
+        assert_eq!(pool.graph_eviction_total(), 2);
+        pool.checkin(0, ws);
     }
 
     #[test]

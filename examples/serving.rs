@@ -22,6 +22,15 @@
 //! submission order. Every admitted outcome is reproducible from its
 //! `(snapshot, algorithm, seed)` alone — including pinned replays of
 //! pre-mutation outcomes after the graph has moved on.
+//!
+//! The session ends with the **durability lifecycle**: `persist` writes the
+//! jobs tenant's `(snapshot₀, edit log)` as a checksummed WAL, `compact`
+//! truncates the live history (pins below the new floor answer
+//! `EpochEvicted` as outcome data, counted in the pool's eviction ledger),
+//! and `restore` rebuilds the full pre-compaction history in a fresh
+//! registry — the epoch-0 answer reproduces bit-for-bit across the process
+//! boundary. Persist before compact: the WAL is what keeps truncated
+//! history recoverable.
 
 use hypergraph_mis::prelude::*;
 use hypergraph_mis::serve::{affinity_shard, SolveError};
@@ -308,5 +317,78 @@ fn main() {
     println!(
         "  resident graphs: {epoch_hits} same-epoch touches, {epoch_rewarms} epoch \
          changes/first touches observed by the shards"
+    );
+
+    // --- The durability lifecycle: persist → compact → restore. The edit
+    // history *is* a write-ahead log; persisting it before compaction is
+    // what keeps truncated history recoverable. ---
+    let wal = std::env::temp_dir().join(format!("serving-jobs-{}.wal", std::process::id()));
+    registry.persist(jobs, &wal).expect("persist jobs WAL");
+    let compacted = registry.compact(jobs);
+    println!(
+        "\npersisted the jobs tenant to a WAL, then compacted the live registry onto epoch {}: \
+         {} snapshot retained, edit log emptied, epoch numbering preserved",
+        compacted.0,
+        registry.retained_snapshots(jobs),
+    );
+
+    // A second serve generation over the same warmed pool: a pin below the
+    // compaction floor comes back as an `EpochEvicted` *outcome* — the epoch
+    // was real history, which distinguishes it from `UnknownEpoch` ("never
+    // reached") — and the pool's eviction ledger counts the touch.
+    let mut server = ShardedRunner::with_pool(Arc::clone(&registry), &config, pool);
+    server.submit(SolveRequest {
+        tenant: JOBS,
+        target: Target::Resident(jobs),
+        algorithm: Algorithm::Sbl(SblConfig::default()),
+        seed: 100,
+        pin: EpochPin::At(Epoch(0)), // pre-compaction history
+    });
+    server.submit(SolveRequest {
+        tenant: JOBS,
+        target: Target::Resident(jobs),
+        algorithm: Algorithm::Sbl(SblConfig::default()),
+        seed: 100,
+        pin: EpochPin::Latest, // the compacted head still serves
+    });
+    let outs = server.collect_outstanding();
+    match &outs[0].error {
+        Some(SolveError::EpochEvicted { epoch, floor, .. }) => println!(
+            "  epoch {} pin → EpochEvicted outcome (retention floor is epoch {})",
+            epoch.0, floor.0
+        ),
+        other => panic!("expected an EpochEvicted outcome, got {other:?}"),
+    }
+    assert!(outs[1].error.is_none(), "the compacted head still serves");
+    assert_eq!(outs[1].epoch, Some(compacted));
+    let pool = server.shutdown();
+    println!(
+        "  pool eviction ledger: {} evicted-pin touch(es) recorded by the shards",
+        pool.graph_eviction_total()
+    );
+    assert_eq!(pool.graph_eviction_total(), 1);
+
+    // Restore rebuilds the full pre-compaction history in a fresh registry —
+    // a stand-in for a fresh process after a deploy. Ticket 0's epoch-0
+    // answer reproduces bit-for-bit across the boundary: determinism is now
+    // cross-process, `(persisted snapshot₀ + log prefix, algorithm, seed)`
+    // fixes the outcome.
+    let mut restored_registry = ResidentRegistry::new();
+    let restored_jobs = restored_registry.restore(&wal).expect("restore jobs WAL");
+    std::fs::remove_file(&wal).ok();
+    let replay = BatchRunner::new().solve(
+        &restored_registry,
+        &SolveRequest {
+            tenant: JOBS,
+            target: Target::Resident(restored_jobs),
+            algorithm: Algorithm::Sbl(SblConfig::default()),
+            seed: 100,
+            pin: EpochPin::At(Epoch(0)),
+        },
+    );
+    assert_eq!(replay.fingerprint(), collected[0].fingerprint());
+    println!(
+        "restored the WAL into a fresh registry: the epoch-0 answer is identical across the \
+         process boundary"
     );
 }

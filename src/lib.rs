@@ -137,8 +137,8 @@ pub mod prelude {
     pub use crate::batch::BatchRunner;
     pub use crate::serve::{
         AdmissionConfig, Algorithm, Epoch, EpochPin, GraphId, ResidentRegistry, ResidentSnapshot,
-        RoutePolicy, ServeConfig, ServeStats, ShardedRunner, SolveOutcome, SolveRequest, Target,
-        TenantId, TenantQuota,
+        RetentionPolicy, RoutePolicy, ServeConfig, ServeStats, ShardedRunner, SolveOutcome,
+        SolveRequest, Target, TenantId, TenantQuota,
     };
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;

@@ -91,6 +91,52 @@
 //! replaying any prefix of a resident's edit log from any earlier snapshot
 //! reproduces every pinned outcome byte-for-byte.
 //!
+//! # Durability contract
+//!
+//! The edit log *is* a write-ahead log, and the registry can prove it:
+//! [`ResidentRegistry::persist`] writes a graph's `(base snapshot, edit
+//! log)` to the checksummed, versioned on-disk format of
+//! [`hypergraph::io::write_wal`] (atomically — write-temp-then-rename), and
+//! [`ResidentRegistry::restore`] replays it through the ordinary
+//! [`apply`](ResidentRegistry::apply) path to reproduce a byte-identical
+//! registry entry: same epoch numbers, same
+//! [`log_len`](ResidentSnapshot::log_len) watermarks, same solve
+//! fingerprints for every epoch-pinned and latest-pinned query. The
+//! determinism contract is therefore also **cross-process**: `(persisted
+//! snapshot₀ + log prefix, algorithm, seed)` fixes the outcome on whatever
+//! machine replays the WAL. A torn tail — a crash mid-append — is detected
+//! by per-record checksums and truncated at the last whole record (an epoch
+//! boundary, since the WAL stores one record per edit batch), never parsed
+//! into garbage; see [`hypergraph::io::read_wal`].
+//!
+//! # Retention and compaction
+//!
+//! By default every snapshot is retained (the `keep-all` of
+//! [`RetentionPolicy::default`]), so any epoch stays addressable forever at
+//! memory cost proportional to the version chain. A registry built with
+//! [`ResidentRegistry::with_retention`] and `keep_last: Some(k)` instead
+//! drops snapshot `Arc`s below the **retention floor** — only the base
+//! epoch (always), and the latest `k` epochs stay resident, bounding the
+//! snapshot count by `k + 1` regardless of how many epochs accumulate,
+//! while the *log stays complete*, so evicted epochs remain replayable from disk
+//! or via [`edit_log`](ResidentRegistry::edit_log). Pinning an epoch below
+//! the floor ([`EpochPin::At`]) answers with
+//! [`SolveError::EpochEvicted`] — outcome data carrying the floor, never a
+//! panic — and is **distinct from** [`SolveError::UnknownEpoch`], which
+//! keeps meaning "never reached". In-flight requests are safe by
+//! construction: [`ShardedRunner::submit`] resolves the pin to a snapshot
+//! `Arc` *at submission time*, so an eviction (or compaction) landing while
+//! the request waits in a shard queue cannot change its answer — exactly
+//! the MVCC rule that a reader's snapshot stays alive for as long as the
+//! reader holds it.
+//!
+//! [`ResidentRegistry::compact`] re-bases a graph's history onto its
+//! current snapshot: the log empties, the current epoch becomes the base
+//! epoch (epoch *numbers* are preserved — existing pins keep their
+//! meaning), and earlier epochs become [`SolveError::EpochEvicted`]. Use it
+//! for graphs whose tenants never pin history; persist first if the history
+//! should survive.
+//!
 //! Admission decisions are themselves deterministic for a fixed
 //! submit/collect call sequence under `RoundRobin` and `TenantAffinity`
 //! (token buckets refill on *logical* time — submission attempts — and
@@ -152,6 +198,7 @@
 
 use crate::batch::BatchRunner;
 use hypergraph::edit::{apply_edits, EditError, GraphEdit};
+use hypergraph::io::{ParseError, ReadError};
 use hypergraph::{ActiveHypergraph, Hypergraph, VertexId};
 use mis_core::linear::LinearError;
 use mis_core::prelude::*;
@@ -160,6 +207,7 @@ use pram::{Workspace, WorkspacePool};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
@@ -316,7 +364,9 @@ pub enum EpochPin {
     #[default]
     Latest,
     /// A specific epoch; a value the graph has never reached comes back as
-    /// [`SolveError::UnknownEpoch`].
+    /// [`SolveError::UnknownEpoch`], one it reached but whose snapshot the
+    /// retention policy (or a [`compact`](ResidentRegistry::compact))
+    /// dropped as [`SolveError::EpochEvicted`].
     At(Epoch),
 }
 
@@ -329,8 +379,10 @@ pub enum EpochPin {
 pub struct ResidentSnapshot {
     epoch: Epoch,
     log_len: usize,
-    graph: Hypergraph,
-    engine: ActiveHypergraph,
+    // Graph and engine are separately Arc'd so compaction can re-base a
+    // snapshot (same graph, log_len 0) without rebuilding either.
+    graph: Arc<Hypergraph>,
+    engine: Arc<ActiveHypergraph>,
 }
 
 impl ResidentSnapshot {
@@ -339,9 +391,10 @@ impl ResidentSnapshot {
         self.epoch
     }
 
-    /// Length of the edit-log prefix that produced this snapshot: replaying
-    /// `log[..log_len]` from epoch 0 (or `log[a.log_len..b.log_len]` from
-    /// any earlier snapshot `a`) reproduces this graph exactly.
+    /// Length of the edit-log prefix (counted from the registry's base
+    /// snapshot) that produced this snapshot: replaying `log[..log_len]`
+    /// from the base epoch (or `log[a.log_len..b.log_len]` from any earlier
+    /// snapshot `a`) reproduces this graph exactly.
     pub fn log_len(&self) -> usize {
         self.log_len
     }
@@ -355,6 +408,34 @@ impl ResidentSnapshot {
     /// derive their sub-instances from).
     pub fn engine(&self) -> &ActiveHypergraph {
         &self.engine
+    }
+}
+
+/// How many historical snapshots a [`ResidentRegistry`] keeps resident per
+/// graph. The default keeps everything — any epoch stays addressable
+/// forever at memory cost proportional to the version chain. See the
+/// [retention docs](self#retention-and-compaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionPolicy {
+    /// `Some(k)`: after each mutation, only the base epoch and the latest
+    /// `k` epochs keep their snapshots (`k` is clamped to at least 1 — the
+    /// latest snapshot is never evictable), so at most `k + 1` snapshots
+    /// are resident per graph. The edit log stays complete either way.
+    /// `None` (the default): keep every snapshot.
+    pub keep_last: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// The keep-everything policy (the default; PR-6 behavior).
+    pub fn keep_all() -> Self {
+        RetentionPolicy::default()
+    }
+
+    /// Keep the base epoch plus the latest `k` epochs (clamped to ≥ 1).
+    pub fn keep_last(k: u64) -> Self {
+        RetentionPolicy {
+            keep_last: Some(k.max(1)),
+        }
     }
 }
 
@@ -372,13 +453,18 @@ impl ResidentSnapshot {
 /// request pins the epoch it was submitted against, so in-flight queries on
 /// older epochs keep returning byte-identical outcomes while the log grows.
 ///
-/// All snapshots are retained: any `(snapshot, log-prefix)` pair remains
-/// addressable for replay, which is the determinism contract's time-travel
-/// half. The price is memory proportional to the version chain — re-register
-/// a graph to truncate its history.
+/// Under the default [`RetentionPolicy`] all snapshots are retained: any
+/// `(snapshot, log-prefix)` pair remains addressable for replay, which is
+/// the determinism contract's time-travel half, at memory cost proportional
+/// to the version chain. [`with_retention`](Self::with_retention) bounds
+/// that memory; [`persist`](Self::persist)/[`restore`](Self::restore) make
+/// the chain durable; [`compact`](Self::compact) truncates it. See the
+/// [durability](self#durability-contract) and
+/// [retention](self#retention-and-compaction) docs.
 #[derive(Debug)]
 pub struct ResidentRegistry {
     tag: u64,
+    retention: RetentionPolicy,
     entries: Vec<RwLock<ResidentState>>,
 }
 
@@ -390,39 +476,93 @@ impl Default for ResidentRegistry {
         static NEXT_REGISTRY_TAG: AtomicU64 = AtomicU64::new(0);
         ResidentRegistry {
             tag: NEXT_REGISTRY_TAG.fetch_add(1, Ordering::Relaxed),
+            retention: RetentionPolicy::default(),
             entries: Vec::new(),
         }
     }
 }
 
-/// One resident graph's version chain: the full edit log and every epoch's
-/// snapshot (`snapshots[k]` is epoch `k`).
+/// One resident graph's version chain.
+///
+/// `watermarks[i]` is the log prefix length of epoch `base_epoch + i`
+/// (`watermarks[0] == 0` always), and `snapshots` is parallel to it — a
+/// `None` slot is an epoch whose snapshot the retention policy evicted. Two
+/// invariants hold at every unlock: `snapshots[0]` (the base) and the last
+/// slot (the latest epoch) are always `Some`, and `log` always covers every
+/// watermark, so any retained-or-evicted epoch is replayable from the base.
 #[derive(Debug)]
 struct ResidentState {
-    log: Vec<GraphEdit>,
-    snapshots: Vec<Arc<ResidentSnapshot>>,
+    // Arc'd so `edit_log` is O(1) per call instead of cloning the whole log
+    // (appends go through `Arc::make_mut`: in place unless a caller still
+    // holds a previously returned handle, which degrades to one
+    // copy-on-write — never a per-inspection clone).
+    log: Arc<Vec<GraphEdit>>,
+    base_epoch: u64,
+    watermarks: Vec<usize>,
+    snapshots: Vec<Option<Arc<ResidentSnapshot>>>,
+    // Snapshots dropped by retention or compaction (observability; mirrored
+    // into the pram eviction ledger on the request path).
+    evictions: u64,
+}
+
+impl ResidentState {
+    fn current_epoch(&self) -> Epoch {
+        Epoch(self.base_epoch + (self.watermarks.len() - 1) as u64)
+    }
+
+    fn latest(&self) -> &Arc<ResidentSnapshot> {
+        self.snapshots
+            .last()
+            .expect("every graph has a base epoch")
+            .as_ref()
+            .expect("the latest snapshot is never evicted")
+    }
 }
 
 const LOCK_POISONED: &str = "resident registry lock poisoned (a mutating thread panicked)";
 
 impl ResidentRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default keep-all
+    /// [`RetentionPolicy`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry with an explicit [`RetentionPolicy`].
+    pub fn with_retention(retention: RetentionPolicy) -> Self {
+        ResidentRegistry {
+            retention,
+            ..Self::default()
+        }
+    }
+
+    /// The registry's retention policy (fixed at construction).
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
     }
 
     /// Registers `graph` as a resident tenant at epoch 0 (empty edit log),
     /// building its induction engine eagerly, and returns its handle.
     pub fn register(&mut self, graph: Hypergraph) -> GraphId {
+        self.register_with_base(graph, 0)
+    }
+
+    /// Registers `graph` with its base snapshot numbered `base_epoch` — the
+    /// restore path's entry point (a WAL persisted after a compaction has a
+    /// non-zero base, and epoch numbers must survive the round trip).
+    fn register_with_base(&mut self, graph: Hypergraph, base_epoch: u64) -> GraphId {
         let engine = ActiveHypergraph::from_hypergraph(&graph);
         self.entries.push(RwLock::new(ResidentState {
-            log: Vec::new(),
-            snapshots: vec![Arc::new(ResidentSnapshot {
-                epoch: Epoch(0),
+            log: Arc::new(Vec::new()),
+            base_epoch,
+            watermarks: vec![0],
+            snapshots: vec![Some(Arc::new(ResidentSnapshot {
+                epoch: Epoch(base_epoch),
                 log_len: 0,
-                graph,
-                engine,
-            })],
+                graph: Arc::new(graph),
+                engine: Arc::new(engine),
+            }))],
+            evictions: 0,
         }));
         GraphId {
             registry: self.tag,
@@ -432,15 +572,17 @@ impl ResidentRegistry {
 
     /// Applies an edit script to the resident graph behind `id`: validates
     /// and applies the whole batch atomically (on error nothing changes),
-    /// appends it to the graph's edit log, builds the next epoch's snapshot
-    /// and returns the new [`Epoch`]. An empty batch is free: it returns the
-    /// current epoch without bumping it (the shared-structure fast path —
-    /// no rebuild, no new snapshot).
+    /// appends it to the graph's edit log, builds the next epoch's snapshot,
+    /// evicts snapshots below the [`RetentionPolicy`] floor (a no-op under
+    /// the default keep-all policy) and returns the new [`Epoch`]. An empty
+    /// batch is free: it returns the current epoch without bumping it (the
+    /// shared-structure fast path — no rebuild, no new snapshot).
     ///
     /// Works through a shared reference, so a registry already wrapped in an
     /// `Arc` and being served can be mutated mid-stream; requests submitted
-    /// before the call keep their pinned epoch, requests submitted after see
-    /// the new one.
+    /// before the call keep their pinned epoch — they resolved their
+    /// snapshot `Arc` at submission, so even an eviction this apply
+    /// triggers cannot retarget or invalidate them.
     ///
     /// # Errors
     /// The first [`EditError`] in script order, leaving log and snapshots
@@ -451,22 +593,60 @@ impl ResidentRegistry {
     /// range.
     pub fn apply(&self, id: GraphId, edits: &[GraphEdit]) -> Result<Epoch, EditError> {
         let mut st = self.locate(id).write().expect(LOCK_POISONED);
-        let current = st.snapshots.last().expect("every graph has epoch 0");
+        let current = st.latest();
         if edits.is_empty() {
             return Ok(current.epoch);
         }
-        let graph = apply_edits(&current.graph, edits)?;
+        let graph = apply_edits(current.graph(), edits)?;
         let engine = ActiveHypergraph::from_hypergraph(&graph);
-        let epoch = Epoch(st.snapshots.len() as u64);
-        st.log.extend(edits.iter().cloned());
+        let epoch = Epoch(st.current_epoch().0 + 1);
+        Arc::make_mut(&mut st.log).extend(edits.iter().cloned());
         let log_len = st.log.len();
-        st.snapshots.push(Arc::new(ResidentSnapshot {
+        st.watermarks.push(log_len);
+        st.snapshots.push(Some(Arc::new(ResidentSnapshot {
             epoch,
             log_len,
-            graph,
-            engine,
-        }));
+            graph: Arc::new(graph),
+            engine: Arc::new(engine),
+        })));
+        self.evict_below_floor(&mut st);
         Ok(epoch)
+    }
+
+    /// Drops snapshot `Arc`s below the retention floor (keeping the base and
+    /// the latest `k`). The log and watermarks are untouched — evicted
+    /// epochs stay replayable, just not resident.
+    fn evict_below_floor(&self, st: &mut ResidentState) {
+        let Some(k) = self.retention.keep_last else {
+            return;
+        };
+        let cut = st.snapshots.len().saturating_sub(k.max(1) as usize);
+        for slot in st.snapshots[..cut].iter_mut().skip(1) {
+            if slot.take().is_some() {
+                st.evictions += 1;
+            }
+        }
+    }
+
+    /// The lowest epoch ≥ the base that is guaranteed resident under the
+    /// retention policy — what [`SolveError::EpochEvicted`] reports. Pins in
+    /// `floor..=current` always resolve; the base epoch additionally stays
+    /// resident however far the floor moves.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn retention_floor(&self, id: GraphId) -> Epoch {
+        let st = self.locate(id).read().expect(LOCK_POISONED);
+        self.floor_of(&st)
+    }
+
+    fn floor_of(&self, st: &ResidentState) -> Epoch {
+        let cut = match self.retention.keep_last {
+            Some(k) => st.snapshots.len().saturating_sub(k.max(1) as usize),
+            None => 0,
+        };
+        Epoch(st.base_epoch + cut as u64)
     }
 
     /// The current (most recent) snapshot of the graph behind `id`.
@@ -476,18 +656,22 @@ impl ResidentRegistry {
     /// range.
     pub fn latest(&self, id: GraphId) -> Arc<ResidentSnapshot> {
         let st = self.locate(id).read().expect(LOCK_POISONED);
-        Arc::clone(st.snapshots.last().expect("every graph has epoch 0"))
+        Arc::clone(st.latest())
     }
 
     /// The snapshot of the graph behind `id` at a specific epoch, or `None`
-    /// if the graph has never reached that epoch.
+    /// if the graph has never reached that epoch **or** the epoch's
+    /// snapshot was evicted by the retention policy / a
+    /// [`compact`](Self::compact) (the request path distinguishes the two —
+    /// see [`SolveError::EpochEvicted`]).
     ///
     /// # Panics
     /// Panics if `id` did not come from this registry or its index is out of
     /// range.
     pub fn snapshot_at(&self, id: GraphId, epoch: Epoch) -> Option<Arc<ResidentSnapshot>> {
         let st = self.locate(id).read().expect(LOCK_POISONED);
-        st.snapshots.get(epoch.0 as usize).map(Arc::clone)
+        let idx = epoch.0.checked_sub(st.base_epoch)? as usize;
+        st.snapshots.get(idx)?.as_ref().map(Arc::clone)
     }
 
     /// The current epoch of the graph behind `id`.
@@ -499,14 +683,148 @@ impl ResidentRegistry {
         self.latest(id).epoch
     }
 
-    /// A copy of the full edit log of the graph behind `id` (epoch `k`'s
-    /// snapshot was produced by the prefix `log[..snapshot.log_len()]`).
+    /// The epoch of the graph's base snapshot: 0 until a
+    /// [`compact`](Self::compact) (or a restore of a compacted WAL)
+    /// re-bases the chain on a later epoch.
     ///
     /// # Panics
     /// Panics if `id` did not come from this registry or its index is out of
     /// range.
-    pub fn edit_log(&self, id: GraphId) -> Vec<GraphEdit> {
-        self.locate(id).read().expect(LOCK_POISONED).log.clone()
+    pub fn base_epoch(&self, id: GraphId) -> Epoch {
+        Epoch(self.locate(id).read().expect(LOCK_POISONED).base_epoch)
+    }
+
+    /// A shared handle to the full edit log of the graph behind `id` (epoch
+    /// `k`'s snapshot was produced by the prefix
+    /// `log[..snapshot.log_len()]`, counted from the base snapshot).
+    ///
+    /// O(1): the handle shares the registry's own storage instead of
+    /// cloning the log. Holding it across a concurrent
+    /// [`apply`](Self::apply) is safe — the apply then copy-on-writes the
+    /// log once and the handle keeps observing the pre-apply state.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn edit_log(&self, id: GraphId) -> Arc<Vec<GraphEdit>> {
+        Arc::clone(&self.locate(id).read().expect(LOCK_POISONED).log)
+    }
+
+    /// Number of snapshots currently resident for the graph behind `id` —
+    /// at most `keep_last + 1` under a bounded [`RetentionPolicy`] (the
+    /// base plus the latest `k`), one more epoch than that never
+    /// accumulates.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn retained_snapshots(&self, id: GraphId) -> usize {
+        let st = self.locate(id).read().expect(LOCK_POISONED);
+        st.snapshots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Snapshots dropped for the graph behind `id` by retention evictions
+    /// and [`compact`](Self::compact)s so far.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn evictions(&self, id: GraphId) -> u64 {
+        self.locate(id).read().expect(LOCK_POISONED).evictions
+    }
+
+    /// Re-bases the graph's history onto its current snapshot: the edit log
+    /// empties, the current epoch becomes the base epoch, and every earlier
+    /// snapshot is dropped (counted in [`evictions`](Self::evictions)).
+    /// Epoch *numbers* are preserved — the current epoch keeps its value,
+    /// so existing [`EpochPin::At`] pins of it stay valid, while pins of
+    /// earlier epochs now answer [`SolveError::EpochEvicted`]. Returns the
+    /// (unchanged) current epoch.
+    ///
+    /// The graph and engine are shared into the re-based snapshot, not
+    /// rebuilt; in-flight requests holding pre-compact snapshot `Arc`s are
+    /// unaffected. Persist first if the history should survive — a WAL
+    /// written *after* a compact starts at the compacted base.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn compact(&self, id: GraphId) -> Epoch {
+        let mut st = self.locate(id).write().expect(LOCK_POISONED);
+        let latest = Arc::clone(st.latest());
+        let epoch = latest.epoch;
+        if st.watermarks.len() == 1 {
+            return epoch; // already based on the current epoch
+        }
+        let dropped = st.snapshots.iter().filter(|s| s.is_some()).count() - 1;
+        st.evictions += dropped as u64;
+        st.base_epoch = epoch.0;
+        st.log = Arc::new(Vec::new());
+        st.watermarks = vec![0];
+        st.snapshots = vec![Some(Arc::new(ResidentSnapshot {
+            epoch,
+            log_len: 0,
+            graph: Arc::clone(&latest.graph),
+            engine: Arc::clone(&latest.engine),
+        }))];
+        epoch
+    }
+
+    /// Persists the graph behind `id` — its base snapshot and complete edit
+    /// log, batch boundaries (= epoch boundaries) included — to the
+    /// checksummed WAL format of [`hypergraph::io::write_wal`], atomically.
+    /// [`restore`](Self::restore) (in this or any other process) reproduces
+    /// the entry byte-identically: same epochs, same
+    /// [`log_len`](ResidentSnapshot::log_len) watermarks, same solve
+    /// fingerprints. Retention does not limit what is persisted: the log is
+    /// always complete, so evicted epochs round-trip too.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn persist<P: AsRef<Path>>(&self, id: GraphId, path: P) -> std::io::Result<()> {
+        let st = self.locate(id).read().expect(LOCK_POISONED);
+        let base = st.snapshots[0]
+            .as_ref()
+            .expect("the base snapshot is never evicted");
+        let batches: Vec<&[GraphEdit]> = st
+            .watermarks
+            .windows(2)
+            .map(|w| &st.log[w[0]..w[1]])
+            .collect();
+        hypergraph::io::write_wal(path, st.base_epoch, base.graph(), &batches)
+    }
+
+    /// Restores a graph persisted by [`persist`](Self::persist) into this
+    /// registry, replaying each WAL batch through the ordinary
+    /// [`apply`](Self::apply) path (so this registry's retention policy
+    /// applies during the replay exactly as it would have live), and
+    /// returns the new graph's handle. A WAL with a torn tail restores the
+    /// longest whole-batch prefix — i.e. the registry as of the last fully
+    /// persisted epoch.
+    ///
+    /// # Errors
+    /// [`ReadError::Io`] if the file cannot be read; [`ReadError::Parse`]
+    /// if it is corrupt (bad header/base record, a checksummed record that
+    /// fails validation) **or** if a recovered batch does not apply cleanly
+    /// — a WAL whose edits violate their own log is corrupt even when every
+    /// checksum passes. On error the registry is left unchanged.
+    pub fn restore<P: AsRef<Path>>(&mut self, path: P) -> Result<GraphId, ReadError> {
+        let wal = hypergraph::io::read_wal(path)?;
+        let id = self.register_with_base(wal.base, wal.base_epoch);
+        for (k, batch) in wal.batches.iter().enumerate() {
+            if let Err(e) = self.apply(id, batch) {
+                // The id was never handed out and `&mut self` precludes a
+                // concurrent register, so the half-replayed entry is the
+                // last one — un-register it to leave the registry unchanged.
+                self.entries.pop();
+                return Err(ReadError::Parse(ParseError::CorruptWalRecord {
+                    record: k + 1,
+                    detail: format!("batch does not apply: {e}"),
+                }));
+            }
+        }
+        Ok(id)
     }
 
     /// Direct-accessor lookup with distinguished diagnostics: a foreign id
@@ -529,7 +847,10 @@ impl ResidentRegistry {
     }
 
     /// Request-path lookup (errors as data, never panics): resolves `id` at
-    /// `pin` to a snapshot.
+    /// `pin` to a snapshot. This is the submission-time resolution point —
+    /// the returned `Arc` keeps the snapshot alive for the request however
+    /// the retention floor moves afterwards, which is what makes outcomes
+    /// independent of the race between queue scheduling and eviction.
     pub(crate) fn lookup(
         &self,
         id: GraphId,
@@ -543,27 +864,30 @@ impl ResidentRegistry {
         };
         let st = entry.read().expect(LOCK_POISONED);
         match pin {
-            EpochPin::Latest => Ok(Arc::clone(
-                st.snapshots.last().expect("every graph has epoch 0"),
-            )),
-            EpochPin::At(epoch) => st
-                .snapshots
-                .get(epoch.0 as usize)
-                .map(Arc::clone)
-                .ok_or(SolveError::UnknownEpoch { graph: id, epoch }),
+            EpochPin::Latest => Ok(Arc::clone(st.latest())),
+            EpochPin::At(epoch) => {
+                // Three distinct answers: beyond the current epoch the pin
+                // addresses the future (UnknownEpoch — "never reached");
+                // at-or-before it but below the base or in an evicted slot,
+                // the epoch existed and retention dropped it (EpochEvicted);
+                // otherwise the snapshot is resident.
+                if epoch > st.current_epoch() {
+                    return Err(SolveError::UnknownEpoch { graph: id, epoch });
+                }
+                let resident = epoch
+                    .0
+                    .checked_sub(st.base_epoch)
+                    .and_then(|idx| st.snapshots.get(idx as usize)?.as_ref());
+                match resident {
+                    Some(snap) => Ok(Arc::clone(snap)),
+                    None => Err(SolveError::EpochEvicted {
+                        graph: id,
+                        epoch,
+                        floor: self.floor_of(&st),
+                    }),
+                }
+            }
         }
-    }
-
-    /// The current epoch of `id`, or `None` for a foreign/out-of-range id —
-    /// the non-panicking form `submit` uses to resolve [`EpochPin::Latest`]
-    /// (an unknown id must flow through as an [`SolveError::UnknownGraph`]
-    /// outcome, not a panic).
-    pub(crate) fn try_current_epoch(&self, id: GraphId) -> Option<Epoch> {
-        if id.registry != self.tag {
-            return None;
-        }
-        let st = self.entries.get(id.index)?.read().expect(LOCK_POISONED);
-        Some(st.snapshots.last().expect("every graph has epoch 0").epoch)
     }
 
     /// Number of resident graphs.
@@ -696,6 +1020,21 @@ pub enum SolveError {
         /// The epoch the request pinned.
         epoch: Epoch,
     },
+    /// The request pinned an [`Epoch`] the graph *did* reach, but whose
+    /// snapshot the registry's [`RetentionPolicy`] (or a
+    /// [`ResidentRegistry::compact`]) has dropped. Distinct from
+    /// [`UnknownEpoch`](Self::UnknownEpoch): the epoch is history, not
+    /// future — its log prefix still exists, so it remains replayable from
+    /// a persisted WAL even though it is no longer resident.
+    EpochEvicted {
+        /// The resident graph queried.
+        graph: GraphId,
+        /// The evicted epoch the request pinned.
+        epoch: Epoch,
+        /// The lowest epoch guaranteed resident at the time of the lookup
+        /// (the base epoch additionally stays resident below it).
+        floor: Epoch,
+    },
     /// An induced query listed an out-of-range or duplicate vertex id.
     InvalidQuery {
         /// The offending vertex id.
@@ -795,47 +1134,69 @@ impl SolveOutcome {
 /// Executes one request against a workspace — the single-shard solve core
 /// shared by [`BatchRunner::solve`](crate::batch::BatchRunner::solve) and
 /// every [`ShardedRunner`] worker, which is what makes the sequential path
-/// and all shard counts agree structurally, not just by test.
+/// and all shard counts agree structurally, not just by test. Resolution
+/// happens here (execution time *is* submission time on this path), then
+/// delegates to [`execute_resolved`] — the same core the sharded workers
+/// run with their submission-time resolution.
 pub(crate) fn execute(
     registry: &ResidentRegistry,
     req: &SolveRequest,
+    ws: &mut Workspace,
+) -> SolveOutcome {
+    let resolved = req.target.graph_id().map(|id| registry.lookup(id, req.pin));
+    execute_resolved(req, resolved, ws)
+}
+
+/// The solve core proper, taking the request's already-resolved snapshot
+/// (`None` only for ad-hoc targets). Workers receive the resolution made by
+/// [`ShardedRunner::submit`] on the caller thread — holding the snapshot
+/// `Arc` from submission to execution is what pins the request against
+/// concurrent retention evictions and compactions.
+pub(crate) fn execute_resolved(
+    req: &SolveRequest,
+    resolved: Option<Result<Arc<ResidentSnapshot>, SolveError>>,
     ws: &mut Workspace,
 ) -> SolveOutcome {
     // Observability only: record the tenant→workspace touch so affinity wins
     // show up in the pool's rewarm report. Never influences the solve.
     ws.note_tenant(req.tenant.0);
     let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
-    let mut out = match &req.target {
-        Target::Adhoc(h) => solve_full(h, &req.algorithm, req.seed, &mut rng, ws),
-        Target::Resident(id) => match registry.lookup(*id, req.pin) {
-            Ok(snap) => {
-                // Observability only: per-graph epoch touches show the
-                // copy-on-write win over re-registering in the pool report.
-                ws.note_graph_epoch(id.index as u64, snap.epoch().0);
-                let mut out = solve_full(snap.graph(), &req.algorithm, req.seed, &mut rng, ws);
+    let mut out = match (&req.target, resolved) {
+        (Target::Adhoc(h), _) => solve_full(h, &req.algorithm, req.seed, &mut rng, ws),
+        (Target::Resident(id), Some(Ok(snap))) => {
+            // Observability only: per-graph epoch touches show the
+            // copy-on-write win over re-registering in the pool report.
+            ws.note_graph_epoch(id.index as u64, snap.epoch().0);
+            let mut out = solve_full(snap.graph(), &req.algorithm, req.seed, &mut rng, ws);
+            out.epoch = Some(snap.epoch());
+            out
+        }
+        (Target::Induced { graph, vertices }, Some(Ok(snap))) => {
+            ws.note_graph_epoch(graph.index as u64, snap.epoch().0);
+            let mut out = solve_induced(
+                snap.engine(),
+                vertices,
+                &req.algorithm,
+                req.seed,
+                &mut rng,
+                ws,
+            );
+            if out.error.is_none() {
                 out.epoch = Some(snap.epoch());
-                out
             }
-            Err(e) => failed(req.seed, e),
-        },
-        Target::Induced { graph, vertices } => match registry.lookup(*graph, req.pin) {
-            Ok(snap) => {
-                ws.note_graph_epoch(graph.index as u64, snap.epoch().0);
-                let mut out = solve_induced(
-                    snap.engine(),
-                    vertices,
-                    &req.algorithm,
-                    req.seed,
-                    &mut rng,
-                    ws,
-                );
-                if out.error.is_none() {
-                    out.epoch = Some(snap.epoch());
-                }
-                out
+            out
+        }
+        (_, Some(Err(e))) => {
+            // Observability only: evicted-pin touches feed the pool's
+            // eviction report, so retention pressure is visible per graph.
+            if let SolveError::EpochEvicted { graph, .. } = &e {
+                ws.note_graph_evicted(graph.index as u64);
             }
-            Err(e) => failed(req.seed, e),
-        },
+            failed(req.seed, e)
+        }
+        (Target::Resident(_) | Target::Induced { .. }, None) => {
+            unreachable!("resident targets are resolved before execution")
+        }
     };
     out.tenant = req.tenant;
     out
@@ -1142,6 +1503,11 @@ pub struct ServeStats {
 struct Job {
     ticket: u64,
     request: SolveRequest,
+    // Snapshot resolution made at submission time (`None` for ad-hoc
+    // targets). Shipping the `Arc` itself — not just the epoch — keeps the
+    // pinned snapshot alive even if retention evicts it, or `compact`
+    // re-bases the graph, while the job waits in a shard queue.
+    resolved: Option<Result<Arc<ResidentSnapshot>, SolveError>>,
 }
 
 /// Per-tenant admission bookkeeping (see [`AdmissionConfig`]).
@@ -1167,8 +1533,8 @@ struct TenantState {
 /// [`shutdown`](Self::shutdown) to get the [`WorkspacePool`] (with every
 /// shard's warmed workspace checked back in) for the next serve generation.
 pub struct ShardedRunner {
-    // Held for submission-time EpochPin::Latest resolution; workers carry
-    // their own clones of the same Arc.
+    // Held for submission-time snapshot resolution only — workers never
+    // touch the registry; each job carries its resolved snapshot `Arc`.
     registry: Arc<ResidentRegistry>,
     senders: Vec<SyncSender<Job>>,
     results: Receiver<SolveOutcome>,
@@ -1215,7 +1581,6 @@ impl ShardedRunner {
         for shard in 0..shards {
             let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
             let ws = pool.checkout(shard);
-            let registry = Arc::clone(&registry);
             let result_tx = result_tx.clone();
             let cancel = Arc::clone(&cancel);
             let handle = pram::pool::spawn_worker(
@@ -1223,12 +1588,21 @@ impl ShardedRunner {
                 config.threads_per_shard,
                 move || {
                     let mut runner = BatchRunner::from_workspace(ws);
-                    while let Ok(Job { ticket, request }) = rx.recv() {
+                    while let Ok(Job {
+                        ticket,
+                        request,
+                        resolved,
+                    }) = rx.recv()
+                    {
                         // Shutdown: drain the queue without solving it.
                         if cancel.load(std::sync::atomic::Ordering::Acquire) {
                             continue;
                         }
-                        let mut out = runner.solve(&registry, &request);
+                        // Workers never consult the registry: the snapshot
+                        // (or error) was fixed at submission time, so a
+                        // concurrent apply/compact/eviction cannot retarget
+                        // a queued request.
+                        let mut out = execute_resolved(&request, resolved, runner.workspace_mut());
                         out.ticket = ticket;
                         out.shard = shard;
                         if result_tx.send(out).is_err() {
@@ -1328,18 +1702,20 @@ impl ShardedRunner {
                 return ticket;
             }
         }
-        // Resolve `EpochPin::Latest` *now*, on the caller thread: the logical
-        // submission order decides which epoch a request sees, never the race
-        // between a shard dequeue and a concurrent `ResidentRegistry::apply`.
-        // Unknown ids stay `Latest` and come back as `UnknownGraph` outcomes.
-        if matches!(request.pin, EpochPin::Latest) {
-            if let Some(epoch) = request
-                .target
-                .graph_id()
-                .and_then(|id| self.registry.try_current_epoch(id))
-            {
-                request.pin = EpochPin::At(epoch);
-            }
+        // Resolve the target snapshot *now*, on the caller thread: the
+        // logical submission order decides which epoch a request sees, never
+        // the race between a shard dequeue and a concurrent
+        // `ResidentRegistry::apply`. The job carries the snapshot `Arc` (or
+        // the resolution error — `UnknownGraph`, `UnknownEpoch`,
+        // `EpochEvicted` — as data), so a later eviction or `compact` cannot
+        // retarget or fail a request that was admitted against a live epoch.
+        let resolved = request
+            .target
+            .graph_id()
+            .map(|id| self.registry.lookup(id, request.pin));
+        if let Some(Ok(snap)) = &resolved {
+            // Echo the concrete epoch into the pin so the outcome reports it.
+            request.pin = EpochPin::At(snap.epoch());
         }
         let shard = match self.route {
             RoutePolicy::RoundRobin => (ticket % self.senders.len() as u64) as usize,
@@ -1364,7 +1740,11 @@ impl ShardedRunner {
         self.routed[shard] += 1;
         self.in_queue[shard] += 1;
         self.senders[shard]
-            .send(Job { ticket, request })
+            .send(Job {
+                ticket,
+                request,
+                resolved,
+            })
             .expect("serve: worker shard disconnected (a worker thread panicked)");
         ticket
     }
@@ -1679,8 +2059,70 @@ mod tests {
                 epoch: Epoch(3)
             }
         );
-        assert!(b.try_current_epoch(id).is_none());
-        assert!(a.try_current_epoch(bad).is_none());
-        assert_eq!(a.try_current_epoch(id), Some(Epoch(0)));
+    }
+
+    // Three-way `EpochPin::At` semantics under retention: beyond the tip is
+    // `UnknownEpoch` ("never reached"), below the floor is `EpochEvicted`
+    // ("was real, history dropped"), and the base + latest epochs always
+    // stay resident.
+    #[test]
+    fn eviction_is_distinguishable_from_unknown_epochs() {
+        let mut reg = ResidentRegistry::with_retention(RetentionPolicy::keep_last(1));
+        let id = reg.register(tiny());
+        for _ in 0..4 {
+            reg.apply(id, &[GraphEdit::GrowVertices(1)]).unwrap();
+        }
+        assert_eq!(reg.retention_floor(id), Epoch(4));
+        assert_eq!(reg.retained_snapshots(id), 2); // base + latest
+        assert_eq!(reg.evictions(id), 3);
+        assert!(reg.lookup(id, EpochPin::At(Epoch(0))).is_ok());
+        assert!(reg.lookup(id, EpochPin::At(Epoch(4))).is_ok());
+        assert_eq!(
+            reg.lookup(id, EpochPin::At(Epoch(2))).unwrap_err(),
+            SolveError::EpochEvicted {
+                graph: id,
+                epoch: Epoch(2),
+                floor: Epoch(4),
+            }
+        );
+        assert_eq!(
+            reg.lookup(id, EpochPin::At(Epoch(9))).unwrap_err(),
+            SolveError::UnknownEpoch {
+                graph: id,
+                epoch: Epoch(9),
+            }
+        );
+    }
+
+    // Compaction truncates history but preserves epoch numbers: the latest
+    // epoch survives as the new base, everything older is evicted.
+    #[test]
+    fn compact_rebases_onto_the_latest_snapshot() {
+        let mut reg = ResidentRegistry::new();
+        let id = reg.register(tiny());
+        reg.apply(id, &[GraphEdit::GrowVertices(2)]).unwrap();
+        reg.apply(id, &[GraphEdit::AddEdge(vec![4, 5])]).unwrap();
+        let before = reg.latest(id);
+        assert_eq!(reg.compact(id), Epoch(2));
+        assert_eq!(reg.base_epoch(id), Epoch(2));
+        assert_eq!(reg.edit_log(id).len(), 0);
+        assert_eq!(reg.retained_snapshots(id), 1);
+        let after = reg.latest(id);
+        assert_eq!(after.epoch(), Epoch(2));
+        assert_eq!(after.log_len(), 0);
+        // The rebased snapshot shares the same graph, not a rebuilt copy.
+        assert!(std::ptr::eq(before.graph(), after.graph()));
+        assert_eq!(
+            reg.lookup(id, EpochPin::At(Epoch(1))).unwrap_err(),
+            SolveError::EpochEvicted {
+                graph: id,
+                epoch: Epoch(1),
+                floor: Epoch(2),
+            }
+        );
+        // Post-compact edits continue the same epoch sequence.
+        reg.apply(id, &[GraphEdit::GrowVertices(1)]).unwrap();
+        assert_eq!(reg.latest(id).epoch(), Epoch(3));
+        assert_eq!(reg.latest(id).log_len(), 1);
     }
 }

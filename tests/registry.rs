@@ -13,9 +13,18 @@
 //!   with the sequential [`BatchRunner`] path, when run against identically
 //!   constructed registries mutated at identical stream positions.
 //!
+//! PR 7 extends the contract across process boundaries: a registry persisted
+//! as `(snapshot₀, edit log)` via [`ResidentRegistry::persist`] and restored
+//! with [`ResidentRegistry::restore`] answers every epoch-pinned and
+//! latest-pinned query byte-identical to the original, a torn WAL tail
+//! recovers the longest whole-record prefix (never a mis-parse, never a
+//! panic), and retention (`RetentionPolicy::keep_last`) bounds the snapshot
+//! count while answering below-floor pins with `EpochEvicted` outcome data.
+//!
 //! Runs in both the default and `--no-default-features` configurations (it
 //! only touches the flat engine).
 
+use hypergraph_mis::hypergraph::io::ReadError;
 use hypergraph_mis::prelude::*;
 use hypergraph_mis::serve::{SolveError, SolveFingerprint, SolveOutcome};
 use proptest::prelude::*;
@@ -330,6 +339,242 @@ fn unknown_epoch_pins_come_back_as_outcomes() {
     assert_eq!(out.epoch, Some(Epoch(1)));
 }
 
+/// A unique scratch path for WAL round-trip tests (tests run concurrently,
+/// so names carry the pid and a per-process counter).
+fn temp_wal(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let k = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "hgmis-registry-{tag}-{}-{k}.wal",
+        std::process::id()
+    ))
+}
+
+/// The headline durability pin: a registry persisted mid-mutation-stream and
+/// restored into a fresh registry answers every epoch-pinned and
+/// latest-pinned query byte-identical to the original — same epochs, same
+/// `log_len` watermarks, same solve fingerprints.
+#[test]
+fn persisted_and_restored_registries_answer_identically() {
+    let (registry, id) = fresh_registry();
+    for k in 0..5 {
+        let batch = edit_batch(&registry, id, k);
+        registry.apply(id, &batch).expect("valid edit batch");
+    }
+    let path = temp_wal("roundtrip");
+    registry.persist(id, &path).expect("persist");
+    let mut restored = ResidentRegistry::new();
+    let rid = restored.restore(&path).expect("restore");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.base_epoch(rid), registry.base_epoch(id));
+    assert_eq!(restored.current_epoch(rid), registry.current_epoch(id));
+    assert_eq!(restored.edit_log(rid)[..], registry.edit_log(id)[..]);
+    let epochs = registry.current_epoch(id).0 + 1;
+    for e in 0..epochs {
+        let a = registry.snapshot_at(id, Epoch(e)).expect("retained");
+        let b = restored
+            .snapshot_at(rid, Epoch(e))
+            .expect("restore rebuilds every epoch");
+        assert_eq!(a.log_len(), b.log_len(), "epoch {e} log watermark");
+        assert!(a.graph() == b.graph(), "epoch {e} graph diverged");
+    }
+
+    let mut ra = BatchRunner::new();
+    let mut rb = BatchRunner::new();
+    for seed in 0..9u64 {
+        for e in 0..epochs {
+            let pa = SolveRequest {
+                pin: EpochPin::At(Epoch(e)),
+                ..request(id, seed)
+            };
+            let pb = SolveRequest {
+                pin: EpochPin::At(Epoch(e)),
+                ..request(rid, seed)
+            };
+            assert_eq!(
+                ra.solve(&registry, &pa).fingerprint(),
+                rb.solve(&restored, &pb).fingerprint(),
+                "epoch-{e}-pinned query {seed} diverged across the persist/restore boundary"
+            );
+        }
+        assert_eq!(
+            ra.solve(&registry, &request(id, seed)).fingerprint(),
+            rb.solve(&restored, &request(rid, seed)).fingerprint(),
+            "latest-pinned query {seed} diverged across the persist/restore boundary"
+        );
+    }
+}
+
+/// Truncating the WAL at *every* byte boundary either restores the longest
+/// whole-record prefix of the original registry or reports
+/// `ReadError::Parse` — never a panic, never a registry built from a
+/// half-written record.
+#[test]
+fn torn_wal_tails_restore_a_whole_record_prefix() {
+    let mut registry = ResidentRegistry::new();
+    let id = registry.register(generate::d_uniform(&mut rng(77), 30, 40, 3));
+    for k in 0..3 {
+        let batch = edit_batch(&registry, id, k);
+        registry.apply(id, &batch).expect("valid edit batch");
+    }
+    let path = temp_wal("torn");
+    registry.persist(id, &path).expect("persist");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+
+    let log = registry.edit_log(id);
+    let cut_path = temp_wal("torn-cut");
+    let mut recovered = std::collections::BTreeSet::new();
+    for cut in 0..=bytes.len() {
+        std::fs::write(&cut_path, &bytes[..cut]).expect("write truncation");
+        let mut fresh = ResidentRegistry::new();
+        match fresh.restore(&cut_path) {
+            Ok(rid) => {
+                let k = fresh.current_epoch(rid).0;
+                recovered.insert(k);
+                let watermark = registry
+                    .snapshot_at(id, Epoch(k))
+                    .expect("recovered epoch exists in the original")
+                    .log_len();
+                assert_eq!(
+                    fresh.edit_log(rid)[..],
+                    log[..watermark],
+                    "cut at byte {cut}: recovered log is not a whole-record prefix"
+                );
+                assert!(
+                    fresh.latest(rid).graph()
+                        == registry.snapshot_at(id, Epoch(k)).unwrap().graph(),
+                    "cut at byte {cut}: recovered graph diverged from epoch {k}"
+                );
+            }
+            Err(ReadError::Parse(_)) => {} // corrupt-not-torn: error as data
+            Err(ReadError::Io(e)) => panic!("cut at byte {cut}: unexpected io error: {e}"),
+        }
+    }
+    std::fs::remove_file(&cut_path).ok();
+    assert_eq!(
+        recovered.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3],
+        "every whole-record prefix length must be recoverable"
+    );
+}
+
+/// `keep_last = K` bounds the snapshot count at `K + 2` (base + latest are
+/// always retained) without perturbing latest-pinned outcomes, and answers
+/// below-floor pins with `EpochEvicted` — as outcome data, through both the
+/// sequential and the sharded path, with the eviction visible in the pool's
+/// ledger.
+#[test]
+fn retention_bounds_snapshots_and_reports_evictions_as_outcomes() {
+    const K: u64 = 2;
+    let mut keep = ResidentRegistry::with_retention(RetentionPolicy::keep_last(K));
+    let id = keep.register(base_graph());
+    let keep = Arc::new(keep);
+    let (all, all_id) = fresh_registry(); // keep-all reference
+    for k in 0..6 {
+        let batch = edit_batch(&all, all_id, k);
+        keep.apply(id, &batch).expect("valid edit batch");
+        all.apply(all_id, &batch).expect("valid edit batch");
+        assert!(
+            keep.retained_snapshots(id) <= (K + 2) as usize,
+            "snapshot count must stay bounded under sustained mutation"
+        );
+    }
+    assert_eq!(keep.current_epoch(id), Epoch(6));
+    let floor = keep.retention_floor(id);
+    assert_eq!(floor, Epoch(5));
+    assert_eq!(keep.evictions(id), 4); // epochs 1..=4 dropped
+
+    // Retention never perturbs what Latest answers.
+    let mut ra = BatchRunner::new();
+    let mut rb = BatchRunner::new();
+    for seed in 0..6u64 {
+        assert_eq!(
+            ra.solve(&keep, &request(id, seed)).fingerprint(),
+            rb.solve(&all, &request(all_id, seed)).fingerprint(),
+            "latest-pinned query {seed} diverged between keep_last and keep-all"
+        );
+    }
+
+    // Three-way pin semantics, all as outcome data.
+    let at = |e| SolveRequest {
+        pin: EpochPin::At(Epoch(e)),
+        ..request(id, 2)
+    };
+    assert!(
+        ra.solve(&keep, &at(0)).error.is_none(),
+        "base stays resident"
+    );
+    assert!(
+        ra.solve(&keep, &at(5)).error.is_none(),
+        "floor stays resident"
+    );
+    let out = ra.solve(&keep, &at(3));
+    assert_eq!(
+        out.error,
+        Some(SolveError::EpochEvicted {
+            graph: id,
+            epoch: Epoch(3),
+            floor,
+        })
+    );
+    assert_eq!(out.epoch, None);
+    assert!(out.independent_set.is_empty());
+    assert_eq!(
+        ra.solve(&keep, &at(9)).error,
+        Some(SolveError::UnknownEpoch {
+            graph: id,
+            epoch: Epoch(9),
+        })
+    );
+
+    // The sharded path answers identically and counts the evicted pins.
+    let config = ServeConfig {
+        shards: 2,
+        queue_depth: 8,
+        threads_per_shard: Some(1),
+        ..ServeConfig::default()
+    };
+    let mut runner = ShardedRunner::new(Arc::clone(&keep), &config);
+    for _ in 0..3 {
+        runner.submit(at(3));
+    }
+    for out in runner.collect_ordered(3) {
+        assert_eq!(
+            out.error,
+            Some(SolveError::EpochEvicted {
+                graph: id,
+                epoch: Epoch(3),
+                floor,
+            })
+        );
+    }
+    let pool = runner.shutdown();
+    assert_eq!(pool.graph_eviction_total(), 3);
+}
+
+/// `edit_log` hands out the live `Arc` — O(1), no per-call clone — and a
+/// held log is an immutable snapshot: later mutation copies-on-write instead
+/// of mutating what the caller holds.
+#[test]
+fn edit_log_is_shared_not_recloned() {
+    let (registry, id) = fresh_registry();
+    let batch = edit_batch(&registry, id, 0);
+    registry.apply(id, &batch).expect("valid edit batch");
+    let a1 = registry.edit_log(id);
+    let a2 = registry.edit_log(id);
+    assert!(
+        Arc::ptr_eq(&a1, &a2),
+        "edit_log must return the same Arc, not a fresh clone"
+    );
+    let next = edit_batch(&registry, id, 1);
+    registry.apply(id, &next).expect("valid edit batch");
+    assert_eq!(a1.len(), batch.len(), "held logs are immutable snapshots");
+    assert_eq!(registry.edit_log(id).len(), batch.len() + next.len());
+}
+
 /// Specification of one random-but-valid edit: materialized against the
 /// current graph state, so scripts never reference stale structure.
 fn materialize_edit(graph: &Hypergraph, spec: (u8, u64)) -> GraphEdit {
@@ -417,5 +662,62 @@ proptest! {
             prop_assert_eq!(&a.6, &b.6);
             prop_assert_eq!(&a.7, &b.7);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random edit scripts with random batch boundaries survive a full
+    /// persist → restore round trip: identical epochs, identical log,
+    /// identical per-epoch graphs and identical solve fingerprints.
+    #[test]
+    fn prop_wal_round_trip_is_byte_identical(
+        specs in prop::collection::vec((any::<u8>(), any::<u64>()), 1..12),
+        boundaries in prop::collection::btree_set(0usize..12, 0..4),
+        query_seed in 0u64..1000,
+    ) {
+        let (registry, id) = fresh_registry();
+        let mut batch: Vec<GraphEdit> = Vec::new();
+        for (i, &spec) in specs.iter().enumerate() {
+            let staged = {
+                let snap = registry.latest(id);
+                apply_edits(snap.graph(), &batch).expect("staged prefix is valid")
+            };
+            let edit = materialize_edit(&staged, spec);
+            if matches!(edit, GraphEdit::AddEdge(_)) {
+                batch.push(GraphEdit::GrowVertices(1));
+            }
+            batch.push(edit);
+            if boundaries.contains(&i) {
+                registry.apply(id, &batch).expect("materialized batch is valid");
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            registry.apply(id, &batch).expect("materialized batch is valid");
+        }
+
+        let path = temp_wal("prop");
+        registry.persist(id, &path).expect("persist");
+        let mut restored = ResidentRegistry::new();
+        let rid = restored.restore(&path).expect("restore");
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(restored.current_epoch(rid), registry.current_epoch(id));
+        prop_assert_eq!(&restored.edit_log(rid)[..], &registry.edit_log(id)[..]);
+        let epochs = registry.current_epoch(id).0 + 1;
+        for e in 0..epochs {
+            let a = registry.snapshot_at(id, Epoch(e)).expect("retained");
+            let b = restored.snapshot_at(rid, Epoch(e)).expect("restored");
+            prop_assert!(a.log_len() == b.log_len(), "epoch {} watermark", e);
+            prop_assert!(a.graph() == b.graph(), "epoch {} graph", e);
+        }
+        let qa = request(id, query_seed % 30);
+        let qb = request(rid, query_seed % 30);
+        prop_assert_eq!(
+            BatchRunner::new().solve(&registry, &qa).fingerprint(),
+            BatchRunner::new().solve(&restored, &qb).fingerprint()
+        );
     }
 }
