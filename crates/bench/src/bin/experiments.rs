@@ -57,6 +57,16 @@ fn main() {
     let want =
         |tag: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(tag));
 
+    // Every run states which SIMD paths are live, so a pasted table or a CI
+    // log is never ambiguous about what actually executed.
+    println!(
+        "simd: keystream={} ({} blocks/op), sweeps={} ({} bytes/op)",
+        rand_chacha::simd::active_path(),
+        rand_chacha::simd::backend().lanes(),
+        pram::simd::active_path(),
+        pram::simd::active().u8_lanes(),
+    );
+
     if let Some(dir) = check_against {
         run_bench_regression_gate(&dir, tolerance, &want);
         return;
@@ -1342,8 +1352,52 @@ fn push_batch_row(
 #[cfg(feature = "reference-engine")]
 fn activeset_engine_guard(quick: bool) {
     use hypergraph::ReferenceActiveHypergraph;
+    use rand::RngCore as _;
     println!("\n## activeset — flat engine vs reference engine on the sbl_scaling workloads\n");
     let iters = if quick { 3 } else { 7 };
+
+    // Micro-throughput of the two vectorized hot loops, measured through the
+    // same entry points the engines use. The `_ms` keys gate as wall-time
+    // ceilings in the regression checker, so a silently rotted SIMD path
+    // (e.g. detection regressing to scalar) fails CI even when the
+    // end-to-end engine timings are too noisy to show it.
+    let rng_words: usize = if quick { 1 << 18 } else { 1 << 20 };
+    let mut rng_fill_ms = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        let mut rng = rng_for(0x51AD);
+        let t0 = Instant::now();
+        for _ in 0..rng_words / 2 {
+            sink = sink.wrapping_add(rng.next_u64());
+        }
+        rng_fill_ms = rng_fill_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    std::hint::black_box(sink);
+
+    // One "sweep op" = the three wide primitives the engine leans on
+    // (live count, frontier compaction, masked live-size sum) over a status
+    // array with an ~80% live fraction, like a young frontier.
+    let sweep_bytes: usize = if quick { 1 << 19 } else { 1 << 21 };
+    let status: Vec<u8> = (0..sweep_bytes).map(|i| u8::from(i % 5 == 0)).collect();
+    let weights: Vec<u32> = (0..sweep_bytes).map(|i| (i as u32) & 0x3FF).collect();
+    let mut compacted: Vec<u32> = Vec::new();
+    let mut sweep_ms = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let live = pram::simd::count_eq_u8(&status, 0);
+        pram::simd::positions_eq_u8(&status, 0, &mut compacted);
+        let mass = pram::simd::sum_u32_where_u8_eq(&weights, &status, 0);
+        sweep_ms = sweep_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(live, compacted.len(), "activeset: sweep self-check failed");
+        std::hint::black_box(mass);
+    }
+    println!(
+        "keystream fill [{}]: {rng_fill_ms:.3} ms / {rng_words} words; \
+         status sweeps [{}]: {sweep_ms:.3} ms / {sweep_bytes} bytes\n",
+        rand_chacha::simd::active_path(),
+        pram::simd::active_path(),
+    );
+
     let mut rows = Vec::new();
     let mut entries = Vec::new();
     let mut largest: Option<(usize, f64)> = None;
@@ -1445,8 +1499,17 @@ fn activeset_engine_guard(quick: bool) {
         "  \"baseline\": \"ReferenceActiveHypergraph (pre-flat Vec/BTreeSet engine)\",\n  \
          \"candidate\": \"ActiveHypergraph (flat epoch-stamped engine)\",\n  \
          \"iters\": {iters},\n  \
+         \"simd\": {{\"keystream\": \"{}\", \"keystream_blocks_per_op\": {}, \
+         \"sweeps\": \"{}\", \"sweep_bytes_per_op\": {}, \"forced_scalar\": {}}},\n  \
+         \"rng_words\": {rng_words},\n  \"rng_fill_ms\": {rng_fill_ms:.4},\n  \
+         \"sweep_bytes\": {sweep_bytes},\n  \"sweep_ms\": {sweep_ms:.4},\n  \
          \"largest_workload\": {{\"n\": {largest_n}, \"speedup\": {largest_speedup:.3}}},\n  \
-         \"workloads\": ["
+         \"workloads\": [",
+        rand_chacha::simd::active_path(),
+        rand_chacha::simd::backend().lanes(),
+        pram::simd::active_path(),
+        pram::simd::active().u8_lanes(),
+        rand_chacha::simd::forced_scalar() || pram::simd::forced_scalar(),
     );
     json.push_str(&entries.join(",\n"));
     json.push_str("\n  ]\n}\n");

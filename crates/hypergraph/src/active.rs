@@ -40,7 +40,12 @@
 //! rayon-backed [`pram`] primitives (`par_map_segments_into`,
 //! `par_map_into`), which fall back to sequential loops below the cutoff and
 //! are order-preserving above it, so results are identical across thread
-//! counts. Cost accounting stays in the *algorithm* layer (the `mis-core`
+//! counts. The status-array maintenance loops — frontier/alive-list
+//! compaction, live-size totals and the invariant counts — additionally run
+//! as wide byte sweeps through [`pram::simd`] (SSE2/AVX2 with scalar
+//! fallbacks and a `force-scalar` escape hatch) whenever the live fraction
+//! is high enough for a dense scan to beat the sparse walk; every backend
+//! computes identical results, which the scalar-vs-SIMD parity suites pin. Cost accounting stays in the *algorithm* layer (the `mis-core`
 //! crate charges the same work–depth script the pseudocode implies), which
 //! keeps `CostTracker` totals independent of the engine.
 //!
@@ -573,11 +578,21 @@ impl ActiveHypergraph {
     }
 
     /// Total size of the live edges, `Σ_e |e|` over live members.
+    ///
+    /// When most edges are still live, this runs as a wide masked sum over
+    /// the dense status/length arrays (dead edges keep stale `live_len`
+    /// values, so the sum must filter by status); once the frontier has
+    /// shrunk well below the edge count, the sparse gather over the
+    /// frontier is cheaper. Both compute the identical total.
     pub fn total_live_size(&self) -> usize {
-        self.live_edges
-            .iter()
-            .map(|&e| self.live_len[e as usize] as usize)
-            .sum()
+        if self.edge_status.len() <= self.live_edges.len().saturating_mul(4) {
+            pram::simd::sum_u32_where_u8_eq(&self.live_len, &self.edge_status, EDGE_LIVE)
+        } else {
+            self.live_edges
+                .iter()
+                .map(|&e| self.live_len[e as usize] as usize)
+                .sum()
+        }
     }
 
     /// Maximum cardinality among live edges (0 if edgeless).
@@ -601,11 +616,23 @@ impl ActiveHypergraph {
 
     /// Rebuilds the live-edge frontier from the per-edge status array,
     /// preserving ascending order: an in-place stable compaction with no
-    /// allocation (the PRAM cost of the step is charged at the algorithm
-    /// layer, like every other engine update).
+    /// steady-state allocation (the PRAM cost of the step is charged at the
+    /// algorithm layer, like every other engine update).
+    ///
+    /// The frontier invariant (`live_edges` is exactly the ascending
+    /// `EDGE_LIVE` positions, pinned by [`debug_validate`](Self::debug_validate))
+    /// makes the dense wide sweep over the status array an exact
+    /// replacement for the sparse `retain`; the sweep is used while the
+    /// frontier is still a sizeable fraction of the edge count, the sparse
+    /// walk once it has shrunk. The threshold depends only on instance
+    /// state, so the choice — and of course the result — is deterministic.
     fn rebuild_frontier(&mut self) {
-        let status = &self.edge_status;
-        self.live_edges.retain(|&e| status[e as usize] == EDGE_LIVE);
+        if self.edge_status.len() <= self.live_edges.len().saturating_mul(4) {
+            pram::simd::positions_eq_u8(&self.edge_status, EDGE_LIVE, &mut self.live_edges);
+        } else {
+            let status = &self.edge_status;
+            self.live_edges.retain(|&e| status[e as usize] == EDGE_LIVE);
+        }
     }
 
     /// Marks the given vertices dead (decided) and compacts the alive list.
@@ -619,8 +646,15 @@ impl ActiveHypergraph {
             }
         }
         if changed {
-            let status = &self.status;
-            self.alive_list.retain(|&v| status[v as usize] == V_ALIVE);
+            // Same dense-vs-sparse split as `rebuild_frontier`: the alive
+            // list is exactly the ascending `V_ALIVE` positions, so the wide
+            // status sweep and the sparse `retain` are interchangeable.
+            if self.status.len() <= self.alive_list.len().saturating_mul(4) {
+                pram::simd::positions_eq_u8(&self.status, V_ALIVE, &mut self.alive_list);
+            } else {
+                let status = &self.status;
+                self.alive_list.retain(|&v| status[v as usize] == V_ALIVE);
+            }
         }
     }
 
@@ -1267,7 +1301,7 @@ impl ActiveHypergraph {
         );
         debug_assert_eq!(
             self.alive_list.len(),
-            self.status.iter().filter(|&&s| s == V_ALIVE).count(),
+            pram::simd::count_eq_u8(&self.status, V_ALIVE),
             "alive list out of sync with status"
         );
         debug_assert!(
@@ -1276,7 +1310,7 @@ impl ActiveHypergraph {
         );
         debug_assert_eq!(
             self.live_edges.len(),
-            self.edge_status.iter().filter(|&&s| s == EDGE_LIVE).count(),
+            pram::simd::count_eq_u8(&self.edge_status, EDGE_LIVE),
             "frontier out of sync with edge status"
         );
         for &e in &self.live_edges {

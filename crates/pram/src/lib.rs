@@ -17,6 +17,10 @@
 //! * [`pool`] — helpers to run a computation on a dedicated rayon pool with a
 //!   fixed thread count (used by the threads-sweep experiment) and to spawn
 //!   the serving layer's long-lived per-shard worker threads.
+//! * [`simd`] — wide (SIMD) sweeps over the flat engine's `u8` status
+//!   arrays (count / positions / masked sum) with runtime ISA detection,
+//!   scalar fallbacks and a `force-scalar` escape hatch for differential
+//!   testing.
 //! * [`workspace`] — a reusable scratch arena ([`Workspace`]) for the
 //!   zero-reallocation run pipeline: per-purpose buffer pools threaded
 //!   through the `*_in`/`*_into` primitive variants and the `mis-core`
@@ -25,12 +29,16 @@
 //!   the facade's sharded serving subsystem is built on.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module opts back in locally for
+// `core::arch` intrinsics behind `#[target_feature]` kernels; everything
+// else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod cost;
 pub mod erew;
 pub mod pool;
 pub mod primitives;
+pub mod simd;
 pub mod workspace;
 
 pub use cost::{Cost, CostTracker};

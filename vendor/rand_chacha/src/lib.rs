@@ -7,13 +7,20 @@
 //! 16 output words of each block in order. Determinism — the property every
 //! experiment and test in this workspace relies on — is exact: the stream is
 //! a pure function of the seed.
+//!
+//! Blocks are generated eight at a time through the [`simd`] module, which
+//! picks the widest backend the host supports (AVX2 → SSE2 → portable
+//! four-lane) and can be pinned to the scalar reference with the
+//! `force-scalar` cargo feature or `MIS_SIMD=scalar`. Every backend
+//! produces the identical keystream word order; the known-answer tests
+//! below are the gate.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+pub mod simd;
 
 use rand::{RngCore, SeedableRng};
-
-const ROUNDS: usize = 8;
 
 /// A ChaCha generator with 8 rounds: fast, and still of far higher quality
 /// than anything the algorithms in this workspace need.
@@ -21,77 +28,20 @@ const ROUNDS: usize = 8;
 pub struct ChaCha8Rng {
     /// Key words 4..12 of the initial state.
     key: [u32; 8],
-    /// 64-bit block counter (words 12..14).
+    /// 64-bit block counter (words 12..14) of the *next* batch to generate.
     counter: u64,
-    /// Current output block.
-    block: [u32; 16],
-    /// Next unread word in `block`; 16 means "refill needed".
+    /// Buffered output: [`simd::BATCH_BLOCKS`] consecutive blocks in counter
+    /// order. The batch size is backend-independent, so clone/equality/resume
+    /// semantics do not depend on which SIMD path filled the buffer.
+    buf: [u32; simd::BATCH_WORDS],
+    /// Next unread word in `buf`; [`simd::BATCH_WORDS`] means "refill needed".
     index: usize,
-}
-
-/// One ChaCha quarter-round over four state words held in registers.
-/// Keeping the state in sixteen locals instead of an indexed array lets the
-/// compiler keep the whole block function in registers (no bounds checks, no
-/// spills), which roughly halves the per-block cost; the computed stream is
-/// bit-identical to the indexed formulation.
-macro_rules! qr {
-    ($a:ident, $b:ident, $c:ident, $d:ident) => {
-        $a = $a.wrapping_add($b);
-        $d = ($d ^ $a).rotate_left(16);
-        $c = $c.wrapping_add($d);
-        $b = ($b ^ $c).rotate_left(12);
-        $a = $a.wrapping_add($b);
-        $d = ($d ^ $a).rotate_left(8);
-        $c = $c.wrapping_add($d);
-        $b = ($b ^ $c).rotate_left(7);
-    };
 }
 
 impl ChaCha8Rng {
     fn refill(&mut self) {
-        let (i0, i1, i2, i3) = (
-            0x6170_7865u32,
-            0x3320_646eu32,
-            0x7962_2d32u32,
-            0x6b20_6574u32,
-        );
-        let (i4, i5, i6, i7) = (self.key[0], self.key[1], self.key[2], self.key[3]);
-        let (i8, i9, i10, i11) = (self.key[4], self.key[5], self.key[6], self.key[7]);
-        let (i12, i13) = (self.counter as u32, (self.counter >> 32) as u32);
-        let (i14, i15) = (0u32, 0u32);
-        let (mut s0, mut s1, mut s2, mut s3) = (i0, i1, i2, i3);
-        let (mut s4, mut s5, mut s6, mut s7) = (i4, i5, i6, i7);
-        let (mut s8, mut s9, mut s10, mut s11) = (i8, i9, i10, i11);
-        let (mut s12, mut s13, mut s14, mut s15) = (i12, i13, i14, i15);
-        for _ in 0..ROUNDS / 2 {
-            qr!(s0, s4, s8, s12);
-            qr!(s1, s5, s9, s13);
-            qr!(s2, s6, s10, s14);
-            qr!(s3, s7, s11, s15);
-            qr!(s0, s5, s10, s15);
-            qr!(s1, s6, s11, s12);
-            qr!(s2, s7, s8, s13);
-            qr!(s3, s4, s9, s14);
-        }
-        self.block = [
-            s0.wrapping_add(i0),
-            s1.wrapping_add(i1),
-            s2.wrapping_add(i2),
-            s3.wrapping_add(i3),
-            s4.wrapping_add(i4),
-            s5.wrapping_add(i5),
-            s6.wrapping_add(i6),
-            s7.wrapping_add(i7),
-            s8.wrapping_add(i8),
-            s9.wrapping_add(i9),
-            s10.wrapping_add(i10),
-            s11.wrapping_add(i11),
-            s12.wrapping_add(i12),
-            s13.wrapping_add(i13),
-            s14.wrapping_add(i14),
-            s15.wrapping_add(i15),
-        ];
-        self.counter = self.counter.wrapping_add(1);
+        simd::fill_batch(&self.key, self.counter, &mut self.buf);
+        self.counter = self.counter.wrapping_add(simd::BATCH_BLOCKS as u64);
         self.index = 0;
     }
 }
@@ -112,8 +62,8 @@ impl SeedableRng for ChaCha8Rng {
         ChaCha8Rng {
             key,
             counter: 0,
-            block: [0; 16],
-            index: 16,
+            buf: [0; simd::BATCH_WORDS],
+            index: simd::BATCH_WORDS,
         }
     }
 }
@@ -121,22 +71,22 @@ impl SeedableRng for ChaCha8Rng {
 impl RngCore for ChaCha8Rng {
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        if self.index >= 16 {
+        if self.index >= simd::BATCH_WORDS {
             self.refill();
         }
-        let w = self.block[self.index];
+        let w = self.buf[self.index];
         self.index += 1;
         w
     }
 
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        // Fast path: both words come from the current block, so one bounds
+        // Fast path: both words come from the current batch, so one bounds
         // check covers the pair. The consumed stream (lo word first) is
         // bit-identical to the two-call formulation.
-        if self.index + 2 <= 16 {
-            let lo = self.block[self.index];
-            let hi = self.block[self.index + 1];
+        if self.index + 2 <= simd::BATCH_WORDS {
+            let lo = self.buf[self.index];
+            let hi = self.buf[self.index + 1];
             self.index += 2;
             return u64::from(lo) | (u64::from(hi) << 32);
         }
@@ -285,6 +235,152 @@ mod tests {
         }
     }
 
+    /// Known-answer vectors spanning one full eight-block refill batch plus
+    /// the first word of the next batch. The three-block vectors above never
+    /// cross a batch seam (they fit in the first refill), so this test is
+    /// what pins blocks 3–7 of the wide backends and the counter hand-off
+    /// from one batch to the next. Values generated with the pre-SIMD scalar
+    /// implementation (commit `dd0aa12` and earlier).
+    #[test]
+    fn keystream_spans_full_refill_batch() {
+        let mut seq_key = [0u8; 32];
+        for (i, b) in seq_key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        // Blocks 3..8 for seq_key (blocks 0..3 are pinned above).
+        let later_blocks: [[u32; 16]; 5] = [
+            [
+                0xfc23b459, 0xaddd39d5, 0x920d6910, 0x06414085, 0x5be364a8, 0xa3af83cb, 0x7ac00930,
+                0x22e294e0, 0x5bf7bcf9, 0xce6d651d, 0x7bd1be4c, 0x21876e3e, 0xfd09bfa8, 0x86d9ffa8,
+                0x262220da, 0x93b4ec3c,
+            ],
+            [
+                0xe7168d48, 0x7fc4857e, 0x665fd6ac, 0x1e0d7192, 0xdf0e6933, 0xc6696a25, 0x3ec3f5ba,
+                0x5590e6ec, 0x812bbb7a, 0x599f371b, 0x20c3b07c, 0x34ffd617, 0x505e5670, 0x980d6127,
+                0x03938aa0, 0x20b507f4,
+            ],
+            [
+                0x8f67cf6d, 0x27bae019, 0x190c1bb5, 0xfcb2779d, 0x604f893b, 0x9b95c5fc, 0x772f31bf,
+                0xb7ca1da4, 0xf7840409, 0x63ea388a, 0x50769f0b, 0xab633ea2, 0xba82899c, 0xa4f3b917,
+                0x3cda22f2, 0x6e70010c,
+            ],
+            [
+                0x74f7636b, 0x94ff17e1, 0x0d2d512e, 0xdb23e7a8, 0x923308f7, 0x8ef70cb6, 0xf5d2cdc7,
+                0x1add5cb1, 0x24065130, 0x578f6178, 0xa2f680eb, 0xb96e48ce, 0xdd789a02, 0xd06c45e3,
+                0x3841bfb2, 0x15d0876b,
+            ],
+            [
+                0xde98b1df, 0x18cf1d33, 0xb90099ef, 0x85d8cda4, 0x914fa0c4, 0x855b315b, 0x68c8dbd2,
+                0x24ea8cbe, 0xce35be8e, 0x1e51cbd7, 0x1f20054a, 0x7820a81b, 0xf65d6aac, 0x2521c270,
+                0x6b6e449e, 0x5e96eb70,
+            ],
+        ];
+        let mut rng = ChaCha8Rng::from_seed(seq_key);
+        for _ in 0..3 * 16 {
+            rng.next_u32(); // blocks 0..3, already pinned elsewhere
+        }
+        for (blk, expected) in later_blocks.iter().enumerate() {
+            for (i, &word) in expected.iter().enumerate() {
+                assert_eq!(
+                    rng.next_u32(),
+                    word,
+                    "keystream mismatch at block {}, word {i}",
+                    blk + 3
+                );
+            }
+        }
+        // First word of block 8 — the first word produced by the *second*
+        // refill batch, pinning the counter hand-off.
+        assert_eq!(rng.next_u32(), 0xb5b3fcdf);
+    }
+
+    /// A refill batch whose counters cross the 32-bit boundary of state
+    /// word 12 mid-batch (0xFFFF_FFFC..=0x1_0000_0003): the carry into word
+    /// 13 must happen per lane, exactly as the scalar recurrence does it.
+    /// Constructed directly at a high counter because reaching it through
+    /// `from_seed` would take 2^32 blocks.
+    #[test]
+    fn counter_word_boundary_inside_batch() {
+        let expected: [[u32; 16]; 8] = [
+            [
+                0x6509d9c0, 0x2c3e9c6c, 0xc701cf54, 0x76c34a3d, 0x2a2c0b5d, 0x7250f66d, 0xa66dfeed,
+                0xf5381d46, 0x3b8d6146, 0xb34b5889, 0x817792b8, 0xbc4171a8, 0x2cb687b0, 0xa3d60a3e,
+                0x705a6ffb, 0xeaf40798,
+            ],
+            [
+                0xfc34a662, 0x8069594d, 0x3e3cf940, 0xc1427d5b, 0x374bf667, 0x63c4d00b, 0xe14084f2,
+                0x0b5760b3, 0x2dd6019c, 0xc192c6ff, 0xc58c963b, 0x24eb4e9c, 0x954343cf, 0x5a45153c,
+                0x315edccb, 0x1e79117a,
+            ],
+            [
+                0xabae4c0c, 0x20158e63, 0x75d327a5, 0x9009a618, 0x56024c18, 0x6e3735ef, 0xcee34419,
+                0xa3e2df16, 0x9283ef1b, 0x05d5df08, 0xf2028f40, 0x11efe5ca, 0xf5e16dc8, 0x4ec97958,
+                0xbe210e28, 0xea2b89bf,
+            ],
+            [
+                0xfe429a06, 0xcc5ab635, 0x2499bea9, 0x82169dd0, 0x8a55368a, 0x2a1033b6, 0x2d4d5a4f,
+                0xc92a44bd, 0x62c9cff0, 0x7d513240, 0x8918aecf, 0xc828b037, 0xa88e499d, 0xbeadfa32,
+                0x0443e913, 0xdcc52351,
+            ],
+            [
+                0xbd107359, 0x9b0bf4e8, 0xf6b31c5b, 0x65a1bc35, 0xa70e3e6b, 0xa688c622, 0x6374cee0,
+                0xe87868dd, 0xa9655d75, 0x52c0326c, 0x0e7a8ab8, 0x027a5594, 0x077d279c, 0x043f3bed,
+                0xb74d9303, 0x22ef28ae,
+            ],
+            [
+                0xc68b04eb, 0xab226349, 0xe0512804, 0xfd274eb3, 0xe4ede260, 0x425c5345, 0xa1aa8418,
+                0x70be069b, 0x6f524030, 0x35eadae3, 0x39bf2854, 0x324d1f66, 0x7c475b78, 0xfe7176ff,
+                0xb408dee8, 0x4cc54449,
+            ],
+            [
+                0x6465cdc1, 0x1919faa7, 0xac7482f5, 0x28c0473e, 0x773ca2fa, 0xac03dd08, 0x96484d67,
+                0x9144465b, 0xb5af23ce, 0x5a0901ad, 0xac20da18, 0xcea757ee, 0x55c6560d, 0xaaf7e2a5,
+                0x13c1d208, 0x9c2d5430,
+            ],
+            [
+                0x7ed57fe6, 0x45fcefa4, 0x32b81c39, 0xf864235d, 0x3e7b349f, 0xeff467b5, 0x09b62af3,
+                0x79b419e0, 0xb15df63e, 0xdb011038, 0x8ffe4d5b, 0x0b827e96, 0x3fdde330, 0xc1584b90,
+                0xf2a59cca, 0xdb391a2e,
+            ],
+        ];
+        let mut rng = ChaCha8Rng {
+            key: [0xa5a5_a5a5; 8], // from_seed([0xa5; 32]) little-endian
+            counter: 0xFFFF_FFFC,
+            buf: [0; simd::BATCH_WORDS],
+            index: simd::BATCH_WORDS,
+        };
+        for (blk, block) in expected.iter().enumerate() {
+            for (i, &word) in block.iter().enumerate() {
+                assert_eq!(
+                    rng.next_u32(),
+                    word,
+                    "keystream mismatch at boundary block {blk}, word {i}"
+                );
+            }
+        }
+    }
+
+    /// A block far into the 64-bit counter space (0x0000_00AB_FFFF_FFFF):
+    /// pins that the wide backends split the 64-bit lane counters into
+    /// words 12/13 correctly when the high word is non-zero.
+    #[test]
+    fn high_counter_block() {
+        let expected: [u32; 16] = [
+            0x7cd7ac2f, 0xc30dd53e, 0xe1b7ce81, 0xcfa22e03, 0x36297f64, 0x1d173309, 0x74ba1c59,
+            0xe68f3430, 0xc99587cd, 0xeb3ddc0b, 0xe9fe5bb2, 0xbd27df72, 0x90466f32, 0x646b5fb7,
+            0x13ff59e0, 0x4473fbfb,
+        ];
+        let mut rng = ChaCha8Rng {
+            key: [0; 8],
+            counter: 0x0000_00AB_FFFF_FFFF,
+            buf: [0; simd::BATCH_WORDS],
+            index: simd::BATCH_WORDS,
+        };
+        for (i, &word) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u32(), word, "keystream mismatch at word {i}");
+        }
+    }
+
     /// The `next_u64` fast path must consume the same stream as two
     /// `next_u32` calls (lo word first), including across block boundaries
     /// from odd positions.
@@ -298,6 +394,37 @@ mod tests {
             let lo = words.next_u32();
             let hi = words.next_u32();
             assert_eq!(pairs.next_u64(), u64::from(lo) | (u64::from(hi) << 32));
+        }
+    }
+
+    /// Consume across several refill batches with a mixed u32/u64 pattern
+    /// and check against the scalar batch reference — catches any seam bug
+    /// between buffered batches that the block-level KATs might miss.
+    #[test]
+    fn stream_matches_scalar_batches_across_seams() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = (0xC0 ^ i) as u8;
+        }
+        let mut rng = ChaCha8Rng::from_seed(seed);
+        let key = rng.key;
+        let mut reference = Vec::new();
+        for batch in 0..4u64 {
+            let mut buf = [0u32; simd::BATCH_WORDS];
+            simd::fill_batch_scalar(&key, batch * simd::BATCH_BLOCKS as u64, &mut buf);
+            reference.extend_from_slice(&buf);
+        }
+        let mut taken = 0usize;
+        while taken + 2 <= reference.len() {
+            if taken.is_multiple_of(3) {
+                assert_eq!(rng.next_u32(), reference[taken]);
+                taken += 1;
+            } else {
+                let expected =
+                    u64::from(reference[taken]) | (u64::from(reference[taken + 1]) << 32);
+                assert_eq!(rng.next_u64(), expected);
+                taken += 2;
+            }
         }
     }
 }

@@ -1,0 +1,664 @@
+//! Batched ChaCha8 block generation with SIMD backends.
+//!
+//! # The contract: keystream word order
+//!
+//! Every pinned-seed expectation in this workspace — determinism suites,
+//! engine-conformance oracles, bench outcome fingerprints — transitively
+//! depends on the exact `ChaCha8Rng` word stream. The contract every backend
+//! in this module must honour is therefore *byte identity*: a batch filled at
+//! counter `c` holds blocks `c, c+1, …, c+7` in counter order, each block
+//! being the 16 output words of the standard ChaCha8 construction in order.
+//! The `keystream_known_answer_vectors` test in the crate root (plus the
+//! multi-block and counter-boundary vectors next to it) is the hard oracle;
+//! the `backends_agree_on_random_inputs` test here checks every compiled
+//! backend against the scalar reference on random inputs.
+//!
+//! # Why lane-per-block vectorization is exact
+//!
+//! ChaCha's quarter-round uses only per-word operations (wrapping add, xor,
+//! rotate) — there is no cross-word carry or shuffle that could differ
+//! between a scalar and a vector evaluation. The wide backends place block
+//! `j`'s state word `w` in lane `j` of vector `w` (the classic multi-block
+//! formulation), so each lane computes precisely the scalar recurrence for
+//! its block; only the counter words 12/13 differ across lanes. The final
+//! transpose stores lanes back in block-major order, reproducing the scalar
+//! stream bit for bit.
+//!
+//! # Detection strategy
+//!
+//! The backend is chosen once per process (cached in a [`OnceLock`]):
+//!
+//! 1. the `force-scalar` cargo feature or `MIS_SIMD=scalar` in the
+//!    environment pins [`Backend::Scalar`] (the pre-SIMD single-block loop);
+//! 2. on `x86_64`, AVX2 is runtime-detected (8 blocks per step); SSE2 is the
+//!    architectural baseline and needs no detection (4 blocks per step);
+//! 3. every other target uses [`Backend::Wide4`], a portable four-lane
+//!    formulation over `[u32; 4]` arrays that the compiler can
+//!    auto-vectorize and that compiles everywhere.
+//!
+//! Intrinsics are confined to this module: the crate root stays
+//! `deny(unsafe_code)` and each `unsafe` block here is a call into a
+//! `#[target_feature]` kernel whose required feature is either the
+//! architectural baseline (SSE2 on `x86_64`) or runtime-detected (AVX2).
+
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Words per ChaCha block.
+pub const BLOCK_WORDS: usize = 16;
+/// Blocks generated per batch refill, across *all* backends, so the buffered
+/// generator state is backend-independent (equality, clone and resume behave
+/// identically whether or not SIMD is in play).
+pub const BATCH_BLOCKS: usize = 8;
+/// Words per batch refill.
+pub const BATCH_WORDS: usize = BLOCK_WORDS * BATCH_BLOCKS;
+
+const ROUNDS: usize = 8;
+const C0: u32 = 0x6170_7865;
+const C1: u32 = 0x3320_646e;
+const C2: u32 = 0x7962_2d32;
+const C3: u32 = 0x6b20_6574;
+
+/// One ChaCha quarter-round over four scalar state words held in locals.
+/// Keeping the state in sixteen locals instead of an indexed array lets the
+/// compiler keep the whole block function in registers (no bounds checks, no
+/// spills); the computed stream is bit-identical to the indexed formulation.
+macro_rules! qr {
+    ($a:ident, $b:ident, $c:ident, $d:ident) => {
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(16);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(12);
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(8);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(7);
+    };
+}
+
+/// One ChaCha quarter-round over four *vectors* of state words, where lane
+/// `j` of every vector belongs to block `j`. Works for any lane type with
+/// `add`/`xor`/`rotl16`/`rotl12`/`rotl8`/`rotl7` methods, so the round
+/// structure is written once and shared by the portable and `x86_64`
+/// backends (macros have textual scope, reaching the submodules below).
+macro_rules! wide_qr {
+    ($x:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {
+        $x[$a] = $x[$a].add($x[$b]);
+        $x[$d] = $x[$d].xor($x[$a]).rotl16();
+        $x[$c] = $x[$c].add($x[$d]);
+        $x[$b] = $x[$b].xor($x[$c]).rotl12();
+        $x[$a] = $x[$a].add($x[$b]);
+        $x[$d] = $x[$d].xor($x[$a]).rotl8();
+        $x[$c] = $x[$c].add($x[$d]);
+        $x[$b] = $x[$b].xor($x[$c]).rotl7();
+    };
+}
+
+/// One ChaCha double round (column round + diagonal round) over a 16-vector
+/// state, in the standard order.
+macro_rules! wide_double_round {
+    ($x:ident) => {
+        wide_qr!($x, 0, 4, 8, 12);
+        wide_qr!($x, 1, 5, 9, 13);
+        wide_qr!($x, 2, 6, 10, 14);
+        wide_qr!($x, 3, 7, 11, 15);
+        wide_qr!($x, 0, 5, 10, 15);
+        wide_qr!($x, 1, 6, 11, 12);
+        wide_qr!($x, 2, 7, 8, 13);
+        wide_qr!($x, 3, 4, 9, 14);
+    };
+}
+
+/// The batch-fill implementations this build can choose from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The pre-SIMD reference: eight sequential single-block evaluations.
+    /// Also what `force-scalar` / `MIS_SIMD=scalar` pin.
+    Scalar,
+    /// Portable four-lane formulation over `[u32; 4]` arrays; compiles on
+    /// every target and auto-vectorizes where the compiler can.
+    Wide4,
+    /// Four blocks per step via `core::arch` SSE2 (`x86_64` baseline).
+    Sse2,
+    /// Eight blocks per step via `core::arch` AVX2 (runtime-detected).
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lower-case name, used in bench artifacts and log headers.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Wide4 => "wide4",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Blocks computed per vector step (1 for the scalar loop).
+    pub const fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Wide4 | Backend::Sse2 => 4,
+            Backend::Avx2 => 8,
+        }
+    }
+}
+
+/// True when the scalar path is pinned by the `force-scalar` cargo feature
+/// or by `MIS_SIMD=scalar` in the environment (read once per process).
+pub fn forced_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        cfg!(feature = "force-scalar")
+            || std::env::var_os("MIS_SIMD").is_some_and(|v| v == "scalar")
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn best_arch_backend() -> Backend {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        Backend::Avx2
+    } else {
+        Backend::Sse2
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn best_arch_backend() -> Backend {
+    Backend::Wide4
+}
+
+/// The backend [`fill_batch`] dispatches to, chosen once per process.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if forced_scalar() {
+            Backend::Scalar
+        } else {
+            best_arch_backend()
+        }
+    })
+}
+
+/// Human-readable description of the active path, e.g. `"avx2"` or
+/// `"scalar (forced)"`, for bench headers and artifacts.
+pub fn active_path() -> &'static str {
+    if forced_scalar() {
+        "scalar (forced)"
+    } else {
+        backend().name()
+    }
+}
+
+/// Every backend that can run on this build *and* host, scalar first.
+/// Parity tests iterate this list against the scalar reference.
+pub fn available_backends() -> Vec<Backend> {
+    let mut list = vec![Backend::Scalar, Backend::Wide4];
+    #[cfg(target_arch = "x86_64")]
+    {
+        list.push(Backend::Sse2);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            list.push(Backend::Avx2);
+        }
+    }
+    list
+}
+
+/// Computes one ChaCha8 block: the 16 output words for `key` at block
+/// `counter` (64-bit counter in words 12/13, zero stream id in words 14/15).
+/// This is the scalar reference every wide backend is tested against.
+pub fn block_words(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let (i0, i1, i2, i3) = (C0, C1, C2, C3);
+    let (i4, i5, i6, i7) = (key[0], key[1], key[2], key[3]);
+    let (i8, i9, i10, i11) = (key[4], key[5], key[6], key[7]);
+    let (i12, i13) = (counter as u32, (counter >> 32) as u32);
+    let (i14, i15) = (0u32, 0u32);
+    let (mut s0, mut s1, mut s2, mut s3) = (i0, i1, i2, i3);
+    let (mut s4, mut s5, mut s6, mut s7) = (i4, i5, i6, i7);
+    let (mut s8, mut s9, mut s10, mut s11) = (i8, i9, i10, i11);
+    let (mut s12, mut s13, mut s14, mut s15) = (i12, i13, i14, i15);
+    for _ in 0..ROUNDS / 2 {
+        qr!(s0, s4, s8, s12);
+        qr!(s1, s5, s9, s13);
+        qr!(s2, s6, s10, s14);
+        qr!(s3, s7, s11, s15);
+        qr!(s0, s5, s10, s15);
+        qr!(s1, s6, s11, s12);
+        qr!(s2, s7, s8, s13);
+        qr!(s3, s4, s9, s14);
+    }
+    [
+        s0.wrapping_add(i0),
+        s1.wrapping_add(i1),
+        s2.wrapping_add(i2),
+        s3.wrapping_add(i3),
+        s4.wrapping_add(i4),
+        s5.wrapping_add(i5),
+        s6.wrapping_add(i6),
+        s7.wrapping_add(i7),
+        s8.wrapping_add(i8),
+        s9.wrapping_add(i9),
+        s10.wrapping_add(i10),
+        s11.wrapping_add(i11),
+        s12.wrapping_add(i12),
+        s13.wrapping_add(i13),
+        s14.wrapping_add(i14),
+        s15.wrapping_add(i15),
+    ]
+}
+
+/// Fills `out` with blocks `counter, counter+1, …, counter+7` (wrapping
+/// per block) using the process-wide [`backend`].
+pub fn fill_batch(key: &[u32; 8], counter: u64, out: &mut [u32; BATCH_WORDS]) {
+    fill_batch_using(backend(), key, counter, out);
+}
+
+/// Fills `out` using a specific backend. Intended for parity tests and
+/// benches; panics if `which` is not in [`available_backends`] for this
+/// build and host.
+pub fn fill_batch_using(
+    which: Backend,
+    key: &[u32; 8],
+    counter: u64,
+    out: &mut [u32; BATCH_WORDS],
+) {
+    match which {
+        Backend::Scalar => fill_batch_scalar(key, counter, out),
+        Backend::Wide4 => fill_batch_wide4(key, counter, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => x86::fill_batch_sse2(key, counter, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::fill_batch_avx2_detected(key, counter, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Sse2 | Backend::Avx2 => {
+            panic!("backend {:?} is not available on this target", which)
+        }
+    }
+}
+
+/// The scalar reference batch fill: eight sequential [`block_words`] calls.
+pub fn fill_batch_scalar(key: &[u32; 8], counter: u64, out: &mut [u32; BATCH_WORDS]) {
+    for (b, chunk) in out.chunks_exact_mut(BLOCK_WORDS).enumerate() {
+        chunk.copy_from_slice(&block_words(key, counter.wrapping_add(b as u64)));
+    }
+}
+
+/// The portable four-lane batch fill: two steps of four blocks each.
+pub fn fill_batch_wide4(key: &[u32; 8], counter: u64, out: &mut [u32; BATCH_WORDS]) {
+    let (lo, hi) = out.split_at_mut(BATCH_WORDS / 2);
+    wide4::four_blocks(key, counter, lo);
+    wide4::four_blocks(key, counter.wrapping_add(4), hi);
+}
+
+/// Portable four-lane backend over plain `[u32; 4]` arrays. Safe code only;
+/// the per-lane operations are exactly the scalar recurrence, so this is
+/// both the everywhere-fallback and a readable model of the intrinsic
+/// backends below.
+mod wide4 {
+    use super::{BLOCK_WORDS, C0, C1, C2, C3, ROUNDS};
+
+    #[derive(Clone, Copy)]
+    struct W4([u32; 4]);
+
+    impl W4 {
+        #[inline(always)]
+        fn splat(x: u32) -> Self {
+            W4([x; 4])
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            W4(core::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
+        }
+
+        #[inline(always)]
+        fn xor(self, o: Self) -> Self {
+            W4(core::array::from_fn(|i| self.0[i] ^ o.0[i]))
+        }
+
+        #[inline(always)]
+        fn rotl16(self) -> Self {
+            W4(self.0.map(|w| w.rotate_left(16)))
+        }
+
+        #[inline(always)]
+        fn rotl12(self) -> Self {
+            W4(self.0.map(|w| w.rotate_left(12)))
+        }
+
+        #[inline(always)]
+        fn rotl8(self) -> Self {
+            W4(self.0.map(|w| w.rotate_left(8)))
+        }
+
+        #[inline(always)]
+        fn rotl7(self) -> Self {
+            W4(self.0.map(|w| w.rotate_left(7)))
+        }
+    }
+
+    /// Computes blocks `counter..counter+4` into `out` (64 words,
+    /// block-major).
+    pub(super) fn four_blocks(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), 4 * BLOCK_WORDS);
+        let counters: [u64; 4] = core::array::from_fn(|j| counter.wrapping_add(j as u64));
+        let init: [W4; 16] = [
+            W4::splat(C0),
+            W4::splat(C1),
+            W4::splat(C2),
+            W4::splat(C3),
+            W4::splat(key[0]),
+            W4::splat(key[1]),
+            W4::splat(key[2]),
+            W4::splat(key[3]),
+            W4::splat(key[4]),
+            W4::splat(key[5]),
+            W4::splat(key[6]),
+            W4::splat(key[7]),
+            W4(counters.map(|c| c as u32)),
+            W4(counters.map(|c| (c >> 32) as u32)),
+            W4::splat(0),
+            W4::splat(0),
+        ];
+        let mut x = init;
+        for _ in 0..ROUNDS / 2 {
+            wide_double_round!(x);
+        }
+        for (w, (xi, ii)) in x.iter().zip(init.iter()).enumerate() {
+            let s = xi.add(*ii);
+            for j in 0..4 {
+                out[j * BLOCK_WORDS + w] = s.0[j];
+            }
+        }
+    }
+}
+
+/// `x86_64` intrinsic backends. SSE2 is the architectural baseline, so its
+/// kernel is sound to call unconditionally on this target; the AVX2 kernel
+/// is only ever reached behind `is_x86_feature_detected!("avx2")`. The only
+/// other `unsafe` here is `transmute` between vector types and same-sized
+/// `u32` arrays, which is sound because both are plain-old-data with no
+/// invalid bit patterns and transmute preserves the little-endian lane
+/// order the stores rely on.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{BATCH_WORDS, BLOCK_WORDS, C0, C1, C2, C3, ROUNDS};
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_add_epi32, _mm256_or_si256, _mm256_slli_epi32, _mm256_srli_epi32,
+        _mm256_xor_si256, _mm_add_epi32, _mm_or_si128, _mm_slli_epi32, _mm_srli_epi32,
+        _mm_xor_si128,
+    };
+
+    #[derive(Clone, Copy)]
+    struct S4(__m128i);
+
+    macro_rules! s4_rotl {
+        ($name:ident, $k:literal) => {
+            #[inline]
+            #[target_feature(enable = "sse2")]
+            fn $name(self) -> Self {
+                S4(_mm_or_si128(
+                    _mm_slli_epi32::<$k>(self.0),
+                    _mm_srli_epi32::<{ 32 - $k }>(self.0),
+                ))
+            }
+        };
+    }
+
+    impl S4 {
+        #[inline]
+        fn from_words(w: [u32; 4]) -> Self {
+            // SAFETY: __m128i and [u32; 4] are both 16-byte POD types.
+            S4(unsafe { core::mem::transmute::<[u32; 4], __m128i>(w) })
+        }
+
+        #[inline]
+        fn to_words(self) -> [u32; 4] {
+            // SAFETY: as in `from_words`.
+            unsafe { core::mem::transmute::<__m128i, [u32; 4]>(self.0) }
+        }
+
+        #[inline]
+        fn splat(x: u32) -> Self {
+            Self::from_words([x; 4])
+        }
+
+        #[inline]
+        #[target_feature(enable = "sse2")]
+        fn add(self, o: Self) -> Self {
+            S4(_mm_add_epi32(self.0, o.0))
+        }
+
+        #[inline]
+        #[target_feature(enable = "sse2")]
+        fn xor(self, o: Self) -> Self {
+            S4(_mm_xor_si128(self.0, o.0))
+        }
+
+        s4_rotl!(rotl16, 16);
+        s4_rotl!(rotl12, 12);
+        s4_rotl!(rotl8, 8);
+        s4_rotl!(rotl7, 7);
+    }
+
+    /// Computes blocks `counter..counter+4` into `out` (64 words).
+    #[target_feature(enable = "sse2")]
+    fn four_blocks_sse2(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+        let counters: [u64; 4] = core::array::from_fn(|j| counter.wrapping_add(j as u64));
+        let init: [S4; 16] = [
+            S4::splat(C0),
+            S4::splat(C1),
+            S4::splat(C2),
+            S4::splat(C3),
+            S4::splat(key[0]),
+            S4::splat(key[1]),
+            S4::splat(key[2]),
+            S4::splat(key[3]),
+            S4::splat(key[4]),
+            S4::splat(key[5]),
+            S4::splat(key[6]),
+            S4::splat(key[7]),
+            S4::from_words(counters.map(|c| c as u32)),
+            S4::from_words(counters.map(|c| (c >> 32) as u32)),
+            S4::splat(0),
+            S4::splat(0),
+        ];
+        let mut x = init;
+        for _ in 0..ROUNDS / 2 {
+            wide_double_round!(x);
+        }
+        for (w, (xi, ii)) in x.iter().zip(init.iter()).enumerate() {
+            let lanes = xi.add(*ii).to_words();
+            for (j, lane) in lanes.into_iter().enumerate() {
+                out[j * BLOCK_WORDS + w] = lane;
+            }
+        }
+    }
+
+    /// Fills an eight-block batch with two SSE2 four-block steps.
+    pub(super) fn fill_batch_sse2(key: &[u32; 8], counter: u64, out: &mut [u32; BATCH_WORDS]) {
+        let (lo, hi) = out.split_at_mut(BATCH_WORDS / 2);
+        // SAFETY: SSE2 is part of the x86_64 baseline; every x86_64 CPU
+        // executing this code has it.
+        unsafe {
+            four_blocks_sse2(key, counter, lo);
+            four_blocks_sse2(key, counter.wrapping_add(4), hi);
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct S8(__m256i);
+
+    macro_rules! s8_rotl {
+        ($name:ident, $k:literal) => {
+            #[inline]
+            #[target_feature(enable = "avx2")]
+            fn $name(self) -> Self {
+                S8(_mm256_or_si256(
+                    _mm256_slli_epi32::<$k>(self.0),
+                    _mm256_srli_epi32::<{ 32 - $k }>(self.0),
+                ))
+            }
+        };
+    }
+
+    impl S8 {
+        #[inline]
+        fn from_words(w: [u32; 8]) -> Self {
+            // SAFETY: __m256i and [u32; 8] are both 32-byte POD types.
+            S8(unsafe { core::mem::transmute::<[u32; 8], __m256i>(w) })
+        }
+
+        #[inline]
+        fn to_words(self) -> [u32; 8] {
+            // SAFETY: as in `from_words`.
+            unsafe { core::mem::transmute::<__m256i, [u32; 8]>(self.0) }
+        }
+
+        #[inline]
+        fn splat(x: u32) -> Self {
+            Self::from_words([x; 8])
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn add(self, o: Self) -> Self {
+            S8(_mm256_add_epi32(self.0, o.0))
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn xor(self, o: Self) -> Self {
+            S8(_mm256_xor_si256(self.0, o.0))
+        }
+
+        s8_rotl!(rotl16, 16);
+        s8_rotl!(rotl12, 12);
+        s8_rotl!(rotl8, 8);
+        s8_rotl!(rotl7, 7);
+    }
+
+    /// Computes the whole eight-block batch in one AVX2 step.
+    #[target_feature(enable = "avx2")]
+    fn fill_batch_avx2(key: &[u32; 8], counter: u64, out: &mut [u32; BATCH_WORDS]) {
+        let counters: [u64; 8] = core::array::from_fn(|j| counter.wrapping_add(j as u64));
+        let init: [S8; 16] = [
+            S8::splat(C0),
+            S8::splat(C1),
+            S8::splat(C2),
+            S8::splat(C3),
+            S8::splat(key[0]),
+            S8::splat(key[1]),
+            S8::splat(key[2]),
+            S8::splat(key[3]),
+            S8::splat(key[4]),
+            S8::splat(key[5]),
+            S8::splat(key[6]),
+            S8::splat(key[7]),
+            S8::from_words(counters.map(|c| c as u32)),
+            S8::from_words(counters.map(|c| (c >> 32) as u32)),
+            S8::splat(0),
+            S8::splat(0),
+        ];
+        let mut x = init;
+        for _ in 0..ROUNDS / 2 {
+            wide_double_round!(x);
+        }
+        for (w, (xi, ii)) in x.iter().zip(init.iter()).enumerate() {
+            let lanes = xi.add(*ii).to_words();
+            for (j, lane) in lanes.into_iter().enumerate() {
+                out[j * BLOCK_WORDS + w] = lane;
+            }
+        }
+    }
+
+    /// AVX2 batch fill; panics if the host lacks AVX2 (callers go through
+    /// [`super::backend`] or [`super::available_backends`], which detect it).
+    pub(super) fn fill_batch_avx2_detected(
+        key: &[u32; 8],
+        counter: u64,
+        out: &mut [u32; BATCH_WORDS],
+    ) {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "AVX2 backend selected on a host without AVX2"
+        );
+        // SAFETY: the assert above established the avx2 target feature.
+        unsafe { fill_batch_avx2(key, counter, out) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every compiled-and-detected backend must reproduce the scalar batch
+    /// bit for bit, on structured and on random (key, counter) inputs —
+    /// including counters that wrap the 32-bit boundary of state word 12 and
+    /// the 64-bit counter itself mid-batch.
+    #[test]
+    fn backends_agree_on_random_inputs() {
+        use rand::{RngCore, SeedableRng};
+        let mut inputs: Vec<([u32; 8], u64)> = vec![
+            ([0; 8], 0),
+            ([0xa5a5_a5a5; 8], 0xFFFF_FFFC),
+            ([1; 8], u64::MAX - 3),
+            ([u32::MAX; 8], u64::MAX),
+        ];
+        let mut rng = crate::ChaCha8Rng::seed_from_u64(0x51D_BEEF);
+        for _ in 0..64 {
+            let key = core::array::from_fn(|_| rng.next_u32());
+            inputs.push((key, rng.next_u64()));
+        }
+        let backends = available_backends();
+        assert!(backends.contains(&Backend::Scalar));
+        for (key, counter) in inputs {
+            let mut expected = [0u32; BATCH_WORDS];
+            fill_batch_scalar(&key, counter, &mut expected);
+            for &b in &backends {
+                let mut got = [0u32; BATCH_WORDS];
+                fill_batch_using(b, &key, counter, &mut got);
+                assert!(
+                    got == expected,
+                    "backend {:?} diverges from scalar at key {key:08x?}, counter {counter:#x}",
+                    b
+                );
+            }
+            // The dispatching entry point must match whatever it picked.
+            let mut via_dispatch = [0u32; BATCH_WORDS];
+            fill_batch(&key, counter, &mut via_dispatch);
+            assert!(via_dispatch == expected);
+        }
+    }
+
+    /// The scalar batch is, definitionally, eight single blocks in counter
+    /// order — pin the layout so a transpose bug cannot hide behind a
+    /// backend-vs-backend comparison.
+    #[test]
+    fn batch_layout_is_block_major_in_counter_order() {
+        let key = [0x0123_4567u32; 8];
+        let counter = 0xFFFF_FFFEu64; // crosses the 32-bit boundary mid-batch
+        let mut batch = [0u32; BATCH_WORDS];
+        fill_batch(&key, counter, &mut batch);
+        for b in 0..BATCH_BLOCKS {
+            let expected = block_words(&key, counter.wrapping_add(b as u64));
+            assert_eq!(&batch[b * BLOCK_WORDS..][..BLOCK_WORDS], &expected[..]);
+        }
+    }
+
+    #[test]
+    fn backend_metadata_is_consistent() {
+        for b in available_backends() {
+            assert!(!b.name().is_empty());
+            assert!(b.lanes() >= 1);
+        }
+        // The active path is always one of the available backends (modulo
+        // the "(forced)" suffix).
+        let path = active_path();
+        assert!(available_backends()
+            .iter()
+            .any(|b| path.starts_with(b.name())));
+    }
+}
