@@ -290,7 +290,11 @@ fn rule_for(key: &str) -> Rule {
         | "deterministic_replay"
         | "replay_identical"
         | "wal_replay_identical"
-        | "retention_latest_identical" => Rule::DeterminismFlag,
+        | "retention_latest_identical"
+        | "mapped_identical" => Rule::DeterminismFlag,
+        // Coldstart workload identity: the storage tier and resident
+        // footprint of the snapshot under test are deterministic.
+        "storage" | "bytes_resident" => Rule::Exact,
         k if k.ends_with("_ms") || k == "ms" => Rule::WallTimeCeiling,
         k if k.starts_with("speedup") => Rule::SpeedupFloor,
         _ => Rule::Ignore,
@@ -530,6 +534,38 @@ mod tests {
                 .failures
                 .iter()
                 .any(|f| f.contains("retention_evictions")),
+            "failures: {:?}",
+            report.failures
+        );
+    }
+
+    /// The coldstart gate: `mapped_identical` is a determinism flag and the
+    /// snapshot's storage tier + resident footprint gate exactly.
+    #[test]
+    fn coldstart_fields_gate() {
+        let fresh = FRESH.replace(
+            "\"outcomes_identical\": true,",
+            "\"outcomes_identical\": true, \"mapped_identical\": true, \
+             \"storage\": \"mapped\", \"bytes_resident\": 12582944,",
+        );
+        assert!(check_against(&fresh, &fresh, 0.0).unwrap().passed());
+        let broken = fresh.replace("\"mapped_identical\": true", "\"mapped_identical\": false");
+        let report = check_against(&broken, &broken, 10.0).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("determinism flag") && f.contains("mapped_identical")),
+            "failures: {:?}",
+            report.failures
+        );
+        let drifted = fresh.replace("\"storage\": \"mapped\"", "\"storage\": \"owned\"");
+        let report = check_against(&fresh, &drifted, 10.0).unwrap();
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("fingerprint mismatch") && f.contains("storage")),
             "failures: {:?}",
             report.failures
         );

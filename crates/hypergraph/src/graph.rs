@@ -5,6 +5,7 @@
 //! index in the same layout. This keeps the per-round scans of the parallel
 //! algorithms cache-friendly and allocation-free.
 
+use pram::mmap::U32Span;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -13,6 +14,47 @@ pub type VertexId = u32;
 
 /// Identifier of an edge: a dense index in `0..m`.
 pub type EdgeId = u32;
+
+/// Backing storage for one CSR array: an owned heap vector (the result of
+/// building or parsing) or a validated window of a shared read-only file
+/// mapping (the result of [`crate::io::open_mapped`]).
+///
+/// Every accessor routes through [`as_slice`](Self::as_slice), so the two
+/// tiers are behaviourally identical — a mapped [`Hypergraph`] answers every
+/// query byte-for-byte like its owned twin, and engine construction (which
+/// consumes the CSR through plain slices) runs directly on the mapping with
+/// no copy. Cloning a mapped array bumps the mapping's `Arc`; cloning an
+/// owned array copies, exactly as before the tier existed.
+#[derive(Clone)]
+pub(crate) enum CsrStorage {
+    /// Heap-owned words.
+    Owned(Vec<u32>),
+    /// A bounds- and alignment-validated window of a shared mapping.
+    Mapped(U32Span),
+}
+
+impl CsrStorage {
+    /// The words, wherever they live.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u32] {
+        match self {
+            CsrStorage::Owned(v) => v,
+            CsrStorage::Mapped(s) => s.as_slice(),
+        }
+    }
+
+    /// Whether the words live in a file mapping.
+    #[inline]
+    fn is_mapped(&self) -> bool {
+        matches!(self, CsrStorage::Mapped(_))
+    }
+}
+
+impl From<Vec<u32>> for CsrStorage {
+    fn from(v: Vec<u32>) -> Self {
+        CsrStorage::Owned(v)
+    }
+}
 
 /// An immutable hypergraph `H = (V, E)` with `V = {0, …, n-1}` and edges
 /// stored as sorted vertex lists.
@@ -34,20 +76,35 @@ pub type EdgeId = u32;
 /// assert_eq!(h.edge(0), &[0, 1, 2]);
 /// assert_eq!(h.incident_edges(2), &[0, 1]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Hypergraph {
     n: u32,
     /// CSR offsets into `edge_vertices`; length `m + 1`.
-    edge_offsets: Vec<u32>,
+    edge_offsets: CsrStorage,
     /// Concatenated, per-edge-sorted vertex lists.
-    edge_vertices: Vec<VertexId>,
+    edge_vertices: CsrStorage,
     /// CSR offsets into `incident`; length `n + 1`.
-    inc_offsets: Vec<u32>,
+    inc_offsets: CsrStorage,
     /// Concatenated, per-vertex-sorted lists of incident edge ids.
-    incident: Vec<EdgeId>,
+    incident: CsrStorage,
     /// Maximum edge cardinality (0 for an edgeless hypergraph).
     dim: u32,
 }
+
+impl PartialEq for Hypergraph {
+    /// Content equality across storage tiers: a mapped graph equals its
+    /// owned twin whenever the four CSR arrays hold the same words.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.dim == other.dim
+            && self.edge_offsets.as_slice() == other.edge_offsets.as_slice()
+            && self.edge_vertices.as_slice() == other.edge_vertices.as_slice()
+            && self.inc_offsets.as_slice() == other.inc_offsets.as_slice()
+            && self.incident.as_slice() == other.incident.as_slice()
+    }
+}
+
+impl Eq for Hypergraph {}
 
 impl Hypergraph {
     /// Builds the arena from a vertex count and a list of edges.
@@ -95,12 +152,68 @@ impl Hypergraph {
 
         Hypergraph {
             n,
+            edge_offsets: edge_offsets.into(),
+            edge_vertices: edge_vertices.into(),
+            inc_offsets: inc_offsets.into(),
+            incident: incident.into(),
+            dim,
+        }
+    }
+
+    /// Builds the arena directly from already-validated CSR parts.
+    ///
+    /// `pub(crate)`: the binary snapshot reader in [`crate::io`] is the only
+    /// caller, and it fully validates structure (monotonic bounded offsets,
+    /// sorted duplicate-free non-empty edges, a consistent incidence index
+    /// and an exact `dim`) before any array reaches this constructor —
+    /// mapped or owned alike.
+    pub(crate) fn from_validated_csr(
+        n: u32,
+        dim: u32,
+        edge_offsets: CsrStorage,
+        edge_vertices: CsrStorage,
+        inc_offsets: CsrStorage,
+        incident: CsrStorage,
+    ) -> Self {
+        debug_assert_eq!(edge_vertices.as_slice().len(), incident.as_slice().len());
+        debug_assert_eq!(inc_offsets.as_slice().len(), n as usize + 1);
+        debug_assert!(!edge_offsets.as_slice().is_empty());
+        Hypergraph {
+            n,
             edge_offsets,
             edge_vertices,
             inc_offsets,
             incident,
             dim,
         }
+    }
+
+    /// Whether the base CSR arrays live in a read-only file mapping (the
+    /// out-of-core tier of [`crate::io::open_mapped`]) rather than on the
+    /// heap. Observability only — the two tiers answer identically.
+    pub fn is_mapped(&self) -> bool {
+        self.edge_offsets.is_mapped()
+    }
+
+    /// The storage tier of the base CSR arrays: `"mapped"` for graphs opened
+    /// from an on-disk snapshot via [`crate::io::open_mapped`], `"owned"`
+    /// for everything built or parsed on the heap.
+    pub fn storage_kind(&self) -> &'static str {
+        if self.is_mapped() {
+            "mapped"
+        } else {
+            "owned"
+        }
+    }
+
+    /// Bytes of the four CSR arrays backing this arena. For owned graphs
+    /// this is heap footprint; for mapped graphs it is the size of the
+    /// mapped window (which the OS may page in and out on demand).
+    pub fn bytes_resident(&self) -> usize {
+        4 * (self.edge_offsets.as_slice().len()
+            + self.edge_vertices.as_slice().len()
+            + self.inc_offsets.as_slice().len()
+            + self.incident.as_slice().len())
     }
 
     /// Number of vertices `n = |V|`.
@@ -112,7 +225,7 @@ impl Hypergraph {
     /// Number of edges `m = |E|`.
     #[inline]
     pub fn n_edges(&self) -> usize {
-        self.edge_offsets.len() - 1
+        self.edge_offsets.as_slice().len() - 1
     }
 
     /// Dimension: the maximum edge cardinality (0 if there are no edges).
@@ -127,15 +240,17 @@ impl Hypergraph {
     /// Panics if `e >= self.n_edges()`.
     #[inline]
     pub fn edge(&self, e: EdgeId) -> &[VertexId] {
-        let lo = self.edge_offsets[e as usize] as usize;
-        let hi = self.edge_offsets[e as usize + 1] as usize;
-        &self.edge_vertices[lo..hi]
+        let offsets = self.edge_offsets.as_slice();
+        let lo = offsets[e as usize] as usize;
+        let hi = offsets[e as usize + 1] as usize;
+        &self.edge_vertices.as_slice()[lo..hi]
     }
 
     /// Cardinality of edge `e`.
     #[inline]
     pub fn edge_len(&self, e: EdgeId) -> usize {
-        (self.edge_offsets[e as usize + 1] - self.edge_offsets[e as usize]) as usize
+        let offsets = self.edge_offsets.as_slice();
+        (offsets[e as usize + 1] - offsets[e as usize]) as usize
     }
 
     /// Iterator over all edges as sorted vertex slices, in edge-id order.
@@ -153,7 +268,7 @@ impl Hypergraph {
     /// trimming path.
     #[inline]
     pub(crate) fn incidence_csr(&self) -> (&[u32], &[EdgeId]) {
-        (&self.inc_offsets, &self.incident)
+        (self.inc_offsets.as_slice(), self.incident.as_slice())
     }
 
     /// The raw edge CSR (offsets of length `m + 1`, concatenated sorted
@@ -161,7 +276,7 @@ impl Hypergraph {
     /// restore its arena with two straight memcpys.
     #[inline]
     pub(crate) fn edge_csr(&self) -> (&[u32], &[VertexId]) {
-        (&self.edge_offsets, &self.edge_vertices)
+        (self.edge_offsets.as_slice(), self.edge_vertices.as_slice())
     }
 
     /// The sorted list of edges incident to vertex `v`.
@@ -170,9 +285,10 @@ impl Hypergraph {
     /// Panics if `v >= self.n_vertices()`.
     #[inline]
     pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
-        let lo = self.inc_offsets[v as usize] as usize;
-        let hi = self.inc_offsets[v as usize + 1] as usize;
-        &self.incident[lo..hi]
+        let offsets = self.inc_offsets.as_slice();
+        let lo = offsets[v as usize] as usize;
+        let hi = offsets[v as usize + 1] as usize;
+        &self.incident.as_slice()[lo..hi]
     }
 
     /// Degree of vertex `v`: the number of edges containing it.
@@ -262,7 +378,7 @@ impl Hypergraph {
 
     /// Total storage footprint of the edge lists, i.e. `Σ_e |e|`.
     pub fn total_edge_size(&self) -> usize {
-        self.edge_vertices.len()
+        self.edge_vertices.as_slice().len()
     }
 
     /// Collects the edges into owned `Vec`s (mainly for conversion into an
@@ -280,6 +396,8 @@ impl Hypergraph {
 
 impl fmt::Debug for Hypergraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Storage tier deliberately omitted: `Debug` output feeds bench
+        // fingerprints, which must not distinguish mapped from owned.
         f.debug_struct("Hypergraph")
             .field("n", &self.n)
             .field("m", &self.n_edges())

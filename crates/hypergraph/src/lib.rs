@@ -27,10 +27,12 @@
 //! * [`params`] — the paper's parameter formulas (`α`, `β`, the dimension
 //!   bound `d(n)`, the sampling probability `p(n)`), with the iterated-log
 //!   helpers they are built from.
-//! * [`io`] — a small text format for persisting hypergraphs, plus the
+//! * [`io`] — a small text format for persisting hypergraphs, the
 //!   checksummed write-ahead-log format (`write_wal`/`read_wal`) behind the
-//!   serving layer's durable resident graphs; all file writes are atomic
-//!   (write-temp-then-rename).
+//!   serving layer's durable resident graphs, and the `HGCSR 1` binary
+//!   snapshot format (`write_csr`/`read_csr`/`open_mapped`) that serves a
+//!   graph zero-copy from a read-only memory mapping; all file writes are
+//!   atomic and fsynced (write-temp-then-rename plus directory sync).
 //! * [`stats`] — summary statistics used by examples and the experiment
 //!   harness.
 //!

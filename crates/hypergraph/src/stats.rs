@@ -26,6 +26,14 @@ pub struct HypergraphStats {
     /// Histogram of edge sizes: `histogram[k]` = number of edges of size `k`
     /// (index 0 unused).
     pub edge_size_histogram: Vec<usize>,
+    /// Bytes of the four CSR arrays backing the view
+    /// (`4 * ((m+1) + (n+1) + 2·Σ|e|)`): the resident footprint of the base
+    /// arena, whichever tier it lives in.
+    pub bytes_resident: usize,
+    /// Storage tier of the base arena: `"owned"` heap vectors or a
+    /// `"mapped"` read-only file snapshot (see
+    /// [`crate::io::open_mapped`]).
+    pub storage: &'static str,
 }
 
 impl HypergraphStats {
@@ -59,6 +67,8 @@ impl HypergraphStats {
             max_degree: max_vertex_degree(view),
             max_normalized_degree,
             edge_size_histogram: histogram,
+            bytes_resident: 4 * ((m + 1) + (n + 1) + 2 * total),
+            storage: view.storage_kind(),
         }
     }
 
@@ -66,7 +76,7 @@ impl HypergraphStats {
     /// harness logs.
     pub fn one_line(&self) -> String {
         format!(
-            "n={} m={} dim={} avg|e|={:.2} maxdeg={} Δ={}",
+            "n={} m={} dim={} avg|e|={:.2} maxdeg={} Δ={} bytes={} storage={}",
             self.n,
             self.m,
             self.dimension,
@@ -75,6 +85,8 @@ impl HypergraphStats {
             self.max_normalized_degree
                 .map(|d| format!("{d:.2}"))
                 .unwrap_or_else(|| "n/a".into()),
+            self.bytes_resident,
+            self.storage,
         )
     }
 }
@@ -96,7 +108,13 @@ mod tests {
         assert_eq!(s.max_degree, 2);
         assert_eq!(s.edge_size_histogram, vec![0, 0, 1, 2]);
         assert!(s.max_normalized_degree.is_some());
+        // 4 * ((m+1) + (n+1) + 2·Σ|e|) = 4 * (4 + 7 + 16), matching the
+        // arena's own accounting.
+        assert_eq!(s.bytes_resident, 108);
+        assert_eq!(s.bytes_resident, h.bytes_resident());
+        assert_eq!(s.storage, "owned");
         assert!(s.one_line().contains("n=6"));
+        assert!(s.one_line().contains("storage=owned"));
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub trait HypergraphView {
         self.edge_slices().map(|e| e.len()).max().unwrap_or(0)
     }
 
+    /// Storage tier of the view's base arena: `"mapped"` when the CSR arrays
+    /// are served from a read-only file mapping
+    /// ([`crate::io::open_mapped`]), `"owned"` otherwise. Working copies and
+    /// derived views are always heap-owned, hence the default.
+    fn storage_kind(&self) -> &'static str {
+        "owned"
+    }
+
     /// Returns `true` if the given vertex set contains no active edge
     /// entirely.
     fn is_independent_in_view(&self, set: &[VertexId]) -> bool {
@@ -74,6 +82,10 @@ impl HypergraphView for Hypergraph {
 
     fn dimension(&self) -> usize {
         Hypergraph::dimension(self)
+    }
+
+    fn storage_kind(&self) -> &'static str {
+        Hypergraph::storage_kind(self)
     }
 }
 

@@ -17,6 +17,10 @@
 //! * [`pool`] — helpers to run a computation on a dedicated rayon pool with a
 //!   fixed thread count (used by the threads-sweep experiment) and to spawn
 //!   the serving layer's long-lived per-shard worker threads.
+//! * [`mmap`] — read-only memory-mapped files with validated `u32` windows
+//!   ([`mmap::MmapFile`], [`mmap::U32Span`]): the storage primitive behind
+//!   the out-of-core resident-graph tier, sharing one mapping zero-copy
+//!   across every serving shard.
 //! * [`simd`] — wide (SIMD) sweeps over the flat engine's `u8` status
 //!   arrays (count / positions / masked sum) with runtime ISA detection,
 //!   scalar fallbacks and a `force-scalar` escape hatch for differential
@@ -30,12 +34,14 @@
 
 #![warn(missing_docs)]
 // `deny` rather than `forbid`: the `simd` module opts back in locally for
-// `core::arch` intrinsics behind `#[target_feature]` kernels; everything
-// else in the crate remains unsafe-free.
+// `core::arch` intrinsics behind `#[target_feature]` kernels, and the `mmap`
+// module for the `mmap`/`munmap` FFI and its bounds-checked slice views;
+// everything else in the crate remains unsafe-free.
 #![deny(unsafe_code)]
 
 pub mod cost;
 pub mod erew;
+pub mod mmap;
 pub mod pool;
 pub mod primitives;
 pub mod simd;

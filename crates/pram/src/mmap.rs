@@ -1,0 +1,381 @@
+//! Read-only memory-mapped files with validated `u32` windows.
+//!
+//! This is the storage primitive behind the out-of-core resident-graph tier:
+//! [`MmapFile`] maps a whole file read-only (falling back to an aligned heap
+//! read where `mmap(2)` is unavailable), and [`U32Span`] is a *validated*
+//! window of that mapping that can be reinterpreted as a `&[u32]` slice.
+//! One mapping is shared by every consumer holding a clone of the
+//! `Arc<MmapFile>` — cloning a span is an `Arc` bump, never a copy — which is
+//! what lets N serving shards run directly on one copy of a giant graph.
+//!
+//! `unsafe` is confined to this module (the crate stays `deny(unsafe_code)`
+//! elsewhere): the only unsafe operations are the `mmap`/`munmap` FFI calls,
+//! the byte view of the fallback buffer, and the final
+//! [`U32Span::as_slice`] reinterpretation — and the last is sound because
+//! every span's bounds and 4-byte alignment were checked in
+//! [`U32Span::new`] before the span could exist, against a base pointer
+//! that is always at least 8-byte aligned (page-aligned for real mappings,
+//! a `u64` buffer for the fallback). A hostile or truncated file can
+//! therefore only ever produce a *rejected* span, never an out-of-bounds or
+//! misaligned read.
+//!
+//! [`U32Span::as_slice`] reinterprets the underlying bytes in **native**
+//! endianness. Callers that define a little-endian on-disk format (like the
+//! `HGCSR` snapshot reader in the `hypergraph` crate) must only form spans on
+//! little-endian targets and decode by-value elsewhere.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// How the bytes behind an [`MmapFile`] are held.
+enum Backing {
+    /// The pointer came from a successful `mmap(2)`; unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped,
+    /// The pointer points into this 8-byte-aligned heap buffer (the portable
+    /// fallback, and the representation of an empty file).
+    Owned(#[allow(dead_code)] Vec<u64>),
+}
+
+/// A whole file held in memory read-only: a real `mmap(2)` mapping on 64-bit
+/// Unix, an aligned heap copy elsewhere (or when mapping fails).
+///
+/// The base pointer is always at least 8-byte aligned. The contents are
+/// immutable for the lifetime of the value, so sharing across threads via
+/// [`Arc`] is sound.
+pub struct MmapFile {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+// SAFETY: the bytes behind `ptr` are read-only for the lifetime of the value
+// (PROT_READ private mapping or an owned buffer we never mutate), and the
+// struct has no interior mutability, so shared references are safe to send
+// and use across threads.
+unsafe impl Send for MmapFile {}
+// SAFETY: as above — all access is read-only.
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Opens `path` and maps (or reads) its entire contents read-only.
+    ///
+    /// Never panics on file contents: any I/O failure is returned as the
+    /// `io::Error` it is. On platforms without the `mmap` path — or if the
+    /// `mmap` call itself fails — the file is read into an 8-byte-aligned
+    /// heap buffer instead, so the API is total and callers cannot observe
+    /// the difference except through [`is_mapped`](Self::is_mapped).
+    pub fn open(path: &Path) -> io::Result<Arc<MmapFile>> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Arc::new(MmapFile {
+                ptr: core::ptr::NonNull::<u64>::dangling().as_ptr() as *const u8,
+                len: 0,
+                backing: Backing::Owned(Vec::new()),
+            }));
+        }
+
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: a plain read-only private mapping of an open fd; the fd
+            // outlives the call (the mapping itself survives the close).
+            let ptr = unsafe {
+                sys::mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                return Ok(Arc::new(MmapFile {
+                    ptr: ptr as *const u8,
+                    len,
+                    backing: Backing::Mapped,
+                }));
+            }
+            // Fall through to the portable read below (e.g. a filesystem
+            // that refuses mmap).
+        }
+
+        let words = len.div_ceil(8);
+        let mut buf: Vec<u64> = vec![0; words];
+        {
+            // SAFETY: the buffer holds `words * 8 >= len` writable bytes and
+            // `u64` has no invalid bit patterns.
+            let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+            file.read_exact(bytes)?;
+        }
+        let ptr = buf.as_ptr() as *const u8;
+        Ok(Arc::new(MmapFile {
+            ptr,
+            len,
+            backing: Backing::Owned(buf),
+        }))
+    }
+
+    /// Length of the file in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file was empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the bytes are a real OS mapping (as opposed to the portable
+    /// heap-read fallback). Observability only — behaviour is identical.
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.backing, Backing::Mapped)
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
+
+    /// The whole file as a byte slice.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr`/`len` describe a live read-only allocation for the
+        // lifetime of `self` (construction invariant); `len == 0` uses an
+        // aligned dangling pointer, which `from_raw_parts` permits.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if matches!(self.backing, Backing::Mapped) {
+            // SAFETY: `ptr`/`len` came from a successful `mmap` with this
+            // exact length, and this is the only unmap (Drop runs once).
+            unsafe {
+                sys::munmap(self.ptr as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MmapFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MmapFile")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// A validated window of an [`MmapFile`] viewable as `&[u32]`.
+///
+/// Construction ([`U32Span::new`]) is the *only* place bounds and alignment
+/// are established: a span that exists is proof its slice is in bounds and
+/// 4-byte aligned, which is what makes [`as_slice`](Self::as_slice) safe to
+/// expose. Cloning bumps the shared mapping's `Arc`.
+#[derive(Clone)]
+pub struct U32Span {
+    map: Arc<MmapFile>,
+    byte_off: usize,
+    len: usize,
+}
+
+impl U32Span {
+    /// Creates a span of `len` `u32` words starting `byte_off` bytes into the
+    /// mapping. Returns `None` (never panics, never truncates) if the window
+    /// is out of bounds, overflows, or is not 4-byte aligned.
+    pub fn new(map: Arc<MmapFile>, byte_off: usize, len: usize) -> Option<U32Span> {
+        let bytes = len.checked_mul(4)?;
+        let end = byte_off.checked_add(bytes)?;
+        if end > map.len() || !byte_off.is_multiple_of(4) {
+            return None;
+        }
+        Some(U32Span { map, byte_off, len })
+    }
+
+    /// Number of `u32` words in the span.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the span is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shared mapping this span windows into.
+    pub fn file(&self) -> &Arc<MmapFile> {
+        &self.map
+    }
+
+    /// The window as a `u32` slice (native-endian reinterpretation — see the
+    /// module docs).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        // SAFETY: `new` validated `byte_off % 4 == 0` and
+        // `byte_off + 4 * len <= map.len()`; the base pointer is at least
+        // 8-byte aligned (construction invariant of `MmapFile`), so
+        // `ptr + byte_off` is 4-byte aligned; the bytes are immutable and
+        // live as long as the `Arc` this span holds.
+        unsafe {
+            std::slice::from_raw_parts(self.map.ptr.add(self.byte_off) as *const u32, self.len)
+        }
+    }
+}
+
+impl fmt::Debug for U32Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("U32Span")
+            .field("byte_off", &self.byte_off)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pram_mmap_test_{}_{}", std::process::id(), tag));
+        p
+    }
+
+    #[test]
+    fn maps_file_bytes() {
+        let path = temp_path("bytes");
+        let payload: Vec<u8> = (0..=255u8).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.len(), 256);
+        assert_eq!(map.bytes(), &payload[..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        assert!(U32Span::new(Arc::clone(&map), 0, 0).is_some());
+        assert!(U32Span::new(Arc::clone(&map), 0, 1).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn span_reads_little_endian_words_on_le_hosts() {
+        let path = temp_path("words");
+        let words: Vec<u32> = vec![7, 0, u32::MAX, 42];
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&bytes)
+            .unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        let span = U32Span::new(Arc::clone(&map), 0, 4).unwrap();
+        if cfg!(target_endian = "little") {
+            assert_eq!(span.as_slice(), &words[..]);
+        }
+        let tail = U32Span::new(Arc::clone(&map), 8, 2).unwrap();
+        assert_eq!(tail.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn span_rejects_out_of_bounds_and_misalignment() {
+        let path = temp_path("oob");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[0u8; 16])
+            .unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert!(U32Span::new(Arc::clone(&map), 0, 4).is_some());
+        assert!(U32Span::new(Arc::clone(&map), 0, 5).is_none(), "past end");
+        assert!(U32Span::new(Arc::clone(&map), 16, 1).is_none(), "at end");
+        assert!(U32Span::new(Arc::clone(&map), 2, 1).is_none(), "misaligned");
+        assert!(
+            U32Span::new(Arc::clone(&map), usize::MAX - 2, 2).is_none(),
+            "offset overflow"
+        );
+        assert!(
+            U32Span::new(Arc::clone(&map), 0, usize::MAX / 2).is_none(),
+            "length overflow"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spans_share_one_mapping_across_threads() {
+        let path = temp_path("share");
+        let mut bytes = Vec::new();
+        for w in 0..1024u32 {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&bytes)
+            .unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        let span = U32Span::new(Arc::clone(&map), 0, 1024).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = span.clone();
+                std::thread::spawn(move || s.as_slice().iter().map(|&w| w as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            let total = h.join().unwrap();
+            if cfg!(target_endian = "little") {
+                assert_eq!(total, (0..1024u64).sum::<u64>());
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -128,6 +128,12 @@ pub struct Workspace {
     // pressure as seen by the serving layer, per graph. Pure observability,
     // like the tenant and epoch ledgers.
     eviction_ledger: Vec<(u64, u64)>,
+    // Per-resident-graph spill ledger: `(graph, spills observed, page-ins)`
+    // ascending by graph key. Counts request-path encounters with the
+    // registry's out-of-core spill policy: a solve that had to page a
+    // spilled mapped snapshot back in records one page-in (and mirrors the
+    // spill it undid). Pure observability, like the other ledgers.
+    spill_ledger: Vec<(u64, u64, u64)>,
 }
 
 impl std::fmt::Debug for Workspace {
@@ -491,6 +497,68 @@ impl Workspace {
     pub fn graph_eviction_total(&self) -> u64 {
         self.eviction_ledger.iter().map(|e| e.1).sum()
     }
+
+    /// Records that a solve observed resident graph `graph` in the spilled
+    /// state (its mapped base snapshot had been dropped by the registry's
+    /// spill policy to bound resident bytes). The serving layer pairs this
+    /// with [`note_graph_paged_in`](Self::note_graph_paged_in) when the
+    /// request path pages the snapshot back in. Pure bookkeeping like
+    /// [`note_tenant`](Self::note_tenant) — never influences solve outcomes
+    /// — and bounded by [`TENANT_LEDGER_CAP`](Self::TENANT_LEDGER_CAP):
+    /// graphs past the cap share the
+    /// [`TENANT_LEDGER_OVERFLOW`](Self::TENANT_LEDGER_OVERFLOW) row.
+    pub fn note_graph_spilled(&mut self, graph: u64) {
+        let i = self.spill_row(graph);
+        self.spill_ledger[i].1 += 1;
+    }
+
+    /// Records that a solve paged resident graph `graph`'s spilled mapped
+    /// snapshot back in from its source file — the request-path latency cost
+    /// of the spill policy, per graph. Same bounding and observability
+    /// semantics as [`note_graph_spilled`](Self::note_graph_spilled).
+    pub fn note_graph_paged_in(&mut self, graph: u64) {
+        let i = self.spill_row(graph);
+        self.spill_ledger[i].2 += 1;
+    }
+
+    /// Index of `graph`'s spill-ledger row, inserting a fresh one (or
+    /// falling back to the overflow row past the cap).
+    fn spill_row(&mut self, graph: u64) -> usize {
+        match self.spill_ledger.binary_search_by_key(&graph, |e| e.0) {
+            Ok(i) => i,
+            Err(i) if self.spill_ledger.len() < Self::TENANT_LEDGER_CAP => {
+                self.spill_ledger.insert(i, (graph, 0, 0));
+                i
+            }
+            Err(_) => {
+                // Ledger full: fold into the overflow row (u64::MAX sorts
+                // last, so the push keeps the ledger ordered).
+                if !matches!(
+                    self.spill_ledger.last(),
+                    Some(last) if last.0 == Self::TENANT_LEDGER_OVERFLOW
+                ) {
+                    self.spill_ledger.push((Self::TENANT_LEDGER_OVERFLOW, 0, 0));
+                }
+                self.spill_ledger.len() - 1
+            }
+        }
+    }
+
+    /// The per-graph spill ledger: `(graph, spills observed, page-ins)`,
+    /// ascending by graph key. See
+    /// [`note_graph_spilled`](Self::note_graph_spilled) and
+    /// [`note_graph_paged_in`](Self::note_graph_paged_in).
+    pub fn graph_spills(&self) -> &[(u64, u64, u64)] {
+        &self.spill_ledger
+    }
+
+    /// Spill-ledger totals: `(spills observed, page-ins)` summed over every
+    /// resident graph this workspace has served.
+    pub fn graph_spill_totals(&self) -> (u64, u64) {
+        self.spill_ledger
+            .iter()
+            .fold((0, 0), |(s, p), e| (s + e.1, p + e.2))
+    }
 }
 
 /// A per-shard pool of [`Workspace`]s: the serving layer's bridge between
@@ -545,6 +613,7 @@ struct PoolSlot {
     last_tenant_rewarms: Vec<(u64, u64, u64)>,
     last_epoch_rewarms: Vec<(u64, u64, u64, u64)>,
     last_evictions: Vec<(u64, u64)>,
+    last_spills: Vec<(u64, u64, u64)>,
 }
 
 impl WorkspacePool {
@@ -609,6 +678,7 @@ impl WorkspacePool {
         slot.last_tenant_rewarms = ws.tenant_rewarms().to_vec();
         slot.last_epoch_rewarms = ws.graph_epoch_rewarms().to_vec();
         slot.last_evictions = ws.graph_evictions().to_vec();
+        slot.last_spills = ws.graph_spills().to_vec();
         slot.parked = Some(ws);
     }
 
@@ -744,6 +814,28 @@ impl WorkspacePool {
             .flat_map(|s| self.shard_graph_evictions(s))
             .map(|e| e.1)
             .sum()
+    }
+
+    /// Shard `shard`'s per-graph spill ledger, `(graph, spills observed,
+    /// page-ins)` ascending by graph key (live if the workspace is parked,
+    /// otherwise the last-checkin snapshot). See
+    /// [`Workspace::note_graph_spilled`] and
+    /// [`Workspace::note_graph_paged_in`].
+    pub fn shard_graph_spills(&self, shard: usize) -> Vec<(u64, u64, u64)> {
+        let slot = &self.slots[shard];
+        slot.parked
+            .as_ref()
+            .map_or_else(|| slot.last_spills.clone(), |ws| ws.graph_spills().to_vec())
+    }
+
+    /// Pool-wide spill totals: `(spills observed, page-ins)` summed over
+    /// every resident graph and shard. A growing page-in count means the
+    /// registry's spill cap is set below the working set — queries keep
+    /// faulting spilled snapshots back in.
+    pub fn graph_spill_totals(&self) -> (u64, u64) {
+        (0..self.slots.len())
+            .flat_map(|s| self.shard_graph_spills(s))
+            .fold((0, 0), |(sp, pi), e| (sp + e.1, pi + e.2))
     }
 
     /// Pool-wide rewarm totals: `(hits, misses)` summed over every tenant
@@ -975,6 +1067,40 @@ mod tests {
         assert_eq!(pool.shard_graph_evictions(0), vec![(5, 2)]);
         assert_eq!(pool.graph_eviction_total(), 2);
         pool.checkin(0, ws);
+    }
+
+    #[test]
+    fn spill_ledger_counts_per_graph_and_is_bounded() {
+        let mut ws = Workspace::new();
+        ws.note_graph_spilled(4);
+        ws.note_graph_paged_in(4);
+        ws.note_graph_paged_in(4);
+        ws.note_graph_paged_in(9);
+        assert_eq!(ws.graph_spills(), &[(4, 1, 2), (9, 0, 1)]);
+        assert_eq!(ws.graph_spill_totals(), (1, 3));
+        for g in 0..Workspace::TENANT_LEDGER_CAP as u64 + 500 {
+            ws.note_graph_paged_in(g);
+        }
+        // Cap rows plus the single overflow row; every touch stays counted.
+        assert_eq!(ws.graph_spills().len(), Workspace::TENANT_LEDGER_CAP + 1);
+        let last = *ws.graph_spills().last().unwrap();
+        assert_eq!(last.0, Workspace::TENANT_LEDGER_OVERFLOW);
+        assert_eq!(
+            ws.graph_spill_totals(),
+            (1, Workspace::TENANT_LEDGER_CAP as u64 + 503)
+        );
+
+        // Pool: snapshots survive checkout and merge across shards.
+        let mut pool = WorkspacePool::new(2);
+        let mut a = pool.checkout(0);
+        a.note_graph_spilled(2);
+        a.note_graph_paged_in(2);
+        pool.checkin(0, a);
+        assert_eq!(pool.shard_graph_spills(0), vec![(2, 1, 1)]);
+        assert_eq!(pool.graph_spill_totals(), (1, 1));
+        let a = pool.checkout(0);
+        assert_eq!(pool.shard_graph_spills(0), vec![(2, 1, 1)]);
+        pool.checkin(0, a);
     }
 
     #[test]

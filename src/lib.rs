@@ -138,7 +138,7 @@ pub mod prelude {
     pub use crate::serve::{
         AdmissionConfig, Algorithm, Epoch, EpochPin, GraphId, ResidentRegistry, ResidentSnapshot,
         RetentionPolicy, RoutePolicy, ServeConfig, ServeStats, ShardedRunner, SolveOutcome,
-        SolveRequest, Target, TenantId, TenantQuota,
+        SolveRequest, SpillPolicy, Target, TenantId, TenantQuota,
     };
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;

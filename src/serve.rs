@@ -109,6 +109,50 @@
 //! boundary, since the WAL stores one record per edit batch), never parsed
 //! into garbage; see [`hypergraph::io::read_wal`].
 //!
+//! # Storage tiers and spill
+//!
+//! A resident graph's base CSR arena lives in one of three tiers, all
+//! serving byte-identical outcomes (the mapped-vs-owned fingerprint suites
+//! pin this across every algorithm):
+//!
+//! * **Owned** — [`ResidentRegistry::register`] with an in-memory
+//!   [`Hypergraph`]: the arena is heap `Vec`s, built by parsing or
+//!   generation. Cold-start cost is the full parse + build.
+//! * **WAL-restored** — [`ResidentRegistry::restore`]: the base graph is
+//!   decoded from the WAL (owned arena again) and the edit log replayed
+//!   batch-by-batch, reproducing every epoch. Cold-start cost scales with
+//!   the log.
+//! * **Mapped** — [`ResidentRegistry::persist_snapshot`] writes the current
+//!   graph as a binary `HGCSR` checkpoint; [`ResidentRegistry::open_mapped`]
+//!   re-opens it **zero-copy**: the four CSR arrays are served straight out
+//!   of one read-only file mapping shared by every shard (validated
+//!   structurally up front — a corrupt file is a parse error, never a
+//!   crash; see [`hypergraph::io::open_mapped`]). Engine construction reads
+//!   the mapped slices directly, so first-query latency is the engine build
+//!   alone — the `coldstart` bench gates it at ≥ 5× faster than
+//!   parse + build on the largest workloads.
+//!
+//! The tiers compose: a mapped graph is mutable like any other —
+//! [`apply`](ResidentRegistry::apply) layers the epoch log *on top of* the
+//! mapped base (mmap'd base + in-memory log tail), with copy-on-write
+//! snapshots exactly as for owned graphs.
+//! [`storage_kind`](hypergraph::HypergraphView::storage_kind) and
+//! [`Hypergraph::bytes_resident`] report where an arena lives and what it
+//! costs ([`hypergraph::HypergraphStats`] carries both).
+//!
+//! On top of the mapped tier sits an out-of-core policy:
+//! [`ResidentRegistry::with_spill`] bounds the total resident base-arena
+//! bytes. When the pool exceeds [`SpillPolicy::max_resident_bytes`], the
+//! registry drops the snapshots of least-recently-touched **spillable**
+//! graphs — mapped, never mutated (an edit log pins a graph: its epochs
+//! exist nowhere on disk) — and transparently pages them back in from their
+//! source files on the next touch. Spills and page-ins are counted per
+//! graph ([`ResidentRegistry::spills`] / [`page_ins`](ResidentRegistry::page_ins))
+//! and mirrored into the per-shard pram spill ledgers on the request path
+//! ([`WorkspacePool::graph_spill_totals`]), next to the eviction ledger. A
+//! graph whose source file has meanwhile disappeared answers requests with
+//! [`SolveError::SnapshotUnavailable`] — an outcome, not a panic.
+//!
 //! # Retention and compaction
 //!
 //! By default every snapshot is retained (the `keep-all` of
@@ -207,7 +251,8 @@ use pram::{Workspace, WorkspacePool};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
@@ -439,6 +484,40 @@ impl RetentionPolicy {
     }
 }
 
+/// How many bytes of base CSR arenas a [`ResidentRegistry`] keeps resident
+/// across *all* its graphs. The default is unbounded — nothing is ever
+/// spilled. See the [storage-tier docs](self#storage-tiers-and-spill).
+///
+/// Only graphs that can be reconstructed from disk without information loss
+/// are spillable: a mapped snapshot opened by
+/// [`ResidentRegistry::open_mapped`] that has never been mutated (an edit
+/// log pins a graph in memory — its epochs exist nowhere else). Spilling
+/// drops the graph's snapshot (arena and prebuilt engine); the next touch
+/// transparently re-opens the source file and pages it back in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillPolicy {
+    /// `Some(cap)`: whenever the total [`Hypergraph::bytes_resident`] over
+    /// every resident snapshot exceeds `cap`, spillable graphs are dropped
+    /// in least-recently-touched order until the total fits (or no
+    /// spillable graph remains — the cap is best-effort, never an error).
+    /// `None` (the default): keep everything resident.
+    pub max_resident_bytes: Option<u64>,
+}
+
+impl SpillPolicy {
+    /// The keep-everything policy (the default).
+    pub fn unbounded() -> Self {
+        SpillPolicy::default()
+    }
+
+    /// Bound total resident base-arena bytes by `cap`.
+    pub fn max_bytes(cap: u64) -> Self {
+        SpillPolicy {
+            max_resident_bytes: Some(cap),
+        }
+    }
+}
+
 /// The resident-graph registry: graphs that stay loaded across a serve
 /// session, each **epoch-versioned** — an append-only [`GraphEdit`] log plus
 /// one immutable [`ResidentSnapshot`] per epoch (copy-on-write: mutations
@@ -465,6 +544,11 @@ impl RetentionPolicy {
 pub struct ResidentRegistry {
     tag: u64,
     retention: RetentionPolicy,
+    spill: SpillPolicy,
+    // Logical LRU clock for the spill policy: every snapshot access stamps
+    // the touched entry. Relaxed ordering throughout — the clock orders
+    // spill victims, never solve outcomes.
+    touch_clock: AtomicU64,
     entries: Vec<RwLock<ResidentState>>,
 }
 
@@ -472,11 +556,12 @@ impl Default for ResidentRegistry {
     fn default() -> Self {
         // Process-unique registry tag; the counter value never influences
         // solve outcomes, only id↔registry matching.
-        use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT_REGISTRY_TAG: AtomicU64 = AtomicU64::new(0);
         ResidentRegistry {
             tag: NEXT_REGISTRY_TAG.fetch_add(1, Ordering::Relaxed),
             retention: RetentionPolicy::default(),
+            spill: SpillPolicy::default(),
+            touch_clock: AtomicU64::new(0),
             entries: Vec::new(),
         }
     }
@@ -488,8 +573,11 @@ impl Default for ResidentRegistry {
 /// (`watermarks[0] == 0` always), and `snapshots` is parallel to it — a
 /// `None` slot is an epoch whose snapshot the retention policy evicted. Two
 /// invariants hold at every unlock: `snapshots[0]` (the base) and the last
-/// slot (the latest epoch) are always `Some`, and `log` always covers every
-/// watermark, so any retained-or-evicted epoch is replayable from the base.
+/// slot (the latest epoch) are always `Some` **unless `spilled` is set**
+/// (then the base slot is the only slot and it is `None` — the spill policy
+/// dropped it, and the next touch re-opens `source`), and `log` always
+/// covers every watermark, so any retained-or-evicted epoch is replayable
+/// from the base.
 #[derive(Debug)]
 struct ResidentState {
     // Arc'd so `edit_log` is O(1) per call instead of cloning the whole log
@@ -503,6 +591,20 @@ struct ResidentState {
     // Snapshots dropped by retention or compaction (observability; mirrored
     // into the pram eviction ledger on the request path).
     evictions: u64,
+    // The on-disk HGCSR snapshot this graph was opened from
+    // (`open_mapped`), if any — what makes the entry spillable and what a
+    // page-in re-opens. `None` for graphs registered from memory.
+    source: Option<PathBuf>,
+    // `true` while the base snapshot is dropped under the spill policy
+    // (only ever set on never-mutated entries with a `source`, so the base
+    // slot is the *only* slot and `watermarks.len() == 1`).
+    spilled: bool,
+    // Spill-policy counters (see `ResidentRegistry::spills` / `page_ins`).
+    spills: u64,
+    page_ins: u64,
+    // Last-touch stamp from the registry's logical clock (atomic so read
+    // paths can stamp it under the entry's *read* lock).
+    last_touch: AtomicU64,
 }
 
 impl ResidentState {
@@ -520,6 +622,8 @@ impl ResidentState {
 }
 
 const LOCK_POISONED: &str = "resident registry lock poisoned (a mutating thread panicked)";
+const PAGE_IN_FAILED: &str =
+    "spilled resident graph could not be paged back in from its snapshot file";
 
 impl ResidentRegistry {
     /// Creates an empty registry with the default keep-all
@@ -536,15 +640,66 @@ impl ResidentRegistry {
         }
     }
 
+    /// Creates an empty registry with an explicit [`SpillPolicy`] (and the
+    /// default keep-all retention).
+    pub fn with_spill(spill: SpillPolicy) -> Self {
+        ResidentRegistry {
+            spill,
+            ..Self::default()
+        }
+    }
+
+    /// Creates an empty registry with explicit retention and spill policies.
+    pub fn with_policies(retention: RetentionPolicy, spill: SpillPolicy) -> Self {
+        ResidentRegistry {
+            retention,
+            spill,
+            ..Self::default()
+        }
+    }
+
     /// The registry's retention policy (fixed at construction).
     pub fn retention(&self) -> RetentionPolicy {
         self.retention
     }
 
+    /// The registry's spill policy (fixed at construction).
+    pub fn spill_policy(&self) -> SpillPolicy {
+        self.spill
+    }
+
     /// Registers `graph` as a resident tenant at epoch 0 (empty edit log),
     /// building its induction engine eagerly, and returns its handle.
     pub fn register(&mut self, graph: Hypergraph) -> GraphId {
-        self.register_with_base(graph, 0)
+        let id = self.register_with_base(graph, 0);
+        self.enforce_spill();
+        id
+    }
+
+    /// Opens the `HGCSR` snapshot at `path` as a **mapped** resident graph:
+    /// the base CSR arena is served zero-copy from a shared read-only file
+    /// mapping (see [`hypergraph::io::open_mapped`]) — one mapping for all
+    /// shards, with the epoch log layered on top exactly as for an owned
+    /// resident. Registers it at epoch 0 with an empty edit log and
+    /// remembers `path` as the graph's source, which makes the entry
+    /// eligible for the [`SpillPolicy`] for as long as it stays unmutated.
+    ///
+    /// The file must stay in place and unchanged while the graph is
+    /// registered (the atomic writers in [`hypergraph::io`] replace files by
+    /// rename, which keeps an existing mapping intact).
+    ///
+    /// # Errors
+    /// [`ReadError::Io`] if the file cannot be opened; [`ReadError::Parse`]
+    /// if it fails the snapshot format's structural validation.
+    pub fn open_mapped<P: AsRef<Path>>(&mut self, path: P) -> Result<GraphId, ReadError> {
+        let graph = hypergraph::io::open_mapped(&path)?;
+        let id = self.register_with_base(graph, 0);
+        self.entries[id.index]
+            .get_mut()
+            .expect(LOCK_POISONED)
+            .source = Some(path.as_ref().to_path_buf());
+        self.enforce_spill();
+        Ok(id)
     }
 
     /// Registers `graph` with its base snapshot numbered `base_epoch` — the
@@ -563,6 +718,11 @@ impl ResidentRegistry {
                 engine: Arc::new(engine),
             }))],
             evictions: 0,
+            source: None,
+            spilled: false,
+            spills: 0,
+            page_ins: 0,
+            last_touch: AtomicU64::new(self.touch_clock.fetch_add(1, Ordering::Relaxed) + 1),
         }));
         GraphId {
             registry: self.tag,
@@ -592,7 +752,17 @@ impl ResidentRegistry {
     /// Panics if `id` did not come from this registry or its index is out of
     /// range.
     pub fn apply(&self, id: GraphId, edits: &[GraphEdit]) -> Result<Epoch, EditError> {
-        let mut st = self.locate(id).write().expect(LOCK_POISONED);
+        let entry = self.locate(id);
+        let stamp = self.touch_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut st = entry.write().expect(LOCK_POISONED);
+        st.last_touch.store(stamp, Ordering::Relaxed);
+        if st.spilled {
+            // Page a spilled base back in under the write lock (no
+            // enforcement can interleave), then mutate: a graph with a
+            // non-empty log is never spillable again.
+            self.page_in_locked(&mut st)
+                .unwrap_or_else(|detail| panic!("{PAGE_IN_FAILED}: {detail}"));
+        }
         let current = st.latest();
         if edits.is_empty() {
             return Ok(current.epoch);
@@ -610,7 +780,115 @@ impl ResidentRegistry {
             engine: Arc::new(engine),
         })));
         self.evict_below_floor(&mut st);
+        drop(st);
+        // The new snapshot may push the pool over the spill cap.
+        self.enforce_spill();
         Ok(epoch)
+    }
+
+    /// Stamps the entry's LRU clock and, if the spill policy dropped its
+    /// base snapshot, pages it back in from the source file. Returns the
+    /// reinstalled base snapshot when (and only when) a page-in happened —
+    /// a spilled entry was never mutated, so that single snapshot is the
+    /// graph's *entire* state and callers can resolve against it directly
+    /// instead of re-reading an entry a concurrent enforcement may already
+    /// have re-spilled. `Err` carries the I/O/parse detail when the source
+    /// file can no longer be opened (the registry is left spilled and
+    /// intact — a later touch retries).
+    fn page_in_if_spilled(
+        &self,
+        entry: &RwLock<ResidentState>,
+    ) -> Result<Option<Arc<ResidentSnapshot>>, String> {
+        let stamp = self.touch_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let st = entry.read().expect(LOCK_POISONED);
+            st.last_touch.store(stamp, Ordering::Relaxed);
+            if !st.spilled {
+                return Ok(None);
+            }
+        }
+        let mut st = entry.write().expect(LOCK_POISONED);
+        if !st.spilled {
+            return Ok(None); // another thread paged it in while we upgraded
+        }
+        let snap = self.page_in_locked(&mut st)?;
+        drop(st);
+        // Paging in can push the pool back over the cap; rebalance (the
+        // just-touched entry carries the freshest stamp, so it is the
+        // spiller's last choice). The caller holds `snap` either way.
+        self.enforce_spill();
+        Ok(Some(snap))
+    }
+
+    /// Re-opens a spilled entry's source snapshot and reinstalls its base
+    /// (snapshot + engine) under the caller's write lock.
+    fn page_in_locked(&self, st: &mut ResidentState) -> Result<Arc<ResidentSnapshot>, String> {
+        let source = st
+            .source
+            .clone()
+            .expect("only graphs with a source snapshot file are spillable");
+        let graph = hypergraph::io::open_mapped(&source)
+            .map_err(|e| format!("cannot re-open {}: {e}", source.display()))?;
+        let engine = ActiveHypergraph::from_hypergraph(&graph);
+        let snap = Arc::new(ResidentSnapshot {
+            epoch: Epoch(st.base_epoch),
+            log_len: 0,
+            graph: Arc::new(graph),
+            engine: Arc::new(engine),
+        });
+        st.snapshots[0] = Some(Arc::clone(&snap));
+        st.spilled = false;
+        st.page_ins += 1;
+        Ok(snap)
+    }
+
+    /// Spills least-recently-touched spillable graphs until the total
+    /// resident base-arena bytes fit under the [`SpillPolicy`] cap.
+    /// Best-effort: entries touched or mutated since the scan are skipped,
+    /// and when no spillable graph remains the pool simply stays over the
+    /// cap. Takes entry locks one at a time — callers must hold none.
+    fn enforce_spill(&self) {
+        let Some(cap) = self.spill.max_resident_bytes else {
+            return;
+        };
+        let mut total: u64 = 0;
+        let mut candidates: Vec<(u64, usize, u64)> = Vec::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            let st = entry.read().expect(LOCK_POISONED);
+            let bytes: u64 = st
+                .snapshots
+                .iter()
+                .flatten()
+                .map(|s| s.graph().bytes_resident() as u64)
+                .sum();
+            total += bytes;
+            if !st.spilled && st.source.is_some() && st.watermarks.len() == 1 {
+                candidates.push((st.last_touch.load(Ordering::Relaxed), i, bytes));
+            }
+        }
+        if total <= cap {
+            return;
+        }
+        candidates.sort_unstable(); // least-recently-touched first
+        for (stamp, i, bytes) in candidates {
+            if total <= cap {
+                break;
+            }
+            let mut st = self.entries[i].write().expect(LOCK_POISONED);
+            // Re-validate under the write lock: the entry may have been
+            // touched, mutated or spilled since the scan.
+            if st.spilled
+                || st.source.is_none()
+                || st.watermarks.len() != 1
+                || st.last_touch.load(Ordering::Relaxed) != stamp
+            {
+                continue;
+            }
+            st.snapshots[0] = None;
+            st.spilled = true;
+            st.spills += 1;
+            total = total.saturating_sub(bytes);
+        }
     }
 
     /// Drops snapshot `Arc`s below the retention floor (keeping the base and
@@ -649,14 +927,30 @@ impl ResidentRegistry {
         Epoch(st.base_epoch + cut as u64)
     }
 
-    /// The current (most recent) snapshot of the graph behind `id`.
+    /// The current (most recent) snapshot of the graph behind `id`,
+    /// transparently paging a spilled base snapshot back in.
     ///
     /// # Panics
     /// Panics if `id` did not come from this registry or its index is out of
-    /// range.
+    /// range, or if the graph was spilled and its source snapshot file can
+    /// no longer be re-opened (the request path reports that as
+    /// [`SolveError::SnapshotUnavailable`] instead).
     pub fn latest(&self, id: GraphId) -> Arc<ResidentSnapshot> {
-        let st = self.locate(id).read().expect(LOCK_POISONED);
-        Arc::clone(st.latest())
+        let entry = self.locate(id);
+        loop {
+            if let Some(snap) = self
+                .page_in_if_spilled(entry)
+                .unwrap_or_else(|detail| panic!("{PAGE_IN_FAILED}: {detail}"))
+            {
+                return snap;
+            }
+            let st = entry.read().expect(LOCK_POISONED);
+            if !st.spilled {
+                return Arc::clone(st.latest());
+            }
+            // Re-spilled between the page-in check and this read (a
+            // concurrent enforcement); retry.
+        }
     }
 
     /// The snapshot of the graph behind `id` at a specific epoch, or `None`
@@ -669,18 +963,33 @@ impl ResidentRegistry {
     /// Panics if `id` did not come from this registry or its index is out of
     /// range.
     pub fn snapshot_at(&self, id: GraphId, epoch: Epoch) -> Option<Arc<ResidentSnapshot>> {
-        let st = self.locate(id).read().expect(LOCK_POISONED);
-        let idx = epoch.0.checked_sub(st.base_epoch)? as usize;
-        st.snapshots.get(idx)?.as_ref().map(Arc::clone)
+        let entry = self.locate(id);
+        loop {
+            if let Some(snap) = self
+                .page_in_if_spilled(entry)
+                .unwrap_or_else(|detail| panic!("{PAGE_IN_FAILED}: {detail}"))
+            {
+                // A spilled entry was never mutated: the paged-in base is
+                // its only epoch.
+                return (snap.epoch() == epoch).then_some(snap);
+            }
+            let st = entry.read().expect(LOCK_POISONED);
+            if st.spilled {
+                continue; // re-spilled by a concurrent enforcement; retry
+            }
+            let idx = epoch.0.checked_sub(st.base_epoch)? as usize;
+            return st.snapshots.get(idx)?.as_ref().map(Arc::clone);
+        }
     }
 
-    /// The current epoch of the graph behind `id`.
+    /// The current epoch of the graph behind `id`. Metadata only — never
+    /// pages a spilled graph back in.
     ///
     /// # Panics
     /// Panics if `id` did not come from this registry or its index is out of
     /// range.
     pub fn current_epoch(&self, id: GraphId) -> Epoch {
-        self.latest(id).epoch
+        self.locate(id).read().expect(LOCK_POISONED).current_epoch()
     }
 
     /// The epoch of the graph's base snapshot: 0 until a
@@ -713,7 +1022,7 @@ impl ResidentRegistry {
     /// Number of snapshots currently resident for the graph behind `id` —
     /// at most `keep_last + 1` under a bounded [`RetentionPolicy`] (the
     /// base plus the latest `k`), one more epoch than that never
-    /// accumulates.
+    /// accumulates. A graph spilled under the [`SpillPolicy`] reports 0.
     ///
     /// # Panics
     /// Panics if `id` did not come from this registry or its index is out of
@@ -751,11 +1060,13 @@ impl ResidentRegistry {
     /// range.
     pub fn compact(&self, id: GraphId) -> Epoch {
         let mut st = self.locate(id).write().expect(LOCK_POISONED);
+        if st.watermarks.len() == 1 {
+            // Already based on the current epoch (always the case for
+            // spilled entries, whose base must stay un-materialized here).
+            return st.current_epoch();
+        }
         let latest = Arc::clone(st.latest());
         let epoch = latest.epoch;
-        if st.watermarks.len() == 1 {
-            return epoch; // already based on the current epoch
-        }
         let dropped = st.snapshots.iter().filter(|s| s.is_some()).count() - 1;
         st.evictions += dropped as u64;
         st.base_epoch = epoch.0;
@@ -783,16 +1094,47 @@ impl ResidentRegistry {
     /// Panics if `id` did not come from this registry or its index is out of
     /// range.
     pub fn persist<P: AsRef<Path>>(&self, id: GraphId, path: P) -> std::io::Result<()> {
-        let st = self.locate(id).read().expect(LOCK_POISONED);
-        let base = st.snapshots[0]
-            .as_ref()
-            .expect("the base snapshot is never evicted");
-        let batches: Vec<&[GraphEdit]> = st
-            .watermarks
-            .windows(2)
-            .map(|w| &st.log[w[0]..w[1]])
-            .collect();
-        hypergraph::io::write_wal(path, st.base_epoch, base.graph(), &batches)
+        let entry = self.locate(id);
+        loop {
+            if let Some(snap) = self
+                .page_in_if_spilled(entry)
+                .unwrap_or_else(|detail| panic!("{PAGE_IN_FAILED}: {detail}"))
+            {
+                // A spilled entry was never mutated: base snapshot + empty
+                // log is its complete history.
+                return hypergraph::io::write_wal(path, snap.epoch().0, snap.graph(), &[]);
+            }
+            let st = entry.read().expect(LOCK_POISONED);
+            if st.spilled {
+                continue; // re-spilled by a concurrent enforcement; retry
+            }
+            let base = st.snapshots[0]
+                .as_ref()
+                .expect("the base snapshot of a resident graph is never evicted");
+            let batches: Vec<&[GraphEdit]> = st
+                .watermarks
+                .windows(2)
+                .map(|w| &st.log[w[0]..w[1]])
+                .collect();
+            return hypergraph::io::write_wal(path, st.base_epoch, base.graph(), &batches);
+        }
+    }
+
+    /// Persists the **latest** snapshot of the graph behind `id` to the
+    /// binary `HGCSR` format of [`hypergraph::io::write_csr`], atomically
+    /// and fsynced. Unlike [`persist`](Self::persist) this is a *checkpoint*
+    /// — graph only, no edit log, no epoch numbering — whose point is the
+    /// reopen path: [`open_mapped`](Self::open_mapped) serves it zero-copy
+    /// from a read-only mapping, with byte-identical solve outcomes (the
+    /// mapped-vs-owned fingerprint suites pin this).
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range, or if the graph was spilled and its source snapshot file can
+    /// no longer be re-opened.
+    pub fn persist_snapshot<P: AsRef<Path>>(&self, id: GraphId, path: P) -> std::io::Result<()> {
+        let snap = self.latest(id);
+        hypergraph::io::write_csr(snap.graph(), path)
     }
 
     /// Restores a graph persisted by [`persist`](Self::persist) into this
@@ -824,6 +1166,7 @@ impl ResidentRegistry {
                 }));
             }
         }
+        self.enforce_spill();
         Ok(id)
     }
 
@@ -851,43 +1194,129 @@ impl ResidentRegistry {
     /// the returned `Arc` keeps the snapshot alive for the request however
     /// the retention floor moves afterwards, which is what makes outcomes
     /// independent of the race between queue scheduling and eviction.
+    // The request paths go through `lookup_counted` to mirror page-ins into
+    // the spill ledgers; this thin wrapper serves the resolution suites.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn lookup(
         &self,
         id: GraphId,
         pin: EpochPin,
     ) -> Result<Arc<ResidentSnapshot>, SolveError> {
+        self.lookup_counted(id, pin).0
+    }
+
+    /// [`lookup`](Self::lookup) plus the spill-policy observation: the
+    /// returned flag is `true` when this resolution had to page the graph's
+    /// spilled base snapshot back in — what the serving layer mirrors into
+    /// the pram spill ledgers ([`Workspace::note_graph_paged_in`]).
+    pub(crate) fn lookup_counted(
+        &self,
+        id: GraphId,
+        pin: EpochPin,
+    ) -> (Result<Arc<ResidentSnapshot>, SolveError>, bool) {
         if id.registry != self.tag {
-            return Err(SolveError::UnknownGraph(id));
+            return (Err(SolveError::UnknownGraph(id)), false);
         }
         let Some(entry) = self.entries.get(id.index) else {
-            return Err(SolveError::UnknownGraph(id));
+            return (Err(SolveError::UnknownGraph(id)), false);
         };
-        let st = entry.read().expect(LOCK_POISONED);
-        match pin {
-            EpochPin::Latest => Ok(Arc::clone(st.latest())),
-            EpochPin::At(epoch) => {
-                // Three distinct answers: beyond the current epoch the pin
-                // addresses the future (UnknownEpoch — "never reached");
-                // at-or-before it but below the base or in an evicted slot,
-                // the epoch existed and retention dropped it (EpochEvicted);
-                // otherwise the snapshot is resident.
-                if epoch > st.current_epoch() {
-                    return Err(SolveError::UnknownEpoch { graph: id, epoch });
+        loop {
+            match self.page_in_if_spilled(entry) {
+                Ok(Some(snap)) => {
+                    // A spilled entry was never mutated: the paged-in base
+                    // is its only epoch.
+                    let resolved = match pin {
+                        EpochPin::Latest => Ok(snap),
+                        EpochPin::At(epoch) if epoch == snap.epoch() => Ok(snap),
+                        EpochPin::At(epoch) => Err(SolveError::UnknownEpoch { graph: id, epoch }),
+                    };
+                    return (resolved, true);
                 }
-                let resident = epoch
-                    .0
-                    .checked_sub(st.base_epoch)
-                    .and_then(|idx| st.snapshots.get(idx as usize)?.as_ref());
-                match resident {
-                    Some(snap) => Ok(Arc::clone(snap)),
-                    None => Err(SolveError::EpochEvicted {
-                        graph: id,
-                        epoch,
-                        floor: self.floor_of(&st),
-                    }),
+                Ok(None) => {}
+                Err(detail) => {
+                    return (
+                        Err(SolveError::SnapshotUnavailable { graph: id, detail }),
+                        false,
+                    );
                 }
             }
+            let st = entry.read().expect(LOCK_POISONED);
+            if st.spilled {
+                continue; // re-spilled by a concurrent enforcement; retry
+            }
+            let resolved = match pin {
+                EpochPin::Latest => Ok(Arc::clone(st.latest())),
+                EpochPin::At(epoch) => {
+                    // Three distinct answers: beyond the current epoch the
+                    // pin addresses the future (UnknownEpoch — "never
+                    // reached"); at-or-before it but below the base or in an
+                    // evicted slot, the epoch existed and retention dropped
+                    // it (EpochEvicted); otherwise the snapshot is resident.
+                    if epoch > st.current_epoch() {
+                        return (Err(SolveError::UnknownEpoch { graph: id, epoch }), false);
+                    }
+                    let resident = epoch
+                        .0
+                        .checked_sub(st.base_epoch)
+                        .and_then(|idx| st.snapshots.get(idx as usize)?.as_ref());
+                    match resident {
+                        Some(snap) => Ok(Arc::clone(snap)),
+                        None => Err(SolveError::EpochEvicted {
+                            graph: id,
+                            epoch,
+                            floor: self.floor_of(&st),
+                        }),
+                    }
+                }
+            };
+            return (resolved, false);
         }
+    }
+
+    /// `true` while the graph behind `id` is spilled: its base snapshot
+    /// (arena and engine) has been dropped under the [`SpillPolicy`] and the
+    /// next touch will page it back in from its source file.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn is_spilled(&self, id: GraphId) -> bool {
+        self.locate(id).read().expect(LOCK_POISONED).spilled
+    }
+
+    /// How many times the graph behind `id` has been spilled so far.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn spills(&self, id: GraphId) -> u64 {
+        self.locate(id).read().expect(LOCK_POISONED).spills
+    }
+
+    /// How many times the graph behind `id` has been paged back in so far.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this registry or its index is out of
+    /// range.
+    pub fn page_ins(&self, id: GraphId) -> u64 {
+        self.locate(id).read().expect(LOCK_POISONED).page_ins
+    }
+
+    /// Total [`Hypergraph::bytes_resident`] over every resident snapshot of
+    /// every graph — the quantity the [`SpillPolicy`] caps. Spilled graphs
+    /// contribute nothing.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|entry| {
+                let st = entry.read().expect(LOCK_POISONED);
+                st.snapshots
+                    .iter()
+                    .flatten()
+                    .map(|s| s.graph().bytes_resident() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// Number of resident graphs.
@@ -1035,6 +1464,17 @@ pub enum SolveError {
         /// (the base epoch additionally stays resident below it).
         floor: Epoch,
     },
+    /// A resident graph had been spilled under the registry's
+    /// [`SpillPolicy`] and its source snapshot file could no longer be
+    /// re-opened (deleted, truncated or corrupted since registration).
+    /// Reported as outcome data on the request path; the registry's direct
+    /// accessors panic on the same condition instead.
+    SnapshotUnavailable {
+        /// The resident graph queried.
+        graph: GraphId,
+        /// Human-readable I/O or parse detail from the failed re-open.
+        detail: String,
+    },
     /// An induced query listed an out-of-range or duplicate vertex id.
     InvalidQuery {
         /// The offending vertex id.
@@ -1143,7 +1583,16 @@ pub(crate) fn execute(
     req: &SolveRequest,
     ws: &mut Workspace,
 ) -> SolveOutcome {
-    let resolved = req.target.graph_id().map(|id| registry.lookup(id, req.pin));
+    let resolved = req.target.graph_id().map(|id| {
+        let (resolved, paged_in) = registry.lookup_counted(id, req.pin);
+        if paged_in {
+            // Observability only, like the eviction noting below: one spill
+            // observed, one page-in (the page-in undid exactly one spill).
+            ws.note_graph_spilled(id.index as u64);
+            ws.note_graph_paged_in(id.index as u64);
+        }
+        resolved
+    });
     execute_resolved(req, resolved, ws)
 }
 
@@ -1508,6 +1957,10 @@ struct Job {
     // pinned snapshot alive even if retention evicts it, or `compact`
     // re-bases the graph, while the job waits in a shard queue.
     resolved: Option<Result<Arc<ResidentSnapshot>, SolveError>>,
+    // Whether that resolution paged a spilled snapshot back in — carried to
+    // the worker so the observation lands in *its shard's* spill ledger,
+    // the same place evicted-pin touches land.
+    paged_in: bool,
 }
 
 /// Per-tenant admission bookkeeping (see [`AdmissionConfig`]).
@@ -1592,11 +2045,22 @@ impl ShardedRunner {
                         ticket,
                         request,
                         resolved,
+                        paged_in,
                     }) = rx.recv()
                     {
                         // Shutdown: drain the queue without solving it.
                         if cancel.load(std::sync::atomic::Ordering::Acquire) {
                             continue;
+                        }
+                        // Mirror a submission-time page-in into this shard's
+                        // spill ledger (one spill observed, one page-in —
+                        // the page-in undid exactly one spill).
+                        if paged_in {
+                            if let Some(id) = request.target.graph_id() {
+                                let ws = runner.workspace_mut();
+                                ws.note_graph_spilled(id.index as u64);
+                                ws.note_graph_paged_in(id.index as u64);
+                            }
                         }
                         // Workers never consult the registry: the snapshot
                         // (or error) was fixed at submission time, so a
@@ -1709,10 +2173,12 @@ impl ShardedRunner {
         // the resolution error — `UnknownGraph`, `UnknownEpoch`,
         // `EpochEvicted` — as data), so a later eviction or `compact` cannot
         // retarget or fail a request that was admitted against a live epoch.
-        let resolved = request
-            .target
-            .graph_id()
-            .map(|id| self.registry.lookup(id, request.pin));
+        let mut paged_in = false;
+        let resolved = request.target.graph_id().map(|id| {
+            let (resolved, paged) = self.registry.lookup_counted(id, request.pin);
+            paged_in = paged;
+            resolved
+        });
         if let Some(Ok(snap)) = &resolved {
             // Echo the concrete epoch into the pin so the outcome reports it.
             request.pin = EpochPin::At(snap.epoch());
@@ -1744,6 +2210,7 @@ impl ShardedRunner {
                 ticket,
                 request,
                 resolved,
+                paged_in,
             })
             .expect("serve: worker shard disconnected (a worker thread panicked)");
         ticket
@@ -2124,5 +2591,178 @@ mod tests {
         reg.apply(id, &[GraphEdit::GrowVertices(1)]).unwrap();
         assert_eq!(reg.latest(id).epoch(), Epoch(3));
         assert_eq!(reg.latest(id).log_len(), 1);
+    }
+
+    /// A unique temp path for snapshot-file tests (same idiom as the WAL
+    /// round-trip tests in `tests/registry.rs`).
+    fn temp_csr(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hgmis-serve-{tag}-{}.hgcsr", std::process::id()))
+    }
+
+    // `persist_snapshot` → `open_mapped` round-trips the graph bit-for-bit
+    // and registers it on the mapped tier.
+    #[test]
+    fn persist_snapshot_then_open_mapped_round_trips() {
+        let path = temp_csr("roundtrip");
+        let mut reg = ResidentRegistry::new();
+        let id = reg.register(tiny());
+        reg.persist_snapshot(id, &path).unwrap();
+
+        let mut reopened = ResidentRegistry::new();
+        let mid = reopened.open_mapped(&path).unwrap();
+        let orig = reg.latest(id);
+        let mapped = reopened.latest(mid);
+        assert_eq!(orig.graph(), mapped.graph());
+        assert_eq!(mapped.graph().storage_kind(), "mapped");
+        assert_eq!(mapped.epoch(), Epoch(0));
+        assert!(!reopened.is_spilled(mid));
+        std::fs::remove_file(&path).ok();
+    }
+
+    // `resident_bytes` sums the base arenas of every resident snapshot,
+    // whichever tier they live on.
+    #[test]
+    fn resident_bytes_counts_owned_and_mapped_arenas() {
+        let path = temp_csr("bytes");
+        let per_graph = tiny().bytes_resident() as u64;
+        let mut reg = ResidentRegistry::new();
+        let owned = reg.register(tiny());
+        assert_eq!(reg.resident_bytes(), per_graph);
+        reg.persist_snapshot(owned, &path).unwrap();
+        reg.open_mapped(&path).unwrap();
+        assert_eq!(reg.resident_bytes(), 2 * per_graph);
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Under a byte cap the least-recently-touched mapped entry spills, and a
+    // later query pages it back in (possibly spilling the other entry in
+    // turn). Counters track every transition.
+    #[test]
+    fn spill_policy_evicts_lru_and_queries_page_back_in() {
+        let pa = temp_csr("lru-a");
+        let pb = temp_csr("lru-b");
+        hypergraph::io::write_csr(&tiny(), &pa).unwrap();
+        hypergraph::io::write_csr(&tiny(), &pb).unwrap();
+        let per_graph = tiny().bytes_resident() as u64;
+
+        // Cap = one graph: whichever entry is LRU must give way.
+        let mut reg = ResidentRegistry::with_spill(SpillPolicy::max_bytes(per_graph));
+        let a = reg.open_mapped(&pa).unwrap();
+        let b = reg.open_mapped(&pb).unwrap();
+        assert!(reg.is_spilled(a), "oldest mapped entry spills first");
+        assert!(!reg.is_spilled(b));
+        assert_eq!(reg.spills(a), 1);
+        assert_eq!(reg.resident_bytes(), per_graph);
+
+        // Touching the spilled entry pages it in; `b` is now LRU and spills.
+        let snap = reg.latest(a);
+        assert_eq!(snap.graph(), &tiny());
+        assert!(!reg.is_spilled(a));
+        assert!(reg.is_spilled(b));
+        assert_eq!(reg.page_ins(a), 1);
+        assert_eq!(reg.spills(b), 1);
+        assert_eq!(reg.resident_bytes(), per_graph);
+
+        // A spilled graph still reports its metadata without paging in.
+        assert_eq!(reg.current_epoch(b), Epoch(0));
+        assert_eq!(reg.retained_snapshots(b), 0);
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    // The request path resolves pins against a paged-in base snapshot with
+    // the same three-way semantics as a resident entry, and reports the
+    // page-in so the workspace ledgers can mirror it.
+    #[test]
+    fn lookup_pages_in_spilled_entries_and_reports_it() {
+        let path = temp_csr("lookup");
+        hypergraph::io::write_csr(&tiny(), &path).unwrap();
+        let mut reg = ResidentRegistry::with_spill(SpillPolicy::max_bytes(0));
+        let id = reg.open_mapped(&path).unwrap();
+        assert!(reg.is_spilled(id), "a zero cap spills immediately");
+        assert_eq!(reg.resident_bytes(), 0);
+
+        let (res, paged_in) = reg.lookup_counted(id, EpochPin::Latest);
+        assert!(paged_in);
+        assert_eq!(res.unwrap().graph(), &tiny());
+        // The zero cap re-spills as soon as the query's Arc is handed out.
+        assert!(reg.is_spilled(id));
+        assert_eq!(reg.spills(id), 2);
+        assert_eq!(reg.page_ins(id), 1);
+
+        // Pinned lookups agree with resident semantics: the base epoch
+        // resolves, an epoch beyond the tip is unknown.
+        let (res, paged_in) = reg.lookup_counted(id, EpochPin::At(Epoch(0)));
+        assert!(paged_in);
+        assert!(res.is_ok());
+        let (res, _) = reg.lookup_counted(id, EpochPin::At(Epoch(5)));
+        assert_eq!(
+            res.unwrap_err(),
+            SolveError::UnknownEpoch {
+                graph: id,
+                epoch: Epoch(5)
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Spilling is only sound while the snapshot file is the entry's complete
+    // state: the first `apply` pages the graph in and pins it resident for
+    // good (its log exists nowhere on disk).
+    #[test]
+    fn mutation_pages_in_and_pins_the_entry_resident() {
+        let path = temp_csr("pin");
+        hypergraph::io::write_csr(&tiny(), &path).unwrap();
+        let mut reg = ResidentRegistry::with_spill(SpillPolicy::max_bytes(0));
+        let id = reg.open_mapped(&path).unwrap();
+        assert!(reg.is_spilled(id));
+
+        let epoch = reg.apply(id, &[GraphEdit::GrowVertices(1)]).unwrap();
+        assert_eq!(epoch, Epoch(1));
+        assert!(!reg.is_spilled(id), "a mutated entry never spills");
+        assert_eq!(reg.spills(id), 1);
+        assert_eq!(reg.page_ins(id), 1);
+        assert_eq!(reg.latest(id).graph().n_vertices(), 5);
+
+        // Still pinned after further traffic that the cap would otherwise
+        // evict.
+        let _ = reg.latest(id);
+        assert!(!reg.is_spilled(id));
+        std::fs::remove_file(&path).ok();
+    }
+
+    // A spilled entry whose snapshot file has vanished is an error on the
+    // request path (errors as data), not a panic.
+    #[test]
+    fn missing_source_is_an_error_on_the_request_path() {
+        let path = temp_csr("gone-lookup");
+        hypergraph::io::write_csr(&tiny(), &path).unwrap();
+        let mut reg = ResidentRegistry::with_spill(SpillPolicy::max_bytes(0));
+        let id = reg.open_mapped(&path).unwrap();
+        assert!(reg.is_spilled(id));
+        std::fs::remove_file(&path).unwrap();
+
+        let (res, paged_in) = reg.lookup_counted(id, EpochPin::Latest);
+        assert!(!paged_in);
+        match res.unwrap_err() {
+            SolveError::SnapshotUnavailable { graph, detail } => {
+                assert_eq!(graph, id);
+                assert!(detail.contains("cannot re-open"), "detail: {detail}");
+            }
+            other => panic!("expected SnapshotUnavailable, got {other:?}"),
+        }
+    }
+
+    // The same failure on a direct accessor is a caller-visible panic with
+    // the documented message.
+    #[test]
+    #[should_panic(expected = "spilled resident graph could not be paged back in")]
+    fn missing_source_panics_on_direct_accessors() {
+        let path = temp_csr("gone-latest");
+        hypergraph::io::write_csr(&tiny(), &path).unwrap();
+        let mut reg = ResidentRegistry::with_spill(SpillPolicy::max_bytes(0));
+        let id = reg.open_mapped(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let _ = reg.latest(id);
     }
 }
