@@ -291,7 +291,8 @@ fn rule_for(key: &str) -> Rule {
         | "replay_identical"
         | "wal_replay_identical"
         | "retention_latest_identical"
-        | "mapped_identical" => Rule::DeterminismFlag,
+        | "mapped_identical"
+        | "wire_identical" => Rule::DeterminismFlag,
         // Coldstart workload identity: the storage tier and resident
         // footprint of the snapshot under test are deterministic.
         "storage" | "bytes_resident" => Rule::Exact,

@@ -13,7 +13,7 @@
 //! # the working directory against committed baselines (default tolerance
 //! # band 0.5; exits non-zero on any regression or fingerprint mismatch).
 //! cargo run --release -p bench --bin experiments -- \
-//!     --check-against bench/baselines [--tolerance 0.5] [activeset batch serve coldstart]
+//!     --check-against bench/baselines [--tolerance 0.5] [activeset batch serve coldstart net]
 //! ```
 
 use bench::{linear_workload, markdown_table, paper_workload, rng_for, uniform_workload};
@@ -119,6 +119,9 @@ fn main() {
     if want("coldstart") {
         coldstart_experiment(quick);
     }
+    if want("net") {
+        net_experiment(quick);
+    }
 }
 
 /// The CI bench-regression gate (`--check-against <dir>`): compares each
@@ -131,7 +134,7 @@ fn run_bench_regression_gate(dir: &str, tolerance: f64, want: &impl Fn(&str) -> 
     println!("## bench-regression gate: fresh BENCH_*.json vs {dir} (tolerance {tolerance})\n");
     let mut compared = 0usize;
     let mut failures: Vec<String> = Vec::new();
-    for tag in ["activeset", "batch", "serve", "coldstart"] {
+    for tag in ["activeset", "batch", "serve", "coldstart", "net"] {
         if !want(tag) {
             continue;
         }
@@ -179,7 +182,7 @@ fn run_bench_regression_gate(dir: &str, tolerance: f64, want: &impl Fn(&str) -> 
 fn serve_experiment(quick: bool) {
     use hypergraph_mis::serve::{
         AdmissionConfig, Algorithm, EpochPin, ResidentRegistry, RetentionPolicy, RoutePolicy,
-        ServeConfig, ShardedRunner, SolveError, SolveFingerprint, SolveRequest, Target, TenantId,
+        ServeConfig, ShardedRunner, SolveError, SolveFingerprint, SolveRequest, TenantId,
         TenantQuota,
     };
     use std::sync::Arc;
@@ -209,16 +212,11 @@ fn serve_experiment(quick: bool) {
                 }
                 q.truncate(qsize);
                 q.sort_unstable();
-                SolveRequest {
-                    tenant: TenantId(i as u64 % 4),
-                    target: Target::Induced {
-                        graph: resident,
-                        vertices: Arc::new(q),
-                    },
-                    algorithm: Algorithm::Bl(BlConfig::default()),
-                    seed: 0xBA7C_2000 + (n * 131 + i) as u64,
-                    pin: EpochPin::Latest,
-                }
+                SolveRequest::induced(resident, q)
+                    .algorithm(Algorithm::Bl(BlConfig::default()))
+                    .seed(0xBA7C_2000 + (n * 131 + i) as u64)
+                    .tenant(TenantId(i as u64 % 4))
+                    .build()
             })
             .collect();
         workloads.push(("query", n, Arc::new(registry), requests));
@@ -226,12 +224,12 @@ fn serve_experiment(quick: bool) {
     for n in [1024usize, 4096] {
         let registry = Arc::new(ResidentRegistry::new());
         let requests: Vec<SolveRequest> = (0..instances)
-            .map(|i| SolveRequest {
-                tenant: TenantId(i as u64 % 4),
-                target: Target::Adhoc(Arc::new(paper_workload(n, 0xBA7C + i as u64))),
-                algorithm: Algorithm::Sbl(SblConfig::default()),
-                seed: 0xBA7C_0000 + (n * 1000 + i) as u64,
-                pin: EpochPin::Latest,
+            .map(|i| {
+                SolveRequest::adhoc(Arc::new(paper_workload(n, 0xBA7C + i as u64)))
+                    .algorithm(Algorithm::Sbl(SblConfig::default()))
+                    .seed(0xBA7C_0000 + (n * 1000 + i) as u64)
+                    .tenant(TenantId(i as u64 % 4))
+                    .build()
             })
             .collect();
         workloads.push(("sbl_stream", n, registry, requests));
@@ -353,16 +351,11 @@ fn serve_experiment(quick: bool) {
                 }
                 q.truncate(qsize);
                 q.sort_unstable();
-                SolveRequest {
-                    tenant: TenantId(i as u64 % mix_tenants),
-                    target: Target::Induced {
-                        graph: resident,
-                        vertices: Arc::new(q),
-                    },
-                    algorithm: Algorithm::Bl(BlConfig::default()),
-                    seed: 0x7E4A_2000 + i as u64,
-                    pin: EpochPin::Latest,
-                }
+                SolveRequest::induced(resident, q)
+                    .algorithm(Algorithm::Bl(BlConfig::default()))
+                    .seed(0x7E4A_2000 + i as u64)
+                    .tenant(TenantId(i as u64 % mix_tenants))
+                    .build()
             })
             .collect();
         (Arc::new(registry), requests)
@@ -494,16 +487,11 @@ fn serve_experiment(quick: bool) {
                 }
                 q.truncate(qsize);
                 q.sort_unstable();
-                SolveRequest {
-                    tenant: TenantId(i as u64 % 3),
-                    target: Target::Induced {
-                        graph: resident,
-                        vertices: Arc::new(q),
-                    },
-                    algorithm: Algorithm::Greedy,
-                    seed: 0xADA1_2000 + i as u64,
-                    pin: EpochPin::Latest,
-                }
+                SolveRequest::induced(resident, q)
+                    .algorithm(Algorithm::Greedy)
+                    .seed(0xADA1_2000 + i as u64)
+                    .tenant(TenantId(i as u64 % 3))
+                    .build()
             })
             .collect();
         (Arc::new(registry), requests)
@@ -653,15 +641,12 @@ fn serve_experiment(quick: bool) {
                 .collect()
         })
         .collect();
-    let mut_request = |resident, seed: u64, q: &Vec<u32>| SolveRequest {
-        tenant: TenantId(seed % 3),
-        target: Target::Induced {
-            graph: resident,
-            vertices: Arc::new(q.clone()),
-        },
-        algorithm: Algorithm::Bl(BlConfig::default()),
-        seed,
-        pin: EpochPin::Latest,
+    let mut_request = |resident, seed: u64, q: &Vec<u32>| {
+        SolveRequest::induced(resident, q.clone())
+            .algorithm(Algorithm::Bl(BlConfig::default()))
+            .seed(seed)
+            .tenant(TenantId(seed % 3))
+            .build()
     };
 
     // Mutate arm: one registry, one runner, `apply` between waves.
@@ -835,8 +820,12 @@ fn serve_experiment(quick: bool) {
             let mut runner = BatchRunner::new();
             for (w, wave) in mut_requests.iter().take(epochs).enumerate() {
                 for ((seed, q), reference) in wave.iter().zip(&mut_reference[w * mut_queries..]) {
-                    let mut req = mut_request(rid, *seed, q);
-                    req.pin = EpochPin::At(Epoch(w as u64));
+                    let req = SolveRequest::induced(rid, q.clone())
+                        .algorithm(Algorithm::Bl(BlConfig::default()))
+                        .seed(*seed)
+                        .tenant(TenantId(*seed % 3))
+                        .pin(EpochPin::At(Epoch(w as u64)))
+                        .build();
                     identical &= runner.solve(&restored, &req).fingerprint() == *reference;
                 }
             }
@@ -1005,7 +994,7 @@ fn serve_experiment(quick: bool) {
 /// largest workload, asserted here.
 fn coldstart_experiment(quick: bool) {
     use hypergraph_mis::serve::{
-        Algorithm, EpochPin, ResidentRegistry, SolveFingerprint, SolveRequest, Target, TenantId,
+        Algorithm, ResidentRegistry, SolveFingerprint, SolveRequest, TenantId,
     };
     use std::sync::Arc;
 
@@ -1041,15 +1030,12 @@ fn coldstart_experiment(quick: bool) {
             q.sort_unstable();
             Arc::new(q)
         };
-        let request = |id, i: usize| SolveRequest {
-            tenant: TenantId(i as u64 % 4),
-            target: Target::Induced {
-                graph: id,
-                vertices: query_for(i),
-            },
-            algorithm: Algorithm::Bl(BlConfig::default()),
-            seed: 0xC01D_2000 + (n * 131 + i) as u64,
-            pin: EpochPin::Latest,
+        let request = |id, i: usize| {
+            SolveRequest::induced(id, query_for(i))
+                .algorithm(Algorithm::Bl(BlConfig::default()))
+                .seed(0xC01D_2000 + (n * 131 + i) as u64)
+                .tenant(TenantId(i as u64 % 4))
+                .build()
         };
 
         // One cold run per arm per iteration: file → registry (engine build
@@ -1218,6 +1204,240 @@ fn coldstart_experiment(quick: bool) {
         "\nwrote BENCH_coldstart.json (largest workload n={largest_n}: open_mapped \
          {largest_speedup:.2}x faster to first answer than parse+build)\n"
     );
+}
+
+/// The serve-net experiment (the PR-10 tentpole gate): the `MISP 1` socket
+/// front-end under a deterministic open-loop load plan ([`bench::load`]).
+///
+/// The load shape is production-flavoured rather than a uniform sweep:
+/// exponential inter-arrivals paced by a sender thread regardless of
+/// response progress (so queueing delay lands in the percentiles instead of
+/// being coordinated away), bounded-Pareto induced-query sizes (most
+/// requests small, a deterministic minority 30× larger), and a hot tenant
+/// owning ~60% of the stream. Two arms per shard count:
+///
+/// * `slo` — paced sends; per-request latency is measured from the request's
+///   *scheduled* send time to reply receipt, percentiles over the stream
+///   (min across iterations, like every wall time here);
+/// * `saturation` — the same requests submitted back-to-back with no pacing;
+///   throughput from first submit to last reply.
+///
+/// Every wire outcome must be byte-identical (by fingerprint) to an
+/// in-process [`BatchRunner`] solve of the same request — `wire_identical`,
+/// a determinism flag in the gate, plus the exact-matched
+/// `outcome_fingerprint`. Latency percentiles go to `BENCH_net.json` and are
+/// banded by the gate.
+fn net_experiment(quick: bool) {
+    use bench::load::{plan, LoadConfig};
+    use hypergraph_mis::net::{Client, NetConfig, Server};
+    use hypergraph_mis::serve::{
+        Algorithm, ResidentRegistry, ServeConfig, SolveFingerprint, SolveRequest, TenantId,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("\n## net — MISP loopback serving under deterministic open-loop load\n");
+    let iters = if quick { 3 } else { 5 };
+    let n = 16384usize;
+    let load = LoadConfig {
+        seed: 0x6E73,
+        requests: if quick { 96 } else { 192 },
+        mean_interarrival_us: 500.0,
+        tenants: 4,
+        hot_share: 0.6,
+        min_query: 32,
+        max_query: 1024,
+        tail_alpha: 1.1,
+    };
+    let schedule = plan(&load);
+
+    let mut registry = ResidentRegistry::new();
+    let resident = registry.register(uniform_workload(n, 3, 0x6E73));
+    let registry = Arc::new(registry);
+    let requests: Vec<SolveRequest> = schedule
+        .iter()
+        .map(|a| {
+            let mut rng = rng_for(0x6E73_1000 ^ a.solve_seed);
+            let mut q: Vec<u32> = (0..n as u32).collect();
+            for k in 0..a.query_size {
+                let j = rand::Rng::gen_range(&mut rng, k..n);
+                q.swap(k, j);
+            }
+            q.truncate(a.query_size);
+            q.sort_unstable();
+            SolveRequest::induced(resident, q)
+                .algorithm(Algorithm::Bl(BlConfig::default()))
+                .seed(a.solve_seed)
+                .tenant(TenantId(a.tenant))
+                .build()
+        })
+        .collect();
+
+    // The in-process ground truth every wire outcome is compared against.
+    let mut seq = BatchRunner::new();
+    let reference: Vec<SolveFingerprint> = requests
+        .iter()
+        .map(|r| seq.solve(&registry, r).fingerprint())
+        .collect();
+    let hot_requests = schedule.iter().filter(|a| a.tenant == 0).count();
+
+    let percentile = |sorted_us: &[u64], q: f64| -> f64 {
+        let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+        sorted_us[idx] as f64 / 1e3
+    };
+
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for shards in [1usize, 4] {
+        let config = NetConfig {
+            serve: ServeConfig {
+                shards,
+                queue_depth: 64,
+                threads_per_shard: Some(1),
+                ..ServeConfig::default()
+            },
+            ..NetConfig::default()
+        };
+        let (mut p50, mut p95, mut p99) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut saturation_rps = 0.0f64;
+        for it in 0..iters {
+            // --- SLO arm: open-loop paced sends. ---
+            let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), &config)
+                .expect("net: bind loopback server");
+            let client = Client::connect(server.local_addr()).expect("net: connect");
+            let (mut tx, mut rx) = client.split().expect("net: split");
+            let start = Instant::now();
+            let sender = {
+                let schedule = schedule.clone();
+                let requests = requests.clone();
+                std::thread::spawn(move || {
+                    for (arrival, request) in schedule.iter().zip(&requests) {
+                        let due = Duration::from_micros(arrival.at_us);
+                        while let Some(wait) = due.checked_sub(start.elapsed()) {
+                            if wait.is_zero() {
+                                break;
+                            }
+                            std::thread::sleep(wait.min(Duration::from_micros(200)));
+                        }
+                        tx.submit(request).expect("net: submit");
+                    }
+                })
+            };
+            let mut latencies_us = vec![0u64; requests.len()];
+            for _ in 0..requests.len() {
+                let reply = rx.recv().expect("net: recv");
+                let done = start.elapsed();
+                let idx = reply.correlation as usize;
+                let scheduled = Duration::from_micros(schedule[idx].at_us);
+                latencies_us[idx] =
+                    done.checked_sub(scheduled).unwrap_or_default().as_micros() as u64;
+                if it == 0 {
+                    assert!(
+                        reply.outcome.fingerprint() == reference[idx],
+                        "net: wire outcome diverged from the in-process BatchRunner \
+                         (shards={shards}, request {idx})"
+                    );
+                }
+            }
+            sender.join().expect("net: sender thread");
+            let stats = server.shutdown();
+            assert_eq!(
+                stats.delivered,
+                requests.len() as u64,
+                "net: delivered count (shards={shards})"
+            );
+            assert_eq!(
+                stats.connections[0].protocol_errors, 0,
+                "net: protocol errors on a clean connection (shards={shards})"
+            );
+            latencies_us.sort_unstable();
+            p50 = p50.min(percentile(&latencies_us, 0.50));
+            p95 = p95.min(percentile(&latencies_us, 0.95));
+            p99 = p99.min(percentile(&latencies_us, 0.99));
+
+            // --- Saturation arm: the same stream, no pacing. ---
+            let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), &config)
+                .expect("net: bind loopback server");
+            let client = Client::connect(server.local_addr()).expect("net: connect");
+            let (mut tx, mut rx) = client.split().expect("net: split");
+            let t0 = Instant::now();
+            let burst = {
+                let requests = requests.clone();
+                std::thread::spawn(move || {
+                    for request in &requests {
+                        tx.submit(request).expect("net: submit");
+                    }
+                })
+            };
+            for _ in 0..requests.len() {
+                rx.recv().expect("net: recv");
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            burst.join().expect("net: burst thread");
+            server.shutdown();
+            saturation_rps = saturation_rps.max(requests.len() as f64 / elapsed);
+        }
+        rows.push(vec![
+            shards.to_string(),
+            load.requests.to_string(),
+            format!("{p50:.2}"),
+            format!("{p95:.2}"),
+            format!("{p99:.2}"),
+            format!("{saturation_rps:.0}"),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"kind\": \"loopback\", \"shards\": {}, \"requests\": {}, ",
+                "\"tenants\": {}, \"hot_tenant_requests\": {}, ",
+                "\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, ",
+                "\"saturation_rps\": {:.1}, \"wire_identical\": true, ",
+                "\"outcome_fingerprint\": \"{}\"}}"
+            ),
+            shards,
+            load.requests,
+            load.tenants,
+            hot_requests,
+            p50,
+            p95,
+            p99,
+            saturation_rps,
+            fingerprint_hex(&reference),
+        ));
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "shards",
+                "requests",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "saturation req/s"
+            ],
+            &rows
+        )
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"net_misp_loopback\",\n");
+    let _ = writeln!(
+        json,
+        "  \"protocol\": \"MISP 1 (length-prefixed frames, FNV-1a payload checksums)\",\n  \
+         \"load\": \"open-loop exponential arrivals (mean {:.0}us), bounded-Pareto induced \
+         query sizes {}..={} (alpha {}), hot tenant 0 of {} at {:.0}% share\",\n  \
+         \"requests\": {},\n  \"iters\": {iters},\n  \"n\": {n},\n  \"workloads\": [",
+        load.mean_interarrival_us,
+        load.min_query,
+        load.max_query,
+        load.tail_alpha,
+        load.tenants,
+        load.hot_share * 100.0,
+        load.requests,
+    );
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("wrote BENCH_net.json (every wire outcome fingerprint-identical in-process)\n");
 }
 
 /// A stable hex fingerprint over a sequence of per-request outcomes (FNV-1a

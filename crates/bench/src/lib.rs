@@ -6,6 +6,7 @@
 //! exactly the same instances.
 
 pub mod baseline;
+pub mod load;
 
 use hypergraph::{generate, Hypergraph};
 use rand::SeedableRng;

@@ -1,0 +1,155 @@
+//! Deterministic open-loop load plans for the serve-net latency harness.
+//!
+//! The `net` experiment measures the MISP socket front-end under a load shape
+//! that looks like production traffic rather than a uniform sweep:
+//!
+//! * **open-loop arrivals** — request send times are drawn up front from an
+//!   exponential inter-arrival distribution and the sender paces to that
+//!   schedule regardless of how fast responses come back, so queueing delay
+//!   shows up in the latency percentiles instead of being coordinated away;
+//! * **heavy-tailed request sizes** — induced-query sizes follow a bounded
+//!   Pareto, so most requests are small but a deterministic minority are
+//!   orders of magnitude larger;
+//! * **hot-tenant skew** — a configurable share of requests come from one hot
+//!   tenant, the rest spread uniformly over the remaining tenants.
+//!
+//! Everything is a pure function of [`LoadConfig`]: two calls to [`plan`]
+//! with the same config yield byte-identical schedules, which is what lets
+//! `BENCH_net.json` carry an exact outcome fingerprint across runs.
+
+use rand::{Rng, RngCore};
+
+/// A uniform draw from [0, 1) with 53 random bits (the same construction
+/// `Rng::gen_bool` uses).
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Shape parameters for one deterministic load plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Seed for the plan's private RNG stream (xored into [`crate::BASE_SEED`]).
+    pub seed: u64,
+    /// Number of requests in the plan.
+    pub requests: usize,
+    /// Mean of the exponential inter-arrival distribution, in microseconds.
+    pub mean_interarrival_us: f64,
+    /// Total tenant count; tenant `0` is the hot tenant.
+    pub tenants: u64,
+    /// Probability that a request belongs to the hot tenant.
+    pub hot_share: f64,
+    /// Smallest induced-query size (inclusive).
+    pub min_query: usize,
+    /// Largest induced-query size (inclusive cap on the Pareto tail).
+    pub max_query: usize,
+    /// Pareto tail index; values near 1 give the heaviest (bounded) tail.
+    pub tail_alpha: f64,
+}
+
+/// One scheduled request in an open-loop plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Scheduled send time, as an offset from the start of the stream.
+    pub at_us: u64,
+    /// Owning tenant (0 is the hot tenant).
+    pub tenant: u64,
+    /// Induced-query size drawn from the bounded Pareto.
+    pub query_size: usize,
+    /// Per-request solve seed (also deterministic).
+    pub solve_seed: u64,
+}
+
+/// Draws the full arrival schedule for `config`. Arrival times are
+/// non-decreasing; every field is a pure function of the config.
+pub fn plan(config: &LoadConfig) -> Vec<Arrival> {
+    assert!(config.tenants >= 1, "need at least the hot tenant");
+    assert!(
+        (0.0..=1.0).contains(&config.hot_share),
+        "hot_share must be a probability"
+    );
+    assert!(
+        config.min_query >= 1 && config.min_query <= config.max_query,
+        "query size bounds must satisfy 1 <= min <= max"
+    );
+    assert!(config.tail_alpha > 0.0, "tail_alpha must be positive");
+    let mut rng = crate::rng_for(0x6E65_7400 ^ config.seed);
+    let mut clock_us = 0.0f64;
+    let mut out = Vec::with_capacity(config.requests);
+    for i in 0..config.requests {
+        // Exponential inter-arrival via inverse CDF; 1-u keeps ln's argument
+        // in (0, 1].
+        let u = unit_f64(&mut rng);
+        clock_us += -config.mean_interarrival_us * (1.0 - u).ln();
+        // Bounded Pareto: min * v^(-1/alpha), clamped at max.
+        let v = unit_f64(&mut rng).max(f64::MIN_POSITIVE);
+        let size = (config.min_query as f64 * v.powf(-1.0 / config.tail_alpha))
+            .min(config.max_query as f64) as usize;
+        let tenant = if unit_f64(&mut rng) < config.hot_share || config.tenants == 1 {
+            0
+        } else {
+            rng.gen_range(1..config.tenants)
+        };
+        out.push(Arrival {
+            at_us: clock_us as u64,
+            tenant,
+            query_size: size.clamp(config.min_query, config.max_query),
+            solve_seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> LoadConfig {
+        LoadConfig {
+            seed: 7,
+            requests: 512,
+            mean_interarrival_us: 150.0,
+            tenants: 5,
+            hot_share: 0.6,
+            min_query: 16,
+            max_query: 2048,
+            tail_alpha: 1.1,
+        }
+    }
+
+    #[test]
+    fn plans_are_reproducible_and_seed_sensitive() {
+        assert_eq!(plan(&config()), plan(&config()));
+        let other = LoadConfig {
+            seed: 8,
+            ..config()
+        };
+        assert_ne!(plan(&config()), plan(&other));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_sizes_bounded() {
+        let c = config();
+        let p = plan(&c);
+        assert_eq!(p.len(), c.requests);
+        for w in p.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us);
+        }
+        for a in &p {
+            assert!((c.min_query..=c.max_query).contains(&a.query_size));
+            assert!(a.tenant < c.tenants);
+        }
+    }
+
+    #[test]
+    fn hot_tenant_dominates_and_tail_is_heavy() {
+        let p = plan(&config());
+        let hot = p.iter().filter(|a| a.tenant == 0).count();
+        // hot_share = 0.6 over 512 draws: well away from both 1/5 and 1.
+        assert!(hot > p.len() / 2, "hot tenant got {hot}/{}", p.len());
+        assert!(hot < p.len());
+        // A bounded Pareto with alpha ~ 1 must produce both near-min and
+        // near-max sizes in 512 draws.
+        assert!(p.iter().any(|a| a.query_size <= 32));
+        assert!(p.iter().any(|a| a.query_size >= 1024));
+    }
+}

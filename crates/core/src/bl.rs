@@ -30,7 +30,7 @@ use crate::greedy::greedy_on_active_in;
 use crate::trace::{BlStageStats, BlTrace};
 
 /// Tuning knobs for a Beame–Luby run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlConfig {
     /// Record `Δ_i(H)` for every dimension `i` at the start of every stage
     /// (needed by the migration / potential experiments; costs one extra

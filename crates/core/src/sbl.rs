@@ -46,7 +46,7 @@ pub enum TailChoice {
 }
 
 /// Configuration of an SBL run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SblConfig {
     /// Sampling probability override; defaults to the paper's
     /// `p = n^{-α}` (practically clamped, see

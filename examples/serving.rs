@@ -34,7 +34,9 @@
 //! checkpoints the compacted head as a checksummed CSR snapshot and
 //! `open_mapped` serves it zero-copy from a read-only file mapping — the
 //! post-mutation answer reproduces from the file without parsing or
-//! rebuilding anything.
+//! rebuilding anything. The last word goes over the wire: a `MISP 1`
+//! loopback `Server` answers the same solve out of process, and the reply
+//! frame is fingerprint-identical to the in-process answer.
 
 use hypergraph_mis::prelude::*;
 use hypergraph_mis::serve::{affinity_shard, SolveError};
@@ -96,57 +98,48 @@ fn main() {
     let mut labels: Vec<&str> = Vec::new();
     for batch in 0..6u64 {
         // A full SBL solve of the jobs tenant under a fresh seed.
-        server.submit(SolveRequest {
-            tenant: JOBS,
-            target: Target::Resident(jobs),
-            algorithm: Algorithm::Sbl(SblConfig::default()),
-            seed: 100 + batch,
-            pin: EpochPin::Latest,
-        });
+        server.submit(
+            SolveRequest::for_graph(jobs)
+                .algorithm(Algorithm::Sbl(SblConfig::default()))
+                .seed(100 + batch)
+                .tenant(JOBS)
+                .build(),
+        );
         labels.push("jobs/full sbl");
 
         // "Can this subset of jobs run together?" — induced BL query.
         let subset: Vec<u32> = (0..2_000u32)
             .filter(|v| (v * 7 + batch as u32).is_multiple_of(13))
             .collect();
-        server.submit(SolveRequest {
-            tenant: JOBS,
-            target: Target::Induced {
-                graph: jobs,
-                vertices: Arc::new(subset),
-            },
-            algorithm: Algorithm::Bl(BlConfig::default()),
-            seed: 200 + batch,
-            pin: EpochPin::Latest,
-        });
+        server.submit(
+            SolveRequest::induced(jobs, subset)
+                .algorithm(Algorithm::Bl(BlConfig::default()))
+                .seed(200 + batch)
+                .tenant(JOBS)
+                .build(),
+        );
         labels.push("jobs/induced bl");
 
         // A greedy sweep over a window of the registers tenant.
         let window: Vec<u32> = (batch as u32 * 150..batch as u32 * 150 + 300).collect();
-        server.submit(SolveRequest {
-            tenant: REGISTERS,
-            target: Target::Induced {
-                graph: registers,
-                vertices: Arc::new(window),
-            },
-            algorithm: Algorithm::Greedy,
-            seed: 300 + batch,
-            pin: EpochPin::Latest,
-        });
+        server.submit(
+            SolveRequest::induced(registers, window)
+                .algorithm(Algorithm::Greedy)
+                .seed(300 + batch)
+                .tenant(REGISTERS)
+                .build(),
+        );
         labels.push("registers/induced greedy");
 
         // The free tier hammers the server: one query per batch, but only a
         // bucket of 3 (+1 per 8 submissions) is admitted.
-        server.submit(SolveRequest {
-            tenant: FREE_TIER,
-            target: Target::Induced {
-                graph: registers,
-                vertices: Arc::new((0..64 + batch as u32).collect()),
-            },
-            algorithm: Algorithm::Kuw,
-            seed: 400 + batch,
-            pin: EpochPin::Latest,
-        });
+        server.submit(
+            SolveRequest::induced(registers, (0..64 + batch as u32).collect::<Vec<_>>())
+                .algorithm(Algorithm::Kuw)
+                .seed(400 + batch)
+                .tenant(FREE_TIER)
+                .build(),
+        );
         labels.push("free/induced kuw");
     }
 
@@ -173,24 +166,21 @@ fn main() {
         registry.latest(jobs).graph().n_vertices(),
         registry.latest(jobs).graph().n_edges(),
     );
-    server.submit(SolveRequest {
-        tenant: JOBS,
-        target: Target::Resident(jobs),
-        algorithm: Algorithm::Sbl(SblConfig::default()),
-        seed: 100, // same seed as ticket 0 — but a different snapshot now
-        pin: EpochPin::Latest,
-    });
+    server.submit(
+        SolveRequest::for_graph(jobs)
+            .algorithm(Algorithm::Sbl(SblConfig::default()))
+            .seed(100) // same seed as ticket 0 — but a different snapshot now
+            .tenant(JOBS)
+            .build(),
+    );
     labels.push("jobs/full sbl @e1");
-    server.submit(SolveRequest {
-        tenant: JOBS,
-        target: Target::Induced {
-            graph: jobs,
-            vertices: Arc::new(vec![new_job, 17, 42, 99]),
-        },
-        algorithm: Algorithm::Bl(BlConfig::default()),
-        seed: 201,
-        pin: EpochPin::Latest,
-    });
+    server.submit(
+        SolveRequest::induced(jobs, vec![new_job, 17, 42, 99])
+            .algorithm(Algorithm::Bl(BlConfig::default()))
+            .seed(201)
+            .tenant(JOBS)
+            .build(),
+    );
     labels.push("jobs/induced bl @e1");
 
     // --- Streaming collection: the first 8 outcomes as they complete
@@ -286,13 +276,12 @@ fn main() {
     // epochs stay answerable as long as their snapshots are retained.
     let replay = BatchRunner::new().solve(
         &registry,
-        &SolveRequest {
-            tenant: JOBS,
-            target: Target::Resident(jobs),
-            algorithm: Algorithm::Sbl(SblConfig::default()),
-            seed: 100,
-            pin: EpochPin::At(Epoch(0)),
-        },
+        &SolveRequest::for_graph(jobs)
+            .algorithm(Algorithm::Sbl(SblConfig::default()))
+            .seed(100)
+            .pin(EpochPin::At(Epoch(0)))
+            .tenant(JOBS)
+            .build(),
     );
     assert_eq!(replay.fingerprint(), collected[0].fingerprint());
     println!(
@@ -341,20 +330,22 @@ fn main() {
     // was real history, which distinguishes it from `UnknownEpoch` ("never
     // reached") — and the pool's eviction ledger counts the touch.
     let mut server = ShardedRunner::with_pool(Arc::clone(&registry), &config, pool);
-    server.submit(SolveRequest {
-        tenant: JOBS,
-        target: Target::Resident(jobs),
-        algorithm: Algorithm::Sbl(SblConfig::default()),
-        seed: 100,
-        pin: EpochPin::At(Epoch(0)), // pre-compaction history
-    });
-    server.submit(SolveRequest {
-        tenant: JOBS,
-        target: Target::Resident(jobs),
-        algorithm: Algorithm::Sbl(SblConfig::default()),
-        seed: 100,
-        pin: EpochPin::Latest, // the compacted head still serves
-    });
+    server.submit(
+        SolveRequest::for_graph(jobs)
+            .algorithm(Algorithm::Sbl(SblConfig::default()))
+            .seed(100)
+            .pin(EpochPin::At(Epoch(0))) // pre-compaction history
+            .tenant(JOBS)
+            .build(),
+    );
+    server.submit(
+        SolveRequest::for_graph(jobs)
+            .algorithm(Algorithm::Sbl(SblConfig::default()))
+            .seed(100)
+            .pin(EpochPin::Latest) // the compacted head still serves
+            .tenant(JOBS)
+            .build(),
+    );
     let outs = server.collect_outstanding();
     match &outs[0].error {
         Some(SolveError::EpochEvicted { epoch, floor, .. }) => println!(
@@ -382,13 +373,12 @@ fn main() {
     std::fs::remove_file(&wal).ok();
     let replay = BatchRunner::new().solve(
         &restored_registry,
-        &SolveRequest {
-            tenant: JOBS,
-            target: Target::Resident(restored_jobs),
-            algorithm: Algorithm::Sbl(SblConfig::default()),
-            seed: 100,
-            pin: EpochPin::At(Epoch(0)),
-        },
+        &SolveRequest::for_graph(restored_jobs)
+            .algorithm(Algorithm::Sbl(SblConfig::default()))
+            .seed(100)
+            .pin(EpochPin::At(Epoch(0)))
+            .tenant(JOBS)
+            .build(),
     );
     assert_eq!(replay.fingerprint(), collected[0].fingerprint());
     println!(
@@ -415,13 +405,11 @@ fn main() {
     assert!(mapped_graph.graph() == registry.latest(jobs).graph());
     let mapped_replay = BatchRunner::new().solve(
         &mapped_registry,
-        &SolveRequest {
-            tenant: JOBS,
-            target: Target::Resident(mapped_jobs),
-            algorithm: Algorithm::Sbl(SblConfig::default()),
-            seed: 100,
-            pin: EpochPin::Latest,
-        },
+        &SolveRequest::for_graph(mapped_jobs)
+            .algorithm(Algorithm::Sbl(SblConfig::default()))
+            .seed(100)
+            .tenant(JOBS)
+            .build(),
     );
     std::fs::remove_file(&snapshot).ok();
     // The epoch numbering restarts at 0 (the snapshot carries no history),
@@ -434,5 +422,42 @@ fn main() {
     println!(
         "checkpointed the compacted head as a CSR snapshot and reopened it mmap-backed \
          (storage tier \"mapped\"): the post-mutation answer reproduces zero-copy from the file"
+    );
+
+    // --- The wire: the same service, out of process. `Server::bind` puts a
+    // `MISP 1` socket front-end over a `ShardedRunner` on the mapped
+    // registry; the reply that comes back over TCP is byte-identical (by
+    // fingerprint) to the in-process solve above — the transport, like the
+    // storage tier, is invisible to outcomes. ---
+    use hypergraph_mis::net::{Client, NetConfig, Server};
+    let net_config = NetConfig {
+        serve: ServeConfig {
+            shards: 2,
+            queue_depth: 8,
+            threads_per_shard: Some(1),
+            ..ServeConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    let wire_server = Server::bind("127.0.0.1:0", Arc::new(mapped_registry), &net_config)
+        .expect("bind loopback MISP server");
+    let mut client = Client::connect(wire_server.local_addr()).expect("connect to loopback");
+    let correlation = client
+        .submit(
+            &SolveRequest::for_graph(mapped_jobs)
+                .algorithm(Algorithm::Sbl(SblConfig::default()))
+                .seed(100)
+                .tenant(JOBS)
+                .build(),
+        )
+        .expect("submit over the wire");
+    let reply = client.recv().expect("receive the reply frame");
+    assert_eq!(reply.correlation, correlation);
+    assert_eq!(reply.outcome.fingerprint(), mapped_replay.fingerprint());
+    let stats = wire_server.shutdown();
+    assert_eq!(stats.delivered, 1);
+    println!(
+        "served the same solve over a MISP 1 loopback socket: the wire reply is \
+         fingerprint-identical to the in-process answer"
     );
 }

@@ -60,6 +60,21 @@
 //! machinery without the threads — the single-shard special case (see
 //! `examples/serving.rs` for the multi-tenant version).
 //!
+//! Out-of-process callers speak **`MISP 1`**, the [`net`] subsystem's
+//! versioned wire protocol: length-prefixed, checksummed binary frames
+//! carrying the same [`SolveRequest`](serve::SolveRequest)s and
+//! [`SolveOutcome`](serve::SolveOutcome)s losslessly, so a wire outcome is
+//! byte-identical (by
+//! [`fingerprint`](serve::SolveOutcome::fingerprint)) to an in-process
+//! solve of the same request. [`Server`](net::Server) is a plain
+//! `TcpListener` front-end over the [`ShardedRunner`] — blocking threads,
+//! no async runtime — and [`Client`](net::Client) the matching connector;
+//! hostile bytes (truncation, bit flips, lying headers) land in structured
+//! [`FrameError`](net::FrameError)s, never a panic. Every failure in the
+//! stack — socket, frame, solve, snapshot I/O, edit rejection — unifies
+//! under [`Error`] with a stable numeric code table that doubles as the
+//! wire's error vocabulary.
+//!
 //! The crate remains a thin facade over the workspace members:
 //!
 //! * [`hypergraph`] — data structures, normalized degrees, generators, I/O;
@@ -95,20 +110,20 @@
 //!     ..ServeConfig::default()
 //! };
 //! let mut server = ShardedRunner::new(Arc::clone(&registry), &config);
-//! server.submit(SolveRequest {
-//!     tenant: TenantId(1),
-//!     target: Target::Resident(tenant),
-//!     algorithm: Algorithm::Sbl(SblConfig::default()),
-//!     seed: 7,
-//!     pin: EpochPin::Latest,
-//! });
-//! server.submit(SolveRequest {
-//!     tenant: TenantId(1),
-//!     target: Target::Induced { graph: tenant, vertices: Arc::new((0..128).collect()) },
-//!     algorithm: Algorithm::Bl(BlConfig::default()),
-//!     seed: 8,
-//!     pin: EpochPin::Latest,
-//! });
+//! server.submit(
+//!     SolveRequest::for_graph(tenant)
+//!         .algorithm(Algorithm::Sbl(SblConfig::default()))
+//!         .seed(7)
+//!         .tenant(TenantId(1))
+//!         .build(),
+//! );
+//! server.submit(
+//!     SolveRequest::induced(tenant, (0..128).collect::<Vec<_>>())
+//!         .algorithm(Algorithm::Bl(BlConfig::default()))
+//!         .seed(8)
+//!         .tenant(TenantId(1))
+//!         .build(),
+//! );
 //!
 //! // Responses come back in submission order, whatever the scheduling.
 //! let outcomes = server.collect_ordered(2);
@@ -121,10 +136,13 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod error;
+pub mod net;
 pub mod serve;
 
 pub use batch::BatchRunner;
 pub use concentration;
+pub use error::Error;
 pub use hypergraph;
 pub use mis_core;
 pub use pram;
@@ -135,10 +153,13 @@ pub use serve::{ResidentRegistry, ServeConfig, ShardedRunner};
 /// sharded serving subsystem.
 pub mod prelude {
     pub use crate::batch::BatchRunner;
+    pub use crate::error::Error;
+    pub use crate::net::{Client, FrameError, NetConfig, RemoteError, Reply, Server};
     pub use crate::serve::{
-        AdmissionConfig, Algorithm, Epoch, EpochPin, GraphId, ResidentRegistry, ResidentSnapshot,
-        RetentionPolicy, RoutePolicy, ServeConfig, ServeStats, ShardedRunner, SolveOutcome,
-        SolveRequest, SpillPolicy, Target, TenantId, TenantQuota,
+        AdmissionConfig, Algorithm, ConnectionStats, Epoch, EpochPin, GraphId, ResidentRegistry,
+        ResidentSnapshot, RetentionPolicy, RoutePolicy, ServeConfig, ServeStats, ShardedRunner,
+        SolveOutcome, SolveRequest, SolveRequestBuilder, SpillPolicy, Target, TenantId,
+        TenantQuota,
     };
     pub use concentration::prelude::*;
     pub use hypergraph::prelude::*;

@@ -214,13 +214,14 @@
 //!     },
 //! );
 //! for seed in 0..6u64 {
-//!     runner.submit(SolveRequest {
-//!         tenant: TenantId(seed % 2),
-//!         target: Target::Resident(resident),
-//!         algorithm: Algorithm::Sbl(SblConfig::default()),
-//!         seed,
-//!         pin: EpochPin::Latest, // resolved to a concrete epoch at submit
-//!     });
+//!     // `EpochPin::Latest` (the default) is resolved to a concrete epoch
+//!     // at submit time.
+//!     runner.submit(
+//!         SolveRequest::for_graph(resident)
+//!             .seed(seed)
+//!             .tenant(TenantId(seed % 2))
+//!             .build(),
+//!     );
 //! }
 //! // Mutate mid-stream: the six in-flight requests stay pinned to epoch 0.
 //! let bumped = registry
@@ -386,6 +387,25 @@ pub enum DenyReason {
 pub struct GraphId {
     registry: u64,
     index: usize,
+}
+
+impl GraphId {
+    /// The `(registry tag, index)` pair the wire codec transmits. A decoded
+    /// pair that does not name a graph in the serving registry resolves to
+    /// [`SolveError::UnknownGraph`] on the request path, so round-tripping
+    /// foreign ids is safe — they can name, but never alias, a graph.
+    pub(crate) fn wire_parts(self) -> (u64, u64) {
+        (self.registry, self.index as u64)
+    }
+
+    /// Rebuilds a handle from its wire parts (see
+    /// [`wire_parts`](Self::wire_parts)).
+    pub(crate) fn from_wire_parts(registry: u64, index: u64) -> Self {
+        GraphId {
+            registry,
+            index: index as usize,
+        }
+    }
 }
 
 /// A resident graph's version number: epoch 0 is the graph as registered,
@@ -1332,7 +1352,7 @@ impl ResidentRegistry {
 
 /// Which algorithm a [`SolveRequest`] runs (all six are servable, both as
 /// full solves and as induced queries).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Algorithm {
     /// SBL (Algorithm 1, the paper's contribution).
     Sbl(SblConfig),
@@ -1364,7 +1384,7 @@ impl Algorithm {
 }
 
 /// What a [`SolveRequest`] solves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Target {
     /// A one-off instance shipped with the request (shared, not copied, per
     /// shard).
@@ -1397,21 +1417,148 @@ impl Target {
 /// One unit of work for the serving layer. Outcomes are a pure function of
 /// `(snapshot, algorithm, seed)` — see the [module docs](self); the tenant
 /// only drives routing, admission and accounting.
-#[derive(Debug, Clone)]
+///
+/// Requests are built, never assembled field-by-field: the three target
+/// constructors — [`for_graph`](Self::for_graph), [`adhoc`](Self::adhoc),
+/// [`induced`](Self::induced) — each return a [`SolveRequestBuilder`], the
+/// *single* construction path shared by library callers, the examples, the
+/// bench harness and the [`net`](crate::net) wire decoder. A request is
+/// therefore always well-formed: the target is fixed at construction, every
+/// other knob has the documented default, and the read-only accessors below
+/// mirror the former public fields.
+///
+/// ```
+/// use hypergraph_mis::prelude::*;
+/// # use rand::SeedableRng;
+/// # let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// # let mut registry = ResidentRegistry::new();
+/// # let id = registry.register(generate::paper_regime(&mut rng, 64, 8, 4));
+/// let request = SolveRequest::for_graph(id)
+///     .algorithm(Algorithm::Sbl(SblConfig::default()))
+///     .seed(7)
+///     .pin(EpochPin::Latest)
+///     .tenant(TenantId(3))
+///     .build();
+/// assert_eq!(request.seed(), 7);
+/// assert_eq!(request.tenant(), TenantId(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveRequest {
-    /// The tenant this request belongs to ([`TenantId::default`] for
-    /// single-tenant use).
-    pub tenant: TenantId,
-    /// What to solve.
-    pub target: Target,
-    /// Which algorithm to run.
-    pub algorithm: Algorithm,
-    /// Per-request RNG seed (`ChaCha8Rng::seed_from_u64`).
-    pub seed: u64,
-    /// Which epoch of a resident target to solve (ignored for
-    /// [`Target::Adhoc`]). The default, [`EpochPin::Latest`], is resolved to
-    /// a concrete epoch at submission time — see [`EpochPin`].
-    pub pin: EpochPin,
+    pub(crate) tenant: TenantId,
+    pub(crate) target: Target,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) seed: u64,
+    pub(crate) pin: EpochPin,
+}
+
+impl SolveRequest {
+    /// Starts a request for a full solve of a resident graph.
+    pub fn for_graph(graph: GraphId) -> SolveRequestBuilder {
+        SolveRequestBuilder::new(Target::Resident(graph))
+    }
+
+    /// Starts a request shipping a one-off instance (shared, not copied,
+    /// per shard).
+    pub fn adhoc(graph: Arc<Hypergraph>) -> SolveRequestBuilder {
+        SolveRequestBuilder::new(Target::Adhoc(graph))
+    }
+
+    /// Starts an induced query against a resident graph (see
+    /// [`Target::Induced`] for the vertex-set requirements — violations come
+    /// back as [`SolveError::InvalidQuery`] outcomes, not panics).
+    pub fn induced(graph: GraphId, vertices: impl Into<Arc<Vec<VertexId>>>) -> SolveRequestBuilder {
+        SolveRequestBuilder::new(Target::Induced {
+            graph,
+            vertices: vertices.into(),
+        })
+    }
+
+    /// Starts a request from an already-assembled [`Target`] — the general
+    /// form behind [`for_graph`](Self::for_graph), [`adhoc`](Self::adhoc)
+    /// and [`induced`](Self::induced), for callers that compute the target
+    /// dynamically.
+    pub fn for_target(target: Target) -> SolveRequestBuilder {
+        SolveRequestBuilder::new(target)
+    }
+
+    /// The tenant this request belongs to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// What the request solves.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Which algorithm the request runs.
+    pub fn algorithm(&self) -> &Algorithm {
+        &self.algorithm
+    }
+
+    /// The per-request RNG seed (`ChaCha8Rng::seed_from_u64`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Which epoch of a resident target the request solves (outcomes echo
+    /// the submission-time resolution — see [`EpochPin`]).
+    pub fn pin(&self) -> EpochPin {
+        self.pin
+    }
+}
+
+/// Builder returned by the [`SolveRequest`] constructors. Every setter is
+/// chainable and optional; [`build`](Self::build) yields the finished
+/// request. Defaults: [`TenantId::default`], SBL with
+/// [`SblConfig::default`], seed `0`, [`EpochPin::Latest`].
+#[derive(Debug, Clone)]
+pub struct SolveRequestBuilder {
+    request: SolveRequest,
+}
+
+impl SolveRequestBuilder {
+    fn new(target: Target) -> Self {
+        SolveRequestBuilder {
+            request: SolveRequest {
+                tenant: TenantId::default(),
+                target,
+                algorithm: Algorithm::Sbl(SblConfig::default()),
+                seed: 0,
+                pin: EpochPin::default(),
+            },
+        }
+    }
+
+    /// Which algorithm to run (default: SBL with [`SblConfig::default`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.request.algorithm = algorithm;
+        self
+    }
+
+    /// The per-request RNG seed (default `0`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.request.seed = seed;
+        self
+    }
+
+    /// Which epoch of a resident target to solve (default
+    /// [`EpochPin::Latest`]; ignored for ad-hoc targets).
+    pub fn pin(mut self, pin: EpochPin) -> Self {
+        self.request.pin = pin;
+        self
+    }
+
+    /// The tenant the request belongs to (default [`TenantId::default`]).
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.request.tenant = tenant;
+        self
+    }
+
+    /// Finishes the request.
+    pub fn build(self) -> SolveRequest {
+        self.request
+    }
 }
 
 /// Per-algorithm instrumentation carried by a [`SolveOutcome`].
@@ -1494,6 +1641,70 @@ pub enum SolveError {
         /// Which limit was hit.
         reason: DenyReason,
     },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotLinear(e) => write!(f, "linear-hypergraph algorithm refused: {e}"),
+            SolveError::UnknownGraph(id) => {
+                let (registry, index) = id.wire_parts();
+                write!(f, "unknown graph (registry {registry}, index {index})")
+            }
+            SolveError::UnknownEpoch { graph, epoch } => {
+                let (registry, index) = graph.wire_parts();
+                write!(
+                    f,
+                    "graph (registry {registry}, index {index}) has never reached epoch {}",
+                    epoch.0
+                )
+            }
+            SolveError::EpochEvicted {
+                graph,
+                epoch,
+                floor,
+            } => {
+                let (registry, index) = graph.wire_parts();
+                write!(
+                    f,
+                    "epoch {} of graph (registry {registry}, index {index}) was evicted by \
+                     retention (resident floor: epoch {})",
+                    epoch.0, floor.0
+                )
+            }
+            SolveError::SnapshotUnavailable { graph, detail } => {
+                let (registry, index) = graph.wire_parts();
+                write!(
+                    f,
+                    "spilled snapshot of graph (registry {registry}, index {index}) could not \
+                     be re-opened: {detail}"
+                )
+            }
+            SolveError::InvalidQuery { vertex, duplicate } => {
+                if *duplicate {
+                    write!(f, "induced query listed vertex {vertex} twice")
+                } else {
+                    write!(f, "induced query listed out-of-range vertex {vertex}")
+                }
+            }
+            SolveError::AdmissionDenied { tenant, reason } => {
+                let reason = match reason {
+                    DenyReason::QuotaExhausted => "token bucket exhausted",
+                    DenyReason::InFlightCap => "in-flight cap reached",
+                };
+                write!(f, "admission denied for tenant {}: {reason}", tenant.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::NotLinear(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// The response to one [`SolveRequest`].
@@ -1947,6 +2158,27 @@ pub struct ServeStats {
     pub per_shard: Vec<ShardStats>,
     /// Per-tenant counters, ascending by [`TenantId`].
     pub per_tenant: Vec<TenantStats>,
+    /// Per-connection counters, ascending by connection id. Empty for
+    /// library runners: only the [`net`](crate::net) front-end has
+    /// connections, and its [`Server::shutdown`](crate::net::Server::shutdown)
+    /// fills this in (including connections that have already closed).
+    pub connections: Vec<ConnectionStats>,
+}
+
+/// Per-connection counters of the [`net`](crate::net) front-end, reported
+/// through [`ServeStats::connections`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Connection id (assigned by the acceptor in accept order, from 0).
+    pub connection: u64,
+    /// Request frames decoded and submitted to the runner.
+    pub requests: u64,
+    /// Response frames written back (outcomes and error frames).
+    pub responses: u64,
+    /// Frames rejected by the codec (the connection closes after the error
+    /// frame is sent — a byte stream cannot be resynchronised past a
+    /// framing error).
+    pub protocol_errors: u64,
 }
 
 struct Job {
@@ -2346,6 +2578,48 @@ impl ShardedRunner {
         }
     }
 
+    /// Non-blocking flavour of streaming collection: yields the next
+    /// completed outcome if one is buffered or arrives within `timeout`,
+    /// `None` otherwise (including when nothing is outstanding). Delivered
+    /// tickets are recorded exactly like
+    /// [`collect_streaming`](Self::collect_streaming), so the two modes and
+    /// [`collect_ordered`](Self::collect_ordered) interoperate on one
+    /// runner. This is the poll the [`net`](crate::net) dispatcher
+    /// interleaves with submissions, so decoded requests keep flowing into
+    /// the shards while earlier responses stream back out.
+    ///
+    /// # Panics
+    /// Panics if a worker died with outcomes outstanding.
+    pub fn try_collect_one(&mut self, timeout: std::time::Duration) -> Option<SolveOutcome> {
+        if self.outstanding() == 0 {
+            return None;
+        }
+        let out = match self.pending.pop_first() {
+            Some((_, out)) => out,
+            None => match self.results.recv_timeout(timeout) {
+                Ok(out) => {
+                    self.in_queue[out.shard] = self.in_queue[out.shard].saturating_sub(1);
+                    out
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some((shard, _)) = self.workers.iter().find(|(_, h)| h.is_finished()) {
+                        panic!(
+                            "serve: worker shard {shard} died with {} outcomes outstanding",
+                            self.outstanding()
+                        );
+                    }
+                    return None;
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("serve: all workers disconnected with outcomes outstanding")
+                }
+            },
+        };
+        self.mark_streamed(out.ticket);
+        self.note_delivery(&out);
+        Some(out)
+    }
+
     /// Collects everything still outstanding, in ticket order.
     pub fn collect_outstanding(&mut self) -> Vec<SolveOutcome> {
         self.collect_ordered(self.outstanding() as usize)
@@ -2412,6 +2686,7 @@ impl ShardedRunner {
             delivered: self.delivered_total,
             per_shard,
             per_tenant,
+            connections: Vec::new(),
         }
     }
 

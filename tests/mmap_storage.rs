@@ -65,31 +65,28 @@ fn stream(general: GraphId, linear: GraphId) -> Vec<SolveRequest> {
     ];
     for (i, algorithm) in algorithms.into_iter().enumerate() {
         let seed = 0x3A99_0000 + i as u64;
-        requests.push(SolveRequest {
-            tenant: TenantId(i as u64 % 3),
-            target: Target::Resident(general),
-            algorithm: algorithm.clone(),
-            seed,
-            pin: EpochPin::Latest,
-        });
-        requests.push(SolveRequest {
-            tenant: TenantId(i as u64 % 3),
-            target: Target::Induced {
-                graph: general,
-                vertices: query(200, 64, seed),
-            },
-            algorithm,
-            seed: seed ^ 0xF00D,
-            pin: EpochPin::Latest,
-        });
+        requests.push(
+            SolveRequest::for_graph(general)
+                .algorithm(algorithm.clone())
+                .seed(seed)
+                .tenant(TenantId(i as u64 % 3))
+                .build(),
+        );
+        requests.push(
+            SolveRequest::induced(general, query(200, 64, seed))
+                .algorithm(algorithm)
+                .seed(seed ^ 0xF00D)
+                .tenant(TenantId(i as u64 % 3))
+                .build(),
+        );
     }
-    requests.push(SolveRequest {
-        tenant: TenantId(1),
-        target: Target::Resident(linear),
-        algorithm: Algorithm::Linear,
-        seed: 0x3A99_0100,
-        pin: EpochPin::Latest,
-    });
+    requests.push(
+        SolveRequest::for_graph(linear)
+            .algorithm(Algorithm::Linear)
+            .seed(0x3A99_0100)
+            .tenant(TenantId(1))
+            .build(),
+    );
     requests
 }
 
@@ -161,12 +158,12 @@ fn mutated_mapped_residents_stay_outcome_identical() {
         EpochPin::Latest,
     ] {
         for (i, algorithm) in [Algorithm::Kuw, Algorithm::Greedy].into_iter().enumerate() {
-            let req = |id| SolveRequest {
-                tenant: TenantId(0),
-                target: Target::Resident(id),
-                algorithm: algorithm.clone(),
-                seed: 0xED17 + i as u64,
-                pin,
+            let req = |id| {
+                SolveRequest::for_graph(id)
+                    .algorithm(algorithm.clone())
+                    .seed(0xED17 + i as u64)
+                    .pin(pin)
+                    .build()
             };
             assert_eq!(
                 runner.solve(&owned, &req(oid)).fingerprint(),
@@ -189,13 +186,10 @@ fn batch_runner_mirrors_page_ins_into_the_workspace_ledger() {
     assert!(registry.is_spilled(id));
 
     let mut runner = BatchRunner::new();
-    let request = SolveRequest {
-        tenant: TenantId(0),
-        target: Target::Resident(id),
-        algorithm: Algorithm::Greedy,
-        seed: 1,
-        pin: EpochPin::Latest,
-    };
+    let request = SolveRequest::for_graph(id)
+        .algorithm(Algorithm::Greedy)
+        .seed(1)
+        .build();
     let first = runner.solve(&registry, &request).fingerprint();
     let second = runner.solve(&registry, &request).fingerprint();
     assert_eq!(first, second, "page-ins never change outcomes");
@@ -221,16 +215,16 @@ fn sharded_runner_mirrors_page_ins_and_preserves_outcomes() {
 
     let requests = |id: GraphId| -> Vec<SolveRequest> {
         (0..6)
-            .map(|i| SolveRequest {
-                tenant: TenantId(i % 2),
-                target: Target::Resident(id),
-                algorithm: if i % 2 == 0 {
-                    Algorithm::Kuw
-                } else {
-                    Algorithm::Greedy
-                },
-                seed: 0x51A2 + i,
-                pin: EpochPin::Latest,
+            .map(|i| {
+                SolveRequest::for_graph(id)
+                    .algorithm(if i % 2 == 0 {
+                        Algorithm::Kuw
+                    } else {
+                        Algorithm::Greedy
+                    })
+                    .seed(0x51A2 + i)
+                    .tenant(TenantId(i % 2))
+                    .build()
             })
             .collect()
     };

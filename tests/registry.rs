@@ -99,27 +99,25 @@ fn stream() -> Vec<Step> {
     steps
 }
 
-fn request(id: GraphId, seed: u64) -> SolveRequest {
+fn request_builder(id: GraphId, seed: u64) -> SolveRequestBuilder {
     let algorithm = match seed % 3 {
         0 => Algorithm::Bl(BlConfig::default()),
         1 => Algorithm::Kuw,
         _ => Algorithm::Greedy,
     };
-    let target = if seed % 5 == 4 {
-        Target::Resident(id)
+    let builder = if seed % 5 == 4 {
+        SolveRequest::for_graph(id)
     } else {
-        Target::Induced {
-            graph: id,
-            vertices: query(32, seed),
-        }
+        SolveRequest::induced(id, query(32, seed))
     };
-    SolveRequest {
-        tenant: TenantId(seed % 3),
-        target,
-        algorithm,
-        seed: 0x6E0C_0000 + seed,
-        pin: EpochPin::Latest,
-    }
+    builder
+        .algorithm(algorithm)
+        .seed(0x6E0C_0000 + seed)
+        .tenant(TenantId(seed % 3))
+}
+
+fn request(id: GraphId, seed: u64) -> SolveRequest {
+    request_builder(id, seed).build()
 }
 
 /// Replaying any prefix of the edit log from any earlier snapshot lands on
@@ -157,10 +155,8 @@ fn replaying_any_log_prefix_reproduces_every_snapshot() {
 fn pinned_queries_survive_later_mutations() {
     let (registry, id) = fresh_registry();
     let mut runner = BatchRunner::new();
-    let pinned = |pin| SolveRequest {
-        pin,
-        ..request(id, 2) // seed % 3 == 2: greedy induced — fully deterministic
-    };
+    // seed % 3 == 2: greedy induced — fully deterministic.
+    let pinned = |pin| request_builder(id, 2).pin(pin).build();
     let before = runner
         .solve(&registry, &pinned(EpochPin::At(Epoch(0))))
         .fingerprint();
@@ -317,10 +313,7 @@ fn failing_batches_are_atomic() {
 fn unknown_epoch_pins_come_back_as_outcomes() {
     let (registry, id) = fresh_registry();
     let mut runner = BatchRunner::new();
-    let at_one = SolveRequest {
-        pin: EpochPin::At(Epoch(1)),
-        ..request(id, 2)
-    };
+    let at_one = request_builder(id, 2).pin(EpochPin::At(Epoch(1))).build();
     let out = runner.solve(&registry, &at_one);
     assert_eq!(
         out.error,
@@ -385,14 +378,12 @@ fn persisted_and_restored_registries_answer_identically() {
     let mut rb = BatchRunner::new();
     for seed in 0..9u64 {
         for e in 0..epochs {
-            let pa = SolveRequest {
-                pin: EpochPin::At(Epoch(e)),
-                ..request(id, seed)
-            };
-            let pb = SolveRequest {
-                pin: EpochPin::At(Epoch(e)),
-                ..request(rid, seed)
-            };
+            let pa = request_builder(id, seed)
+                .pin(EpochPin::At(Epoch(e)))
+                .build();
+            let pb = request_builder(rid, seed)
+                .pin(EpochPin::At(Epoch(e)))
+                .build();
             assert_eq!(
                 ra.solve(&registry, &pa).fingerprint(),
                 rb.solve(&restored, &pb).fingerprint(),
@@ -499,10 +490,7 @@ fn retention_bounds_snapshots_and_reports_evictions_as_outcomes() {
     }
 
     // Three-way pin semantics, all as outcome data.
-    let at = |e| SolveRequest {
-        pin: EpochPin::At(Epoch(e)),
-        ..request(id, 2)
-    };
+    let at = |e| request_builder(id, 2).pin(EpochPin::At(Epoch(e))).build();
     assert!(
         ra.solve(&keep, &at(0)).error.is_none(),
         "base stays resident"
@@ -642,17 +630,17 @@ proptest! {
             // the same solve against the replayed graph in a fresh registry
             // (payload-for-payload; the fresh registry is at epoch 0, so the
             // epoch field is compared separately).
-            let pinned = SolveRequest {
-                pin: EpochPin::At(Epoch(k)),
-                ..request(id, query_seed % 30)
-            };
+            let pinned = request_builder(id, query_seed % 30)
+                .pin(EpochPin::At(Epoch(k)))
+                .build();
             let out = runner.solve(&registry, &pinned);
             prop_assert_eq!(out.epoch, Some(Epoch(k)));
 
             let mut fresh = ResidentRegistry::new();
             let fresh_id = fresh.register(replayed);
-            let mut fresh_req = request(fresh_id, query_seed % 30);
-            fresh_req.pin = EpochPin::Latest;
+            let fresh_req = request_builder(fresh_id, query_seed % 30)
+                .pin(EpochPin::Latest)
+                .build();
             let fresh_out = BatchRunner::new().solve(&fresh, &fresh_req);
             let a = out.fingerprint();
             let b = fresh_out.fingerprint();

@@ -99,15 +99,13 @@ fn mixed_stream(a: GraphId, b: GraphId, count: usize) -> Vec<SolveRequest> {
                     Algorithm::Permutation,
                 ),
             };
-            SolveRequest {
-                // Several interleaved tenants, so every suite exercises the
-                // tenant bookkeeping alongside the original semantics.
-                tenant: TenantId(i as u64 % 5),
-                target,
-                algorithm,
-                seed,
-                pin: EpochPin::Latest,
-            }
+            // Several interleaved tenants, so every suite exercises the
+            // tenant bookkeeping alongside the original semantics.
+            SolveRequest::for_target(target)
+                .algorithm(algorithm)
+                .seed(seed)
+                .tenant(TenantId(i as u64 % 5))
+                .build()
         })
         .collect()
 }
@@ -182,8 +180,8 @@ fn interleaved_multi_tenant_answers_are_valid() {
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(3, 4));
     let outcomes = runner.run_stream(requests.clone());
     for (req, out) in requests.iter().zip(&outcomes) {
-        assert_eq!(out.seed, req.seed);
-        match (&req.target, &out.error) {
+        assert_eq!(out.seed, req.seed());
+        match (req.target(), &out.error) {
             (Target::Resident(id), None) => {
                 verify_mis(registry.latest(*id).graph(), &out.independent_set).unwrap()
             }
@@ -257,34 +255,25 @@ fn failures_come_back_as_outcomes() {
 
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 4));
     // Linear on a non-linear tenant (d-uniform with shared pairs).
-    runner.submit(SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Resident(b),
-        algorithm: Algorithm::Linear,
-        seed: 1,
-        pin: EpochPin::Latest,
-    });
+    runner.submit(
+        SolveRequest::for_graph(b)
+            .algorithm(Algorithm::Linear)
+            .seed(1)
+            .build(),
+    );
     // Out-of-range and duplicate induced queries.
-    runner.submit(SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Induced {
-            graph: b,
-            vertices: Arc::new(vec![1, 2, 100_000]),
-        },
-        algorithm: Algorithm::Bl(BlConfig::default()),
-        seed: 2,
-        pin: EpochPin::Latest,
-    });
-    runner.submit(SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Induced {
-            graph: b,
-            vertices: Arc::new(vec![5, 9, 5]),
-        },
-        algorithm: Algorithm::Greedy,
-        seed: 3,
-        pin: EpochPin::Latest,
-    });
+    runner.submit(
+        SolveRequest::induced(b, vec![1, 2, 100_000])
+            .algorithm(Algorithm::Bl(BlConfig::default()))
+            .seed(2)
+            .build(),
+    );
+    runner.submit(
+        SolveRequest::induced(b, vec![5, 9, 5])
+            .algorithm(Algorithm::Greedy)
+            .seed(3)
+            .build(),
+    );
     let outcomes = runner.collect_ordered(3);
     assert!(matches!(outcomes[0].error, Some(SolveError::NotLinear(_))));
     assert!(matches!(
@@ -310,13 +299,12 @@ fn failures_come_back_as_outcomes() {
     // id's registry tag doesn't match — it must never resolve to another
     // tenant's graph.
     let mut runner = ShardedRunner::new(Arc::clone(&foreign), &config(1, 4));
-    runner.submit(SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Resident(b),
-        algorithm: Algorithm::Greedy,
-        seed: 4,
-        pin: EpochPin::Latest,
-    });
+    runner.submit(
+        SolveRequest::for_graph(b)
+            .algorithm(Algorithm::Greedy)
+            .seed(4)
+            .build(),
+    );
     let out = runner.collect_ordered(1);
     assert!(matches!(out[0].error, Some(SolveError::UnknownGraph(_))));
 
@@ -325,29 +313,19 @@ fn failures_come_back_as_outcomes() {
     // (exercising the error-path unwind of the trusted-clean mark buffer on
     // reuse), still matching the sequential path.
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(1, 4));
-    let req = SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Induced {
-            graph: b,
-            vertices: query(150, 30, 99),
-        },
-        algorithm: Algorithm::Bl(BlConfig::default()),
-        seed: 5,
-        pin: EpochPin::Latest,
-    };
+    let req = SolveRequest::induced(b, query(150, 30, 99))
+        .algorithm(Algorithm::Bl(BlConfig::default()))
+        .seed(5)
+        .build();
     // Warm the shard's induced-query scratch, poison it with a duplicate
     // (partial-mark unwind), then solve the real request.
     runner.submit(req.clone());
-    runner.submit(SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Induced {
-            graph: b,
-            vertices: Arc::new(vec![0, 7, 0]),
-        },
-        algorithm: Algorithm::Bl(BlConfig::default()),
-        seed: 6,
-        pin: EpochPin::Latest,
-    });
+    runner.submit(
+        SolveRequest::induced(b, vec![0, 7, 0])
+            .algorithm(Algorithm::Bl(BlConfig::default()))
+            .seed(6)
+            .build(),
+    );
     runner.submit(req.clone());
     let outcomes = runner.collect_ordered(3);
     assert!(matches!(
@@ -409,13 +387,12 @@ fn dead_worker_panics_the_collector_instead_of_hanging() {
         vec![(0u32..24).collect::<Vec<_>>()],
     ));
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &config(2, 4));
-    runner.submit(SolveRequest {
-        tenant: TenantId::default(),
-        target: Target::Adhoc(oversized),
-        algorithm: Algorithm::Bl(BlConfig::default()),
-        seed: 1,
-        pin: EpochPin::Latest,
-    });
+    runner.submit(
+        SolveRequest::adhoc(oversized)
+            .algorithm(Algorithm::Bl(BlConfig::default()))
+            .seed(1)
+            .build(),
+    );
     let _ = runner.collect_ordered(1);
 }
 
@@ -532,16 +509,13 @@ fn admission_denials_are_data_and_deterministic() {
     let run = |cfg: &ServeConfig| {
         let mut runner = ShardedRunner::new(Arc::clone(&registry), cfg);
         for i in 0..12u64 {
-            runner.submit(SolveRequest {
-                tenant: TenantId(i % 2),
-                target: Target::Induced {
-                    graph: b,
-                    vertices: query(150, 20, i),
-                },
-                algorithm: Algorithm::Greedy,
-                seed: i,
-                pin: EpochPin::Latest,
-            });
+            runner.submit(
+                SolveRequest::induced(b, query(150, 20, i))
+                    .algorithm(Algorithm::Greedy)
+                    .seed(i)
+                    .tenant(TenantId(i % 2))
+                    .build(),
+            );
         }
         let outs = runner.collect_ordered(12);
         let stats = runner.stats();
@@ -613,12 +587,12 @@ fn admission_denials_are_data_and_deterministic() {
         per_tenant: Vec::new(),
     };
     let mut runner = ShardedRunner::new(Arc::clone(&registry), &cfg);
-    let req = |seed: u64| SolveRequest {
-        tenant: TenantId(9),
-        target: Target::Resident(b),
-        algorithm: Algorithm::Permutation,
-        seed,
-        pin: EpochPin::Latest,
+    let req = |seed: u64| {
+        SolveRequest::for_graph(b)
+            .algorithm(Algorithm::Permutation)
+            .seed(seed)
+            .tenant(TenantId(9))
+            .build()
     };
     runner.submit(req(1));
     runner.submit(req(2)); // over the cap while ticket 0 is in flight
@@ -660,13 +634,13 @@ fn token_refill_survives_refill_periods_near_u64_max() {
         };
         let mut runner = ShardedRunner::new(Arc::clone(&registry), &cfg);
         for i in 0..8u64 {
-            runner.submit(SolveRequest {
-                tenant: TenantId(0),
-                target: Target::Resident(b),
-                algorithm: Algorithm::Greedy,
-                seed: i,
-                pin: EpochPin::Latest,
-            });
+            runner.submit(
+                SolveRequest::for_graph(b)
+                    .algorithm(Algorithm::Greedy)
+                    .seed(i)
+                    .tenant(TenantId(0))
+                    .build(),
+            );
         }
         let outs = runner.collect_ordered(8);
         assert!(
@@ -777,13 +751,11 @@ fn materialize(
                     Algorithm::Bl(BlConfig::default()),
                 ),
             };
-            SolveRequest {
-                tenant: TenantId(tenant),
-                target,
-                algorithm,
-                seed,
-                pin: EpochPin::Latest,
-            }
+            SolveRequest::for_target(target)
+                .algorithm(algorithm)
+                .seed(seed)
+                .tenant(TenantId(tenant))
+                .build()
         })
         .collect()
 }
